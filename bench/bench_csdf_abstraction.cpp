@@ -1,0 +1,110 @@
+// Extension experiment (DESIGN.md X11): accuracy of the conservative SDF
+// abstraction of cyclo-static graphs. The related work [6] maps CSDF
+// applications directly; our flow maps them through sdf_abstraction, which
+// can only lose throughput. This bench quantifies the loss on a family of
+// two-stage pipelines with increasingly skewed phase profiles: balanced
+// phases lose nothing, skewed phases pay for the abstraction's
+// all-of-the-cycle-at-once firing.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/analysis/state_space.h"
+#include "src/csdf/analysis.h"
+#include "src/csdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+using namespace sdfmap;
+
+namespace {
+
+/// A tightly-coupled producer/consumer round trip: the producer's cycle
+/// splits 12 work units and 6 tokens over `phases` phases (`skew` shifts
+/// both towards the first phase); the consumer processes tokens one at a
+/// time (exec 2) and the producer may only start its next cycle once the
+/// consumer finished the previous one (a one-iteration feedback loop). With
+/// fine phases the consumer overlaps the producer's tail; the SDF
+/// abstraction fires the whole producer cycle at once and serializes the
+/// round trip.
+CsdfGraph make_pipeline(std::size_t phases, std::int64_t skew) {
+  CsdfGraph g;
+  std::vector<std::int64_t> exec(phases, 12 / static_cast<std::int64_t>(phases));
+  std::vector<std::int64_t> prod(phases, 6 / static_cast<std::int64_t>(phases));
+  exec[0] += skew;
+  exec[phases - 1] -= std::min(skew, exec[phases - 1] - 1);
+  prod[0] += skew;
+  prod[phases - 1] -= std::min(skew, prod[phases - 1]);
+  const CsdfActorId a = g.add_actor("producer", exec);
+  const CsdfActorId b = g.add_actor("consumer", {2});
+  const std::int64_t total =
+      std::accumulate(prod.begin(), prod.end(), std::int64_t{0});
+  g.add_channel(a, b, prod, {1}, 0);
+  // Feedback: the producer's first phase claims the whole previous cycle's
+  // completions.
+  std::vector<std::int64_t> back_c(phases, 0);
+  back_c[0] = total;
+  g.add_channel(b, a, {1}, back_c, total);
+  return g;
+}
+
+Rational abstraction_period(const CsdfGraph& g) {
+  Graph sdf = sdf_abstraction(g);
+  for (const ActorId a : sdf.actor_ids()) {
+    if (!sdf.has_self_loop(a)) sdf.add_channel(a, a, 1, 1, 1);
+  }
+  const SelfTimedResult r = self_timed_throughput(sdf);
+  return r.deadlocked() ? Rational(0) : r.iteration_period;
+}
+
+void print_report() {
+  benchutil::heading("CSDF exact analysis vs conservative SDF abstraction (X11)");
+  std::cout << "  two-stage pipeline, producer phase profile increasingly skewed\n\n";
+  std::cout << "  phases  skew   exact period   abstraction period   pessimism\n";
+  for (const std::size_t phases : {2u, 3u, 6u}) {
+    for (const std::int64_t skew : {0, 2, 4}) {
+      const CsdfGraph g = make_pipeline(phases, skew);
+      const SelfTimedResult exact = csdf_self_timed_throughput(g);
+      const Rational coarse = abstraction_period(g);
+      std::cout << std::setw(8) << phases << std::setw(6) << skew;
+      if (exact.deadlocked() || coarse.is_zero()) {
+        std::cout << "   deadlock\n";
+        continue;
+      }
+      std::cout << std::setw(15) << exact.iteration_period.to_string() << std::setw(21)
+                << coarse.to_string() << std::fixed << std::setprecision(2) << std::setw(11)
+                << (coarse / exact.iteration_period).to_double() << "x\n";
+    }
+  }
+  std::cout << "\n  the abstraction is never optimistic (>= 1.00x by the conservativeness\n"
+               "  property); mapping decisions made on it remain guaranteed on the CSDF.\n";
+}
+
+void BM_CsdfExact(benchmark::State& state) {
+  const CsdfGraph g = make_pipeline(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf_self_timed_throughput(g));
+  }
+}
+BENCHMARK(BM_CsdfExact)->Arg(2)->Arg(6);
+
+void BM_CsdfAbstraction(benchmark::State& state) {
+  const CsdfGraph g = make_pipeline(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abstraction_period(g));
+  }
+}
+BENCHMARK(BM_CsdfAbstraction)->Arg(2)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Tab. 3 reproduction: binding of the example's actors a1..a3 to tiles t1/t2
+// for the four weight settings of the tile cost function (Eqn. 2), plus a
+// google-benchmark timing of the binding step itself.
+//
+// Paper rows:  (1,0,0) -> t1 t1 t2     (0,1,0) -> t1 t2 t2
+//              (0,0,1) -> t1 t1 t1     (1,1,1) -> t1 t1 t2
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binder.h"
+#include "src/platform/mesh.h"
+
+using namespace sdfmap;
+
+namespace {
+
+std::string bind_row(const TileCostWeights& weights) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const BindingResult r = bind_actors(app, arch, weights);
+  if (!r.success) return "infeasible (" + r.failure_reason + ")";
+  std::string row;
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    if (a) row += " ";
+    row += arch.tile(*r.binding.tile_of(ActorId{a})).name;
+  }
+  return row;
+}
+
+void print_report() {
+  benchutil::heading("Tab. 3: binding of actors to tiles");
+  std::cout << "  (c1,c2,c3)   a1 a2 a3\n";
+  benchutil::compare("(1,0,0)", bind_row({1, 0, 0}), "t1 t1 t2");
+  benchutil::compare("(0,1,0)", bind_row({0, 1, 0}), "t1 t2 t2");
+  benchutil::compare("(0,0,1)", bind_row({0, 0, 1}), "t1 t1 t1");
+  benchutil::compare("(1,1,1)", bind_row({1, 1, 1}), "t1 t1 t2");
+  benchutil::note(
+      "  (the (0,1,0) row depends on the exact Fig. 3 rates, which are only\n"
+      "   partially legible in our source; see EXPERIMENTS.md)");
+}
+
+void BM_BindActors(benchmark::State& state) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bind_actors(app, arch, {1, 1, 1}));
+  }
+}
+BENCHMARK(BM_BindActors);
+
+void BM_RebalanceBinding(benchmark::State& state) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const BindingResult bound = bind_actors(app, arch, {1, 1, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rebalance_binding(app, arch, {1, 1, 1}, bound.binding));
+  }
+}
+BENCHMARK(BM_RebalanceBinding);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Tab. 5 reproduction: resource efficiency on the mixed set (set 4). For each
+// tile-cost function the platform utilization after allocation is measured
+// and — as in the paper — normalized against the largest usage of that
+// resource across the five cost functions.
+//
+// Paper Tab. 5 (set 4):
+//            wheel  memory  conn  in-bw  out-bw
+//   (1,0,0)  0.71   0.82    0.88  0.83   0.70
+//   (0,1,0)  0.85   0.93    1.00  1.00   1.00
+//   (0,0,1)  0.72   0.82    0.67  0.47   0.67
+//   (1,1,1)  0.96   0.98    1.00  0.94   0.79
+//   (0,1,2)  1.00   1.00    0.94  0.72   0.92
+//
+// Also prints the paper's companion observation that with cost function 5 on
+// set 4 roughly 73% of the platform's resources end up used.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/gen/benchmark_sets.h"
+#include "src/mapping/multi_app.h"
+
+using namespace sdfmap;
+
+namespace {
+
+constexpr std::size_t kSequenceLength = 48;
+constexpr int kSequences = 3;
+constexpr int kArchitectures = 3;
+
+const TileCostWeights kCostFunctions[] = {
+    {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {0, 1, 2}};
+
+struct Usage {
+  double bound = 0;
+  double wheel = 0, memory = 0, conn = 0, bw_in = 0, bw_out = 0;
+};
+
+Usage measure(const TileCostWeights& weights) {
+  Usage usage;
+  for (int seq = 0; seq < kSequences; ++seq) {
+    const auto apps = generate_sequence(BenchmarkSet::kMixed, kSequenceLength, 1 + seq);
+    for (int arch = 0; arch < kArchitectures; ++arch) {
+      StrategyOptions options;
+      options.weights = weights;
+      const MultiAppResult r =
+          allocate_sequence(apps, make_benchmark_architecture(arch), options);
+      usage.bound += static_cast<double>(r.num_allocated);
+      usage.wheel += r.utilization.wheel;
+      usage.memory += r.utilization.memory;
+      usage.conn += r.utilization.connections;
+      usage.bw_in += r.utilization.bandwidth_in;
+      usage.bw_out += r.utilization.bandwidth_out;
+    }
+  }
+  const double runs = kSequences * kArchitectures;
+  usage.bound /= runs;
+  usage.wheel /= runs;
+  usage.memory /= runs;
+  usage.conn /= runs;
+  usage.bw_in /= runs;
+  usage.bw_out /= runs;
+  return usage;
+}
+
+void print_report() {
+  benchutil::heading("Tab. 5: resource efficiency for the mixed set (set 4)");
+
+  Usage usage[5];
+  Usage max;
+  for (int fn = 0; fn < 5; ++fn) {
+    usage[fn] = measure(kCostFunctions[fn]);
+    max.wheel = std::max(max.wheel, usage[fn].wheel);
+    max.memory = std::max(max.memory, usage[fn].memory);
+    max.conn = std::max(max.conn, usage[fn].conn);
+    max.bw_in = std::max(max.bw_in, usage[fn].bw_in);
+    max.bw_out = std::max(max.bw_out, usage[fn].bw_out);
+  }
+
+  const double paper[5][5] = {{0.71, 0.82, 0.88, 0.83, 0.70},
+                              {0.85, 0.93, 1.00, 1.00, 1.00},
+                              {0.72, 0.82, 0.67, 0.47, 0.67},
+                              {0.96, 0.98, 1.00, 0.94, 0.79},
+                              {1.00, 1.00, 0.94, 0.72, 0.92}};
+
+  std::cout << "  normalized per resource against the largest user; cells show\n"
+            << "  measured (paper)\n\n";
+  std::cout << "  (c1,c2,c3)    timewheel     memory      connections    input bw     "
+               "output bw    apps\n";
+  const auto norm = [](double v, double m) { return m > 0 ? v / m : 0.0; };
+  for (int fn = 0; fn < 5; ++fn) {
+    std::cout << "  " << std::left << std::setw(11) << kCostFunctions[fn].to_string()
+              << std::right << std::fixed << std::setprecision(2);
+    const double cells[5] = {norm(usage[fn].wheel, max.wheel),
+                             norm(usage[fn].memory, max.memory),
+                             norm(usage[fn].conn, max.conn),
+                             norm(usage[fn].bw_in, max.bw_in),
+                             norm(usage[fn].bw_out, max.bw_out)};
+    for (int c = 0; c < 5; ++c) {
+      std::cout << std::setw(6) << cells[c] << " (" << paper[fn][c] << ")";
+    }
+    std::cout << std::setw(7) << std::setprecision(1) << usage[fn].bound << "\n";
+  }
+
+  // Sec. 10.2's absolute-utilization observation for cost function 5.
+  const Usage& fn5 = usage[4];
+  const double avg_used =
+      (fn5.wheel + fn5.memory + fn5.conn + (fn5.bw_in + fn5.bw_out) / 2) / 4;
+  std::cout << "\n  average absolute resource usage with cost fn (0,1,2): " << std::fixed
+            << std::setprecision(2) << avg_used << " (paper reports 0.73)\n";
+}
+
+void BM_AllocateSequenceMixed(benchmark::State& state) {
+  const auto apps = generate_sequence(BenchmarkSet::kMixed, 16, 1);
+  const Architecture arch = make_benchmark_architecture(0);
+  StrategyOptions options;
+  options.weights = {0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_sequence(apps, arch, options));
+  }
+}
+BENCHMARK(BM_AllocateSequenceMixed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+
+// Small shared helpers for the paper-experiment benchmark binaries.
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+namespace sdfmap::benchutil {
+
+inline void heading(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Prints "measured vs paper" with a matching marker.
+inline void compare(const std::string& label, const std::string& measured,
+                    const std::string& paper) {
+  std::cout << "  " << std::left << std::setw(44) << label << " measured " << std::setw(12)
+            << measured << " paper " << std::setw(12) << paper
+            << (measured == paper ? " [match]" : "") << "\n";
+}
+
+}  // namespace sdfmap::benchutil

@@ -1,0 +1,70 @@
+// Buffer-size / throughput trade-off on the paper's running example: sweep
+// the α buffer capacities of the binding-aware model and watch the guaranteed
+// throughput climb until the interconnect latency, not storage, limits it.
+//
+// This reproduces the qualitative storage/throughput trade-off the authors
+// study in their DAC'06 companion paper ([21]) with the machinery of this
+// one: the buffer capacities become back-edge tokens in the binding-aware
+// SDFG (Sec. 8.1), so each sweep point is one self-timed state-space run.
+
+#include <iostream>
+
+#include "src/analysis/state_space.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/buffer_sizing.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/repetition_vector.h"
+
+using namespace sdfmap;
+
+int main() {
+  const Architecture arch = make_example_platform();
+  const Binding binding = make_paper_example_binding(arch);
+
+  std::cout << "alpha  iteration-period  throughput(iter/time)\n";
+  for (std::int64_t alpha = 1; alpha <= 8; ++alpha) {
+    ApplicationGraph app = make_paper_example_application();
+    // Scale every buffer requirement to `alpha` tokens (keeping validity
+    // w.r.t. initial tokens).
+    for (const ChannelId c : app.sdf().channel_ids()) {
+      EdgeRequirement req = app.edge_requirement(c);
+      const std::int64_t tok = app.sdf().channel(c).initial_tokens;
+      if (req.alpha_tile > 0) req.alpha_tile = tok + alpha;
+      if (req.alpha_src > 0) req.alpha_src = alpha;
+      if (req.alpha_dst > 0) req.alpha_dst = tok + alpha;
+      app.set_edge_requirement(c, req);
+    }
+
+    const BindingAwareGraph bag =
+        build_binding_aware_graph(app, arch, binding, half_wheel_slices(arch));
+    const auto gamma = compute_repetition_vector(bag.graph);
+    const SelfTimedResult result = self_timed_throughput(bag.graph, *gamma);
+    if (result.deadlocked()) {
+      std::cout << alpha << "      deadlock\n";
+      continue;
+    }
+    std::cout << alpha << "      " << result.iteration_period.to_string() << "             "
+              << result.throughput().to_string() << "\n";
+  }
+
+  // Automatic minimization: let minimize_buffers find the per-channel minimal
+  // α meeting the application's constraint (λ = 1/30) under 50% slices.
+  ApplicationGraph app = make_paper_example_application();
+  const auto schedules = construct_schedules(app, arch, binding).schedules;
+  const BufferSizingResult minimal =
+      minimize_buffers(app, arch, binding, schedules, {5, 5});
+  if (minimal.success) {
+    std::cout << "\nminimized buffers for λ = " << app.throughput_constraint().to_string()
+              << ": " << minimal.buffer_bits_before << " -> " << minimal.buffer_bits_after
+              << " bits (throughput " << minimal.achieved_throughput.to_string() << ", "
+              << minimal.throughput_checks << " checks)\n";
+    for (const ChannelId c : app.sdf().channel_ids()) {
+      const EdgeRequirement& req = minimal.requirements[c.value];
+      std::cout << "  " << app.sdf().channel(c).name << ": α_tile " << req.alpha_tile
+                << ", α_src " << req.alpha_src << ", α_dst " << req.alpha_dst << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Platform dimensioning (Sec. 10.1 names it as the natural next step after
+// allocation): find the smallest mesh, and then the smallest resource
+// scaling, that hosts a set of applications with throughput guarantees.
+//
+// Usage: platform_dimensioning [--h263=2] [--mp3=1] [--max-rows=3 --max-cols=3]
+
+#include <iostream>
+
+#include "src/appmodel/media.h"
+#include "src/mapping/dimensioning.h"
+#include "src/support/cli.h"
+
+using namespace sdfmap;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::int64_t num_h263 = args.get_int("h263", 3);
+  const std::int64_t num_mp3 = args.get_int("mp3", 1);
+
+  std::vector<ApplicationGraph> apps;
+  for (std::int64_t i = 0; i < num_h263; ++i) {
+    apps.push_back(make_h263_decoder(2, 2376, "h263_" + std::to_string(i)));
+  }
+  for (std::int64_t i = 0; i < num_mp3; ++i) {
+    apps.push_back(make_mp3_decoder(2, "mp3_" + std::to_string(i)));
+  }
+  std::cout << "dimensioning for " << num_h263 << "x H.263 + " << num_mp3 << "x MP3\n\n";
+
+  // Step 1: grow the mesh until everything fits.
+  MeshOptions base;
+  base.proc_types = {"generic", "accel"};
+  base.wheel_size = 100;
+  base.memory = 4'000'000;
+  base.max_connections = 16;
+  base.bandwidth_in = base.bandwidth_out = 2000;
+  base.hop_latency = 2;
+  const auto meshes =
+      mesh_growth_candidates(base, args.get_int("max-rows", 3), args.get_int("max-cols", 3));
+
+  MultiAppOptions options;
+  options.strategy.weights = {2, 0, 1};
+  const DimensioningResult grown = dimension_platform(apps, meshes, options);
+  if (!grown.success) {
+    std::cout << "no mesh up to the limit hosts the workload\n";
+    return 1;
+  }
+  const Architecture& chosen = meshes[grown.chosen_candidate];
+  std::cout << "smallest mesh: " << chosen.num_tiles() << " tiles (candidate "
+            << grown.chosen_candidate + 1 << "/" << grown.candidates_tried
+            << " evaluated)\n";
+  const auto u = grown.allocation.utilization;
+  std::cout << "  utilization: wheel " << u.wheel << ", memory " << u.memory
+            << ", connections " << u.connections << "\n\n";
+
+  // Step 2: keep the chosen grid, shrink memory/connections/bandwidth.
+  MeshOptions grid = base;
+  grid.rows = 1;
+  grid.cols = 1;
+  while (grid.rows * grid.cols < static_cast<std::int64_t>(chosen.num_tiles())) {
+    if (grid.cols <= grid.rows) ++grid.cols;
+    else ++grid.rows;
+  }
+  const std::vector<double> multipliers{0.25, 0.5, 0.75, 1.0};
+  const auto shrink = resource_scaling_candidates(grid, multipliers);
+  const DimensioningResult slim = dimension_platform(apps, shrink, options);
+  if (slim.success) {
+    std::cout << "smallest resource scaling on that mesh: x"
+              << multipliers[slim.chosen_candidate] << " (memory "
+              << shrink[slim.chosen_candidate].tile(TileId{0}).memory << " bits/tile)\n";
+  } else {
+    std::cout << "even the full-resource mesh is the minimum\n";
+  }
+  return 0;
+}

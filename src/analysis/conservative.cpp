@@ -1,0 +1,44 @@
+#include "src/analysis/conservative.h"
+
+#include "src/mapping/list_scheduler.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+Graph inflate_tdma_execution_times(const BindingAwareGraph& bag, const Architecture& arch) {
+  Graph g = bag.graph;
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const std::int32_t t = bag.actor_tile[a];
+    if (t == kUnscheduled) continue;
+    const std::int64_t wheel = arch.tile(TileId{static_cast<std::uint32_t>(t)}).wheel_size;
+    const std::int64_t slice = bag.slices[t];
+    if (slice <= 0) {
+      throw std::invalid_argument(
+          "inflate_tdma_execution_times: zero slice on a tile with bound actors");
+    }
+    const std::int64_t exec = g.actor(ActorId{a}).execution_time;
+    const std::int64_t idle = (wheel - slice) * ceil_div(exec, slice);
+    g.set_execution_time(ActorId{a}, exec + idle);
+  }
+  return g;
+}
+
+ConstrainedResult conservative_throughput(const ApplicationGraph& app,
+                                          const Architecture& arch, const Binding& binding,
+                                          const std::vector<StaticOrderSchedule>& schedules,
+                                          const std::vector<std::int64_t>& slices,
+                                          const ExecutionLimits& limits) {
+  const BindingAwareGraph bag = build_binding_aware_graph(app, arch, binding, slices);
+  const Graph inflated = inflate_tdma_execution_times(bag, arch);
+
+  const auto gamma = compute_repetition_vector(inflated);
+  if (!gamma) throw std::invalid_argument("conservative_throughput: inconsistent graph");
+
+  ConstrainedSpec spec = make_constrained_spec(arch, bag, schedules);
+  for (TdmaTileSpec& tile : spec.tiles) {
+    tile.slice = tile.wheel_size;  // no gating: the inflation models the TDMA loss
+  }
+  return execute_constrained(inflated, *gamma, spec, SchedulingMode::kStaticOrder, limits);
+}
+
+}  // namespace sdfmap

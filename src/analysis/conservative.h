@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/analysis/constrained.h"
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/binding_aware.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// The conservative TDMA model of [4] (discussed in Sec. 8.2): instead of
+/// gating actor progress by the wheel position, every firing of a tile-bound
+/// actor is lengthened by the worst-case wheel time not reserved for the
+/// application, Υ'(a) = Υ(a) + ceil(Υ(a)/ω_t)·(w_t − ω_t). For firings that
+/// fit in one slice (Υ <= ω) this is the paper's "+ (w − ω)" (e.g. +5 for a3
+/// in Sec. 8.2); longer firings lose the idle part of every wheel rotation
+/// they span, which keeps the model a true upper bound on the gated
+/// execution. Returns a copy of the binding-aware graph with inflated
+/// execution times; connection and synchronization actors are unchanged.
+/// Throws std::invalid_argument when a tile with bound actors has slice 0
+/// (the inflation is undefined; the gated analysis reports deadlock there).
+[[nodiscard]] Graph inflate_tdma_execution_times(const BindingAwareGraph& bag,
+                                                 const Architecture& arch);
+
+/// Throughput of the bound application under the conservative model:
+/// inflated execution times, the same static-order schedules, but *no* wheel
+/// gating (every tile behaves as if its whole wheel were reserved). Always a
+/// lower bound on (at most equal to) the gated analysis of Sec. 8.2, which
+/// is the accuracy gap the paper exploits to allocate smaller slices.
+[[nodiscard]] ConstrainedResult conservative_throughput(
+    const ApplicationGraph& app, const Architecture& arch, const Binding& binding,
+    const std::vector<StaticOrderSchedule>& schedules,
+    const std::vector<std::int64_t>& slices, const ExecutionLimits& limits = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,404 @@
+#include "src/analysis/constrained.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "src/analysis/remaining_multiset.h"
+#include "src/analysis/state_hash.h"
+
+namespace sdfmap {
+
+std::int64_t completion_time(std::int64_t now, std::int64_t remaining, std::int64_t wheel,
+                             std::int64_t slice, std::int64_t offset) {
+  if (remaining <= 0) return now;
+  if (slice <= 0) return kNeverCompletes;
+  if (slice >= wheel) return now + remaining;
+  // Work in shifted coordinates where the slice occupies phases [0, slice);
+  // adding one wheel keeps the shifted time non-negative.
+  const std::int64_t shift = ((offset % wheel) + wheel) % wheel;
+  std::int64_t t = now - shift + wheel;
+  std::int64_t r = remaining;
+  const std::int64_t phase = t % wheel;
+  if (phase < slice) {
+    const std::int64_t avail = slice - phase;
+    if (r <= avail) return t + r + shift - wheel;
+    r -= avail;
+  }
+  t += wheel - phase;  // start of the next slice window
+  const std::int64_t full = (r - 1) / slice;
+  t += full * wheel;
+  r -= full * slice;
+  return t + r + shift - wheel;
+}
+
+std::int64_t slice_time_between(std::int64_t from, std::int64_t to, std::int64_t wheel,
+                                std::int64_t slice, std::int64_t offset) {
+  if (to <= from) return 0;
+  if (slice <= 0) return 0;
+  if (slice >= wheel) return to - from;
+  const std::int64_t shift = ((offset % wheel) + wheel) % wheel;
+  const auto upto = [wheel, slice, shift](std::int64_t x) {
+    const std::int64_t shifted = x - shift + wheel;  // non-negative
+    return (shifted / wheel) * slice + std::min(shifted % wheel, slice);
+  };
+  return upto(to) - upto(from);
+}
+
+namespace {
+
+/// Shared engine for both scheduling modes (Sec. 8.2 / Sec. 9.2).
+class ConstrainedExecutor {
+ public:
+  ConstrainedExecutor(const Graph& g, const RepetitionVector& gamma,
+                      const ConstrainedSpec& spec, SchedulingMode mode,
+                      const ExecutionLimits& limits, const TraceObserver& observer)
+      : g_(g), gamma_(gamma), spec_(spec), mode_(mode), limits_(limits), observer_(observer) {
+    validate();
+  }
+
+  ConstrainedResult run();
+
+ private:
+  struct TileState {
+    bool busy = false;
+    std::uint32_t firing_actor = 0;
+    std::int64_t remaining = 0;      // work units left of the active firing
+    std::size_t schedule_pos = 0;    // static mode
+    std::deque<std::uint32_t> ready; // list mode
+  };
+
+  void validate() const {
+    if (spec_.actor_tile.size() != g_.num_actors()) {
+      throw std::invalid_argument("execute_constrained: actor_tile size mismatch");
+    }
+    for (const std::int32_t t : spec_.actor_tile) {
+      if (t != kUnscheduled && (t < 0 || static_cast<std::size_t>(t) >= spec_.tiles.size())) {
+        throw std::invalid_argument("execute_constrained: actor bound to unknown tile");
+      }
+    }
+    for (const TdmaTileSpec& tile : spec_.tiles) {
+      if (tile.wheel_size <= 0 || tile.slice < 0 || tile.slice > tile.wheel_size) {
+        throw std::invalid_argument("execute_constrained: invalid wheel/slice");
+      }
+    }
+    if (mode_ == SchedulingMode::kStaticOrder) {
+      for (std::size_t t = 0; t < spec_.tiles.size(); ++t) {
+        for (const ActorId a : spec_.tiles[t].schedule.firings) {
+          if (a.value >= g_.num_actors() ||
+              spec_.actor_tile[a.value] != static_cast<std::int32_t>(t)) {
+            throw std::invalid_argument(
+                "execute_constrained: schedule names an actor not bound to its tile");
+          }
+        }
+      }
+    }
+  }
+
+  bool tokens_available(std::uint32_t a) const {
+    for (const ChannelId cid : g_.actor(ActorId{a}).inputs) {
+      if (tokens_[cid.value] < g_.channel(cid).consumption_rate) return false;
+    }
+    return true;
+  }
+
+  void consume_inputs(std::uint32_t a) {
+    for (const ChannelId cid : g_.actor(ActorId{a}).inputs) {
+      tokens_[cid.value] -= g_.channel(cid).consumption_rate;
+    }
+  }
+
+  void produce_outputs(std::uint32_t a) {
+    for (const ChannelId cid : g_.actor(ActorId{a}).outputs) {
+      tokens_[cid.value] += g_.channel(cid).production_rate;
+      max_tokens_[cid.value] = std::max(max_tokens_[cid.value], tokens_[cid.value]);
+      if (tokens_[cid.value] > limits_.max_tokens_per_channel) {
+        throw ThroughputError("execute_constrained: unbounded token accumulation on '" +
+                              g_.channel(cid).name + "'");
+      }
+    }
+  }
+
+  /// List mode: enqueue newly enabled firing instances of every tile actor.
+  /// A queued instance claims tokens it has not consumed yet, so the number
+  /// of queued instances per actor never exceeds min_c floor(tokens/rate).
+  void refresh_ready_lists() {
+    for (std::uint32_t a = 0; a < g_.num_actors(); ++a) {
+      const std::int32_t t = spec_.actor_tile[a];
+      if (t == kUnscheduled) continue;
+      std::int64_t enabled = limits_.max_tokens_per_channel;
+      for (const ChannelId cid : g_.actor(ActorId{a}).inputs) {
+        enabled = std::min(enabled, tokens_[cid.value] / g_.channel(cid).consumption_rate);
+      }
+      const std::int64_t pending = pending_claims_[a];
+      for (std::int64_t i = pending; i < enabled; ++i) {
+        tiles_[t].ready.push_back(a);
+        ++pending_claims_[a];
+      }
+    }
+  }
+
+  StateKey make_key() const {
+    StateKey key;
+    key.words.reserve(tokens_.size() + spec_.tiles.size() * 4 + g_.num_actors());
+    key.words.insert(key.words.end(), tokens_.begin(), tokens_.end());
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      const TileState& ts = tiles_[t];
+      key.words.push_back(ts.busy ? static_cast<std::int64_t>(ts.firing_actor) : -1);
+      key.words.push_back(ts.busy ? ts.remaining : -1);
+      key.words.push_back(static_cast<std::int64_t>(ts.schedule_pos));
+      key.words.push_back(now_ % spec_.tiles[t].wheel_size);  // wheel phase
+      if (mode_ == SchedulingMode::kListScheduling) {
+        key.words.push_back(static_cast<std::int64_t>(ts.ready.size()));
+        for (const std::uint32_t a : ts.ready) key.words.push_back(a);
+      }
+    }
+    for (std::uint32_t a = 0; a < g_.num_actors(); ++a) {
+      if (spec_.actor_tile[a] != kUnscheduled) continue;
+      unscheduled_remaining_[a].encode(key.words);
+    }
+    return key;
+  }
+
+  const Graph& g_;
+  const RepetitionVector& gamma_;
+  const ConstrainedSpec& spec_;
+  const SchedulingMode mode_;
+  const ExecutionLimits& limits_;
+  const TraceObserver& observer_;
+
+  std::int64_t now_ = 0;
+  std::vector<std::int64_t> tokens_;
+  std::vector<std::int64_t> max_tokens_;
+  std::vector<TileState> tiles_;
+  std::vector<RemainingMultiset> unscheduled_remaining_;  // per unscheduled actor
+  std::vector<std::int64_t> pending_claims_;                      // list mode, per actor
+  std::vector<std::int64_t> fire_count_;
+  std::vector<std::vector<ActorId>> recorded_starts_;             // list mode, per tile
+};
+
+ConstrainedResult ConstrainedExecutor::run() {
+  const std::size_t num_actors = g_.num_actors();
+  tokens_.resize(g_.num_channels());
+  for (std::size_t i = 0; i < g_.num_channels(); ++i) {
+    tokens_[i] = g_.channels()[i].initial_tokens;
+  }
+  max_tokens_ = tokens_;
+  tiles_.assign(spec_.tiles.size(), {});
+  unscheduled_remaining_.assign(num_actors, {});
+  pending_claims_.assign(num_actors, 0);
+  fire_count_.assign(num_actors, 0);
+  recorded_starts_.assign(spec_.tiles.size(), {});
+
+  struct Snapshot {
+    std::int64_t time = 0;
+    std::vector<std::int64_t> fires;
+    std::vector<std::size_t> starts;  // list mode: per-tile recorded-start counts
+  };
+  StateMap<Snapshot> seen;
+
+  ConstrainedResult result;
+
+  // Sample recurrence-candidate states at completions of a reference actor
+  // (the one with the fewest firings per iteration), as in [10]: this keeps
+  // the stored set proportional to iterations rather than firings.
+  std::uint32_t ref = 0;
+  bool have_ref = false;
+  for (std::uint32_t a = 0; a < num_actors; ++a) {
+    if (gamma_[a] > 0 && (!have_ref || gamma_[a] < gamma_[ref])) {
+      ref = a;
+      have_ref = true;
+    }
+  }
+  if (!have_ref) return result;
+  std::int64_t sampled_ref_fires = -1;
+  std::uint64_t steps = 0;
+
+  while (true) {
+    // ---- Fixpoint at the current instant.
+    TransitionEvent event;
+    event.time = now_;
+    std::uint64_t instant_events = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // End unscheduled firings that have completed.
+      for (std::uint32_t a = 0; a < num_actors; ++a) {
+        if (spec_.actor_tile[a] != kUnscheduled) continue;
+        auto& rem = unscheduled_remaining_[a];
+        const std::int64_t ended = rem.zero_count();
+        if (ended == 0) continue;
+        rem.pop_zeros();
+        for (std::int64_t k = 0; k < ended; ++k) produce_outputs(a);
+        fire_count_[a] += ended;
+        if (observer_) event.ended.insert(event.ended.end(), ended, ActorId{a});
+        changed = true;
+        instant_events += static_cast<std::uint64_t>(ended);
+      }
+      // End tile firings that have completed.
+      for (auto& ts : tiles_) {
+        if (ts.busy && ts.remaining == 0) {
+          ts.busy = false;
+          produce_outputs(ts.firing_actor);
+          ++fire_count_[ts.firing_actor];
+          if (observer_) event.ended.push_back(ActorId{ts.firing_actor});
+          changed = true;
+          ++instant_events;
+        }
+      }
+      // Start unscheduled firings (self-timed).
+      for (std::uint32_t a = 0; a < num_actors; ++a) {
+        if (spec_.actor_tile[a] != kUnscheduled) continue;
+        std::int64_t started = limits_.max_tokens_per_channel;
+        for (const ChannelId cid : g_.actor(ActorId{a}).inputs) {
+          started = std::min(started, tokens_[cid.value] / g_.channel(cid).consumption_rate);
+          if (started == 0) break;
+        }
+        if (started == 0) continue;
+        for (const ChannelId cid : g_.actor(ActorId{a}).inputs) {
+          tokens_[cid.value] -= g_.channel(cid).consumption_rate * started;
+        }
+        unscheduled_remaining_[a].add(g_.actor(ActorId{a}).execution_time, started);
+        if (observer_) event.started.insert(event.started.end(), started, ActorId{a});
+        changed = true;
+        instant_events += static_cast<std::uint64_t>(started);
+      }
+      // Start tile firings.
+      if (mode_ == SchedulingMode::kListScheduling) refresh_ready_lists();
+      for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        TileState& ts = tiles_[t];
+        if (ts.busy) continue;
+        if (mode_ == SchedulingMode::kStaticOrder) {
+          const StaticOrderSchedule& sched = spec_.tiles[t].schedule;
+          if (ts.schedule_pos >= sched.size()) continue;
+          const ActorId a = sched.at(ts.schedule_pos);
+          if (!tokens_available(a.value)) continue;
+          consume_inputs(a.value);
+          ts.busy = true;
+          ts.firing_actor = a.value;
+          ts.remaining = g_.actor(a).execution_time;
+          ts.schedule_pos = sched.next(ts.schedule_pos);
+          if (observer_) event.started.push_back(a);
+          changed = true;
+          ++instant_events;
+        } else {
+          if (ts.ready.empty()) continue;
+          const std::uint32_t a = ts.ready.front();
+          ts.ready.pop_front();
+          --pending_claims_[a];
+          if (!tokens_available(a)) {
+            throw std::logic_error("execute_constrained: ready-list claim without tokens");
+          }
+          consume_inputs(a);
+          ts.busy = true;
+          ts.firing_actor = a;
+          ts.remaining = g_.actor(ActorId{a}).execution_time;
+          recorded_starts_[t].push_back(ActorId{a});
+          if (observer_) event.started.push_back(ActorId{a});
+          changed = true;
+          ++instant_events;
+        }
+      }
+      if (instant_events > limits_.max_events_per_instant) {
+        throw ThroughputError("execute_constrained: zero-delay cycle at one instant");
+      }
+    }
+    if (observer_ && (now_ == 0 || !event.ended.empty() || !event.started.empty())) {
+      observer_(event);
+    }
+
+    // ---- Recurrence detection, sampled at reference-actor completions.
+    if (fire_count_[ref] != sampled_ref_fires) {
+      sampled_ref_fires = fire_count_[ref];
+      const auto [it, inserted] = seen.try_emplace(make_key());
+      if (!inserted) {
+        const Snapshot& prev = it->second;
+        const std::int64_t span = now_ - prev.time;
+        for (std::uint32_t a = 0; a < num_actors; ++a) {
+          const std::int64_t delta = fire_count_[a] - prev.fires[a];
+          if (delta > 0 && gamma_[a] > 0) {
+            result.base.status = SelfTimedResult::Status::kPeriodic;
+            result.base.iteration_period = Rational(span) * Rational(gamma_[a], delta);
+            result.base.cycle_start_time = prev.time;
+            result.base.cycle_end_time = now_;
+            result.base.cycle_firings = delta;
+            result.base.period_firings.resize(num_actors);
+            for (std::uint32_t b = 0; b < num_actors; ++b) {
+              result.base.period_firings[b] = fire_count_[b] - prev.fires[b];
+            }
+            break;
+          }
+        }
+        result.base.states_stored = seen.size();
+        if (mode_ == SchedulingMode::kListScheduling &&
+            result.base.status == SelfTimedResult::Status::kPeriodic) {
+          result.schedules.resize(tiles_.size());
+          for (std::size_t t = 0; t < tiles_.size(); ++t) {
+            result.schedules[t].firings = recorded_starts_[t];
+            result.schedules[t].loop_start = prev.starts[t];
+          }
+        }
+        result.base.max_tokens = max_tokens_;
+        return result;
+      }
+      it->second.time = now_;
+      it->second.fires = fire_count_;
+      if (mode_ == SchedulingMode::kListScheduling) {
+        it->second.starts.resize(tiles_.size());
+        for (std::size_t t = 0; t < tiles_.size(); ++t) {
+          it->second.starts[t] = recorded_starts_[t].size();
+        }
+      }
+      if (seen.size() > limits_.max_states) {
+        throw ThroughputError("execute_constrained: state limit exceeded");
+      }
+    } else if (++steps > limits_.max_time_steps) {
+      throw ThroughputError("execute_constrained: step limit exceeded (livelock?)");
+    }
+
+    // ---- Advance to the next completion event.
+    std::int64_t next = kNeverCompletes;
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      const TileState& ts = tiles_[t];
+      if (!ts.busy) continue;
+      next = std::min(next, completion_time(now_, ts.remaining, spec_.tiles[t].wheel_size,
+                                            spec_.tiles[t].slice,
+                                            spec_.tiles[t].slice_offset));
+    }
+    for (std::uint32_t a = 0; a < num_actors; ++a) {
+      if (spec_.actor_tile[a] != kUnscheduled) continue;
+      if (!unscheduled_remaining_[a].empty()) {
+        next = std::min(next, now_ + unscheduled_remaining_[a].front());
+      }
+    }
+    if (next == kNeverCompletes) {
+      // Nothing can complete: deadlock (or a zero-slice tile blocks forever).
+      result.base.status = SelfTimedResult::Status::kDeadlock;
+      result.base.states_stored = seen.size();
+      result.base.max_tokens = max_tokens_;
+      return result;
+    }
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      TileState& ts = tiles_[t];
+      if (!ts.busy) continue;
+      ts.remaining -= slice_time_between(now_, next, spec_.tiles[t].wheel_size,
+                                         spec_.tiles[t].slice, spec_.tiles[t].slice_offset);
+    }
+    for (std::uint32_t a = 0; a < num_actors; ++a) {
+      if (spec_.actor_tile[a] != kUnscheduled) continue;
+      unscheduled_remaining_[a].advance(next - now_);
+    }
+    now_ = next;
+  }
+}
+
+}  // namespace
+
+ConstrainedResult execute_constrained(const Graph& g, const RepetitionVector& gamma,
+                                      const ConstrainedSpec& spec, SchedulingMode mode,
+                                      const ExecutionLimits& limits,
+                                      const TraceObserver& observer) {
+  return ConstrainedExecutor(g, gamma, spec, mode, limits, observer).run();
+}
+
+}  // namespace sdfmap

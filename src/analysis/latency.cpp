@@ -1,0 +1,63 @@
+#include "src/analysis/latency.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Observer that records the completion times of one actor.
+class SinkWatcher {
+ public:
+  SinkWatcher(ActorId sink, std::int64_t needed) : sink_(sink), needed_(needed) {}
+
+  TraceObserver observer() {
+    return [this](const TransitionEvent& e) {
+      for (const ActorId a : e.ended) {
+        if (a != sink_) continue;
+        if (count_ == 0) first_ = e.time;
+        ++count_;
+        if (count_ == needed_) iteration_done_ = e.time;
+      }
+    };
+  }
+
+  [[nodiscard]] std::optional<LatencyReport> report() const {
+    if (count_ < needed_) return std::nullopt;
+    return LatencyReport{iteration_done_, first_};
+  }
+
+ private:
+  ActorId sink_;
+  std::int64_t needed_;
+  std::int64_t count_ = 0;
+  std::int64_t first_ = 0;
+  std::int64_t iteration_done_ = 0;
+};
+
+}  // namespace
+
+std::optional<LatencyReport> self_timed_latency(const Graph& g,
+                                                const RepetitionVector& gamma, ActorId sink,
+                                                const ExecutionLimits& limits) {
+  if (sink.value >= g.num_actors() || gamma[sink.value] == 0) return std::nullopt;
+  SinkWatcher watcher(sink, gamma[sink.value]);
+  // The exploration runs through the transient plus one full period, which by
+  // construction contains at least one complete iteration of every actor —
+  // unless the graph deadlocks first.
+  const SelfTimedResult result = self_timed_throughput(g, gamma, limits, watcher.observer());
+  (void)result;
+  return watcher.report();
+}
+
+std::optional<LatencyReport> constrained_latency(const Graph& g,
+                                                 const RepetitionVector& gamma,
+                                                 const ConstrainedSpec& spec, ActorId sink,
+                                                 const ExecutionLimits& limits) {
+  if (sink.value >= g.num_actors() || gamma[sink.value] == 0) return std::nullopt;
+  SinkWatcher watcher(sink, gamma[sink.value]);
+  const ConstrainedResult result = execute_constrained(
+      g, gamma, spec, SchedulingMode::kStaticOrder, limits, watcher.observer());
+  (void)result;
+  return watcher.report();
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+
+#include "src/analysis/constrained.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+/// Latency figures derived from the explored execution (start-up behaviour,
+/// complementary to the steady-state throughput the paper optimizes).
+struct LatencyReport {
+  /// Time at which actor `sink` completed its γ(sink)-th firing — the end of
+  /// the first graph iteration as observed at the sink.
+  std::int64_t first_iteration_completion = 0;
+  /// Time of the sink's very first completion.
+  std::int64_t first_output = 0;
+};
+
+/// Measures the start-up latency of a self-timed execution at the given sink
+/// actor. Returns nullopt when the execution deadlocks before the sink
+/// completes an iteration.
+[[nodiscard]] std::optional<LatencyReport> self_timed_latency(
+    const Graph& g, const RepetitionVector& gamma, ActorId sink,
+    const ExecutionLimits& limits = {});
+
+/// Same measurement under schedule/TDMA constraints (Sec. 8.2 semantics).
+[[nodiscard]] std::optional<LatencyReport> constrained_latency(
+    const Graph& g, const RepetitionVector& gamma, const ConstrainedSpec& spec, ActorId sink,
+    const ExecutionLimits& limits = {});
+
+}  // namespace sdfmap

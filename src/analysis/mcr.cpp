@@ -1,0 +1,275 @@
+#include "src/analysis/mcr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/sdf/cycles.h"
+#include "src/sdf/scc.h"
+
+namespace sdfmap {
+
+namespace {
+
+constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+/// True when the graph contains a cycle using only token-free channels,
+/// which makes self-timed execution deadlock.
+bool has_zero_token_cycle(const Graph& g) {
+  Graph zero;
+  for (const Actor& a : g.actors()) zero.add_actor(a.name);
+  for (const Channel& c : g.channels()) {
+    if (c.initial_tokens == 0) zero.add_channel(c.src, c.dst, 1, 1, 0);
+  }
+  const SccResult scc = strongly_connected_components(zero);
+  for (std::uint32_t comp = 0; comp < scc.num_components(); ++comp) {
+    if (scc.is_cyclic(comp, zero)) return true;
+  }
+  return false;
+}
+
+/// Howard's policy iteration on one strongly connected component.
+class HowardSolver {
+ public:
+  HowardSolver(const Graph& g, const std::vector<ActorId>& nodes)
+      : g_(g), n_(nodes.size()) {
+    global_to_local_.assign(g.num_actors(), kNone);
+    local_nodes_ = nodes;
+    for (std::uint32_t i = 0; i < n_; ++i) global_to_local_[nodes[i].value] = i;
+    out_edges_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      for (const ChannelId cid : g.actor(nodes[i]).outputs) {
+        const std::uint32_t dst = global_to_local_[g.channel(cid).dst.value];
+        if (dst != kNone) out_edges_[i].push_back(cid);
+      }
+    }
+  }
+
+  /// Returns the maximum cycle ratio and a critical cycle of the component.
+  std::pair<Rational, std::vector<ChannelId>> solve() {
+    policy_.assign(n_, ChannelId{0});
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (out_edges_[i].empty()) {
+        throw std::logic_error("HowardSolver: node without out-edge in SCC");
+      }
+      policy_[i] = out_edges_[i].front();
+    }
+    lambda_.assign(n_, Rational(0));
+    dist_.assign(n_, Rational(0));
+
+    // Policy iteration: evaluate, then improve; exact rationals, so strict
+    // improvements guarantee termination. The cap is a defensive backstop.
+    const std::size_t cap = 16 + n_ * n_ * 4 + 4096;
+    for (std::size_t iter = 0; iter < cap; ++iter) {
+      evaluate_policy();
+      if (!improve_policy()) return extract_critical_cycle();
+    }
+    throw std::runtime_error("HowardSolver: policy iteration did not converge");
+  }
+
+ private:
+  std::uint32_t succ(std::uint32_t u) const {
+    return global_to_local_[g_.channel(policy_[u]).dst.value];
+  }
+  Rational weight(ChannelId e) const { return Rational(g_.actor(g_.channel(e).src).execution_time); }
+  std::int64_t tokens(ChannelId e) const { return g_.channel(e).initial_tokens; }
+
+  void evaluate_policy() {
+    evaluated_.assign(n_, false);
+    std::vector<std::uint32_t> path;
+    std::vector<std::uint8_t> on_path(n_, 0);
+    for (std::uint32_t start = 0; start < n_; ++start) {
+      if (evaluated_[start]) continue;
+      // Follow the functional graph until hitting an evaluated node or a node
+      // already on the current path (a new policy cycle).
+      path.clear();
+      std::uint32_t u = start;
+      while (!evaluated_[u] && !on_path[u]) {
+        on_path[u] = 1;
+        path.push_back(u);
+        u = succ(u);
+      }
+      if (!evaluated_[u]) {
+        // `u` starts a fresh cycle: compute its ratio, then distances.
+        evaluate_cycle(u);
+      }
+      // Unwind the tail (and any cycle prefix) in reverse order.
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const std::uint32_t v = *it;
+        on_path[v] = 0;
+        if (evaluated_[v]) continue;
+        const std::uint32_t s = succ(v);
+        lambda_[v] = lambda_[s];
+        dist_[v] = weight(policy_[v]) - lambda_[v] * Rational(tokens(policy_[v])) + dist_[s];
+        evaluated_[v] = true;
+      }
+    }
+  }
+
+  void evaluate_cycle(std::uint32_t handle) {
+    // Collect the cycle through `handle` in the policy graph.
+    std::vector<std::uint32_t> cycle;
+    std::uint32_t u = handle;
+    Rational total_weight(0);
+    std::int64_t total_tokens = 0;
+    do {
+      cycle.push_back(u);
+      total_weight += weight(policy_[u]);
+      total_tokens += tokens(policy_[u]);
+      u = succ(u);
+    } while (u != handle);
+    if (total_tokens <= 0) {
+      throw std::logic_error("HowardSolver: token-free policy cycle (deadlock missed)");
+    }
+    const Rational ratio = total_weight / Rational(total_tokens);
+    // Distances around the cycle, anchored at the handle.
+    dist_[handle] = Rational(0);
+    lambda_[handle] = ratio;
+    evaluated_[handle] = true;
+    for (auto it = cycle.rbegin(); it != cycle.rend() - 1; ++it) {
+      const std::uint32_t v = *it;
+      const std::uint32_t s = succ(v);
+      lambda_[v] = ratio;
+      dist_[v] = weight(policy_[v]) - ratio * Rational(tokens(policy_[v])) + dist_[s];
+      evaluated_[v] = true;
+    }
+  }
+
+  bool improve_policy() {
+    bool improved = false;
+    // Phase 1: adopt successors with strictly larger cycle ratio.
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      for (const ChannelId e : out_edges_[u]) {
+        const std::uint32_t v = global_to_local_[g_.channel(e).dst.value];
+        if (lambda_[v] > lambda_[u]) {
+          lambda_[u] = lambda_[v];
+          policy_[u] = e;
+          improved = true;
+        }
+      }
+    }
+    if (improved) return true;
+    // Phase 2: same ratio, strictly larger distance.
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      for (const ChannelId e : out_edges_[u]) {
+        const std::uint32_t v = global_to_local_[g_.channel(e).dst.value];
+        if (lambda_[v] != lambda_[u]) continue;
+        const Rational val = weight(e) - lambda_[u] * Rational(tokens(e)) + dist_[v];
+        if (val > dist_[u]) {
+          dist_[u] = val;
+          policy_[u] = e;
+          improved = true;
+        }
+      }
+    }
+    return improved;
+  }
+
+  std::pair<Rational, std::vector<ChannelId>> extract_critical_cycle() {
+    // The maximum lambda is attained on some policy cycle; walk from the node
+    // that attains it until the cycle closes.
+    std::uint32_t best = 0;
+    for (std::uint32_t u = 1; u < n_; ++u) {
+      if (lambda_[u] > lambda_[best]) best = u;
+    }
+    // Advance into the cycle (tree tail has the same lambda as its cycle).
+    std::vector<std::uint8_t> seen(n_, 0);
+    std::uint32_t u = best;
+    while (!seen[u]) {
+      seen[u] = 1;
+      u = succ(u);
+    }
+    std::vector<ChannelId> cycle;
+    const std::uint32_t entry = u;
+    do {
+      cycle.push_back(policy_[u]);
+      u = succ(u);
+    } while (u != entry);
+    return {lambda_[best], cycle};
+  }
+
+  const Graph& g_;
+  const std::uint32_t n_;
+  std::vector<ActorId> local_nodes_;
+  std::vector<std::uint32_t> global_to_local_;
+  std::vector<std::vector<ChannelId>> out_edges_;
+  std::vector<ChannelId> policy_;
+  std::vector<Rational> lambda_;
+  std::vector<Rational> dist_;
+  std::vector<bool> evaluated_;
+};
+
+}  // namespace
+
+McrResult max_cycle_ratio(const Graph& g) {
+  McrResult result;
+  if (has_zero_token_cycle(g)) {
+    result.kind = McrResult::Kind::kDeadlock;
+    return result;
+  }
+  const SccResult scc = strongly_connected_components(g);
+  bool any_cycle = false;
+  for (std::uint32_t comp = 0; comp < scc.num_components(); ++comp) {
+    if (!scc.is_cyclic(comp, g)) continue;
+    any_cycle = true;
+    HowardSolver solver(g, scc.members[comp]);
+    auto [ratio, cycle] = solver.solve();
+    if (result.kind != McrResult::Kind::kFinite || ratio > result.ratio) {
+      result.kind = McrResult::Kind::kFinite;
+      result.ratio = ratio;
+      result.critical_cycle = std::move(cycle);
+    }
+  }
+  if (!any_cycle) result.kind = McrResult::Kind::kAcyclic;
+  return result;
+}
+
+McrResult max_cycle_ratio_by_enumeration(const Graph& g, std::size_t max_cycles) {
+  const CycleEnumeration enumeration = enumerate_simple_cycles(g, max_cycles);
+  if (enumeration.truncated) {
+    throw std::runtime_error("max_cycle_ratio_by_enumeration: too many cycles");
+  }
+  McrResult result;
+  if (enumeration.cycles.empty()) return result;  // kAcyclic
+  for (const Cycle& cycle : enumeration.cycles) {
+    std::int64_t weight = 0;
+    std::int64_t toks = 0;
+    for (const ChannelId cid : cycle.channels) {
+      weight = checked_add(weight, g.actor(g.channel(cid).src).execution_time);
+      toks = checked_add(toks, g.channel(cid).initial_tokens);
+    }
+    if (toks == 0) {
+      result.kind = McrResult::Kind::kDeadlock;
+      result.critical_cycle = cycle.channels;
+      return result;
+    }
+    const Rational ratio(weight, toks);
+    if (result.kind != McrResult::Kind::kFinite || ratio > result.ratio) {
+      result.kind = McrResult::Kind::kFinite;
+      result.ratio = ratio;
+      result.critical_cycle = cycle.channels;
+    }
+  }
+  return result;
+}
+
+bool has_cycle_with_ratio_above(const Graph& g, const Rational& lambda) {
+  // Bellman-Ford positive-cycle detection on cost(e) = Υ(src)·den − num·Tok,
+  // in 128-bit arithmetic so scaled costs cannot overflow.
+  const std::size_t n = g.num_actors();
+  std::vector<__int128> potential(n, 0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool relaxed = false;
+    for (const Channel& c : g.channels()) {
+      const __int128 cost = static_cast<__int128>(g.actor(c.src).execution_time) * lambda.den() -
+                            static_cast<__int128>(lambda.num()) * c.initial_tokens;
+      if (potential[c.src.value] + cost > potential[c.dst.value]) {
+        potential[c.dst.value] = potential[c.src.value] + cost;
+        relaxed = true;
+      }
+    }
+    if (!relaxed) return false;
+  }
+  return true;
+}
+
+}  // namespace sdfmap

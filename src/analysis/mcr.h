@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/sdf/graph.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Outcome of a maximum-cycle-ratio analysis on a timed graph.
+///
+/// The cycle ratio of a cycle C is Σ_{a ∈ C} Υ(a) / Σ_{d ∈ C} Tok(d), the
+/// iteration period that cycle imposes in self-timed execution ([20], Sec. 1
+/// of the paper). For an HSDFG the maximum ratio over all cycles is exactly
+/// the steady-state iteration period; throughput = 1 / ratio.
+struct McrResult {
+  enum class Kind {
+    /// No cycle at all: no recurrence constraint, unbounded throughput.
+    kAcyclic,
+    /// A cycle without tokens: the graph deadlocks.
+    kDeadlock,
+    /// Finite maximum cycle ratio in `ratio`.
+    kFinite,
+  };
+
+  Kind kind = Kind::kAcyclic;
+  Rational ratio;  ///< valid when kind == kFinite
+
+  /// One critical cycle achieving the maximum ratio (channels in traversal
+  /// order); valid when kind == kFinite and produced by the enumeration
+  /// variant (Howard reports the cycle from its final policy).
+  std::vector<ChannelId> critical_cycle;
+
+  [[nodiscard]] bool is_finite() const { return kind == Kind::kFinite; }
+};
+
+/// Maximum cycle ratio via Howard's policy iteration, run per strongly
+/// connected component (exact rational arithmetic). This is the fast path
+/// used by the HSDFG-based baseline flow; complexity is low-polynomial in
+/// practice.
+[[nodiscard]] McrResult max_cycle_ratio(const Graph& g);
+
+/// Oracle variant: enumerate simple cycles (Johnson) and take the maximum
+/// ratio directly. Exponential; only for small graphs and tests.
+/// Throws std::runtime_error if enumeration truncates at `max_cycles`.
+[[nodiscard]] McrResult max_cycle_ratio_by_enumeration(const Graph& g,
+                                                       std::size_t max_cycles = 100000);
+
+/// True when some cycle has ratio strictly greater than `lambda`; decided
+/// exactly with integer Bellman–Ford on costs Υ·den − λnum·Tok. Used as a
+/// cross-check of Howard's result in the property tests.
+[[nodiscard]] bool has_cycle_with_ratio_above(const Graph& g, const Rational& lambda);
+
+}  // namespace sdfmap

@@ -1,0 +1,47 @@
+#include "src/analysis/metrics.h"
+
+namespace sdfmap {
+
+std::vector<Rational> actor_firing_throughputs(const Graph& g,
+                                               const SelfTimedResult& result) {
+  std::vector<Rational> out(g.num_actors(), Rational(0));
+  if (result.deadlocked() || result.period_firings.empty()) return out;
+  const std::int64_t span = result.cycle_end_time - result.cycle_start_time;
+  if (span <= 0) return out;
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    out[a] = Rational(result.period_firings[a], span);
+  }
+  return out;
+}
+
+std::vector<double> tile_active_fractions(const Graph& g, const ConstrainedSpec& spec,
+                                          const ConstrainedResult& result) {
+  std::vector<double> out(spec.tiles.size(), 0.0);
+  const SelfTimedResult& base = result.base;
+  if (base.deadlocked() || base.period_firings.empty()) return out;
+  const std::int64_t span = base.cycle_end_time - base.cycle_start_time;
+  if (span <= 0) return out;
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const std::int32_t t = spec.actor_tile[a];
+    if (t == kUnscheduled) continue;
+    out[static_cast<std::size_t>(t)] +=
+        static_cast<double>(base.period_firings[a] * g.actor(ActorId{a}).execution_time) /
+        static_cast<double>(span);
+  }
+  return out;
+}
+
+Rational interconnect_transfer_rate(const Graph& g, const ConstrainedSpec& spec,
+                                    const ConstrainedResult& result) {
+  const SelfTimedResult& base = result.base;
+  if (base.deadlocked() || base.period_firings.empty()) return Rational(0);
+  const std::int64_t span = base.cycle_end_time - base.cycle_start_time;
+  if (span <= 0) return Rational(0);
+  std::int64_t transfers = 0;
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    if (spec.actor_tile[a] == kUnscheduled) transfers += base.period_firings[a];
+  }
+  return Rational(transfers, 2 * span);  // each token passes conn and sync
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/constrained.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Derived metrics of a periodic execution, read off the periodic phase
+/// (period_firings / cycle time span) of a throughput analysis result.
+
+/// Exact firing throughput of every actor (firings per time unit); zeros
+/// when the execution deadlocked.
+[[nodiscard]] std::vector<Rational> actor_firing_throughputs(const Graph& g,
+                                                             const SelfTimedResult& result);
+
+/// Fraction of wall-clock time each tile's processor spends executing this
+/// application in the periodic phase: Σ_{a on t} firings(a)·Υ(a) / span.
+/// This is the *application's* share of the tile — at most ω/w, and the gap
+/// to ω/w is slack the TDMA slice reserves but the application cannot use.
+[[nodiscard]] std::vector<double> tile_active_fractions(const Graph& g,
+                                                        const ConstrainedSpec& spec,
+                                                        const ConstrainedResult& result);
+
+/// Interconnect traffic: firings of unscheduled (connection/synchronization)
+/// actors per time unit, summed — a proxy for token transfers per time unit.
+[[nodiscard]] Rational interconnect_transfer_rate(const Graph& g,
+                                                  const ConstrainedSpec& spec,
+                                                  const ConstrainedResult& result);
+
+}  // namespace sdfmap

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sdfmap {
+
+/// Multiset of remaining execution times of the active firings of one actor,
+/// run-length encoded and sorted ascending.
+///
+/// Self-timed executions of multi-rate graphs start many identical firings at
+/// the same instant (e.g. all 2376 IQ firings of an H.263 iteration), so the
+/// multiset typically holds a handful of distinct values with large counts;
+/// every operation below is linear in the number of *distinct* values.
+class RemainingMultiset {
+ public:
+  struct Entry {
+    std::int64_t remaining;
+    std::int64_t count;
+  };
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Smallest remaining time; requires non-empty.
+  [[nodiscard]] std::int64_t front() const { return entries_.front().remaining; }
+
+  /// Number of firings with remaining time zero.
+  [[nodiscard]] std::int64_t zero_count() const {
+    return (!entries_.empty() && entries_.front().remaining == 0) ? entries_.front().count : 0;
+  }
+
+  /// Removes all zero-remaining firings (after they produced their tokens).
+  void pop_zeros() {
+    if (!entries_.empty() && entries_.front().remaining == 0) {
+      entries_.erase(entries_.begin());
+    }
+  }
+
+  /// Starts `count` firings with `remaining` work each.
+  void add(std::int64_t remaining, std::int64_t count) {
+    if (count <= 0) return;
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), remaining,
+        [](const Entry& e, std::int64_t value) { return e.remaining < value; });
+    if (it != entries_.end() && it->remaining == remaining) {
+      it->count += count;
+    } else {
+      entries_.insert(it, Entry{remaining, count});
+    }
+  }
+
+  /// Advances every firing by `dt` work units (dt <= front()).
+  void advance(std::int64_t dt) {
+    for (Entry& e : entries_) e.remaining -= dt;
+  }
+
+  /// Total number of active firings.
+  [[nodiscard]] std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const Entry& e : entries_) sum += e.count;
+    return sum;
+  }
+
+  /// Appends (size, remaining, count, ...) words to a state key.
+  void encode(std::vector<std::int64_t>& words) const {
+    words.push_back(static_cast<std::int64_t>(entries_.size()));
+    for (const Entry& e : entries_) {
+      words.push_back(e.remaining);
+      words.push_back(e.count);
+    }
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,51 @@
+#include "src/analysis/sensitivity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+std::vector<ActorSensitivity> throughput_sensitivity(const Graph& g, std::int64_t delta,
+                                                     const ExecutionLimits& limits) {
+  if (delta <= 0) throw std::invalid_argument("throughput_sensitivity: delta must be > 0");
+  const auto gamma = compute_repetition_vector(g);
+  if (!gamma) throw std::invalid_argument("throughput_sensitivity: inconsistent SDFG");
+
+  const SelfTimedResult base = self_timed_throughput(g, *gamma, limits);
+  if (base.deadlocked()) {
+    throw std::invalid_argument("throughput_sensitivity: graph deadlocks");
+  }
+
+  std::vector<ActorSensitivity> result;
+  result.reserve(g.num_actors());
+  Graph work = g;
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    ActorSensitivity s;
+    s.actor = ActorId{a};
+    const std::int64_t original = g.actor(ActorId{a}).execution_time;
+
+    work.set_execution_time(ActorId{a}, original + delta);
+    const SelfTimedResult slower = self_timed_throughput(work, *gamma, limits);
+    if (!slower.deadlocked()) {
+      s.slowdown_per_unit =
+          (slower.iteration_period - base.iteration_period) / Rational(delta);
+    }
+
+    const std::int64_t shrink = std::min(delta, original);
+    if (shrink > 0) {
+      work.set_execution_time(ActorId{a}, original - shrink);
+      const SelfTimedResult faster = self_timed_throughput(work, *gamma, limits);
+      if (!faster.deadlocked()) {
+        s.speedup_per_unit =
+            (base.iteration_period - faster.iteration_period) / Rational(shrink);
+      }
+    }
+    work.set_execution_time(ActorId{a}, original);
+    result.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace sdfmap

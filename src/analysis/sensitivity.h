@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Throughput sensitivity of one actor: how the iteration period reacts to
+/// perturbing the actor's execution time by ±delta. Actors on a critical
+/// cycle have positive `slowdown_per_unit`; actors with slack have zero.
+struct ActorSensitivity {
+  ActorId actor;
+  /// Period increase when Υ(a) grows by `delta`, divided by delta.
+  Rational slowdown_per_unit;
+  /// Period decrease when Υ(a) shrinks by min(delta, Υ(a)), divided by the
+  /// actual shrink (zero when Υ(a) == 0 or no improvement).
+  Rational speedup_per_unit;
+
+  /// The actor constrains the throughput right now.
+  [[nodiscard]] bool is_critical() const { return !slowdown_per_unit.is_zero(); }
+};
+
+/// Empirical sensitivity analysis by finite differences on the self-timed
+/// iteration period: 2 state-space runs per actor. Complements the Eqn.-1
+/// criticality estimate (which the binding step uses precisely because it is
+/// cheap): the tests cross-check that every sensitive actor lies on a cycle
+/// Eqn. 1 ranks highly. Requires a strongly bounded, deadlock-free graph.
+[[nodiscard]] std::vector<ActorSensitivity> throughput_sensitivity(
+    const Graph& g, std::int64_t delta = 1, const ExecutionLimits& limits = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sdfmap {
+
+/// Flat encoding of an execution state as a vector of 64-bit words, hashed
+/// with FNV-1a. Both throughput engines (plain self-timed and the
+/// schedule/TDMA-constrained variant) serialize their state into this key to
+/// detect the recurrent state that closes the periodic phase ([10]).
+struct StateKey {
+  std::vector<std::int64_t> words;
+
+  friend bool operator==(const StateKey& a, const StateKey& b) { return a.words == b.words; }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::int64_t w : key.words) {
+      std::uint64_t x = static_cast<std::uint64_t>(w);
+      for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (i * 8)) & 0xffU;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <typename Snapshot>
+using StateMap = std::unordered_map<StateKey, Snapshot, StateKeyHash>;
+
+}  // namespace sdfmap

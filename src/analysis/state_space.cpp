@@ -1,0 +1,199 @@
+#include "src/analysis/state_space.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/analysis/remaining_multiset.h"
+#include "src/analysis/state_hash.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Mutable execution state of the plain self-timed semantics: token counts
+/// plus, per actor, the multiset of remaining execution times of its active
+/// firings.
+struct ExecState {
+  std::vector<std::int64_t> tokens;
+  std::vector<RemainingMultiset> remaining;  // per actor
+
+  StateKey key() const {
+    StateKey k;
+    k.words.reserve(tokens.size() + remaining.size() * 3);
+    k.words.insert(k.words.end(), tokens.begin(), tokens.end());
+    for (const auto& r : remaining) r.encode(k.words);
+    return k;
+  }
+};
+
+/// Number of additional firings of `a` enabled by the current tokens
+/// (min over inputs of floor(tokens/rate)); actors without inputs are capped
+/// by `source_cap` — they are unbounded in self-timed execution and trip the
+/// token-accumulation guard when they produce.
+std::int64_t enabled_firings(const Graph& g, ActorId a,
+                             const std::vector<std::int64_t>& tokens,
+                             std::int64_t source_cap) {
+  std::int64_t enabled = source_cap;
+  for (const ChannelId cid : g.actor(a).inputs) {
+    enabled = std::min(enabled, tokens[cid.value] / g.channel(cid).consumption_rate);
+    if (enabled == 0) break;
+  }
+  return enabled;
+}
+
+}  // namespace
+
+SelfTimedResult self_timed_throughput(const Graph& g, const ExecutionLimits& limits,
+                                      const TraceObserver& observer) {
+  const auto gamma = compute_repetition_vector(g);
+  if (!gamma) throw std::invalid_argument("self_timed_throughput: inconsistent SDFG");
+  return self_timed_throughput(g, *gamma, limits, observer);
+}
+
+SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& gamma,
+                                      const ExecutionLimits& limits,
+                                      const TraceObserver& observer) {
+  const std::size_t num_actors = g.num_actors();
+  ExecState state;
+  state.tokens.resize(g.num_channels());
+  for (std::size_t i = 0; i < g.num_channels(); ++i) {
+    state.tokens[i] = g.channels()[i].initial_tokens;
+  }
+  state.remaining.assign(num_actors, {});
+
+  std::vector<std::int64_t> fire_count(num_actors, 0);
+  std::vector<std::int64_t> max_tokens = state.tokens;
+
+  struct Snapshot {
+    std::int64_t time = 0;
+    std::vector<std::int64_t> fires;
+  };
+  StateMap<Snapshot> seen;
+
+  SelfTimedResult result;
+  std::int64_t now = 0;
+
+  // Recurrence is detected on the sub-sequence of states sampled right after
+  // completions of a reference actor (the "small subset" of [10]): sampling a
+  // periodic sequence at matching progress points preserves recurrence while
+  // shrinking the stored set by orders of magnitude on multi-rate graphs.
+  std::uint32_t ref = 0;
+  bool have_ref = false;
+  for (std::uint32_t a = 0; a < num_actors; ++a) {
+    if (gamma[a] > 0 && (!have_ref || gamma[a] < gamma[ref])) {
+      ref = a;
+      have_ref = true;
+    }
+  }
+  if (!have_ref) return result;  // no fireable actor: trivially deadlocked
+  std::int64_t sampled_ref_fires = -1;
+  std::uint64_t steps = 0;
+
+  while (true) {
+    // --- Fixpoint at the current instant: end finished firings, start all
+    // enabled firings, repeat until stable (zero-time firings cascade).
+    TransitionEvent event;
+    event.time = now;
+    std::uint64_t instant_events = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t a = 0; a < num_actors; ++a) {
+        const std::int64_t ended = state.remaining[a].zero_count();
+        if (ended == 0) continue;
+        state.remaining[a].pop_zeros();
+        for (const ChannelId cid : g.actor(ActorId{a}).outputs) {
+          state.tokens[cid.value] += g.channel(cid).production_rate * ended;
+          max_tokens[cid.value] = std::max(max_tokens[cid.value], state.tokens[cid.value]);
+          if (state.tokens[cid.value] > limits.max_tokens_per_channel) {
+            throw ThroughputError(
+                "self_timed_throughput: unbounded token accumulation on channel '" +
+                g.channel(cid).name + "'");
+          }
+        }
+        fire_count[a] += ended;
+        if (observer) event.ended.insert(event.ended.end(), ended, ActorId{a});
+        changed = true;
+        instant_events += static_cast<std::uint64_t>(ended);
+      }
+      for (std::uint32_t a = 0; a < num_actors; ++a) {
+        const std::int64_t started = enabled_firings(g, ActorId{a}, state.tokens,
+                                                     limits.max_tokens_per_channel);
+        if (started == 0) continue;
+        for (const ChannelId cid : g.actor(ActorId{a}).inputs) {
+          state.tokens[cid.value] -= g.channel(cid).consumption_rate * started;
+        }
+        state.remaining[a].add(g.actor(ActorId{a}).execution_time, started);
+        if (observer) event.started.insert(event.started.end(), started, ActorId{a});
+        changed = true;
+        instant_events += static_cast<std::uint64_t>(started);
+      }
+      if (instant_events > limits.max_events_per_instant) {
+        throw ThroughputError(
+            "self_timed_throughput: zero-delay cycle (infinitely many events in one instant)");
+      }
+    }
+    if (observer && (now == 0 || !event.ended.empty() || !event.started.empty())) {
+      observer(event);
+    }
+
+    // --- Recurrence detection, sampled at reference-actor completions.
+    if (fire_count[ref] != sampled_ref_fires) {
+      sampled_ref_fires = fire_count[ref];
+      const auto [it, inserted] = seen.try_emplace(state.key());
+      if (!inserted) {
+        const Snapshot& prev = it->second;
+        const std::int64_t span = now - prev.time;
+        // In a connected consistent graph the firing counts between two equal
+        // token distributions are k whole iterations; find any actor that
+        // fired.
+        for (std::uint32_t a = 0; a < num_actors; ++a) {
+          const std::int64_t delta = fire_count[a] - prev.fires[a];
+          if (delta > 0 && gamma[a] > 0) {
+            result.status = SelfTimedResult::Status::kPeriodic;
+            result.iteration_period = Rational(span) * Rational(gamma[a], delta);
+            result.cycle_start_time = prev.time;
+            result.cycle_end_time = now;
+            result.cycle_firings = delta;
+            result.states_stored = seen.size();
+            result.period_firings.resize(num_actors);
+            for (std::uint32_t b = 0; b < num_actors; ++b) {
+              result.period_firings[b] = fire_count[b] - prev.fires[b];
+            }
+            result.max_tokens = std::move(max_tokens);
+            return result;
+          }
+        }
+        // Equal state, no firing in between: everything has stopped.
+        result.status = SelfTimedResult::Status::kDeadlock;
+        result.states_stored = seen.size();
+        result.max_tokens = std::move(max_tokens);
+        return result;
+      }
+      it->second.time = now;
+      it->second.fires = fire_count;
+      if (seen.size() > limits.max_states) {
+        throw ThroughputError("self_timed_throughput: state limit exceeded");
+      }
+    } else if (++steps > limits.max_time_steps) {
+      throw ThroughputError("self_timed_throughput: step limit exceeded (livelock?)");
+    }
+
+    // --- Advance time to the next completion.
+    std::int64_t dt = std::numeric_limits<std::int64_t>::max();
+    for (const auto& rem : state.remaining) {
+      if (!rem.empty()) dt = std::min(dt, rem.front());
+    }
+    if (dt == std::numeric_limits<std::int64_t>::max()) {
+      // Nothing active and (fixpoint done) nothing can start: deadlock.
+      result.status = SelfTimedResult::Status::kDeadlock;
+      result.states_stored = seen.size();
+      result.max_tokens = std::move(max_tokens);
+      return result;
+    }
+    for (auto& rem : state.remaining) rem.advance(dt);
+    now += dt;
+  }
+}
+
+}  // namespace sdfmap

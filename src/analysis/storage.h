@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Storage-distribution analysis of a plain (unbound) SDFG — the
+/// throughput/storage trade-off of the authors' DAC'06 companion paper [21],
+/// which Sec. 8.1's buffer modeling builds on: a channel with capacity c is
+/// modeled by a reverse channel carrying c − Tok initial tokens, so capacity
+/// choices become ordinary initial tokens and the self-timed engine prices
+/// every distribution exactly.
+
+/// Options for minimize_storage.
+struct StorageOptions {
+  ExecutionLimits limits;
+  /// Cap on greedy growth/shrink rounds.
+  int max_rounds = 1024;
+};
+
+/// Result of minimize_storage.
+struct StorageResult {
+  bool success = false;
+  std::string failure_reason;
+  /// Capacity (in tokens) per channel, indexed like the graph's channels;
+  /// self-loops keep capacity 0 (they model state, not storage).
+  std::vector<std::int64_t> capacities;
+  /// Iteration period achieved with these capacities.
+  Rational achieved_period;
+  /// Σ capacities (tokens) — the minimized quantity.
+  std::int64_t total_tokens = 0;
+  int throughput_checks = 0;
+};
+
+/// The capacity-constrained graph: every non-self-loop channel with
+/// capacities[c] > 0 gains a reverse channel with capacities[c] − Tok(c)
+/// initial tokens. Throws when a capacity is below the channel's initial
+/// tokens.
+[[nodiscard]] Graph with_capacities(const Graph& g,
+                                    const std::vector<std::int64_t>& capacities);
+
+/// Finds a small total storage distribution whose self-timed iteration
+/// period is at most `target_period`:
+///  1. infeasibility check: even unbounded storage cannot beat the graph's
+///     inherent critical cycle;
+///  2. growth: starting from the minimal live candidate
+///     Tok + p + q − gcd(p, q) per channel, greedily add the single token
+///     that improves the period most until the target is met;
+///  3. shrink: greedily remove tokens that keep the target met.
+/// The result is locally minimal (no single token can be removed), matching
+/// the greedy exploration style of [21] (the exact Pareto space is
+/// exponential).
+[[nodiscard]] StorageResult minimize_storage(const Graph& g, const Rational& target_period,
+                                             const StorageOptions& options = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,52 @@
+#include "src/analysis/throughput.h"
+
+#include <chrono>
+
+#include "src/sdf/hsdf.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+ThroughputReport compute_throughput(const Graph& g, ThroughputEngine engine,
+                                    const ExecutionLimits& limits) {
+  ThroughputReport report;
+  const auto start = std::chrono::steady_clock::now();
+
+  switch (engine) {
+    case ThroughputEngine::kStateSpace: {
+      const SelfTimedResult result = self_timed_throughput(g, limits);
+      report.deadlock = result.deadlocked();
+      if (!report.deadlock) {
+        report.iteration_period = result.iteration_period;
+        report.throughput = result.throughput();
+      }
+      report.problem_size = result.states_stored;
+      break;
+    }
+    case ThroughputEngine::kHsdfMcr: {
+      const HsdfConversion hsdf = to_hsdf(g);
+      const McrResult mcr = max_cycle_ratio(hsdf.graph);
+      report.problem_size = hsdf.graph.num_actors();
+      switch (mcr.kind) {
+        case McrResult::Kind::kDeadlock:
+          report.deadlock = true;
+          break;
+        case McrResult::Kind::kAcyclic:
+          // No recurrence constraint: unbounded throughput, period 0.
+          report.iteration_period = Rational(0);
+          break;
+        case McrResult::Kind::kFinite:
+          report.iteration_period = mcr.ratio;
+          if (!mcr.ratio.is_zero()) report.throughput = mcr.ratio.inverse();
+          break;
+      }
+      break;
+    }
+  }
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "src/analysis/mcr.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Which engine produced a throughput number; both must agree on strongly
+/// bounded graphs (a core property test of this library).
+enum class ThroughputEngine {
+  /// Self-timed state-space exploration directly on the SDFG ([10], the
+  /// engine the paper's strategy builds on).
+  kStateSpace,
+  /// Convert to HSDFG, then maximum cycle ratio — the classical baseline the
+  /// paper argues is too slow for multi-rate graphs (Sec. 1).
+  kHsdfMcr,
+};
+
+/// A throughput computed together with simple cost statistics, for the
+/// run-time comparison experiments.
+struct ThroughputReport {
+  bool deadlock = false;
+  /// Time per graph iteration (each actor a fires γ(a) times per iteration).
+  Rational iteration_period;
+  /// Iterations per time unit (0 when deadlocked).
+  Rational throughput;
+  /// Engine-specific size: states stored (state space) or HSDFG actor count
+  /// (MCR baseline).
+  std::uint64_t problem_size = 0;
+  double seconds = 0;
+};
+
+/// Iteration-period throughput of a timed SDFG via the chosen engine.
+/// The state-space engine requires a strongly bounded graph (see
+/// self_timed_throughput); the MCR engine requires every actor on a cycle
+/// for a finite result and reports unbounded throughput (period 0) on
+/// acyclic graphs.
+[[nodiscard]] ThroughputReport compute_throughput(const Graph& g, ThroughputEngine engine,
+                                                  const ExecutionLimits& limits = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,101 @@
+#include "src/appmodel/application.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/sdf/deadlock.h"
+
+namespace sdfmap {
+
+ApplicationGraph::ApplicationGraph(std::string name, Graph sdf, std::size_t num_proc_types)
+    : name_(std::move(name)), sdf_(std::move(sdf)), num_proc_types_(num_proc_types) {
+  gamma_.assign(sdf_.num_actors(),
+                std::vector<std::optional<ActorRequirement>>(num_proc_types_));
+  theta_.assign(sdf_.num_channels(), EdgeRequirement{});
+}
+
+void ApplicationGraph::set_requirement(ActorId actor, ProcTypeId pt, ActorRequirement req) {
+  if (req.execution_time <= 0) {
+    throw std::invalid_argument("ApplicationGraph: τ must be positive (∞ = omit)");
+  }
+  if (req.memory < 0) {
+    throw std::invalid_argument("ApplicationGraph: negative µ");
+  }
+  gamma_.at(actor.value).at(pt.value) = req;
+}
+
+const std::optional<ActorRequirement>& ApplicationGraph::requirement(ActorId actor,
+                                                                     ProcTypeId pt) const {
+  return gamma_.at(actor.value).at(pt.value);
+}
+
+bool ApplicationGraph::is_mappable(ActorId actor) const {
+  const auto& row = gamma_.at(actor.value);
+  return std::any_of(row.begin(), row.end(), [](const auto& r) { return r.has_value(); });
+}
+
+std::int64_t ApplicationGraph::max_execution_time(ActorId actor) const {
+  std::int64_t best = -1;
+  for (const auto& r : gamma_.at(actor.value)) {
+    if (r) best = std::max(best, r->execution_time);
+  }
+  if (best < 0) {
+    throw std::logic_error("ApplicationGraph: actor '" + sdf_.actor(actor).name +
+                           "' supports no processor type");
+  }
+  return best;
+}
+
+void ApplicationGraph::set_edge_requirement(ChannelId channel, EdgeRequirement req) {
+  if (req.token_size < 0 || req.alpha_tile < 0 || req.alpha_src < 0 || req.alpha_dst < 0 ||
+      req.bandwidth < 0) {
+    throw std::invalid_argument("ApplicationGraph: negative edge requirement");
+  }
+  theta_.at(channel.value) = req;
+}
+
+const EdgeRequirement& ApplicationGraph::edge_requirement(ChannelId channel) const {
+  return theta_.at(channel.value);
+}
+
+const RepetitionVector& ApplicationGraph::repetition_vector() const {
+  if (!repetition_) {
+    auto gamma = compute_repetition_vector(sdf_);
+    if (!gamma) {
+      throw std::invalid_argument("ApplicationGraph '" + name_ + "': inconsistent SDFG");
+    }
+    repetition_ = std::move(*gamma);
+  }
+  return *repetition_;
+}
+
+std::vector<std::string> ApplicationGraph::validate() const {
+  std::vector<std::string> problems;
+  const auto gamma = compute_repetition_vector(sdf_);
+  if (!gamma) {
+    problems.push_back("SDFG is inconsistent");
+  } else if (!is_deadlock_free(sdf_, *gamma)) {
+    problems.push_back("SDFG deadlocks");
+  }
+  for (std::uint32_t a = 0; a < sdf_.num_actors(); ++a) {
+    if (!is_mappable(ActorId{a})) {
+      problems.push_back("actor '" + sdf_.actor(ActorId{a}).name +
+                         "' supports no processor type");
+    }
+  }
+  for (std::uint32_t c = 0; c < sdf_.num_channels(); ++c) {
+    const Channel& ch = sdf_.channel(ChannelId{c});
+    if (ch.src == ch.dst) continue;  // self-loops never occupy a buffer resource
+    const EdgeRequirement& req = theta_[c];
+    if (req.alpha_tile > 0 && req.alpha_tile < ch.initial_tokens) {
+      problems.push_back("channel '" + ch.name + "': α_tile smaller than initial tokens");
+    }
+    if (req.alpha_dst > 0 && req.alpha_dst < ch.initial_tokens) {
+      problems.push_back("channel '" + ch.name + "': α_dst smaller than initial tokens");
+    }
+  }
+  if (lambda_ < Rational(0)) problems.push_back("negative throughput constraint");
+  return problems;
+}
+
+}  // namespace sdfmap

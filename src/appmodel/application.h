@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/platform/architecture.h"
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Γ(a, pt) when actor a can run on processor type pt (Def. 5): worst-case
+/// execution time τ (time units) and state/program memory µ (bits).
+struct ActorRequirement {
+  std::int64_t execution_time = 0;  ///< τ
+  std::int64_t memory = 0;          ///< µ
+};
+
+/// Θ(d) for a dependency edge (Def. 5). All α are in tokens, sz in bits and
+/// β in bits/time-unit. An α of zero means the corresponding placement
+/// reserves no buffer (a pure synchronization edge, e.g. d3 of Tab. 2);
+/// likewise β = 0 reserves no bandwidth and the transfer costs only the
+/// connection latency.
+struct EdgeRequirement {
+  std::int64_t token_size = 0;   ///< sz
+  std::int64_t alpha_tile = 0;   ///< buffer when src and dst share a tile
+  std::int64_t alpha_src = 0;    ///< source-tile buffer when the edge crosses tiles
+  std::int64_t alpha_dst = 0;    ///< destination-tile buffer when the edge crosses tiles
+  std::int64_t bandwidth = 0;    ///< β reserved on the connection
+};
+
+/// An application graph (A, D, Γ, Θ, λ) of Def. 5: an SDFG plus resource
+/// requirements and a throughput constraint.
+///
+/// λ (`throughput_constraint`) is expressed in graph iterations per time
+/// unit; a resource allocation is valid when the constrained throughput of
+/// the bound graph is at least λ. The execution times stored in the embedded
+/// Graph are *not* used for mapping — they are assigned per binding from Γ —
+/// but analyses of the unbound graph may preset them (e.g. Fig. 5(a)).
+class ApplicationGraph {
+ public:
+  ApplicationGraph(std::string name, Graph sdf, std::size_t num_proc_types);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Graph& sdf() const { return sdf_; }
+  [[nodiscard]] Graph& sdf() { return sdf_; }
+  [[nodiscard]] std::size_t num_proc_types() const { return num_proc_types_; }
+
+  /// Declares that `actor` can run on `pt` with the given τ and µ.
+  void set_requirement(ActorId actor, ProcTypeId pt, ActorRequirement req);
+
+  /// Γ(a, pt); nullopt encodes τ = ∞ (actor cannot run on pt).
+  [[nodiscard]] const std::optional<ActorRequirement>& requirement(ActorId actor,
+                                                                   ProcTypeId pt) const;
+
+  /// True when the actor supports at least one processor type.
+  [[nodiscard]] bool is_mappable(ActorId actor) const;
+
+  /// max_{pt | τ != ∞} τ(a, pt); used by Eqn. 1 and l_p. Throws when the
+  /// actor supports no type.
+  [[nodiscard]] std::int64_t max_execution_time(ActorId actor) const;
+
+  void set_edge_requirement(ChannelId channel, EdgeRequirement req);
+  [[nodiscard]] const EdgeRequirement& edge_requirement(ChannelId channel) const;
+
+  void set_throughput_constraint(Rational lambda) { lambda_ = lambda; }
+  [[nodiscard]] const Rational& throughput_constraint() const { return lambda_; }
+
+  /// Repetition vector of the SDFG (computed once, cached). Throws
+  /// std::invalid_argument for inconsistent graphs.
+  [[nodiscard]] const RepetitionVector& repetition_vector() const;
+
+  /// Validates the model: consistent SDFG, every actor mappable, α values
+  /// compatible with initial tokens. Returns human-readable problems;
+  /// empty means well-formed.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  Graph sdf_;
+  std::size_t num_proc_types_;
+  std::vector<std::vector<std::optional<ActorRequirement>>> gamma_;  // [actor][pt]
+  std::vector<EdgeRequirement> theta_;                               // [channel]
+  Rational lambda_;
+  mutable std::optional<RepetitionVector> repetition_;
+};
+
+}  // namespace sdfmap

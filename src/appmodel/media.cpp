@@ -1,0 +1,205 @@
+#include "src/appmodel/media.h"
+
+#include <stdexcept>
+
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+
+namespace {
+
+constexpr ProcTypeId kGeneric{0};
+constexpr ProcTypeId kAccel{1};
+
+void require_types(std::size_t num_proc_types) {
+  if (num_proc_types < 1) {
+    throw std::invalid_argument("media model: need at least one processor type");
+  }
+}
+
+void set_req(ApplicationGraph& app, const std::string& actor, std::int64_t tau_generic,
+             std::int64_t mu_generic, std::int64_t tau_accel, std::int64_t mu_accel) {
+  const ActorId a = *app.sdf().find_actor(actor);
+  app.set_requirement(a, kGeneric, {tau_generic, mu_generic});
+  if (app.num_proc_types() > 1 && tau_accel > 0) {
+    app.set_requirement(a, kAccel, {tau_accel, mu_accel});
+  }
+}
+
+void set_edge(ApplicationGraph& app, const std::string& channel, EdgeRequirement req) {
+  const Graph& g = app.sdf();
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    if (g.channel(ChannelId{c}).name == channel) {
+      app.set_edge_requirement(ChannelId{c}, req);
+      return;
+    }
+  }
+  throw std::logic_error("media model: unknown channel '" + channel + "'");
+}
+
+}  // namespace
+
+ApplicationGraph make_h263_decoder(std::size_t num_proc_types, std::int64_t macroblocks,
+                                   const std::string& name) {
+  require_types(num_proc_types);
+  if (macroblocks < 1) throw std::invalid_argument("make_h263_decoder: macroblocks < 1");
+
+  GraphBuilder b;
+  b.actor("vld").actor("iq").actor("idct").actor("mc");
+  b.channel("vld", "iq", macroblocks, 1, 0, "d_vld_iq");
+  b.channel("iq", "idct", 1, 1, 0, "d_iq_idct");
+  b.channel("idct", "mc", 1, macroblocks, 0, "d_idct_mc");
+  // Frame feedback: two frames may be in flight (pipelined decode).
+  b.channel("mc", "vld", 1, 1, 2, "d_mc_vld");
+
+  ApplicationGraph app(name, b.take(), num_proc_types);
+
+  // Execution times per macroblock-rate firing; VLD and MC run per frame.
+  // The accelerators speed up the per-macroblock kernels (IQ, IDCT).
+  set_req(app, "vld", 2600, 2048, /*accel*/ 0, 0);
+  set_req(app, "iq", 6, 256, 3, 128);
+  set_req(app, "idct", 5, 256, 2, 128);
+  set_req(app, "mc", 1100, 1024, 0, 0);
+
+  // Buffers sized for one frame of macroblocks; the feedback edge is a pure
+  // synchronization (frame token) with negligible size.
+  // Cross-tile buffers are 16 tokens deep so pipelined transfers amortize the
+  // worst-case TDMA wheel misalignment (w − ω per token, Sec. 8.1).
+  set_edge(app, "d_vld_iq", {/*sz*/ 128, macroblocks + 1, macroblocks, 16, /*β*/ 64});
+  set_edge(app, "d_iq_idct", {128, 16, 16, 16, 64});
+  set_edge(app, "d_idct_mc", {128, macroblocks + 1, 16, macroblocks, 64});
+  set_edge(app, "d_mc_vld", {32, 3, 3, 3, 8});
+
+  // Constraint: about one frame each 100000 time units (tuned so the 2x2
+  // platform can host three decoders plus the MP3 decoder, Sec. 10.3).
+  app.set_throughput_constraint(Rational(1, 100000));
+  return app;
+}
+
+ApplicationGraph make_mp3_decoder(std::size_t num_proc_types, const std::string& name) {
+  require_types(num_proc_types);
+
+  GraphBuilder b;
+  b.actor("huffman");
+  b.actor("req0").actor("req1");          // requantization, left/right granule
+  b.actor("reorder0").actor("reorder1");  // reordering
+  b.actor("stereo");                      // joint stereo decoding
+  b.actor("alias0").actor("alias1");      // alias reduction
+  b.actor("imdct0").actor("imdct1");      // inverse MDCT
+  b.actor("freqinv0").actor("freqinv1");  // frequency inversion
+  b.actor("synth");                       // synthesis filterbank
+
+  const auto chain = [&b](const std::string& u, const std::string& v) {
+    b.channel(u, v, 1, 1, 0, "d_" + u + "_" + v);
+  };
+  chain("huffman", "req0");
+  chain("huffman", "req1");
+  chain("req0", "reorder0");
+  chain("req1", "reorder1");
+  chain("reorder0", "stereo");
+  chain("reorder1", "stereo");
+  chain("stereo", "alias0");
+  chain("stereo", "alias1");
+  chain("alias0", "imdct0");
+  chain("alias1", "imdct1");
+  chain("imdct0", "freqinv0");
+  chain("imdct1", "freqinv1");
+  chain("freqinv0", "synth");
+  chain("freqinv1", "synth");
+  // Frame feedback bounding the pipeline depth.
+  b.channel("synth", "huffman", 1, 1, 3, "d_synth_huffman");
+
+  ApplicationGraph app(name, b.take(), num_proc_types);
+
+  set_req(app, "huffman", 3000, 4096, 0, 0);
+  set_req(app, "req0", 900, 512, 450, 256);
+  set_req(app, "req1", 900, 512, 450, 256);
+  set_req(app, "reorder0", 400, 512, 0, 0);
+  set_req(app, "reorder1", 400, 512, 0, 0);
+  set_req(app, "stereo", 700, 1024, 0, 0);
+  set_req(app, "alias0", 300, 256, 150, 128);
+  set_req(app, "alias1", 300, 256, 150, 128);
+  set_req(app, "imdct0", 2200, 1024, 1100, 512);
+  set_req(app, "imdct1", 2200, 1024, 1100, 512);
+  set_req(app, "freqinv0", 250, 256, 0, 0);
+  set_req(app, "freqinv1", 250, 256, 0, 0);
+  set_req(app, "synth", 3500, 2048, 0, 0);
+
+  const Graph& g = app.sdf();
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const Channel& ch = g.channel(ChannelId{c});
+    EdgeRequirement req;
+    if (ch.name == "d_synth_huffman") {
+      req = {32, 4, 4, 4, 8};  // frame token, pure synchronization
+    } else {
+      req = {1152, 4, 4, 4, 48};  // one granule of PCM/spectral data
+    }
+    app.set_edge_requirement(ChannelId{c}, req);
+  }
+
+  // One frame each 80000 time units.
+  app.set_throughput_constraint(Rational(1, 80000));
+  return app;
+}
+
+ApplicationGraph make_cd2dat_converter(std::size_t num_proc_types, const std::string& name) {
+  require_types(num_proc_types);
+
+  GraphBuilder b;
+  b.actor("cd");      // 44.1 kHz source
+  b.actor("fir1");    // 1:1 filter
+  b.actor("up2_3");   // 2:3 stage
+  b.actor("up2_7");   // 2:7 stage
+  b.actor("up8_7");   // 8:7 stage
+  b.actor("dat");     // 48 kHz sink (5:1 into the DAT block writer)
+  b.channel("cd", "fir1", 1, 1, 0, "s0");
+  b.channel("fir1", "up2_3", 2, 3, 0, "s1");
+  b.channel("up2_3", "up2_7", 2, 7, 0, "s2");
+  b.channel("up2_7", "up8_7", 8, 7, 0, "s3");
+  b.channel("up8_7", "dat", 5, 1, 0, "s4");
+  // Frame feedback: one iteration (160 DAT samples ~ 147 CD samples) in
+  // flight; rates balance 147·γ(cd) = 160·γ(dat).
+  b.channel("dat", "cd", 147, 160, 147 * 160, "s5");
+
+  ApplicationGraph app(name, b.take(), num_proc_types);
+
+  set_req(app, "cd", 12, 256, 0, 0);
+  set_req(app, "fir1", 20, 512, 10, 256);
+  set_req(app, "up2_3", 24, 512, 12, 256);
+  set_req(app, "up2_7", 30, 768, 15, 384);
+  set_req(app, "up8_7", 28, 768, 14, 384);
+  set_req(app, "dat", 10, 256, 0, 0);
+
+  const Graph& g = app.sdf();
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const Channel& ch = g.channel(ChannelId{c});
+    EdgeRequirement req;
+    req.token_size = 16;  // one PCM sample
+    req.bandwidth = ch.name == "s5" ? 4 : 32;
+    req.alpha_tile = ch.initial_tokens + ch.production_rate + ch.consumption_rate;
+    req.alpha_src = 2 * ch.production_rate;
+    req.alpha_dst = 2 * ch.consumption_rate + ch.initial_tokens;
+    app.set_edge_requirement(ChannelId{c}, req);
+  }
+
+  // About one 160-sample frame each 24000 time units.
+  app.set_throughput_constraint(Rational(1, 24000));
+  return app;
+}
+
+Architecture make_media_platform() {
+  MeshOptions options;
+  options.rows = 2;
+  options.cols = 2;
+  options.proc_types = {"generic", "accel"};
+  options.wheel_size = 100;
+  options.memory = 4'000'000;  // bits
+  options.max_connections = 16;
+  options.bandwidth_in = 2000;
+  options.bandwidth_out = 2000;
+  options.hop_latency = 2;
+  return make_mesh(options);
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "src/appmodel/application.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Applications and the platform of the multimedia experiment (Sec. 10.3):
+/// three H.263 decoders and one MP3 decoder on a 2x2 mesh with two generic
+/// processors and two accelerators.
+///
+/// Processor-type convention used by these models: type 0 = "generic"
+/// (supports every actor), type 1 = "accel" (supports only the kernels
+/// IQ/IDCT resp. the filter stages, faster). Platforms from
+/// make_media_platform follow the same convention.
+
+/// The H.263 decoder SDFG of Fig. 1: VLD --(N,1)--> IQ --(1,1)--> IDCT
+/// --(1,N)--> MC --(1,1),2 tokens--> VLD, where N = `macroblocks` (2376 in
+/// the paper, giving an HSDFG with 2·2376 + 2 = 4754 actors).
+/// `num_proc_types` must be >= 1; requirements are set for types 0 and 1.
+[[nodiscard]] ApplicationGraph make_h263_decoder(std::size_t num_proc_types,
+                                                 std::int64_t macroblocks = 2376,
+                                                 const std::string& name = "h263");
+
+/// The MP3 decoder: 13 single-rate actors (Huffman decoding, two granule
+/// pipelines of requantization / reordering / alias reduction / IMDCT /
+/// frequency inversion, joint stereo decoding and synthesis filterbank) with
+/// a frame feedback loop; its HSDFG also has 13 actors (Sec. 10.3 reports
+/// 14275 = 3·4754 + 13 actors for the whole use-case).
+[[nodiscard]] ApplicationGraph make_mp3_decoder(std::size_t num_proc_types,
+                                                const std::string& name = "mp3");
+
+/// The 2x2 mesh of Sec. 10.3: tiles {generic, accel, generic, accel}, equal
+/// wheels, full point-to-point connectivity.
+[[nodiscard]] Architecture make_media_platform();
+
+/// The classic CD-to-DAT sample-rate converter (44.1 kHz -> 48 kHz, ratio
+/// 147:160), the textbook strongly multi-rate SDFG: a six-stage chain with
+/// rates (1,1), (2,3), (2,7), (8,7), (5,1) and repetition vector
+/// (147, 147, 98, 28, 32, 160) — 612 firings per iteration — closed by a
+/// one-iteration frame-feedback edge. A second stress case (besides H.263)
+/// for the HSDFG-explosion experiments.
+[[nodiscard]] ApplicationGraph make_cd2dat_converter(std::size_t num_proc_types,
+                                                     const std::string& name = "cd2dat");
+
+}  // namespace sdfmap

@@ -1,0 +1,54 @@
+#include "src/appmodel/paper_example.h"
+
+#include <stdexcept>
+
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+
+ApplicationGraph make_paper_example_application(const PaperExampleShape& shape) {
+  GraphBuilder b;
+  b.actor("a1").actor("a2").actor("a3");
+  b.channel("a1", "a2", shape.p1, shape.q1, shape.tok1, "d1");
+  b.channel("a2", "a3", shape.p2, shape.q2, shape.tok2, "d2");
+  b.channel("a3", "a1", shape.p3, shape.q3, shape.tok3, "d3");
+
+  ApplicationGraph app("paper_example", b.take(), 2);
+  const ProcTypeId p1{0};
+  const ProcTypeId p2{1};
+
+  // Tab. 2, Γ: (τ, µ) per processor type.
+  app.set_requirement(*app.sdf().find_actor("a1"), p1, {1, 10});
+  app.set_requirement(*app.sdf().find_actor("a1"), p2, {4, 15});
+  app.set_requirement(*app.sdf().find_actor("a2"), p1, {1, 7});
+  app.set_requirement(*app.sdf().find_actor("a2"), p2, {7, 19});
+  app.set_requirement(*app.sdf().find_actor("a3"), p1, {3, 13});
+  app.set_requirement(*app.sdf().find_actor("a3"), p2, {2, 10});
+
+  // Tab. 2, Θ: (sz, α_tile, α_src, α_dst, β). d3 is a pure synchronization
+  // edge (α_src = α_dst = 0, β = 0); its α_tile must cover the initial
+  // tokens, so it scales with the reconstruction's tok3.
+  const Graph& g = app.sdf();
+  app.set_edge_requirement(ChannelId{0}, {7, 1 + shape.tok1, 2, 2, 100});
+  app.set_edge_requirement(ChannelId{1}, {100, 2 + shape.tok2, 2, 2 + shape.tok2, 10});
+  app.set_edge_requirement(ChannelId{2},
+                           {1, g.channel(ChannelId{2}).initial_tokens + 1, 0, 0, 0});
+
+  app.set_throughput_constraint(Rational(1, 30));
+  return app;
+}
+
+Binding make_paper_example_binding(const Architecture& arch) {
+  const auto t1 = arch.find_tile("t1");
+  const auto t2 = arch.find_tile("t2");
+  if (!t1 || !t2) {
+    throw std::invalid_argument("make_paper_example_binding: platform must have t1 and t2");
+  }
+  Binding binding(3);
+  binding.bind(ActorId{0}, *t1);  // a1
+  binding.bind(ActorId{1}, *t1);  // a2
+  binding.bind(ActorId{2}, *t2);  // a3
+  return binding;
+}
+
+}  // namespace sdfmap

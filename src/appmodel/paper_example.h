@@ -1,0 +1,34 @@
+#pragma once
+
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Structural parameters of the running example of Fig. 3: the ring
+/// a1 --d1--> a2 --d2--> a3 --d3--> a1. Rates and initial tokens are not
+/// fully legible in the paper source; the defaults below are the
+/// reconstruction selected by examples/fig3_search.cpp to match the paper's
+/// reported behaviour (Fig. 5: a3 fires every 2 time units unbound, every 29
+/// with the binding, every 30 under 50% TDMA slices; Tab. 3 bindings).
+struct PaperExampleShape {
+  std::int64_t p1 = 1, q1 = 1, tok1 = 0;  // d1: a1 -> a2
+  std::int64_t p2 = 2, q2 = 2, tok2 = 0;  // d2: a2 -> a3
+  std::int64_t p3 = 1, q3 = 1, tok3 = 2;  // d3: a3 -> a1 (γ = (1, 1, 1))
+};
+
+/// The application graph of Fig. 3 / Tab. 2: actors a1, a2, a3 with
+/// Γ = {a1: (1,10)@p1, (4,15)@p2; a2: (1,7)@p1, (7,19)@p2;
+///      a3: (3,13)@p1, (2,10)@p2} and
+/// Θ = {d1: (7,1,2,2,100); d2: (100,2,2,2,10); d3: (1,·,0,0,0)}.
+/// The throughput constraint is 1/30 iterations per time unit (the value the
+/// paper's trajectory achieves with 50% slices).
+[[nodiscard]] ApplicationGraph make_paper_example_application(
+    const PaperExampleShape& shape = {});
+
+/// The binding discussed in Sec. 8.1: a1, a2 on t1 and a3 on t2 (also the
+/// Tab. 3 result for weights (1,0,0) and (1,1,1)).
+[[nodiscard]] Binding make_paper_example_binding(const Architecture& arch);
+
+}  // namespace sdfmap

@@ -1,0 +1,254 @@
+#include "src/csdf/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "src/analysis/state_hash.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+std::optional<CsdfRepetition> csdf_repetition_vector(const CsdfGraph& g) {
+  const std::size_t n = g.num_actors();
+  std::vector<std::optional<Rational>> frac(n);
+  std::vector<std::vector<std::uint32_t>> components;
+  std::vector<std::uint32_t> queue;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (frac[root]) continue;
+    frac[root] = Rational(1);
+    components.emplace_back();
+    components.back().push_back(root);
+    queue.assign(1, root);
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.back();
+      queue.pop_back();
+      const auto visit = [&](const CsdfChannel& c) {
+        const Rational ratio(c.production_per_cycle(), c.consumption_per_cycle());
+        const std::uint32_t src = c.src.value;
+        const std::uint32_t dst = c.dst.value;
+        const std::uint32_t other = src == u ? dst : src;
+        const Rational expected = src == u ? *frac[u] * ratio : *frac[u] / ratio;
+        if (!frac[other]) {
+          frac[other] = expected;
+          components.back().push_back(other);
+          queue.push_back(other);
+          return true;
+        }
+        return *frac[other] == expected;
+      };
+      for (const CsdfChannelId cid : g.actor(CsdfActorId{u}).outputs) {
+        if (!visit(g.channel(cid))) return std::nullopt;
+      }
+      for (const CsdfChannelId cid : g.actor(CsdfActorId{u}).inputs) {
+        if (g.channel(cid).src.value == u) continue;  // self-loop visited once
+        if (!visit(g.channel(cid))) return std::nullopt;
+      }
+    }
+  }
+
+  CsdfRepetition result;
+  result.cycles.assign(n, 0);
+  result.firings.assign(n, 0);
+  for (const auto& members : components) {
+    std::int64_t den_lcm = 1;
+    for (const std::uint32_t a : members) den_lcm = checked_lcm(den_lcm, frac[a]->den());
+    std::int64_t num_gcd = 0;
+    for (const std::uint32_t a : members) {
+      result.cycles[a] = checked_mul(frac[a]->num(), den_lcm / frac[a]->den());
+      num_gcd = std::gcd(num_gcd, result.cycles[a]);
+    }
+    if (num_gcd > 1) {
+      for (const std::uint32_t a : members) result.cycles[a] /= num_gcd;
+    }
+  }
+  for (std::uint32_t a = 0; a < n; ++a) {
+    result.firings[a] =
+        checked_mul(result.cycles[a], static_cast<std::int64_t>(g.actor(CsdfActorId{a}).phases()));
+  }
+  return result;
+}
+
+namespace {
+
+bool phase_enabled(const CsdfGraph& g, std::uint32_t a, std::int64_t phase,
+                   const std::vector<std::int64_t>& tokens) {
+  for (const CsdfChannelId cid : g.actor(CsdfActorId{a}).inputs) {
+    const CsdfChannel& c = g.channel(cid);
+    if (tokens[cid.value] < c.consumption[static_cast<std::size_t>(phase)]) return false;
+  }
+  return true;
+}
+
+void phase_consume(const CsdfGraph& g, std::uint32_t a, std::int64_t phase,
+                   std::vector<std::int64_t>& tokens) {
+  for (const CsdfChannelId cid : g.actor(CsdfActorId{a}).inputs) {
+    tokens[cid.value] -= g.channel(cid).consumption[static_cast<std::size_t>(phase)];
+  }
+}
+
+void phase_produce(const CsdfGraph& g, std::uint32_t a, std::int64_t phase,
+                   std::vector<std::int64_t>& tokens) {
+  for (const CsdfChannelId cid : g.actor(CsdfActorId{a}).outputs) {
+    tokens[cid.value] += g.channel(cid).production[static_cast<std::size_t>(phase)];
+  }
+}
+
+}  // namespace
+
+bool csdf_is_deadlock_free(const CsdfGraph& g) {
+  const auto repetition = csdf_repetition_vector(g);
+  if (!repetition) return false;
+
+  std::vector<std::int64_t> tokens(g.num_channels());
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    tokens[c] = g.channels()[c].initial_tokens;
+  }
+  std::vector<std::int64_t> phase(g.num_actors(), 0);
+  std::vector<std::int64_t> remaining = repetition->firings;
+  std::int64_t left = std::accumulate(remaining.begin(), remaining.end(), std::int64_t{0});
+
+  bool progress = true;
+  while (left > 0 && progress) {
+    progress = false;
+    for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+      while (remaining[a] > 0 && phase_enabled(g, a, phase[a], tokens)) {
+        phase_consume(g, a, phase[a], tokens);
+        phase_produce(g, a, phase[a], tokens);
+        phase[a] = (phase[a] + 1) % static_cast<std::int64_t>(g.actor(CsdfActorId{a}).phases());
+        --remaining[a];
+        --left;
+        progress = true;
+      }
+    }
+  }
+  return left == 0;
+}
+
+SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
+                                           const ExecutionLimits& limits) {
+  SelfTimedResult result;
+  const auto repetition = csdf_repetition_vector(g);
+  if (!repetition) {
+    throw std::invalid_argument("csdf_self_timed_throughput: inconsistent CSDF graph");
+  }
+  const std::size_t n = g.num_actors();
+  if (n == 0) return result;
+
+  std::vector<std::int64_t> tokens(g.num_channels());
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    tokens[c] = g.channels()[c].initial_tokens;
+  }
+  std::vector<std::int64_t> phase(n, 0);
+  std::vector<std::int64_t> remaining(n, -1);  // -1 = idle
+  std::vector<std::int64_t> fires(n, 0);
+
+  struct Snapshot {
+    std::int64_t time = 0;
+    std::vector<std::int64_t> fires;
+  };
+  StateMap<Snapshot> seen;
+
+  // Reference actor: fewest firings per iteration.
+  std::uint32_t ref = 0;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    if (repetition->firings[a] < repetition->firings[ref]) ref = a;
+  }
+  std::int64_t sampled = -1;
+  std::int64_t now = 0;
+  std::uint64_t steps = 0;
+
+  while (true) {
+    // Fixpoint: end zero-remaining firings, start enabled phases.
+    std::uint64_t instant_events = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t a = 0; a < n; ++a) {
+        if (remaining[a] == 0) {
+          phase_produce(g, a, phase[a], tokens);
+          for (const CsdfChannelId cid : g.actor(CsdfActorId{a}).outputs) {
+            if (tokens[cid.value] > limits.max_tokens_per_channel) {
+              throw ThroughputError("csdf_self_timed_throughput: unbounded tokens on '" +
+                                    g.channel(cid).name + "'");
+            }
+          }
+          phase[a] =
+              (phase[a] + 1) % static_cast<std::int64_t>(g.actor(CsdfActorId{a}).phases());
+          remaining[a] = -1;
+          ++fires[a];
+          changed = true;
+          ++instant_events;
+        }
+        if (remaining[a] < 0 && phase_enabled(g, a, phase[a], tokens)) {
+          phase_consume(g, a, phase[a], tokens);
+          remaining[a] =
+              g.actor(CsdfActorId{a}).phase_execution_times[static_cast<std::size_t>(phase[a])];
+          changed = true;
+          ++instant_events;
+        }
+      }
+      if (instant_events > limits.max_events_per_instant) {
+        throw ThroughputError("csdf_self_timed_throughput: zero-delay phase cycle");
+      }
+    }
+
+    // Recurrence, sampled at reference completions.
+    if (fires[ref] != sampled) {
+      sampled = fires[ref];
+      StateKey key;
+      key.words = tokens;
+      key.words.insert(key.words.end(), phase.begin(), phase.end());
+      key.words.insert(key.words.end(), remaining.begin(), remaining.end());
+      const auto [it, inserted] = seen.try_emplace(std::move(key));
+      if (!inserted) {
+        const Snapshot& prev = it->second;
+        const std::int64_t span = now - prev.time;
+        for (std::uint32_t a = 0; a < n; ++a) {
+          const std::int64_t delta = fires[a] - prev.fires[a];
+          if (delta > 0 && repetition->firings[a] > 0) {
+            result.status = SelfTimedResult::Status::kPeriodic;
+            result.iteration_period =
+                Rational(span) * Rational(repetition->firings[a], delta);
+            result.cycle_start_time = prev.time;
+            result.cycle_end_time = now;
+            result.cycle_firings = delta;
+            result.states_stored = seen.size();
+            result.period_firings.resize(n);
+            for (std::uint32_t b = 0; b < n; ++b) {
+              result.period_firings[b] = fires[b] - prev.fires[b];
+            }
+            return result;
+          }
+        }
+        result.states_stored = seen.size();
+        return result;  // deadlock
+      }
+      it->second.time = now;
+      it->second.fires = fires;
+      if (seen.size() > limits.max_states) {
+        throw ThroughputError("csdf_self_timed_throughput: state limit exceeded");
+      }
+    } else if (++steps > limits.max_time_steps) {
+      throw ThroughputError("csdf_self_timed_throughput: step limit exceeded");
+    }
+
+    // Advance to the next completion.
+    std::int64_t dt = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t a = 0; a < n; ++a) {
+      if (remaining[a] > 0) dt = std::min(dt, remaining[a]);
+    }
+    if (dt == std::numeric_limits<std::int64_t>::max()) {
+      result.states_stored = seen.size();
+      return result;  // deadlock: nothing active, nothing enabled
+    }
+    for (std::uint32_t a = 0; a < n; ++a) {
+      if (remaining[a] > 0) remaining[a] -= dt;
+    }
+    now += dt;
+  }
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+
+#include "src/analysis/state_space.h"
+#include "src/csdf/graph.h"
+
+namespace sdfmap {
+
+/// Repetition information of a consistent CSDF graph: `cycles[a]` is the
+/// number of complete phase cycles actor a runs per graph iteration (the
+/// CSDF balance unknowns q), `firings[a] = cycles[a] · phases(a)` the firing
+/// count — the size contribution to an equivalent HSDFG.
+struct CsdfRepetition {
+  std::vector<std::int64_t> cycles;
+  std::vector<std::int64_t> firings;
+};
+
+/// Solves the cyclo-static balance equations
+/// q(src) · Σ_i production[i] = q(dst) · Σ_j consumption[j] for the smallest
+/// positive integers; nullopt when only the trivial solution exists.
+[[nodiscard]] std::optional<CsdfRepetition> csdf_repetition_vector(const CsdfGraph& g);
+
+/// Deadlock-freedom of the phase-serialized semantics: one iteration
+/// (firings[a] firings of every actor, phases in order) must complete from
+/// the initial tokens. False for inconsistent graphs.
+[[nodiscard]] bool csdf_is_deadlock_free(const CsdfGraph& g);
+
+/// Self-timed throughput of a CSDF graph under phase-serialized semantics:
+/// an actor is idle or executes exactly one phase at a time; phase k fires as
+/// soon as every input holds consumption[k] tokens. For single-phase graphs
+/// this coincides with the SDF engine on the same graph with one-token
+/// self-loops (checked by the property tests). Reports the exact iteration
+/// period via recurrent-state detection, like the SDF engine.
+[[nodiscard]] SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
+                                                         const ExecutionLimits& limits = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,106 @@
+#include "src/csdf/graph.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sdfmap {
+
+std::int64_t CsdfChannel::production_per_cycle() const {
+  return std::accumulate(production.begin(), production.end(), std::int64_t{0});
+}
+
+std::int64_t CsdfChannel::consumption_per_cycle() const {
+  return std::accumulate(consumption.begin(), consumption.end(), std::int64_t{0});
+}
+
+CsdfActorId CsdfGraph::add_actor(std::string name,
+                                 std::vector<std::int64_t> phase_execution_times) {
+  if (phase_execution_times.empty()) {
+    throw std::invalid_argument("CsdfGraph::add_actor: need at least one phase");
+  }
+  for (const std::int64_t t : phase_execution_times) {
+    if (t < 0) throw std::invalid_argument("CsdfGraph::add_actor: negative execution time");
+  }
+  CsdfActor a;
+  a.name = name.empty() ? "a" + std::to_string(actors_.size()) : std::move(name);
+  a.phase_execution_times = std::move(phase_execution_times);
+  actors_.push_back(std::move(a));
+  return CsdfActorId{static_cast<std::uint32_t>(actors_.size() - 1)};
+}
+
+CsdfChannelId CsdfGraph::add_channel(CsdfActorId src, CsdfActorId dst,
+                                     std::vector<std::int64_t> production,
+                                     std::vector<std::int64_t> consumption,
+                                     std::int64_t initial_tokens, std::string name) {
+  if (src.value >= actors_.size() || dst.value >= actors_.size()) {
+    throw std::invalid_argument("CsdfGraph::add_channel: actor id out of range");
+  }
+  if (production.size() != actors_[src.value].phases() ||
+      consumption.size() != actors_[dst.value].phases()) {
+    throw std::invalid_argument(
+        "CsdfGraph::add_channel: rate vector size must match the endpoint's phase count");
+  }
+  const auto check_rates = [](const std::vector<std::int64_t>& rates, const char* what) {
+    std::int64_t total = 0;
+    for (const std::int64_t r : rates) {
+      if (r < 0) throw std::invalid_argument(std::string("CsdfGraph: negative ") + what);
+      total += r;
+    }
+    if (total == 0) {
+      throw std::invalid_argument(std::string("CsdfGraph: all-zero ") + what);
+    }
+  };
+  check_rates(production, "production rates");
+  check_rates(consumption, "consumption rates");
+  if (initial_tokens < 0) {
+    throw std::invalid_argument("CsdfGraph::add_channel: negative initial tokens");
+  }
+
+  CsdfChannel c;
+  c.name = name.empty() ? "ch" + std::to_string(channels_.size()) : std::move(name);
+  c.src = src;
+  c.dst = dst;
+  c.production = std::move(production);
+  c.consumption = std::move(consumption);
+  c.initial_tokens = initial_tokens;
+  channels_.push_back(std::move(c));
+  const CsdfChannelId id{static_cast<std::uint32_t>(channels_.size() - 1)};
+  actors_[src.value].outputs.push_back(id);
+  actors_[dst.value].inputs.push_back(id);
+  return id;
+}
+
+std::optional<CsdfActorId> CsdfGraph::find_actor(std::string_view name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return CsdfActorId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+Graph sdf_abstraction(const CsdfGraph& g) {
+  Graph out;
+  for (const CsdfActor& a : g.actors()) {
+    const std::int64_t cycle_time = std::accumulate(
+        a.phase_execution_times.begin(), a.phase_execution_times.end(), std::int64_t{0});
+    out.add_actor(a.name, cycle_time);
+  }
+  for (const CsdfChannel& c : g.channels()) {
+    out.add_channel(ActorId{c.src.value}, ActorId{c.dst.value}, c.production_per_cycle(),
+                    c.consumption_per_cycle(), c.initial_tokens, c.name);
+  }
+  return out;
+}
+
+CsdfGraph csdf_from_sdf(const Graph& g) {
+  CsdfGraph out;
+  for (const Actor& a : g.actors()) {
+    out.add_actor(a.name, {a.execution_time});
+  }
+  for (const Channel& c : g.channels()) {
+    out.add_channel(CsdfActorId{c.src.value}, CsdfActorId{c.dst.value},
+                    {c.production_rate}, {c.consumption_rate}, c.initial_tokens, c.name);
+  }
+  return out;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Strongly-typed index of a cyclo-static actor.
+struct CsdfActorId {
+  std::uint32_t value = 0;
+  friend bool operator==(CsdfActorId a, CsdfActorId b) { return a.value == b.value; }
+  friend bool operator!=(CsdfActorId a, CsdfActorId b) { return a.value != b.value; }
+};
+
+/// Strongly-typed index of a cyclo-static channel.
+struct CsdfChannelId {
+  std::uint32_t value = 0;
+  friend bool operator==(CsdfChannelId a, CsdfChannelId b) { return a.value == b.value; }
+  friend bool operator!=(CsdfChannelId a, CsdfChannelId b) { return a.value != b.value; }
+};
+
+/// A cyclo-static actor ([6], Bilsen et al.): it cycles deterministically
+/// through `phases()` phases; firing k executes phase k mod phases() with
+/// that phase's execution time and phase-specific rates on every channel.
+struct CsdfActor {
+  std::string name;
+  /// Υ per phase; size defines the actor's phase count (>= 1).
+  std::vector<std::int64_t> phase_execution_times;
+
+  /// Channels touching this actor (maintained by CsdfGraph).
+  std::vector<CsdfChannelId> inputs;
+  std::vector<CsdfChannelId> outputs;
+
+  [[nodiscard]] std::size_t phases() const { return phase_execution_times.size(); }
+};
+
+/// A cyclo-static channel: `production[i]` tokens are produced when the
+/// source fires its phase i, `consumption[j]` consumed when the destination
+/// fires its phase j. SDF is the special case of all-ones phase counts.
+struct CsdfChannel {
+  std::string name;
+  CsdfActorId src;
+  CsdfActorId dst;
+  std::vector<std::int64_t> production;   ///< one entry per source phase
+  std::vector<std::int64_t> consumption;  ///< one entry per destination phase
+  std::int64_t initial_tokens = 0;
+
+  [[nodiscard]] std::int64_t production_per_cycle() const;
+  [[nodiscard]] std::int64_t consumption_per_cycle() const;
+};
+
+/// A cyclo-static dataflow graph — the model of the paper's related work [6]
+/// ("a method to bind an application described as a Cyclo-Static Dataflow
+/// graph onto a heterogeneous MP-SoC"), implemented here so CSDF
+/// applications can use the same analysis machinery. Mirrors Graph's
+/// append-only value-type design.
+class CsdfGraph {
+ public:
+  /// Adds an actor with per-phase execution times (all >= 0; at least one
+  /// phase).
+  CsdfActorId add_actor(std::string name, std::vector<std::int64_t> phase_execution_times);
+
+  /// Adds a channel with per-phase rates (entry counts must match the
+  /// endpoint phase counts; entries >= 0 with at least one positive entry on
+  /// each side).
+  CsdfChannelId add_channel(CsdfActorId src, CsdfActorId dst,
+                            std::vector<std::int64_t> production,
+                            std::vector<std::int64_t> consumption,
+                            std::int64_t initial_tokens = 0, std::string name = "");
+
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+  [[nodiscard]] const CsdfActor& actor(CsdfActorId id) const { return actors_.at(id.value); }
+  [[nodiscard]] const CsdfChannel& channel(CsdfChannelId id) const {
+    return channels_.at(id.value);
+  }
+  [[nodiscard]] const std::vector<CsdfActor>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<CsdfChannel>& channels() const { return channels_; }
+
+  [[nodiscard]] std::optional<CsdfActorId> find_actor(std::string_view name) const;
+
+ private:
+  std::vector<CsdfActor> actors_;
+  std::vector<CsdfChannel> channels_;
+};
+
+/// Lifts an SDFG into the trivially-cyclo-static graph (every actor one
+/// phase). Useful for the SDF/CSDF agreement property tests.
+[[nodiscard]] CsdfGraph csdf_from_sdf(const Graph& g);
+
+/// Conservative SDF abstraction of a CSDF graph: each actor becomes one SDF
+/// actor firing once per *phase cycle*, with the cycle's total execution time
+/// and the per-cycle rate totals. The abstraction can only under-estimate
+/// throughput (it defers all of a cycle's production to the cycle's end and
+/// demands all of its consumption up front), so any resource allocation that
+/// satisfies a throughput constraint on the abstraction also satisfies it on
+/// the CSDF graph — this is the bridge that lets CSDF applications ([6]'s
+/// model) flow through the paper's SDF mapping strategy unchanged.
+///
+/// Note the token-time trade: a cycle-granular firing may need more buffer
+/// than any single phase, so α requirements should be derived from the
+/// abstraction's rates.
+[[nodiscard]] Graph sdf_abstraction(const CsdfGraph& g);
+
+}  // namespace sdfmap

@@ -1,0 +1,179 @@
+#include "src/gen/benchmark_sets.h"
+
+#include <stdexcept>
+
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+
+namespace {
+
+GeneratorOptions processing_profile() {
+  GeneratorOptions o;
+  o.min_actors = 5;
+  o.max_actors = 9;
+  o.max_repetition = 2;
+  o.extra_channel_fraction = 0.3;
+  o.min_exec = 200;
+  o.max_exec = 800;
+  o.min_state_memory = 100;
+  o.max_state_memory = 400;
+  o.min_token_size = 8;
+  o.max_token_size = 32;
+  o.min_bandwidth = 5;
+  o.max_bandwidth = 15;
+  o.constraint_tightness = 0.04;
+  return o;
+}
+
+GeneratorOptions memory_profile() {
+  GeneratorOptions o;
+  o.min_actors = 5;
+  o.max_actors = 9;
+  o.max_repetition = 2;
+  o.extra_channel_fraction = 0.3;
+  o.min_exec = 50;
+  o.max_exec = 150;
+  o.min_state_memory = 20000;
+  o.max_state_memory = 40000;
+  o.min_token_size = 16;
+  o.max_token_size = 64;
+  o.min_bandwidth = 10;
+  o.max_bandwidth = 30;
+  o.constraint_tightness = 0.08;
+  return o;
+}
+
+GeneratorOptions communication_profile() {
+  GeneratorOptions o;
+  o.min_actors = 5;
+  o.max_actors = 9;
+  o.max_repetition = 3;
+  o.extra_channel_fraction = 0.8;
+  o.min_exec = 50;
+  o.max_exec = 150;
+  o.min_state_memory = 100;
+  o.max_state_memory = 400;
+  o.min_token_size = 256;
+  o.max_token_size = 512;
+  o.min_bandwidth = 40;
+  o.max_bandwidth = 100;
+  o.constraint_tightness = 0.06;
+  // Communication-dominated tasks are simple kernels that run anywhere, so
+  // the binder has real placement freedom and the communication weight of
+  // the cost function decides the clustering.
+  o.support_probability = 0.95;
+  return o;
+}
+
+GeneratorOptions balanced_profile() {
+  GeneratorOptions o;
+  o.min_actors = 5;
+  o.max_actors = 9;
+  o.max_repetition = 2;
+  o.extra_channel_fraction = 0.4;
+  o.min_exec = 100;
+  o.max_exec = 400;
+  o.min_state_memory = 2000;
+  o.max_state_memory = 6000;
+  o.min_token_size = 128;
+  o.max_token_size = 512;
+  o.min_bandwidth = 30;
+  o.max_bandwidth = 80;
+  o.constraint_tightness = 0.08;
+  return o;
+}
+
+}  // namespace
+
+std::string benchmark_set_name(BenchmarkSet set) {
+  switch (set) {
+    case BenchmarkSet::kProcessing: return "processing";
+    case BenchmarkSet::kMemory: return "memory";
+    case BenchmarkSet::kCommunication: return "communication";
+    case BenchmarkSet::kMixed: return "mixed";
+  }
+  throw std::invalid_argument("benchmark_set_name: unknown set");
+}
+
+GeneratorOptions options_for_set(BenchmarkSet set) {
+  switch (set) {
+    case BenchmarkSet::kProcessing: return processing_profile();
+    case BenchmarkSet::kMemory: return memory_profile();
+    case BenchmarkSet::kCommunication: return communication_profile();
+    case BenchmarkSet::kMixed: return balanced_profile();
+  }
+  throw std::invalid_argument("options_for_set: unknown set");
+}
+
+std::vector<ApplicationGraph> generate_sequence(BenchmarkSet set, std::size_t count,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ApplicationGraph> apps;
+  apps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    GeneratorOptions options;
+    if (set == BenchmarkSet::kMixed) {
+      // Mixed set: mostly balanced graphs plus graphs dominated by one
+      // aspect, scaled lighter than the pure sets so a long sequence fits
+      // (the paper binds more applications from this set than any other).
+      switch (rng.index(6)) {
+        case 0:
+          options = processing_profile();
+          break;
+        case 1:
+          options = memory_profile();
+          options.min_state_memory /= 2;
+          options.max_state_memory /= 2;
+          options.min_token_size /= 2;
+          options.max_token_size /= 2;
+          break;
+        case 2:
+          options = communication_profile();
+          options.min_bandwidth /= 2;
+          options.max_bandwidth /= 2;
+          options.min_token_size /= 2;
+          options.max_token_size /= 2;
+          break;
+        default:
+          options = balanced_profile();
+          break;
+      }
+    } else {
+      options = options_for_set(set);
+    }
+    apps.push_back(generate_application(
+        options, rng, benchmark_set_name(set) + "_" + std::to_string(i)));
+  }
+  return apps;
+}
+
+Architecture make_benchmark_architecture(int variant) {
+  MeshOptions options;
+  options.rows = 3;
+  options.cols = 3;
+  options.proc_types = {"risc", "dsp", "vliw"};
+  options.wheel_size = 200;
+  options.bandwidth_in = 1200;
+  options.bandwidth_out = 1200;
+  options.hop_latency = 2;
+  switch (variant) {
+    case 0:
+      options.memory = 150'000;
+      options.max_connections = 16;
+      break;
+    case 1:
+      options.memory = 180'000;
+      options.max_connections = 24;
+      break;
+    case 2:
+      options.memory = 120'000;
+      options.max_connections = 12;
+      break;
+    default:
+      throw std::invalid_argument("make_benchmark_architecture: variant must be 0..2");
+  }
+  return make_mesh(options);
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gen/generator.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// The four benchmark profiles of Sec. 10.1.
+enum class BenchmarkSet {
+  kProcessing = 1,     ///< large execution times, little data traffic
+  kMemory = 2,         ///< large actor state and token sizes
+  kCommunication = 3,  ///< frequent, wide communication
+  kMixed = 4,          ///< balanced graphs plus graphs dominated by one aspect
+};
+
+[[nodiscard]] std::string benchmark_set_name(BenchmarkSet set);
+
+/// Generator profile of one set. For kMixed the profile is drawn per graph,
+/// so pass a fresh Rng-derived pick per application (generate_sequence does
+/// this internally).
+[[nodiscard]] GeneratorOptions options_for_set(BenchmarkSet set);
+
+/// Generates one ordered sequence of `count` application graphs for `set`,
+/// deterministically from `seed` (the paper uses 3 sequences per set).
+[[nodiscard]] std::vector<ApplicationGraph> generate_sequence(BenchmarkSet set,
+                                                              std::size_t count,
+                                                              std::uint64_t seed);
+
+/// One of the three experiment platforms (variant 0..2): a 3x3 mesh with 3
+/// processor types and equal wheels; the variants differ in memory size and
+/// NI connection count (Sec. 10.1).
+[[nodiscard]] Architecture make_benchmark_architecture(int variant);
+
+}  // namespace sdfmap

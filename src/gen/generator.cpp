@@ -1,0 +1,163 @@
+#include "src/gen/generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/analysis/state_space.h"
+#include "src/sdf/deadlock.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Self-loop-and-buffer-closed version of the application SDFG, modeling the
+/// tightest placement (everything on one tile): used to verify that the
+/// generated α_tile values keep the bound graph live.
+Graph single_tile_closure(const ApplicationGraph& app) {
+  Graph g = app.sdf();
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    if (!g.has_self_loop(ActorId{a})) g.add_channel(ActorId{a}, ActorId{a}, 1, 1, 1);
+  }
+  for (std::uint32_t c = 0; c < app.sdf().num_channels(); ++c) {
+    const Channel& ch = app.sdf().channel(ChannelId{c});
+    if (ch.src == ch.dst) continue;
+    const EdgeRequirement& req = app.edge_requirement(ChannelId{c});
+    if (req.alpha_tile > 0) {
+      g.add_channel(ch.dst, ch.src, ch.consumption_rate, ch.production_rate,
+                    req.alpha_tile - ch.initial_tokens);
+    }
+  }
+  return g;
+}
+
+/// Self-timed iteration period with every actor on its fastest processor;
+/// used to calibrate λ.
+Rational ideal_period(const ApplicationGraph& app) {
+  Graph g = app.sdf();
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    std::int64_t fastest = -1;
+    for (std::size_t pt = 0; pt < app.num_proc_types(); ++pt) {
+      const auto& req = app.requirement(ActorId{a}, ProcTypeId{static_cast<std::uint32_t>(pt)});
+      if (req && (fastest < 0 || req->execution_time < fastest)) {
+        fastest = req->execution_time;
+      }
+    }
+    g.set_execution_time(ActorId{a}, fastest);
+  }
+  const SelfTimedResult result = self_timed_throughput(g);
+  if (result.deadlocked()) {
+    throw std::logic_error("generate_application: ideal execution deadlocks");
+  }
+  return result.iteration_period;
+}
+
+}  // namespace
+
+ApplicationGraph generate_application(const GeneratorOptions& options, Rng& rng,
+                                      const std::string& name) {
+  if (options.min_actors < 2 || options.max_actors < options.min_actors) {
+    throw std::invalid_argument("generate_application: bad actor count range");
+  }
+  const std::int64_t n = rng.uniform(options.min_actors, options.max_actors);
+
+  // 1. Repetition vector first: consistency by construction.
+  std::vector<std::int64_t> gamma(n);
+  for (auto& g : gamma) g = rng.uniform(1, options.max_repetition);
+
+  Graph sdf;
+  for (std::int64_t i = 0; i < n; ++i) sdf.add_actor("a" + std::to_string(i));
+
+  // 2. Ring over a random permutation (strong connectivity), plus chords.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<std::uint32_t> position(n);
+  for (std::int64_t i = 0; i < n; ++i) position[order[i]] = static_cast<std::uint32_t>(i);
+
+  struct PlannedChannel {
+    std::uint32_t src, dst;
+  };
+  std::vector<PlannedChannel> planned;
+  for (std::int64_t i = 0; i < n; ++i) {
+    planned.push_back({order[i], order[(i + 1) % n]});
+  }
+  const auto extra = static_cast<std::int64_t>(options.extra_channel_fraction *
+                                               static_cast<double>(n));
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const auto src = static_cast<std::uint32_t>(rng.index(static_cast<std::size_t>(n)));
+    auto dst = static_cast<std::uint32_t>(rng.index(static_cast<std::size_t>(n)));
+    if (src == dst) dst = (dst + 1) % static_cast<std::uint32_t>(n);
+    planned.push_back({src, dst});
+  }
+
+  // 3. Rates from γ; "backward" channels (w.r.t. the ring order) carry one
+  // iteration of tokens, which makes every cycle live.
+  for (const PlannedChannel& pc : planned) {
+    const std::int64_t lcm = checked_lcm(gamma[pc.src], gamma[pc.dst]);
+    const std::int64_t p = lcm / gamma[pc.src];
+    const std::int64_t q = lcm / gamma[pc.dst];
+    const bool backward = position[pc.src] >= position[pc.dst];
+    const std::int64_t tokens = backward ? q * gamma[pc.dst] : 0;
+    sdf.add_channel(ActorId{pc.src}, ActorId{pc.dst}, p, q, tokens);
+  }
+
+  ApplicationGraph app(name, std::move(sdf), options.num_proc_types);
+
+  // 4. Γ: supported types and their τ/µ.
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    bool any = false;
+    for (std::size_t pt = 0; pt < options.num_proc_types; ++pt) {
+      if (rng.chance(options.support_probability)) {
+        app.set_requirement(ActorId{a}, ProcTypeId{static_cast<std::uint32_t>(pt)},
+                            {rng.uniform(options.min_exec, options.max_exec),
+                             rng.uniform(options.min_state_memory, options.max_state_memory)});
+        any = true;
+      }
+    }
+    if (!any) {
+      const auto pt = static_cast<std::uint32_t>(rng.index(options.num_proc_types));
+      app.set_requirement(ActorId{a}, ProcTypeId{pt},
+                          {rng.uniform(options.min_exec, options.max_exec),
+                           rng.uniform(options.min_state_memory, options.max_state_memory)});
+    }
+  }
+
+  // 5. Θ: buffer sizes that keep the bound graph live, token sizes and β.
+  for (std::uint32_t c = 0; c < app.sdf().num_channels(); ++c) {
+    const Channel& ch = app.sdf().channel(ChannelId{c});
+    EdgeRequirement req;
+    req.token_size = rng.uniform(options.min_token_size, options.max_token_size);
+    req.bandwidth = rng.uniform(options.min_bandwidth, options.max_bandwidth);
+    const std::int64_t p = ch.production_rate;
+    const std::int64_t q = ch.consumption_rate;
+    req.alpha_tile = ch.initial_tokens + p + q;
+    req.alpha_src = 2 * p;
+    req.alpha_dst = 2 * q + ch.initial_tokens;
+    app.set_edge_requirement(ChannelId{c}, req);
+  }
+
+  // Verify liveness of the tightest placement; widen buffers if needed.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (is_deadlock_free(single_tile_closure(app))) break;
+    for (std::uint32_t c = 0; c < app.sdf().num_channels(); ++c) {
+      EdgeRequirement req = app.edge_requirement(ChannelId{c});
+      const Channel& ch = app.sdf().channel(ChannelId{c});
+      req.alpha_tile += std::max(ch.production_rate, ch.consumption_rate);
+      app.set_edge_requirement(ChannelId{c}, req);
+    }
+    if (attempt == 7) {
+      throw std::logic_error("generate_application: could not make buffers live");
+    }
+  }
+
+  // 6. λ from the ideal throughput.
+  const Rational period = ideal_period(app);
+  const auto tightness_permille =
+      static_cast<std::int64_t>(options.constraint_tightness * 1000.0);
+  app.set_throughput_constraint(Rational(tightness_permille, 1000) / period);
+  return app;
+}
+
+}  // namespace sdfmap

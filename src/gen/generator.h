@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "src/appmodel/application.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+
+/// Knobs of the random application-graph generator (the SDF3-style generator
+/// used to build the benchmark of Sec. 10.1). All ranges are inclusive.
+struct GeneratorOptions {
+  std::size_t num_proc_types = 3;
+
+  std::int64_t min_actors = 6;
+  std::int64_t max_actors = 10;
+  /// Repetition-vector entries are drawn from [1, max_repetition]; larger
+  /// values give more multi-rate behaviour (and bigger HSDFG equivalents).
+  std::int64_t max_repetition = 3;
+  /// Expected number of extra channels beyond the strongly-connecting ring,
+  /// as a fraction of the actor count.
+  double extra_channel_fraction = 0.4;
+
+  // Γ ranges (τ per supported type, µ).
+  std::int64_t min_exec = 50;
+  std::int64_t max_exec = 200;
+  std::int64_t min_state_memory = 100;
+  std::int64_t max_state_memory = 1000;
+  /// Each processor type is supported with this probability (at least one
+  /// always is).
+  double support_probability = 0.85;
+
+  // Θ ranges.
+  std::int64_t min_token_size = 8;
+  std::int64_t max_token_size = 64;
+  std::int64_t min_bandwidth = 5;
+  std::int64_t max_bandwidth = 25;
+
+  /// λ = tightness / (fastest-processor self-timed iteration period): 1.0
+  /// demands the unconstrained maximum; smaller values leave slack for TDMA
+  /// sharing and slower processors.
+  double constraint_tightness = 0.15;
+};
+
+/// Generates a consistent, deadlock-free, strongly connected application
+/// graph:
+///  * a repetition vector is drawn first and channel rates are derived from
+///    it, so consistency holds by construction;
+///  * actors are connected in a random ring (strong connectivity) plus extra
+///    random channels; channels that point "backwards" along the ring carry
+///    one iteration's worth of initial tokens, which guarantees liveness;
+///  * buffer requirements α are sized to keep the bound graph live (verified
+///    by executing a worst-case single-tile binding; bumped if needed);
+///  * λ is calibrated against the graph's ideal (fastest-processor,
+///    infinite-resources) throughput.
+[[nodiscard]] ApplicationGraph generate_application(const GeneratorOptions& options, Rng& rng,
+                                                    const std::string& name);
+
+}  // namespace sdfmap

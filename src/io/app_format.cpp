@@ -1,0 +1,215 @@
+#include "src/io/app_format.h"
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/support/strings.h"
+
+namespace sdfmap {
+
+namespace {
+
+Rational parse_rational(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return Rational(parse_int(s));
+  return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
+}
+
+/// Shared line loop: calls `handle(fields)` per non-comment line and wraps
+/// errors with the line number.
+template <typename Handler>
+void parse_lines(std::istream& is, const char* what, Handler&& handle) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    try {
+      handle(split(trimmed, ' '));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string(what) + ": line " + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+  }
+}
+
+void require_arity(const std::vector<std::string>& fields, std::size_t min_size,
+                   const char* usage) {
+  if (fields.size() < min_size) {
+    throw std::invalid_argument(std::string("expected: ") + usage);
+  }
+}
+
+}  // namespace
+
+void write_application(std::ostream& os, const ApplicationGraph& app) {
+  const Graph& g = app.sdf();
+  os << "application " << app.name() << " " << app.num_proc_types() << "\n";
+  for (const Actor& a : g.actors()) {
+    os << "actor " << a.name << "\n";
+  }
+  for (const Channel& c : g.channels()) {
+    os << "channel " << c.name << " " << g.actor(c.src).name << " " << g.actor(c.dst).name
+       << " " << c.production_rate << " " << c.consumption_rate << " " << c.initial_tokens
+       << "\n";
+  }
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    for (std::uint32_t pt = 0; pt < app.num_proc_types(); ++pt) {
+      const auto& req = app.requirement(ActorId{a}, ProcTypeId{pt});
+      if (req) {
+        os << "requirement " << g.actor(ActorId{a}).name << " " << pt << " "
+           << req->execution_time << " " << req->memory << "\n";
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const EdgeRequirement& req = app.edge_requirement(ChannelId{c});
+    os << "edge " << g.channel(ChannelId{c}).name << " " << req.token_size << " "
+       << req.alpha_tile << " " << req.alpha_src << " " << req.alpha_dst << " "
+       << req.bandwidth << "\n";
+  }
+  os << "constraint " << app.throughput_constraint().to_string() << "\n";
+}
+
+ApplicationGraph read_application(std::istream& is) {
+  // The header must precede everything else; the graph is assembled first and
+  // requirements/edges resolved against it by name.
+  std::optional<std::string> name;
+  std::size_t proc_types = 0;
+  Graph g;
+  struct PendingRequirement {
+    std::string actor;
+    std::int64_t pt, tau, mu;
+  };
+  struct PendingEdge {
+    std::string channel;
+    EdgeRequirement req;
+  };
+  std::vector<PendingRequirement> requirements;
+  std::vector<PendingEdge> edges;
+  Rational constraint(0);
+
+  parse_lines(is, "read_application", [&](const std::vector<std::string>& f) {
+    if (f[0] == "application") {
+      require_arity(f, 3, "application <name> <num_proc_types>");
+      name = f[1];
+      proc_types = static_cast<std::size_t>(parse_int(f[2]));
+    } else if (f[0] == "actor") {
+      require_arity(f, 2, "actor <name>");
+      if (g.find_actor(f[1])) throw std::invalid_argument("duplicate actor '" + f[1] + "'");
+      g.add_actor(f[1]);
+    } else if (f[0] == "channel") {
+      require_arity(f, 7, "channel <name> <src> <dst> <p> <q> <tokens>");
+      const auto src = g.find_actor(f[2]);
+      const auto dst = g.find_actor(f[3]);
+      if (!src || !dst) throw std::invalid_argument("unknown actor in channel '" + f[1] + "'");
+      g.add_channel(*src, *dst, parse_int(f[4]), parse_int(f[5]), parse_int(f[6]), f[1]);
+    } else if (f[0] == "requirement") {
+      require_arity(f, 5, "requirement <actor> <pt> <tau> <mu>");
+      requirements.push_back({f[1], parse_int(f[2]), parse_int(f[3]), parse_int(f[4])});
+    } else if (f[0] == "edge") {
+      require_arity(f, 7, "edge <channel> <sz> <a_tile> <a_src> <a_dst> <beta>");
+      edges.push_back({f[1],
+                       {parse_int(f[2]), parse_int(f[3]), parse_int(f[4]), parse_int(f[5]),
+                        parse_int(f[6])}});
+    } else if (f[0] == "constraint") {
+      require_arity(f, 2, "constraint <num>/<den>");
+      constraint = parse_rational(f[1]);
+    } else {
+      throw std::invalid_argument("unknown directive '" + f[0] + "'");
+    }
+  });
+
+  if (!name) throw std::invalid_argument("read_application: missing 'application' header");
+  ApplicationGraph app(*name, std::move(g), proc_types);
+  for (const auto& r : requirements) {
+    const auto actor = app.sdf().find_actor(r.actor);
+    if (!actor) {
+      throw std::invalid_argument("read_application: requirement for unknown actor '" +
+                                  r.actor + "'");
+    }
+    if (r.pt < 0 || static_cast<std::size_t>(r.pt) >= proc_types) {
+      throw std::invalid_argument("read_application: processor type index out of range");
+    }
+    app.set_requirement(*actor, ProcTypeId{static_cast<std::uint32_t>(r.pt)}, {r.tau, r.mu});
+  }
+  for (const auto& e : edges) {
+    bool found = false;
+    for (std::uint32_t c = 0; c < app.sdf().num_channels(); ++c) {
+      if (app.sdf().channel(ChannelId{c}).name == e.channel) {
+        app.set_edge_requirement(ChannelId{c}, e.req);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("read_application: edge for unknown channel '" + e.channel +
+                                  "'");
+    }
+  }
+  app.set_throughput_constraint(constraint);
+  return app;
+}
+
+void write_architecture(std::ostream& os, const Architecture& arch, const std::string& name) {
+  os << "architecture " << name << "\n";
+  for (std::uint32_t pt = 0; pt < arch.num_proc_types(); ++pt) {
+    os << "proctype " << arch.proc_type_name(ProcTypeId{pt}) << "\n";
+  }
+  for (const Tile& t : arch.tiles()) {
+    os << "tile " << t.name << " " << arch.proc_type_name(t.proc_type) << " " << t.wheel_size
+       << " " << t.memory << " " << t.max_connections << " " << t.bandwidth_in << " "
+       << t.bandwidth_out << " " << t.occupied_wheel << "\n";
+  }
+  for (const Connection& c : arch.connections()) {
+    os << "connection " << c.name << " " << arch.tile(c.src).name << " "
+       << arch.tile(c.dst).name << " " << c.latency << "\n";
+  }
+}
+
+Architecture read_architecture(std::istream& is) {
+  Architecture arch;
+  bool seen_header = false;
+  parse_lines(is, "read_architecture", [&](const std::vector<std::string>& f) {
+    if (f[0] == "architecture") {
+      require_arity(f, 2, "architecture <name>");
+      seen_header = true;
+    } else if (f[0] == "proctype") {
+      require_arity(f, 2, "proctype <name>");
+      arch.add_proc_type(f[1]);
+    } else if (f[0] == "tile") {
+      require_arity(f, 8, "tile <name> <proctype> <wheel> <mem> <conn> <bw_in> <bw_out>");
+      const auto pt = arch.find_proc_type(f[2]);
+      if (!pt) throw std::invalid_argument("unknown processor type '" + f[2] + "'");
+      Tile t;
+      t.name = f[1];
+      t.proc_type = *pt;
+      t.wheel_size = parse_int(f[3]);
+      t.memory = parse_int(f[4]);
+      t.max_connections = parse_int(f[5]);
+      t.bandwidth_in = parse_int(f[6]);
+      t.bandwidth_out = parse_int(f[7]);
+      t.occupied_wheel = f.size() > 8 ? parse_int(f[8]) : 0;
+      arch.add_tile(std::move(t));
+    } else if (f[0] == "connection") {
+      require_arity(f, 5, "connection <name> <src> <dst> <latency>");
+      const auto src = arch.find_tile(f[2]);
+      const auto dst = arch.find_tile(f[3]);
+      if (!src || !dst) {
+        throw std::invalid_argument("unknown tile in connection '" + f[1] + "'");
+      }
+      arch.add_connection(*src, *dst, parse_int(f[4]), f[1]);
+    } else {
+      throw std::invalid_argument("unknown directive '" + f[0] + "'");
+    }
+  });
+  if (!seen_header) {
+    throw std::invalid_argument("read_architecture: missing 'architecture' header");
+  }
+  return arch;
+}
+
+}  // namespace sdfmap

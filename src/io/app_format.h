@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/appmodel/application.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Text formats for whole application graphs and architecture graphs — the
+/// counterpart of SDF3's XML files, kept line-based for easy generation.
+///
+/// Application file:
+///
+///   application <name> <num_proc_types>
+///   actor <name>
+///   channel <name> <src> <dst> <production> <consumption> <initial_tokens>
+///   requirement <actor> <proc_type_index> <execution_time> <memory>
+///   edge <channel> <token_size> <alpha_tile> <alpha_src> <alpha_dst> <bandwidth>
+///   constraint <numerator>/<denominator>
+///
+/// Architecture file:
+///
+///   architecture <name>
+///   proctype <name>
+///   tile <name> <proctype> <wheel> <memory> <connections> <bw_in> <bw_out> [occupied]
+///   connection <name> <src_tile> <dst_tile> <latency>
+///
+/// '#' starts a comment; blank lines are ignored; both formats round-trip.
+
+void write_application(std::ostream& os, const ApplicationGraph& app);
+
+/// Parses an application file. Throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] ApplicationGraph read_application(std::istream& is);
+
+void write_architecture(std::ostream& os, const Architecture& arch,
+                        const std::string& name = "platform");
+
+/// Parses an architecture file. Throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] Architecture read_architecture(std::istream& is);
+
+}  // namespace sdfmap

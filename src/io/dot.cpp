@@ -1,0 +1,41 @@
+#include "src/io/dot.h"
+
+#include <ostream>
+
+namespace sdfmap {
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const Actor& actor = g.actor(ActorId{a});
+    os << "  n" << a << " [label=\"" << actor.name << "\\nt=" << actor.execution_time
+       << "\"];\n";
+  }
+  for (const Channel& c : g.channels()) {
+    os << "  n" << c.src.value << " -> n" << c.dst.value << " [label=\""
+       << c.production_rate << "," << c.consumption_rate;
+    if (c.initial_tokens > 0) os << " (" << c.initial_tokens << ")";
+    os << "\"];\n";
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Architecture& arch, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n";
+  os << "  node [shape=box];\n";
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    const Tile& tile = arch.tile(TileId{t});
+    os << "  t" << t << " [label=\"" << tile.name << "\\n"
+       << arch.proc_type_name(tile.proc_type) << " w=" << tile.wheel_size
+       << " m=" << tile.memory << "\\nc=" << tile.max_connections
+       << " i=" << tile.bandwidth_in << " o=" << tile.bandwidth_out << "\"];\n";
+  }
+  for (const Connection& c : arch.connections()) {
+    os << "  t" << c.src.value << " -> t" << c.dst.value << " [label=\"L=" << c.latency
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace sdfmap

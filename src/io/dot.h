@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/platform/architecture.h"
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Writes a Graphviz DOT rendering of an SDFG: actors as nodes annotated
+/// with execution times, channels as edges annotated "p,q" and the initial
+/// token count (dots in SDF figures).
+void write_dot(std::ostream& os, const Graph& g, const std::string& title = "sdfg");
+
+/// Writes a DOT rendering of an architecture graph: tiles annotated with
+/// their resources, connections with latencies.
+void write_dot(std::ostream& os, const Architecture& arch,
+               const std::string& title = "architecture");
+
+}  // namespace sdfmap

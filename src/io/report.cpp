@@ -1,0 +1,66 @@
+#include "src/io/report.h"
+
+#include <sstream>
+
+namespace sdfmap {
+
+std::string format_strategy_result(const ApplicationGraph& app, const Architecture& arch,
+                                   const StrategyResult& result) {
+  std::ostringstream os;
+  if (!result.success) {
+    os << "application '" << app.name() << "': FAILED in " << result.stage << " ("
+       << result.failure_reason << ")\n";
+    return os.str();
+  }
+  os << "application '" << app.name() << "': allocated\n";
+  os << "  throughput " << result.achieved_throughput.to_string()
+     << " iterations/time-unit (constraint " << app.throughput_constraint().to_string()
+     << ", period " << result.achieved_period.to_string() << ")\n";
+  for (const TileId t : arch.tile_ids()) {
+    const auto actors = result.binding.actors_on(t);
+    if (actors.empty()) continue;
+    os << "  " << arch.tile(t).name << ": slice " << result.slices[t.value] << "/"
+       << arch.tile(t).wheel_size << ", actors";
+    for (const ActorId a : actors) os << " " << app.sdf().actor(a).name;
+    if (!result.schedules[t.value].empty()) {
+      os << ", schedule " << result.schedules[t.value].to_string(app.sdf());
+    }
+    os << "\n";
+  }
+  os << "  " << result.throughput_checks << " throughput checks, "
+     << result.total_seconds() << " s (binding " << result.binding_seconds
+     << " / scheduling " << result.scheduling_seconds << " / slices "
+     << result.slice_seconds << ")\n";
+  return os.str();
+}
+
+std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
+                                    const Architecture& arch, const MultiAppResult& result) {
+  std::ostringstream os;
+  os << "allocated " << result.num_allocated << "/" << apps.size() << " applications\n";
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    const StrategyResult& r = result.results[i];
+    const ApplicationGraph& app = apps[result.attempted_indices[i]];
+    os << "  " << app.name() << ": ";
+    if (r.success) {
+      os << "ok, throughput " << r.achieved_throughput.to_string() << ", slices";
+      for (const TileId t : arch.tile_ids()) {
+        if (r.slices[t.value] > 0) {
+          os << " " << arch.tile(t).name << "=" << r.slices[t.value];
+        }
+      }
+    } else {
+      os << "FAILED in " << r.stage << " (" << r.failure_reason << ")";
+    }
+    os << "\n";
+  }
+  const auto& u = result.utilization;
+  os << "utilization: wheel " << u.wheel << ", memory " << u.memory << ", connections "
+     << u.connections << ", bw_in " << u.bandwidth_in << ", bw_out " << u.bandwidth_out
+     << "\n";
+  os << "total " << result.total_seconds << " s, " << result.total_throughput_checks
+     << " throughput checks\n";
+  return os.str();
+}
+
+}  // namespace sdfmap

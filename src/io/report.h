@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "src/appmodel/application.h"
+#include "src/mapping/multi_app.h"
+#include "src/mapping/strategy.h"
+
+namespace sdfmap {
+
+/// Human-readable rendering of a strategy result: outcome, achieved vs
+/// required throughput, per-tile binding/schedule/slice lines and the
+/// step statistics. Used by the command-line tools and examples so every
+/// surface prints allocations identically.
+[[nodiscard]] std::string format_strategy_result(const ApplicationGraph& app,
+                                                 const Architecture& arch,
+                                                 const StrategyResult& result);
+
+/// Summary of a multi-application run: per-application one-liners plus the
+/// final platform utilization.
+[[nodiscard]] std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
+                                                  const Architecture& arch,
+                                                  const MultiAppResult& result);
+
+}  // namespace sdfmap

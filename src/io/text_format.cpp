@@ -1,0 +1,60 @@
+#include "src/io/text_format.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "src/support/strings.h"
+
+namespace sdfmap {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << "# sdfmap graph: " << g.num_actors() << " actors, " << g.num_channels()
+     << " channels\n";
+  for (const Actor& a : g.actors()) {
+    os << "actor " << a.name << " " << a.execution_time << "\n";
+  }
+  for (const Channel& c : g.channels()) {
+    os << "channel " << c.name << " " << g.actor(c.src).name << " " << g.actor(c.dst).name
+       << " " << c.production_rate << " " << c.consumption_rate << " " << c.initial_tokens
+       << "\n";
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  Graph g;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&line_no](const std::string& what) {
+    throw std::invalid_argument("read_graph: line " + std::to_string(line_no) + ": " + what);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> fields = split(trimmed, ' ');
+    if (fields[0] == "actor") {
+      if (fields.size() != 3) fail("'actor' needs: name execution_time");
+      if (g.find_actor(fields[1])) fail("duplicate actor '" + fields[1] + "'");
+      g.add_actor(fields[1], parse_int(fields[2]));
+    } else if (fields[0] == "channel") {
+      if (fields.size() != 7) fail("'channel' needs: name src dst p q tokens");
+      const auto src = g.find_actor(fields[2]);
+      const auto dst = g.find_actor(fields[3]);
+      if (!src) fail("unknown actor '" + fields[2] + "'");
+      if (!dst) fail("unknown actor '" + fields[3] + "'");
+      try {
+        g.add_channel(*src, *dst, parse_int(fields[4]), parse_int(fields[5]),
+                      parse_int(fields[6]), fields[1]);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + fields[0] + "'");
+    }
+  }
+  return g;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Writes an SDFG in the line-based sdfmap text format:
+///
+///   # comment
+///   actor <name> <execution_time>
+///   channel <name> <src> <dst> <production> <consumption> <initial_tokens>
+///
+/// Actors are referenced by name; the format round-trips through read_graph.
+void write_graph(std::ostream& os, const Graph& g);
+
+/// Parses the sdfmap text format. Throws std::invalid_argument with a line
+/// number on malformed input (unknown directive, bad arity, undefined actor,
+/// non-positive rates).
+[[nodiscard]] Graph read_graph(std::istream& is);
+
+}  // namespace sdfmap

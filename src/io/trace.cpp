@@ -1,0 +1,122 @@
+#include "src/io/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace sdfmap {
+
+TraceObserver TraceRecorder::observer() {
+  return [this](const TransitionEvent& e) {
+    horizon_ = std::max(horizon_, e.time);
+    for (const ActorId a : e.ended) {
+      if (a.value >= open_.size() || open_[a.value].empty()) continue;  // defensive
+      firings_[open_[a.value].front()].end = e.time;
+      open_[a.value].erase(open_[a.value].begin());
+    }
+    for (const ActorId a : e.started) {
+      if (a.value >= open_.size()) open_.resize(a.value + 1);
+      open_[a.value].push_back(firings_.size());
+      firings_.push_back({a, e.time, -1});
+    }
+  };
+}
+
+std::string render_gantt(const Graph& g, const ConstrainedSpec& spec,
+                         const std::vector<FiringInterval>& firings, std::int64_t from,
+                         std::int64_t to) {
+  if (to <= from) return "";
+  const auto letter = [](std::uint32_t a) {
+    return static_cast<char>(a < 26 ? 'A' + a : 'a' + (a - 26) % 26);
+  };
+  const std::int64_t width = to - from;
+  std::string out;
+
+  // Tile rows.
+  for (std::size_t t = 0; t < spec.tiles.size(); ++t) {
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (std::int64_t x = 0; x < width; ++x) {
+      const std::int64_t now = from + x;
+      const std::int64_t phase =
+          ((now - spec.tiles[t].slice_offset) % spec.tiles[t].wheel_size +
+           spec.tiles[t].wheel_size) %
+          spec.tiles[t].wheel_size;
+      if (phase < spec.tiles[t].slice) row[static_cast<std::size_t>(x)] = '.';
+    }
+    for (const FiringInterval& f : firings) {
+      if (f.actor.value >= spec.actor_tile.size() ||
+          spec.actor_tile[f.actor.value] != static_cast<std::int32_t>(t)) {
+        continue;
+      }
+      const std::int64_t end = f.end < 0 ? to : f.end;
+      for (std::int64_t x = std::max(f.start, from); x < std::min(end, to); ++x) {
+        row[static_cast<std::size_t>(x - from)] = letter(f.actor.value);
+      }
+    }
+    out += "tile" + std::to_string(t) + " |" + row + "|\n";
+  }
+
+  // Unscheduled actor rows.
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    if (a < spec.actor_tile.size() && spec.actor_tile[a] != kUnscheduled) continue;
+    std::string row(static_cast<std::size_t>(width), ' ');
+    bool any = false;
+    for (const FiringInterval& f : firings) {
+      if (f.actor.value != a) continue;
+      const std::int64_t end = f.end < 0 ? to : f.end;
+      for (std::int64_t x = std::max(f.start, from); x < std::min(end, to); ++x) {
+        row[static_cast<std::size_t>(x - from)] = '#';
+        any = true;
+      }
+    }
+    if (any) {
+      out += letter(a) + std::string("     |") + row + "|\n";
+    }
+  }
+
+  out += "legend:";
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    out += " ";
+    out += letter(a);
+    out += "=" + g.actor(ActorId{a}).name;
+  }
+  out += "\n";
+  return out;
+}
+
+void write_vcd(std::ostream& os, const Graph& g,
+               const std::vector<FiringInterval>& firings, std::int64_t horizon) {
+  os << "$timescale 1ns $end\n$scope module sdfg $end\n";
+  const auto code = [](std::uint32_t a) { return std::string(1, static_cast<char>('!' + a)); };
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    os << "$var wire 1 " << code(a) << " " << g.actor(ActorId{a}).name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Active-count deltas per (time, actor).
+  std::map<std::int64_t, std::map<std::uint32_t, std::int64_t>> deltas;
+  for (const FiringInterval& f : firings) {
+    ++deltas[f.start][f.actor.value];
+    --deltas[f.end < 0 ? horizon : f.end][f.actor.value];
+  }
+  std::vector<std::int64_t> active(g.num_actors(), 0);
+  os << "#0\n";
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) os << "0" << code(a) << "\n";
+  for (const auto& [time, per_actor] : deltas) {
+    bool emitted_time = false;
+    for (const auto& [actor, delta] : per_actor) {
+      const bool was_active = active[actor] > 0;
+      active[actor] += delta;
+      const bool is_active = active[actor] > 0;
+      if (was_active == is_active) continue;
+      if (!emitted_time) {
+        os << "#" << time << "\n";
+        emitted_time = true;
+      }
+      os << (is_active ? "1" : "0") << code(actor) << "\n";
+    }
+  }
+  os << "#" << horizon << "\n";
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/analysis/constrained.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// One firing reconstructed from an execution trace: actor plus the wall
+/// clock interval [start, end) during which it held its resource (for gated
+/// firings the interval includes out-of-slice pauses).
+struct FiringInterval {
+  ActorId actor;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+
+/// Collects TransitionEvents from a throughput engine run and reconstructs
+/// firing intervals (start/end events are matched FIFO per actor, which is
+/// exact for serialized tile actors and canonical for identical concurrent
+/// firings of connection/sync actors).
+class TraceRecorder {
+ public:
+  /// The observer to pass to self_timed_throughput / execute_constrained.
+  [[nodiscard]] TraceObserver observer();
+
+  [[nodiscard]] const std::vector<FiringInterval>& firings() const { return firings_; }
+
+  /// Last event time seen.
+  [[nodiscard]] std::int64_t horizon() const { return horizon_; }
+
+ private:
+  std::vector<FiringInterval> firings_;
+  std::vector<std::vector<std::size_t>> open_;  // per actor: indices into firings_
+  std::int64_t horizon_ = 0;
+};
+
+/// Renders an ASCII Gantt chart of the window [from, to): one row per tile
+/// (showing which actor occupies the processor, with '.' marking reserved
+/// slice time left idle and ' ' marking wheel time outside the slice) plus
+/// one row per unscheduled actor ('#' while at least one firing is active).
+/// Actors are shown by an index letter; a legend line maps letters to names.
+[[nodiscard]] std::string render_gantt(const Graph& g, const ConstrainedSpec& spec,
+                                       const std::vector<FiringInterval>& firings,
+                                       std::int64_t from, std::int64_t to);
+
+/// Writes a Value Change Dump (IEEE 1364) of the firing activity: one scalar
+/// wire per actor, high while at least one firing of the actor is active.
+/// Viewable with GTKWave and friends.
+void write_vcd(std::ostream& os, const Graph& g,
+               const std::vector<FiringInterval>& firings, std::int64_t horizon);
+
+}  // namespace sdfmap

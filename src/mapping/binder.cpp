@@ -1,0 +1,121 @@
+#include "src/mapping/binder.h"
+
+#include <algorithm>
+
+#include "src/mapping/criticality.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Tiles that can host `actor`, sorted by ascending Eqn.-2 cost with the
+/// actor provisionally bound to each candidate; ties broken by tile id.
+std::vector<TileId> candidate_tiles(const ApplicationGraph& app, const Architecture& arch,
+                                    const TileCostWeights& weights, Binding& binding,
+                                    ActorId actor) {
+  std::vector<std::pair<double, TileId>> scored;
+  for (const TileId t : arch.tile_ids()) {
+    if (!app.requirement(actor, arch.tile(t).proc_type)) continue;
+    binding.bind(actor, t);
+    scored.emplace_back(tile_cost(app, arch, binding, t, weights), t);
+    binding.unbind(actor);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TileId> tiles;
+  tiles.reserve(scored.size());
+  for (const auto& [cost, t] : scored) tiles.push_back(t);
+  return tiles;
+}
+
+/// Binds `actor` to the first candidate tile that keeps the partial binding
+/// feasible; returns false when none fits.
+bool bind_one(const ApplicationGraph& app, const Architecture& arch,
+              const TileCostWeights& weights, Binding& binding, ActorId actor) {
+  for (const TileId t : candidate_tiles(app, arch, weights, binding, actor)) {
+    binding.bind(actor, t);
+    if (!check_binding(app, arch, binding)) return true;
+    binding.unbind(actor);
+  }
+  return false;
+}
+
+}  // namespace
+
+BindingResult bind_actors(const ApplicationGraph& app, const Architecture& arch,
+                          const TileCostWeights& weights, int backtrack_budget) {
+  BindingResult result;
+  result.binding = Binding(app.sdf().num_actors());
+
+  // Criticality (Eqn. 1) needs max_pt τ for every actor, so reject
+  // unmappable actors up front with a proper diagnosis.
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    if (!app.is_mappable(ActorId{a})) {
+      result.failure_reason = "actor '" + app.sdf().actor(ActorId{a}).name +
+                              "' supports no processor type";
+      return result;
+    }
+  }
+
+  // Depth-first search over (actor, candidate tile) decisions. Each frame's
+  // candidate order is fixed when the frame is first opened (i.e. under the
+  // partial binding of the preceding actors), matching the greedy order; a
+  // budget of 0 degenerates to the paper's single forward pass.
+  struct Frame {
+    ActorId actor;
+    std::vector<TileId> candidates;
+    std::size_t next = 0;
+  };
+  const std::vector<ActorId> order = actors_by_criticality(app);
+  std::vector<Frame> stack;
+  stack.reserve(order.size());
+  int budget = backtrack_budget;
+
+  while (stack.size() < order.size()) {
+    const ActorId actor = order[stack.size()];
+    stack.push_back(
+        {actor, candidate_tiles(app, arch, weights, result.binding, actor), 0});
+    for (;;) {
+      Frame& frame = stack.back();
+      bool placed = false;
+      while (frame.next < frame.candidates.size()) {
+        const TileId t = frame.candidates[frame.next++];
+        result.binding.bind(frame.actor, t);
+        if (!check_binding(app, arch, result.binding)) {
+          placed = true;
+          break;
+        }
+        result.binding.unbind(frame.actor);
+      }
+      if (placed) break;
+      // Exhausted candidates: backtrack if the budget allows.
+      stack.pop_back();
+      if (stack.empty() || budget-- <= 0) {
+        result.failure_reason =
+            "no feasible tile for actor '" + app.sdf().actor(actor).name + "'";
+        return result;
+      }
+      result.binding.unbind(stack.back().actor);
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+Binding rebalance_binding(const ApplicationGraph& app, const Architecture& arch,
+                          const TileCostWeights& weights, Binding binding) {
+  const std::vector<ActorId> order = actors_by_criticality(app);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ActorId actor = *it;
+    binding.unbind(actor);
+    if (!bind_one(app, arch, weights, binding, actor)) {
+      // Cannot happen: the previous tile is among the candidates and was
+      // feasible. Defensive restore keeps the binding complete regardless.
+      throw std::logic_error("rebalance_binding: lost feasibility for actor '" +
+                             app.sdf().actor(actor).name + "'");
+    }
+  }
+  return binding;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/tile_cost.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Outcome of the resource-binding step (Sec. 9.1).
+struct BindingResult {
+  bool success = false;
+  Binding binding{0};
+  std::string failure_reason;
+};
+
+/// The greedy binding algorithm of Sec. 9.1: actors are considered in
+/// decreasing Eqn.-1 criticality; each is bound to the feasible tile with the
+/// lowest Eqn.-2 cost (evaluated with the actor provisionally bound there).
+/// Binding fails when some actor fits no tile.
+///
+/// `backtrack_budget` extends the paper's algorithm: when an actor fits no
+/// tile, up to that many earlier decisions are revised (depth-first, next
+/// candidate in cost order) before giving up. Budget 0 is exactly the
+/// paper's greedy; small budgets recover the mid-application dead-ends that
+/// occur when a packed tile cannot absorb a later actor's buffer shares.
+[[nodiscard]] BindingResult bind_actors(const ApplicationGraph& app, const Architecture& arch,
+                                        const TileCostWeights& weights,
+                                        int backtrack_budget = 0);
+
+/// The load-balancing optimization of Sec. 9.1: every actor, in reverse
+/// binding order, is unbound and re-bound to the cheapest feasible tile
+/// given the rest of the binding. Always succeeds (the original tile remains
+/// feasible). Returns the improved binding.
+[[nodiscard]] Binding rebalance_binding(const ApplicationGraph& app, const Architecture& arch,
+                                        const TileCostWeights& weights, Binding binding);
+
+}  // namespace sdfmap

@@ -1,0 +1,109 @@
+#include "src/mapping/binding.h"
+
+#include <algorithm>
+
+namespace sdfmap {
+
+bool Binding::is_complete() const {
+  return std::all_of(tile_.begin(), tile_.end(), [](const auto& t) { return t.has_value(); });
+}
+
+std::vector<ActorId> Binding::actors_on(TileId tile) const {
+  std::vector<ActorId> out;
+  for (std::uint32_t a = 0; a < tile_.size(); ++a) {
+    if (tile_[a] && *tile_[a] == tile) out.push_back(ActorId{a});
+  }
+  return out;
+}
+
+EdgePlacement edge_placement(const Graph& g, ChannelId c, const Binding& b) {
+  const Channel& ch = g.channel(c);
+  const auto src = b.tile_of(ch.src);
+  const auto dst = b.tile_of(ch.dst);
+  if (!src || !dst) return EdgePlacement::kUnbound;
+  return *src == *dst ? EdgePlacement::kIntraTile : EdgePlacement::kInterTile;
+}
+
+AllocationUsage compute_usage(const ApplicationGraph& app, const Architecture& arch,
+                              const Binding& binding) {
+  AllocationUsage usage(arch.num_tiles());
+  const Graph& g = app.sdf();
+
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const auto tile = binding.tile_of(ActorId{a});
+    if (!tile) continue;
+    const auto& req = app.requirement(ActorId{a}, arch.tile(*tile).proc_type);
+    if (req) usage[tile->value].memory += req->memory;
+    // An unsupported proc type is reported by check_binding, not here.
+  }
+
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const Channel& ch = g.channel(ChannelId{c});
+    if (ch.src == ch.dst) continue;
+    const EdgeRequirement& req = app.edge_requirement(ChannelId{c});
+    switch (edge_placement(g, ChannelId{c}, binding)) {
+      case EdgePlacement::kUnbound:
+        break;
+      case EdgePlacement::kIntraTile: {
+        const TileId t = *binding.tile_of(ch.src);
+        usage[t.value].memory += req.alpha_tile * req.token_size;
+        break;
+      }
+      case EdgePlacement::kInterTile: {
+        const TileId src = *binding.tile_of(ch.src);
+        const TileId dst = *binding.tile_of(ch.dst);
+        usage[src.value].memory += req.alpha_src * req.token_size;
+        usage[dst.value].memory += req.alpha_dst * req.token_size;
+        usage[src.value].connections += 1;
+        usage[dst.value].connections += 1;
+        usage[src.value].bandwidth_out += req.bandwidth;
+        usage[dst.value].bandwidth_in += req.bandwidth;
+        break;
+      }
+    }
+  }
+  return usage;
+}
+
+std::optional<std::string> check_binding(const ApplicationGraph& app, const Architecture& arch,
+                                         const Binding& binding) {
+  const Graph& g = app.sdf();
+
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const auto tile = binding.tile_of(ActorId{a});
+    if (!tile) continue;
+    if (!app.requirement(ActorId{a}, arch.tile(*tile).proc_type)) {
+      return "actor '" + g.actor(ActorId{a}).name + "' cannot run on processor type '" +
+             arch.proc_type_name(arch.tile(*tile).proc_type) + "'";
+    }
+  }
+
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const Channel& ch = g.channel(ChannelId{c});
+    if (ch.src == ch.dst) continue;
+    if (edge_placement(g, ChannelId{c}, binding) == EdgePlacement::kInterTile) {
+      const TileId src = *binding.tile_of(ch.src);
+      const TileId dst = *binding.tile_of(ch.dst);
+      if (!arch.find_connection(src, dst)) {
+        return "no connection from '" + arch.tile(src).name + "' to '" + arch.tile(dst).name +
+               "' for channel '" + ch.name + "'";
+      }
+    }
+  }
+
+  const AllocationUsage usage = compute_usage(app, arch, binding);
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    const Tile& tile = arch.tile(TileId{t});
+    if (!usage[t].fits(tile)) {
+      return "resources of tile '" + tile.name + "' exceeded";
+    }
+    const bool hosts_actor =
+        !binding.actors_on(TileId{t}).empty();
+    if (hosts_actor && tile.available_wheel() < 1) {
+      return "tile '" + tile.name + "' has no wheel time left for a slice";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdfmap

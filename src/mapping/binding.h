@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/platform/architecture.h"
+#include "src/platform/resources.h"
+
+namespace sdfmap {
+
+/// A (possibly partial) binding function B : A -> T (Def. 6). Index by
+/// ActorId::value; nullopt = not yet bound.
+class Binding {
+ public:
+  explicit Binding(std::size_t num_actors) : tile_(num_actors) {}
+
+  void bind(ActorId actor, TileId tile) { tile_.at(actor.value) = tile; }
+  void unbind(ActorId actor) { tile_.at(actor.value).reset(); }
+
+  [[nodiscard]] std::optional<TileId> tile_of(ActorId actor) const {
+    return tile_.at(actor.value);
+  }
+  [[nodiscard]] bool is_bound(ActorId actor) const { return tile_[actor.value].has_value(); }
+  [[nodiscard]] bool is_complete() const;
+  [[nodiscard]] std::size_t num_actors() const { return tile_.size(); }
+
+  /// Actors bound to `tile` (the set A_t of Sec. 7), in actor-id order.
+  [[nodiscard]] std::vector<ActorId> actors_on(TileId tile) const;
+
+ private:
+  std::vector<std::optional<TileId>> tile_;
+};
+
+/// Classification of a channel under a (partial) binding: member of
+/// D_t,tile / D_t,src / D_t,dst, or unknown while an endpoint is unbound.
+enum class EdgePlacement { kUnbound, kIntraTile, kInterTile };
+
+[[nodiscard]] EdgePlacement edge_placement(const Graph& g, ChannelId c, const Binding& b);
+
+/// Resources the (partially) bound application claims per tile, following
+/// Sec. 7: actor µ on its tile; α_tile·sz for intra-tile channels; α_src·sz,
+/// α_dst·sz, one NI connection at each side and β of in/out bandwidth for
+/// inter-tile channels. Channels with an unbound endpoint contribute
+/// nothing. Self-loops are scheduling artifacts and claim nothing.
+/// `time_slice` is left 0 (slices are allocated in a later step).
+[[nodiscard]] AllocationUsage compute_usage(const ApplicationGraph& app,
+                                            const Architecture& arch, const Binding& binding);
+
+/// Checks conditions 2-4 of Sec. 7 for every tile, plus: every bound actor's
+/// tile supports its processor type, every inter-tile channel has a
+/// connection in the architecture, and every tile with actors has free wheel
+/// time left (a nonempty slice must be allocatable later, condition 1).
+/// Returns a reason string on failure, nullopt when the binding is feasible.
+[[nodiscard]] std::optional<std::string> check_binding(const ApplicationGraph& app,
+                                                       const Architecture& arch,
+                                                       const Binding& binding);
+
+}  // namespace sdfmap

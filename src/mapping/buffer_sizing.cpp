@@ -1,0 +1,133 @@
+#include "src/mapping/buffer_sizing.h"
+
+#include "src/analysis/constrained.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Which α field of a channel is active under the binding; nullptr when the
+/// channel is a self-loop or carries no buffer (α = 0).
+std::int64_t* active_alpha(EdgeRequirement& req, EdgePlacement placement, int which) {
+  switch (placement) {
+    case EdgePlacement::kIntraTile:
+      return (which == 0 && req.alpha_tile > 0) ? &req.alpha_tile : nullptr;
+    case EdgePlacement::kInterTile:
+      if (which == 0 && req.alpha_src > 0) return &req.alpha_src;
+      if (which == 1 && req.alpha_dst > 0) return &req.alpha_dst;
+      return nullptr;
+    case EdgePlacement::kUnbound:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architecture& arch,
+                                    const Binding& binding,
+                                    const std::vector<StaticOrderSchedule>& schedules,
+                                    const std::vector<std::int64_t>& slices,
+                                    const BufferSizingOptions& options) {
+  BufferSizingResult result;
+  const Graph& g = app.sdf();
+  const Rational lambda = app.throughput_constraint();
+
+  // Working copy of the application whose Θ we mutate.
+  ApplicationGraph work = app;
+
+  const auto throughput_of = [&](const ApplicationGraph& candidate) {
+    ++result.throughput_checks;
+    try {
+      const BindingAwareGraph bag =
+          build_binding_aware_graph(candidate, arch, binding, slices);
+      const auto gamma = compute_repetition_vector(bag.graph);
+      if (!gamma) return Rational(0);
+      const ConstrainedResult run =
+          execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
+                              SchedulingMode::kStaticOrder, options.limits);
+      return run.base.throughput();
+    } catch (const std::invalid_argument&) {
+      // α below the channel's initial tokens: not a representable buffer.
+      return Rational(0);
+    }
+  };
+
+  const auto buffer_bits = [&](const ApplicationGraph& candidate) {
+    std::int64_t bits = 0;
+    for (const ChannelId c : g.channel_ids()) {
+      const Channel& ch = g.channel(c);
+      if (ch.src == ch.dst) continue;
+      const EdgeRequirement& req = candidate.edge_requirement(c);
+      switch (edge_placement(g, c, binding)) {
+        case EdgePlacement::kIntraTile:
+          bits += req.alpha_tile * req.token_size;
+          break;
+        case EdgePlacement::kInterTile:
+          bits += (req.alpha_src + req.alpha_dst) * req.token_size;
+          break;
+        case EdgePlacement::kUnbound:
+          break;
+      }
+    }
+    return bits;
+  };
+
+  result.buffer_bits_before = buffer_bits(work);
+  const Rational initial = throughput_of(work);
+  if (initial < lambda) {
+    result.failure_reason = "initial buffer sizes already violate the throughput constraint";
+    return result;
+  }
+  result.achieved_throughput = initial;
+
+  // Steepest descent: per round, evaluate every single-token decrement and
+  // apply the feasible one freeing the most bits.
+  for (int round = 0; round < options.max_rounds; ++round) {
+    std::int64_t best_gain = 0;
+    ChannelId best_channel{0};
+    int best_which = -1;
+    Rational best_throughput;
+
+    for (const ChannelId c : g.channel_ids()) {
+      const Channel& ch = g.channel(c);
+      if (ch.src == ch.dst) continue;
+      const EdgePlacement placement = edge_placement(g, c, binding);
+      for (int which = 0; which < 2; ++which) {
+        EdgeRequirement req = work.edge_requirement(c);
+        std::int64_t* alpha = active_alpha(req, placement, which);
+        if (!alpha || *alpha <= 1) continue;  // α = 0 means unbuffered, keep >= 1
+        const std::int64_t gain = req.token_size;
+        if (gain <= best_gain) continue;  // cannot beat the current best
+        --*alpha;
+        ApplicationGraph candidate = work;
+        candidate.set_edge_requirement(c, req);
+        const Rational thr = throughput_of(candidate);
+        if (thr >= lambda) {
+          best_gain = gain;
+          best_channel = c;
+          best_which = which;
+          best_throughput = thr;
+        }
+      }
+    }
+    if (best_which < 0) break;  // no feasible decrement left
+    EdgeRequirement req = work.edge_requirement(best_channel);
+    --*active_alpha(req, edge_placement(g, best_channel, binding), best_which);
+    work.set_edge_requirement(best_channel, req);
+    result.achieved_throughput = best_throughput;
+  }
+
+  result.success = true;
+  result.buffer_bits_after = buffer_bits(work);
+  result.requirements.reserve(g.num_channels());
+  for (const ChannelId c : g.channel_ids()) {
+    result.requirements.push_back(work.edge_requirement(c));
+  }
+  return result;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/state_space.h"
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/schedule.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Options for the buffer-minimization search.
+struct BufferSizingOptions {
+  ExecutionLimits limits;
+  /// Safety cap on greedy descent rounds.
+  int max_rounds = 256;
+};
+
+/// Outcome of minimize_buffers.
+struct BufferSizingResult {
+  bool success = false;
+  std::string failure_reason;
+  /// Minimized per-channel requirements (same indexing as the application's
+  /// channels); only the α fields differ from the input.
+  std::vector<EdgeRequirement> requirements;
+  Rational achieved_throughput;
+  /// Buffer memory Σ α·sz over all channels, before and after (bits),
+  /// counting the α fields relevant to each channel's placement.
+  std::int64_t buffer_bits_before = 0;
+  std::int64_t buffer_bits_after = 0;
+  int throughput_checks = 0;
+};
+
+/// Minimizes the storage distribution of a bound and scheduled application —
+/// the storage/throughput trade-off of the authors' companion work [21],
+/// expressed in this paper's machinery: each α becomes back-edge tokens of
+/// the binding-aware SDFG (Sec. 8.1), so shrinking a buffer can only lower
+/// the constrained throughput, and the minimal feasible sizes are found by
+/// greedy steepest descent (always shrink the buffer freeing the most bits
+/// whose decrement keeps throughput >= λ).
+///
+/// Only the α fields matching each channel's placement under `binding` are
+/// touched (α_tile for intra-tile channels, α_src/α_dst for inter-tile
+/// channels); α = 0 entries (unbuffered synchronization edges) are left
+/// untouched. Fails when the starting sizes already violate the constraint.
+[[nodiscard]] BufferSizingResult minimize_buffers(
+    const ApplicationGraph& app, const Architecture& arch, const Binding& binding,
+    const std::vector<StaticOrderSchedule>& schedules,
+    const std::vector<std::int64_t>& slices, const BufferSizingOptions& options = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,65 @@
+#include "src/mapping/criticality.h"
+
+#include <algorithm>
+
+#include "src/sdf/cycles.h"
+
+namespace sdfmap {
+
+bool ActorCriticality::more_critical_than(const ActorCriticality& other) const {
+  if (infinite != other.infinite) return infinite;
+  if (!infinite && cost != other.cost) return cost > other.cost;
+  if (workload != other.workload) return workload > other.workload;
+  return actor < other.actor;
+}
+
+std::vector<ActorCriticality> compute_criticality(const ApplicationGraph& app,
+                                                  std::size_t max_cycles) {
+  const Graph& g = app.sdf();
+  const RepetitionVector& gamma = app.repetition_vector();
+
+  std::vector<ActorCriticality> result(g.num_actors());
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    result[a].actor = ActorId{a};
+    result[a].cost = Rational(0);
+    result[a].workload = Rational(gamma[a]) * Rational(app.max_execution_time(ActorId{a}));
+  }
+
+  const CycleEnumeration enumeration = enumerate_simple_cycles(g, max_cycles);
+  for (const Cycle& cycle : enumeration.cycles) {
+    // Numerator: γ(b)·max_pt τ(b) summed over the actors on the cycle;
+    // denominator: Σ Tok(d)/q over the cycle's channels.
+    Rational numerator(0);
+    Rational denominator(0);
+    for (const ChannelId cid : cycle.channels) {
+      const Channel& ch = g.channel(cid);
+      const std::uint32_t b = ch.src.value;
+      numerator += Rational(gamma[b]) * Rational(app.max_execution_time(ActorId{b}));
+      denominator += Rational(ch.initial_tokens, ch.consumption_rate);
+    }
+    for (const ChannelId cid : cycle.channels) {
+      ActorCriticality& entry = result[g.channel(cid).src.value];
+      if (denominator.is_zero()) {
+        entry.infinite = true;
+      } else {
+        const Rational cost = numerator / denominator;
+        if (cost > entry.cost) entry.cost = cost;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ActorId> actors_by_criticality(const ApplicationGraph& app,
+                                           std::size_t max_cycles) {
+  std::vector<ActorCriticality> crit = compute_criticality(app, max_cycles);
+  std::sort(crit.begin(), crit.end(), [](const ActorCriticality& a, const ActorCriticality& b) {
+    return a.more_critical_than(b);
+  });
+  std::vector<ActorId> order;
+  order.reserve(crit.size());
+  for (const ActorCriticality& c : crit) order.push_back(c.actor);
+  return order;
+}
+
+}  // namespace sdfmap

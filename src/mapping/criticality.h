@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// Criticality estimate of one actor (Eqn. 1): the maximum, over all simple
+/// cycles through the actor, of
+///
+///      Σ_{b in cycle} γ(b) · max_pt τ(b, pt)
+///   ----------------------------------------- .
+///    Σ_{d=(u,v,p,q) in cycle} Tok(d) / q
+///
+/// Cycles without tokens have infinite cost (they deadlock; such actors sort
+/// first). Actors on no cycle get cost 0; the paper leaves their order open,
+/// so `workload` (γ(a)·max_pt τ) is exposed as the documented tie-breaker.
+struct ActorCriticality {
+  ActorId actor;
+  bool infinite = false;
+  Rational cost;        ///< valid when !infinite
+  Rational workload;    ///< γ(a)·max_pt τ(a,pt), the tie-break key
+
+  /// Descending criticality: infinite first, then cost, then workload, then
+  /// actor id (for determinism).
+  [[nodiscard]] bool more_critical_than(const ActorCriticality& other) const;
+};
+
+/// Computes Eqn. 1 for every actor by enumerating simple cycles (bounded by
+/// `max_cycles`; beyond the bound the estimate uses the cycles found, which
+/// keeps the binding step well-defined on pathologically dense graphs).
+[[nodiscard]] std::vector<ActorCriticality> compute_criticality(const ApplicationGraph& app,
+                                                                std::size_t max_cycles = 4096);
+
+/// Actors sorted by decreasing criticality — the binding order of Sec. 9.1.
+[[nodiscard]] std::vector<ActorId> actors_by_criticality(const ApplicationGraph& app,
+                                                         std::size_t max_cycles = 4096);
+
+}  // namespace sdfmap

@@ -1,0 +1,69 @@
+#include "src/mapping/dimensioning.h"
+
+#include <cmath>
+
+namespace sdfmap {
+
+DimensioningResult dimension_platform(const std::vector<ApplicationGraph>& apps,
+                                      const std::vector<Architecture>& candidates,
+                                      const MultiAppOptions& options) {
+  DimensioningResult result;
+  // Dimensioning needs every application placed; the failure policy is forced
+  // to stop early (a skipped application means the candidate is too small).
+  MultiAppOptions opts = options;
+  opts.failure_policy = FailurePolicy::kStopAtFirstFailure;
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ++result.candidates_tried;
+    MultiAppResult allocation = allocate_sequence(apps, candidates[i], opts);
+    if (allocation.num_allocated == apps.size()) {
+      result.success = true;
+      result.chosen_candidate = i;
+      result.allocation = std::move(allocation);
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<Architecture> mesh_growth_candidates(const MeshOptions& base,
+                                                 std::int64_t max_rows,
+                                                 std::int64_t max_cols) {
+  std::vector<Architecture> candidates;
+  MeshOptions options = base;
+  std::int64_t rows = 1;
+  std::int64_t cols = 1;
+  while (rows <= max_rows && cols <= max_cols) {
+    options.rows = rows;
+    options.cols = cols;
+    candidates.push_back(make_mesh(options));
+    // Alternate growing columns and rows: 1x1, 1x2, 2x2, 2x3, 3x3, ...
+    if (cols == rows) {
+      ++cols;
+    } else {
+      ++rows;
+    }
+  }
+  return candidates;
+}
+
+std::vector<Architecture> resource_scaling_candidates(const MeshOptions& base,
+                                                      const std::vector<double>& multipliers) {
+  std::vector<Architecture> candidates;
+  for (const double m : multipliers) {
+    if (m <= 0) throw std::invalid_argument("resource_scaling_candidates: multiplier <= 0");
+    MeshOptions options = base;
+    options.memory = static_cast<std::int64_t>(std::llround(static_cast<double>(base.memory) * m));
+    options.max_connections =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(
+                                      static_cast<double>(base.max_connections) * m)));
+    options.bandwidth_in = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(base.bandwidth_in) * m));
+    options.bandwidth_out = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(base.bandwidth_out) * m));
+    candidates.push_back(make_mesh(options));
+  }
+  return candidates;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "src/mapping/multi_app.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+
+/// Platform dimensioning (named in Sec. 10.1 as a step that improves
+/// resource-allocation results): find the cheapest platform from a candidate
+/// family that hosts a given set of applications with their throughput
+/// guarantees.
+///
+/// The candidate family is ordered from cheapest to most expensive; the
+/// search walks it in order (the allocation outcome is not monotone in
+/// platform size — a bigger mesh can change bindings — so a linear scan is
+/// the only sound strategy) and returns the first candidate on which every
+/// application receives a valid allocation.
+struct DimensioningResult {
+  bool success = false;
+  /// Index into the candidate list, valid when successful.
+  std::size_t chosen_candidate = 0;
+  /// The allocation on the chosen platform.
+  MultiAppResult allocation;
+  /// Number of candidates evaluated (cost statistic).
+  std::size_t candidates_tried = 0;
+};
+
+[[nodiscard]] DimensioningResult dimension_platform(
+    const std::vector<ApplicationGraph>& apps, const std::vector<Architecture>& candidates,
+    const MultiAppOptions& options = {});
+
+/// Builds a cheap-to-expensive candidate family from a mesh template by
+/// scaling the tile count: 1x1, 1x2, 2x2, 2x3, 3x3, ... up to
+/// max_rows x max_cols (row-major growth). All other template parameters are
+/// kept.
+[[nodiscard]] std::vector<Architecture> mesh_growth_candidates(const MeshOptions& base,
+                                                               std::int64_t max_rows,
+                                                               std::int64_t max_cols);
+
+/// Builds a candidate family that keeps the mesh shape but scales memory,
+/// connection count and bandwidth by the given multipliers (each multiplier
+/// produces one candidate, in order).
+[[nodiscard]] std::vector<Architecture> resource_scaling_candidates(
+    const MeshOptions& base, const std::vector<double>& multipliers);
+
+}  // namespace sdfmap

@@ -1,0 +1,51 @@
+#include "src/mapping/list_scheduler.h"
+
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+ConstrainedSpec make_constrained_spec(const Architecture& arch, const BindingAwareGraph& bag,
+                                      const std::vector<StaticOrderSchedule>& schedules) {
+  ConstrainedSpec spec;
+  spec.actor_tile = bag.actor_tile;
+  spec.tiles.resize(arch.num_tiles());
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    spec.tiles[t].wheel_size = arch.tile(TileId{t}).wheel_size;
+    spec.tiles[t].slice = bag.slices[t];
+    if (!schedules.empty()) spec.tiles[t].schedule = schedules[t];
+  }
+  return spec;
+}
+
+ListSchedulingResult construct_schedules(const ApplicationGraph& app, const Architecture& arch,
+                                         const Binding& binding,
+                                         const ExecutionLimits& limits,
+                                         const ConnectionModel& model) {
+  ListSchedulingResult result;
+  result.binding_aware =
+      build_binding_aware_graph(app, arch, binding, half_wheel_slices(arch), model);
+
+  const auto gamma = compute_repetition_vector(result.binding_aware.graph);
+  if (!gamma) {
+    result.failure_reason = "binding-aware graph is inconsistent";
+    return result;
+  }
+
+  const ConstrainedSpec spec = make_constrained_spec(arch, result.binding_aware);
+  const ConstrainedResult run = execute_constrained(result.binding_aware.graph, *gamma, spec,
+                                                    SchedulingMode::kListScheduling, limits);
+  result.states_explored = run.base.states_stored;
+  if (run.base.deadlocked()) {
+    result.failure_reason = "binding-aware graph deadlocks under list scheduling";
+    return result;
+  }
+
+  result.schedules.reserve(run.schedules.size());
+  for (const StaticOrderSchedule& s : run.schedules) {
+    result.schedules.push_back(reduce_schedule(s));
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/constrained.h"
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/binding_aware.h"
+
+namespace sdfmap {
+
+/// Outcome of the static-order schedule construction (Sec. 9.2).
+struct ListSchedulingResult {
+  bool success = false;
+  std::string failure_reason;
+  /// One reduced schedule per tile (empty for tiles without actors).
+  std::vector<StaticOrderSchedule> schedules;
+  /// The binding-aware graph used (50% wheel assumption), reusable by the
+  /// slice-allocation step for its first evaluations.
+  BindingAwareGraph binding_aware;
+  std::uint64_t states_explored = 0;
+};
+
+/// Builds static-order schedules for all tiles at once (Sec. 9.2): the
+/// binding-aware SDFG is executed with 50% of every tile's available wheel
+/// allocated; enabled actors enter their tile's FIFO ready list and start
+/// when the processor idles; execution stops at a recurrent state, and each
+/// tile's recorded firing order — split into transient and periodic part at
+/// the recurrent state — is reduced (e.g. a1(a2a1)^8* to (a1a2)*).
+[[nodiscard]] ListSchedulingResult construct_schedules(const ApplicationGraph& app,
+                                                       const Architecture& arch,
+                                                       const Binding& binding,
+                                                       const ExecutionLimits& limits = {},
+                                                       const ConnectionModel& model = {});
+
+/// Builds the ConstrainedSpec (tile wheels/slices + per-actor tile indices)
+/// for a binding-aware graph; `schedules` may be empty (list mode) or one per
+/// tile (static mode).
+[[nodiscard]] ConstrainedSpec make_constrained_spec(
+    const Architecture& arch, const BindingAwareGraph& bag,
+    const std::vector<StaticOrderSchedule>& schedules = {});
+
+}  // namespace sdfmap

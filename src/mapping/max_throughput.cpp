@@ -1,0 +1,59 @@
+#include "src/mapping/max_throughput.h"
+
+#include "src/analysis/constrained.h"
+#include "src/mapping/binder.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Architecture& arch,
+                                        const TileCostWeights& weights) {
+  MaxThroughputResult result;
+
+  const BindingResult bound = bind_actors(app, arch, weights);
+  if (!bound.success) {
+    result.failure_reason = bound.failure_reason;
+    return result;
+  }
+  result.binding = rebalance_binding(app, arch, weights, bound.binding);
+
+  const ListSchedulingResult sched = construct_schedules(app, arch, result.binding);
+  if (!sched.success) {
+    result.failure_reason = sched.failure_reason;
+    return result;
+  }
+  result.schedules = sched.schedules;
+
+  // Claim every used tile's entire remaining wheel.
+  result.slices.assign(arch.num_tiles(), 0);
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    const TileId t = *result.binding.tile_of(ActorId{a});
+    result.slices[t.value] = arch.tile(t).available_wheel();
+  }
+
+  const BindingAwareGraph bag =
+      build_binding_aware_graph(app, arch, result.binding, result.slices);
+  const auto gamma = compute_repetition_vector(bag.graph);
+  if (!gamma) {
+    result.failure_reason = "binding-aware graph is inconsistent";
+    return result;
+  }
+  const ConstrainedResult run =
+      execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, result.schedules),
+                          SchedulingMode::kStaticOrder);
+  if (run.base.deadlocked()) {
+    result.failure_reason = "bound application deadlocks";
+    return result;
+  }
+  result.achieved_throughput = run.base.throughput();
+  result.usage = compute_usage(app, arch, result.binding);
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    result.usage[t].time_slice = result.slices[t];
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace sdfmap

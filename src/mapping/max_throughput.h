@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/mapping/strategy.h"
+
+namespace sdfmap {
+
+/// The [6]-style baseline the paper contrasts itself against (Sec. 2): bind a
+/// *single* application and maximize the throughput realizable with the
+/// available resources, instead of minimizing the resources needed to meet a
+/// constraint. Only one application can be mapped this way — it claims every
+/// tile's whole remaining wheel — which is exactly why the paper's
+/// resource-minimizing strategy hosts more concurrent applications.
+struct MaxThroughputResult {
+  bool success = false;
+  std::string failure_reason;
+  Binding binding{0};
+  std::vector<StaticOrderSchedule> schedules;
+  /// ω = the entire remaining wheel on every used tile.
+  std::vector<std::int64_t> slices;
+  /// The maximized throughput (iterations per time unit).
+  Rational achieved_throughput;
+  AllocationUsage usage;
+};
+
+/// Binds with the given Eqn.-2 weights (the binding machinery is shared with
+/// the paper's strategy), builds schedules, then allocates every tile's whole
+/// remaining wheel. The application's own throughput constraint is ignored —
+/// the result reports what the platform can deliver at most.
+[[nodiscard]] MaxThroughputResult maximize_throughput(const ApplicationGraph& app,
+                                                      const Architecture& arch,
+                                                      const TileCostWeights& weights = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,61 @@
+#include "src/mapping/multi_app.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sdfmap {
+
+std::int64_t application_workload(const ApplicationGraph& app) {
+  const RepetitionVector& gamma = app.repetition_vector();
+  std::int64_t total = 0;
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    total += gamma[a] * app.max_execution_time(ActorId{a});
+  }
+  return total;
+}
+
+MultiAppResult allocate_sequence(const std::vector<ApplicationGraph>& apps,
+                                 const Architecture& architecture,
+                                 const StrategyOptions& options) {
+  MultiAppOptions multi;
+  multi.strategy = options;
+  return allocate_sequence(apps, architecture, multi);
+}
+
+MultiAppResult allocate_sequence(const std::vector<ApplicationGraph>& apps,
+                                 const Architecture& architecture,
+                                 const MultiAppOptions& options) {
+  MultiAppResult out;
+  ResourcePool pool(architecture);
+
+  std::vector<std::size_t> order(apps.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.ordering != OrderingPolicy::kAsGiven) {
+    std::vector<std::int64_t> workload(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) workload[i] = application_workload(apps[i]);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return options.ordering == OrderingPolicy::kDescendingWorkload
+                 ? workload[a] > workload[b]
+                 : workload[a] < workload[b];
+    });
+  }
+
+  for (const std::size_t index : order) {
+    StrategyResult result = allocate_resources(apps[index], pool.available(), options.strategy);
+    out.total_seconds += result.total_seconds();
+    out.total_throughput_checks += result.throughput_checks;
+    const bool ok = result.success;
+    if (ok) pool.commit(result.usage);
+    out.results.push_back(std::move(result));
+    out.attempted_indices.push_back(index);
+    if (ok) {
+      ++out.num_allocated;
+    } else if (options.failure_policy == FailurePolicy::kStopAtFirstFailure) {
+      break;
+    }
+  }
+  out.utilization = pool.utilization();
+  return out;
+}
+
+}  // namespace sdfmap

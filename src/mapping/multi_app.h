@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/resources.h"
+
+namespace sdfmap {
+
+/// What to do when an application cannot be allocated (Sec. 10.1 names the
+/// continue-with-the-next-one mechanism as an improvement over the paper's
+/// conservative stop-at-first-failure protocol).
+enum class FailurePolicy {
+  kStopAtFirstFailure,  ///< the paper's experimental protocol
+  kSkipAndContinue,     ///< reject the application, keep allocating the rest
+};
+
+/// Optional design-time preprocessing that reorders the applications before
+/// allocation (the other improvement suggested in Sec. 10.1).
+enum class OrderingPolicy {
+  kAsGiven,
+  kDescendingWorkload,  ///< biggest processing demand first (best-fit style)
+  kAscendingWorkload,   ///< smallest first (maximizes the allocated count)
+};
+
+/// Options of the multi-application allocation loop.
+struct MultiAppOptions {
+  StrategyOptions strategy;
+  FailurePolicy failure_policy = FailurePolicy::kStopAtFirstFailure;
+  OrderingPolicy ordering = OrderingPolicy::kAsGiven;
+};
+
+/// Result of allocating a sequence of applications onto one platform
+/// (Sec. 10.1's experimental protocol, optionally with the reorder /
+/// reject-and-continue improvements).
+struct MultiAppResult {
+  /// Number of applications successfully allocated.
+  std::size_t num_allocated = 0;
+  /// Per-attempt results in attempt order (after any reordering), including
+  /// failed attempts.
+  std::vector<StrategyResult> results;
+  /// For each entry of `results`, the index of the application in the input
+  /// sequence it belongs to.
+  std::vector<std::size_t> attempted_indices;
+  /// Resource utilization of the platform after all allocations.
+  ResourcePool::UtilizationReport utilization;
+  double total_seconds = 0;
+  long total_throughput_checks = 0;
+};
+
+/// Allocates applications in order, committing each successful allocation
+/// into the shrinking resource pool, and stops at the first application for
+/// which no valid allocation is found — the conservative protocol the paper
+/// uses to count how many applications a platform can host.
+[[nodiscard]] MultiAppResult allocate_sequence(const std::vector<ApplicationGraph>& apps,
+                                               const Architecture& architecture,
+                                               const StrategyOptions& options = {});
+
+/// Policy-configurable variant: applies the ordering preprocessing, then
+/// allocates with the chosen failure policy.
+[[nodiscard]] MultiAppResult allocate_sequence(const std::vector<ApplicationGraph>& apps,
+                                               const Architecture& architecture,
+                                               const MultiAppOptions& options);
+
+/// Total processing demand Σ_a γ(a)·max_pt τ(a, pt) — the workload key used
+/// by the ordering policies (the denominator of l_p in Sec. 9.1).
+[[nodiscard]] std::int64_t application_workload(const ApplicationGraph& app);
+
+}  // namespace sdfmap

@@ -1,0 +1,52 @@
+#include "src/mapping/schedule.h"
+
+#include <algorithm>
+
+namespace sdfmap {
+
+std::string StaticOrderSchedule::to_string(const Graph& g) const {
+  std::string out;
+  for (std::size_t i = 0; i < firings.size(); ++i) {
+    if (i == loop_start) out += out.empty() ? "(" : " (";
+    else if (!out.empty()) out += " ";
+    out += g.actor(firings[i]).name;
+  }
+  if (loop_start < firings.size()) out += ")*";
+  return out;
+}
+
+StaticOrderSchedule reduce_schedule(StaticOrderSchedule schedule) {
+  if (schedule.loop_start >= schedule.firings.size()) return schedule;  // no periodic part
+
+  // 1. Shrink the periodic part to its primitive root: the smallest divisor
+  // d of its length such that the part is (first d elements)^k.
+  auto* f = &schedule.firings;
+  const std::size_t start = schedule.loop_start;
+  std::size_t len = f->size() - start;
+  for (std::size_t d = 1; d <= len / 2; ++d) {
+    if (len % d != 0) continue;
+    bool repeats = true;
+    for (std::size_t i = d; i < len && repeats; ++i) {
+      repeats = (*f)[start + i] == (*f)[start + i % d];
+    }
+    if (repeats) {
+      f->resize(start + d);
+      len = d;
+      break;
+    }
+  }
+
+  // 2. Fold transient firings that replay the rotated period: while the last
+  // transient firing equals the last firing of the period, rotate the period
+  // right by one and absorb the transient element.
+  // T (Q x)* with T ending in x equals T' (x Q)* where T = T' x.
+  while (schedule.loop_start > 0 && (*f)[schedule.loop_start - 1] == f->back()) {
+    std::rotate(f->begin() + static_cast<std::ptrdiff_t>(schedule.loop_start), f->end() - 1,
+                f->end());
+    f->erase(f->begin() + static_cast<std::ptrdiff_t>(schedule.loop_start) - 1);
+    --schedule.loop_start;
+  }
+  return schedule;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// A practical static-order schedule (Sec. 4): a finite transient prefix
+/// followed by an infinitely repeated periodic part:
+///
+///   firings[0 .. loop_start-1]  ( firings[loop_start .. ] )*
+///
+/// Positions index `firings`; advancing from the last element wraps to
+/// loop_start. An empty schedule is valid for tiles hosting no actor.
+struct StaticOrderSchedule {
+  std::vector<ActorId> firings;
+  std::size_t loop_start = 0;
+
+  [[nodiscard]] bool empty() const { return firings.empty(); }
+  [[nodiscard]] std::size_t size() const { return firings.size(); }
+
+  /// Position after `pos` (wrapping into the periodic part). Requires a
+  /// non-empty schedule with loop_start < size().
+  [[nodiscard]] std::size_t next(std::size_t pos) const {
+    return pos + 1 < firings.size() ? pos + 1 : loop_start;
+  }
+
+  /// Actor at `pos`.
+  [[nodiscard]] ActorId at(std::size_t pos) const { return firings.at(pos); }
+
+  /// Renders e.g. "a1 a2 (a2 a1)*" using the graph's actor names.
+  [[nodiscard]] std::string to_string(const Graph& g) const;
+};
+
+/// Minimizes a schedule without changing the infinite firing sequence it
+/// denotes (the optimization of Sec. 9.2):
+///  1. the periodic part is reduced to its primitive root (e.g.
+///     (a1 a2 a1 a2)* becomes (a1 a2)*), and
+///  2. trailing transient firings that merely replay the (rotated) period
+///     are folded into it (e.g. a1 (a2 a1)* becomes (a1 a2)*).
+[[nodiscard]] StaticOrderSchedule reduce_schedule(StaticOrderSchedule schedule);
+
+}  // namespace sdfmap

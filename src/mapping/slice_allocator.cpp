@@ -1,0 +1,168 @@
+#include "src/mapping/slice_allocator.h"
+
+#include <algorithm>
+
+#include "src/analysis/constrained.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/mapping/tile_cost.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+namespace {
+
+/// Evaluates the constrained throughput (iterations per time unit; zero on
+/// deadlock) of the bound application under the given slice vector.
+class SliceEvaluator {
+ public:
+  SliceEvaluator(const ApplicationGraph& app, const Architecture& arch,
+                 const Binding& binding, const std::vector<StaticOrderSchedule>& schedules,
+                 const SliceAllocationOptions& options)
+      : app_(app), arch_(arch), binding_(binding), schedules_(schedules), options_(options) {}
+
+  Rational throughput(const std::vector<std::int64_t>& slices) {
+    ++checks_;
+    const BindingAwareGraph bag =
+        build_binding_aware_graph(app_, arch_, binding_, slices, options_.connection_model);
+    const auto gamma = compute_repetition_vector(bag.graph);
+    if (!gamma) return Rational(0);
+    const ConstrainedSpec spec = make_constrained_spec(arch_, bag, schedules_);
+    const ConstrainedResult run = execute_constrained(bag.graph, *gamma, spec,
+                                                      SchedulingMode::kStaticOrder,
+                                                      options_.limits);
+    return run.base.throughput();
+  }
+
+  [[nodiscard]] int checks() const { return checks_; }
+
+ private:
+  const ApplicationGraph& app_;
+  const Architecture& arch_;
+  const Binding& binding_;
+  const std::vector<StaticOrderSchedule>& schedules_;
+  const SliceAllocationOptions& options_;
+  int checks_ = 0;
+};
+
+}  // namespace
+
+SliceAllocationResult allocate_slices(const ApplicationGraph& app, const Architecture& arch,
+                                      const Binding& binding,
+                                      const std::vector<StaticOrderSchedule>& schedules,
+                                      const SliceAllocationOptions& options) {
+  SliceAllocationResult result;
+  const Rational lambda = app.throughput_constraint();
+
+  // Tiles hosting at least one actor receive a slice; others none.
+  std::vector<bool> used(arch.num_tiles(), false);
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    const auto t = binding.tile_of(ActorId{a});
+    if (!t) {
+      result.failure_reason = "incomplete binding";
+      return result;
+    }
+    used[t->value] = true;
+  }
+
+  std::int64_t max_avail = 0;
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    if (!used[t]) continue;
+    const std::int64_t avail = arch.tile(TileId{t}).available_wheel();
+    if (avail < 1) {
+      result.failure_reason = "tile '" + arch.tile(TileId{t}).name + "' has no wheel left";
+      return result;
+    }
+    max_avail = std::max(max_avail, avail);
+  }
+  if (max_avail == 0) {
+    result.failure_reason = "no tile hosts an actor";
+    return result;
+  }
+
+  SliceEvaluator evaluator(app, arch, binding, schedules, options);
+
+  // Slices for the uniform search: fraction k/max_avail of each used tile's
+  // remaining wheel, at least one time unit.
+  const auto slices_for = [&](std::int64_t k) {
+    std::vector<std::int64_t> slices(arch.num_tiles(), 0);
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+      if (!used[t]) continue;
+      const std::int64_t avail = arch.tile(TileId{t}).available_wheel();
+      slices[t] = std::max<std::int64_t>(1, (avail * k) / max_avail);
+    }
+    return slices;
+  };
+
+  // ---- First binary search: one common wheel fraction (Sec. 9.3).
+  std::vector<std::int64_t> best = slices_for(max_avail);
+  Rational best_thr = evaluator.throughput(best);
+  if (best_thr < lambda) {
+    result.failure_reason = "throughput constraint unreachable with entire remaining wheels";
+    result.throughput_checks = evaluator.checks();
+    return result;
+  }
+  const Rational band_upper = lambda * (Rational(1) + options.slack);
+  std::int64_t lo = 1;
+  std::int64_t hi = max_avail;
+  while (lo < hi && (lambda.is_zero() || best_thr > band_upper)) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const auto candidate = slices_for(mid);
+    const Rational thr = evaluator.throughput(candidate);
+    if (thr >= lambda) {
+      hi = mid;
+      best = candidate;
+      best_thr = thr;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  // ---- Second search: shrink per-tile slices below the uniform fraction
+  // when the processing load is unbalanced.
+  if (options.per_tile_refinement) {
+    double max_lp = 0;
+    std::vector<double> lp(arch.num_tiles(), 0);
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+      if (!used[t]) continue;
+      lp[t] = processing_load(app, arch, binding, TileId{t});
+      max_lp = std::max(max_lp, lp[t]);
+    }
+    for (int pass = 0; pass < options.max_refinement_passes; ++pass) {
+      bool reduced = false;
+      for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+        if (!used[t] || best[t] <= 1) continue;
+        std::int64_t tlo = max_lp > 0 ? static_cast<std::int64_t>(
+                                            lp[t] * static_cast<double>(best[t]) / max_lp)
+                                      : 1;
+        tlo = std::max<std::int64_t>(1, tlo);
+        std::int64_t thi = best[t];
+        while (tlo < thi) {
+          const std::int64_t mid = tlo + (thi - tlo) / 2;
+          auto candidate = best;
+          candidate[t] = mid;
+          if (evaluator.throughput(candidate) >= lambda) {
+            thi = mid;
+          } else {
+            tlo = mid + 1;
+          }
+        }
+        if (thi < best[t]) {
+          best[t] = thi;
+          reduced = true;
+        }
+      }
+      if (!reduced) break;
+    }
+    best_thr = evaluator.throughput(best);
+  }
+
+  result.success = true;
+  result.slices = std::move(best);
+  result.achieved_throughput = best_thr;
+  result.achieved_period = best_thr.is_zero() ? Rational(0) : best_thr.inverse();
+  result.throughput_checks = evaluator.checks();
+  return result;
+}
+
+}  // namespace sdfmap

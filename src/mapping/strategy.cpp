@@ -1,0 +1,72 @@
+#include "src/mapping/strategy.h"
+
+#include <chrono>
+
+#include "src/mapping/binder.h"
+#include "src/mapping/list_scheduler.h"
+
+namespace sdfmap {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+StrategyResult allocate_resources(const ApplicationGraph& app, const Architecture& arch,
+                                  const StrategyOptions& options) {
+  StrategyResult result;
+
+  // ---- Step 1: resource binding (Sec. 9.1).
+  auto t0 = std::chrono::steady_clock::now();
+  result.stage = "binding";
+  BindingResult bound =
+      bind_actors(app, arch, options.weights, options.binding_backtracking);
+  if (!bound.success) {
+    result.failure_reason = bound.failure_reason;
+    result.binding_seconds = seconds_since(t0);
+    return result;
+  }
+  result.binding =
+      options.rebalance ? rebalance_binding(app, arch, options.weights, bound.binding)
+                        : bound.binding;
+  result.binding_seconds = seconds_since(t0);
+
+  // ---- Step 2: static-order schedules (Sec. 9.2).
+  t0 = std::chrono::steady_clock::now();
+  result.stage = "scheduling";
+  ListSchedulingResult scheduled = construct_schedules(
+      app, arch, result.binding, options.slices.limits, options.slices.connection_model);
+  result.scheduling_seconds = seconds_since(t0);
+  if (!scheduled.success) {
+    result.failure_reason = scheduled.failure_reason;
+    return result;
+  }
+  result.schedules = std::move(scheduled.schedules);
+
+  // ---- Step 3: TDMA time-slice allocation (Sec. 9.3).
+  t0 = std::chrono::steady_clock::now();
+  result.stage = "slices";
+  SliceAllocationResult sliced =
+      allocate_slices(app, arch, result.binding, result.schedules, options.slices);
+  result.slice_seconds = seconds_since(t0);
+  result.throughput_checks = sliced.throughput_checks;
+  if (!sliced.success) {
+    result.failure_reason = sliced.failure_reason;
+    return result;
+  }
+  result.slices = std::move(sliced.slices);
+  result.achieved_throughput = sliced.achieved_throughput;
+  result.achieved_period = sliced.achieved_period;
+
+  result.usage = compute_usage(app, arch, result.binding);
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    result.usage[t].time_slice = result.slices[t];
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace sdfmap

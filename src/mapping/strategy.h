@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/schedule.h"
+#include "src/mapping/slice_allocator.h"
+#include "src/mapping/tile_cost.h"
+#include "src/platform/architecture.h"
+#include "src/platform/resources.h"
+
+namespace sdfmap {
+
+/// Options of the complete resource-allocation strategy (Sec. 9).
+struct StrategyOptions {
+  /// Weights (c1, c2, c3) of the tile cost function.
+  TileCostWeights weights;
+  /// Run the reverse-order re-binding optimization after the initial binding.
+  bool rebalance = true;
+  /// Backtracking budget of the binding step (0 = the paper's pure greedy);
+  /// see bind_actors.
+  int binding_backtracking = 0;
+  /// Time-slice allocation settings (slack band, per-tile refinement).
+  SliceAllocationOptions slices;
+};
+
+/// Complete result of the three-step strategy for one application.
+struct StrategyResult {
+  bool success = false;
+  std::string failure_reason;
+  /// Which step failed or succeeded last: "binding", "scheduling", "slices".
+  std::string stage;
+
+  Binding binding{0};
+  std::vector<StaticOrderSchedule> schedules;  ///< per tile
+  std::vector<std::int64_t> slices;            ///< ω per tile
+
+  Rational achieved_throughput;  ///< iterations per time unit
+  Rational achieved_period;
+
+  /// Claimed resources per tile, including the allocated slices; commit this
+  /// into a ResourcePool when stacking multiple applications.
+  AllocationUsage usage;
+
+  /// Constrained throughput computations performed (paper statistic:
+  /// 16.1 on average over the benchmark, 8 for the H.263 decoder).
+  int throughput_checks = 0;
+
+  /// Wall-clock seconds per step.
+  double binding_seconds = 0;
+  double scheduling_seconds = 0;
+  double slice_seconds = 0;
+
+  [[nodiscard]] double total_seconds() const {
+    return binding_seconds + scheduling_seconds + slice_seconds;
+  }
+};
+
+/// Runs the three steps of Sec. 9 — resource binding (with re-binding
+/// optimization), static-order schedule construction, and TDMA time-slice
+/// allocation — and returns the allocation with its statistics. The
+/// architecture describes *available* resources only (Sec. 5); use
+/// ResourcePool to stack applications.
+[[nodiscard]] StrategyResult allocate_resources(const ApplicationGraph& app,
+                                                const Architecture& arch,
+                                                const StrategyOptions& options = {});
+
+}  // namespace sdfmap

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// The user-tunable weights (c1, c2, c3) of the tile cost function (Eqn. 2).
+/// The paper's experiments use (1,0,0), (0,1,0), (0,0,1), (1,1,1), (0,1,2)
+/// and (2,0,1).
+struct TileCostWeights {
+  double processing = 1;     ///< c1, weight of l_p
+  double memory = 1;         ///< c2, weight of l_m
+  double communication = 1;  ///< c3, weight of l_c
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Relative processing load of a tile under a (partial) binding:
+/// Σ_{a∈A_t} γ(a)·τ(a, pt_t)  /  Σ_{a∈A} γ(a)·max_pt τ(a, pt).
+[[nodiscard]] double processing_load(const ApplicationGraph& app, const Architecture& arch,
+                                     const Binding& binding, TileId tile);
+
+/// Fraction of the tile's memory the binding claims (µ of bound actors plus
+/// α·sz buffer shares of channels whose placement is decided).
+[[nodiscard]] double memory_load(const ApplicationGraph& app, const Architecture& arch,
+                                 const Binding& binding, TileId tile);
+
+/// Average of the tile's outgoing-bandwidth, incoming-bandwidth and NI
+/// connection occupancy (the avg(...) of Sec. 9.1).
+[[nodiscard]] double communication_load(const ApplicationGraph& app, const Architecture& arch,
+                                        const Binding& binding, TileId tile);
+
+/// Eqn. 2: c1·l_p + c2·l_m + c3·l_c.
+[[nodiscard]] double tile_cost(const ApplicationGraph& app, const Architecture& arch,
+                               const Binding& binding, TileId tile,
+                               const TileCostWeights& weights);
+
+}  // namespace sdfmap

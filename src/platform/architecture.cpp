@@ -1,0 +1,82 @@
+#include "src/platform/architecture.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+ProcTypeId Architecture::add_proc_type(std::string name) {
+  if (find_proc_type(name)) {
+    throw std::invalid_argument("Architecture: duplicate processor type '" + name + "'");
+  }
+  proc_type_names_.push_back(std::move(name));
+  return ProcTypeId{static_cast<std::uint32_t>(proc_type_names_.size() - 1)};
+}
+
+TileId Architecture::add_tile(Tile tile) {
+  if (tile.proc_type.value >= proc_type_names_.size()) {
+    throw std::invalid_argument("Architecture::add_tile: unknown processor type");
+  }
+  if (tile.wheel_size < 0 || tile.memory < 0 || tile.max_connections < 0 ||
+      tile.bandwidth_in < 0 || tile.bandwidth_out < 0 || tile.occupied_wheel < 0 ||
+      tile.occupied_wheel > tile.wheel_size) {
+    throw std::invalid_argument("Architecture::add_tile: invalid resource amounts");
+  }
+  if (tile.name.empty()) tile.name = "t" + std::to_string(tiles_.size());
+  tiles_.push_back(std::move(tile));
+  return TileId{static_cast<std::uint32_t>(tiles_.size() - 1)};
+}
+
+ConnectionId Architecture::add_connection(TileId src, TileId dst, std::int64_t latency,
+                                          std::string name) {
+  if (src.value >= tiles_.size() || dst.value >= tiles_.size()) {
+    throw std::invalid_argument("Architecture::add_connection: tile id out of range");
+  }
+  if (latency <= 0) {
+    throw std::invalid_argument("Architecture::add_connection: latency must be positive");
+  }
+  Connection c;
+  c.name = name.empty() ? "c" + std::to_string(connections_.size()) : std::move(name);
+  c.src = src;
+  c.dst = dst;
+  c.latency = latency;
+  connections_.push_back(std::move(c));
+  return ConnectionId{static_cast<std::uint32_t>(connections_.size() - 1)};
+}
+
+std::optional<ConnectionId> Architecture::find_connection(TileId src, TileId dst) const {
+  std::optional<ConnectionId> best;
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    const Connection& c = connections_[i];
+    if (c.src == src && c.dst == dst) {
+      if (!best || c.latency < connections_[best->value].latency) {
+        best = ConnectionId{static_cast<std::uint32_t>(i)};
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<ProcTypeId> Architecture::find_proc_type(std::string_view name) const {
+  for (std::size_t i = 0; i < proc_type_names_.size(); ++i) {
+    if (proc_type_names_[i] == name) return ProcTypeId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+std::optional<TileId> Architecture::find_tile(std::string_view name) const {
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    if (tiles_[i].name == name) return TileId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+std::vector<TileId> Architecture::tile_ids() const {
+  std::vector<TileId> ids;
+  ids.reserve(tiles_.size());
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    ids.push_back(TileId{static_cast<std::uint32_t>(i)});
+  }
+  return ids;
+}
+
+}  // namespace sdfmap

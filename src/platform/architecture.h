@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdfmap {
+
+/// Strongly-typed index of a processor type (the set PT of Sec. 5).
+struct ProcTypeId {
+  std::uint32_t value = 0;
+  friend bool operator==(ProcTypeId a, ProcTypeId b) { return a.value == b.value; }
+  friend bool operator!=(ProcTypeId a, ProcTypeId b) { return a.value != b.value; }
+};
+
+/// Strongly-typed index of a tile in an Architecture.
+struct TileId {
+  std::uint32_t value = 0;
+  friend bool operator==(TileId a, TileId b) { return a.value == b.value; }
+  friend bool operator!=(TileId a, TileId b) { return a.value != b.value; }
+  friend bool operator<(TileId a, TileId b) { return a.value < b.value; }
+};
+
+/// Strongly-typed index of a connection in an Architecture.
+struct ConnectionId {
+  std::uint32_t value = 0;
+  friend bool operator==(ConnectionId a, ConnectionId b) { return a.value == b.value; }
+  friend bool operator!=(ConnectionId a, ConnectionId b) { return a.value != b.value; }
+};
+
+/// A tile (Def. 3): one processor with a TDMA wheel, local memory and a
+/// network interface. All quantities describe resources *available to new
+/// applications*; `occupied_wheel` is Ω(t), wheel time already reserved.
+struct Tile {
+  std::string name;
+  ProcTypeId proc_type;               ///< pt
+  std::int64_t wheel_size = 0;        ///< w, time units
+  std::int64_t memory = 0;            ///< m, bits
+  std::int64_t max_connections = 0;   ///< c, NI connection slots
+  std::int64_t bandwidth_in = 0;      ///< i, bits/time-unit
+  std::int64_t bandwidth_out = 0;     ///< o, bits/time-unit
+  std::int64_t occupied_wheel = 0;    ///< Ω(t)
+
+  /// Wheel time still reservable: w − Ω.
+  [[nodiscard]] std::int64_t available_wheel() const { return wheel_size - occupied_wheel; }
+};
+
+/// A point-to-point connection (Def. 4) from tile `src` to tile `dst` with a
+/// fixed latency (e.g. a guaranteed-throughput NoC path).
+struct Connection {
+  std::string name;
+  TileId src;
+  TileId dst;
+  std::int64_t latency = 1;  ///< L(c), time units
+};
+
+/// The architecture graph (T, C, L) of Def. 4.
+///
+/// Append-only value type, mirroring Graph: processor types, tiles and
+/// connections are created once and addressed by dense ids. Multiple
+/// connections between the same tile pair are allowed; `find_connection`
+/// returns the lowest-latency one.
+class Architecture {
+ public:
+  /// Registers a processor type name (e.g. "arm", "dsp"); duplicates throw.
+  ProcTypeId add_proc_type(std::string name);
+
+  /// Adds a tile; validates non-negative resources and a known proc type.
+  TileId add_tile(Tile tile);
+
+  /// Adds a directed connection with positive latency.
+  ConnectionId add_connection(TileId src, TileId dst, std::int64_t latency,
+                              std::string name = "");
+
+  [[nodiscard]] std::size_t num_proc_types() const { return proc_type_names_.size(); }
+  [[nodiscard]] std::size_t num_tiles() const { return tiles_.size(); }
+  [[nodiscard]] std::size_t num_connections() const { return connections_.size(); }
+
+  [[nodiscard]] const std::string& proc_type_name(ProcTypeId id) const {
+    return proc_type_names_.at(id.value);
+  }
+  [[nodiscard]] const Tile& tile(TileId id) const { return tiles_.at(id.value); }
+  [[nodiscard]] Tile& tile(TileId id) { return tiles_.at(id.value); }
+  [[nodiscard]] const Connection& connection(ConnectionId id) const {
+    return connections_.at(id.value);
+  }
+
+  [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
+  [[nodiscard]] const std::vector<Connection>& connections() const { return connections_; }
+
+  /// Lowest-latency connection from src to dst, if any.
+  [[nodiscard]] std::optional<ConnectionId> find_connection(TileId src, TileId dst) const;
+
+  [[nodiscard]] std::optional<ProcTypeId> find_proc_type(std::string_view name) const;
+  [[nodiscard]] std::optional<TileId> find_tile(std::string_view name) const;
+
+  [[nodiscard]] std::vector<TileId> tile_ids() const;
+
+ private:
+  std::vector<std::string> proc_type_names_;
+  std::vector<Tile> tiles_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,78 @@
+#include "src/platform/mesh.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sdfmap {
+
+Architecture make_mesh(const MeshOptions& options) {
+  if (options.rows <= 0 || options.cols <= 0) {
+    throw std::invalid_argument("make_mesh: non-positive dimensions");
+  }
+  if (options.proc_types.empty()) {
+    throw std::invalid_argument("make_mesh: need at least one processor type");
+  }
+  Architecture arch;
+  std::vector<ProcTypeId> types;
+  types.reserve(options.proc_types.size());
+  for (const std::string& name : options.proc_types) {
+    types.push_back(arch.add_proc_type(name));
+  }
+
+  const std::int64_t n = options.rows * options.cols;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tile t;
+    t.name = "tile_" + std::to_string(i / options.cols) + "_" + std::to_string(i % options.cols);
+    t.proc_type = types[static_cast<std::size_t>(i) % types.size()];
+    t.wheel_size = options.wheel_size;
+    t.memory = options.memory;
+    t.max_connections = options.max_connections;
+    t.bandwidth_in = options.bandwidth_in;
+    t.bandwidth_out = options.bandwidth_out;
+    arch.add_tile(std::move(t));
+  }
+
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const std::int64_t hops = std::abs(u / options.cols - v / options.cols) +
+                                std::abs(u % options.cols - v % options.cols);
+      arch.add_connection(TileId{static_cast<std::uint32_t>(u)},
+                          TileId{static_cast<std::uint32_t>(v)},
+                          hops * options.hop_latency);
+    }
+  }
+  return arch;
+}
+
+Architecture make_example_platform() {
+  Architecture arch;
+  const ProcTypeId p1 = arch.add_proc_type("p1");
+  const ProcTypeId p2 = arch.add_proc_type("p2");
+
+  Tile t1;
+  t1.name = "t1";
+  t1.proc_type = p1;
+  t1.wheel_size = 10;
+  t1.memory = 700;
+  t1.max_connections = 5;
+  t1.bandwidth_in = 100;
+  t1.bandwidth_out = 100;
+  const TileId id1 = arch.add_tile(std::move(t1));
+
+  Tile t2;
+  t2.name = "t2";
+  t2.proc_type = p2;
+  t2.wheel_size = 10;
+  t2.memory = 500;
+  t2.max_connections = 7;
+  t2.bandwidth_in = 100;
+  t2.bandwidth_out = 100;
+  const TileId id2 = arch.add_tile(std::move(t2));
+
+  arch.add_connection(id1, id2, 1, "c1");
+  arch.add_connection(id2, id1, 1, "c2");
+  return arch;
+}
+
+}  // namespace sdfmap

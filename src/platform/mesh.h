@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Parameters for the mesh-based experiment platforms of Sec. 10.1/10.3.
+struct MeshOptions {
+  std::int64_t rows = 3;
+  std::int64_t cols = 3;
+  /// Processor type names, assigned to tiles round-robin (the paper uses
+  /// 3 types on the 3x3 mesh and 2 generic + 2 accelerators on the 2x2).
+  std::vector<std::string> proc_types = {"proc_a", "proc_b", "proc_c"};
+  /// Per-tile resources; all tiles share them (the paper's variants differ
+  /// only in memory and NI connection count).
+  std::int64_t wheel_size = 100;
+  std::int64_t memory = 1 << 20;
+  std::int64_t max_connections = 8;
+  std::int64_t bandwidth_in = 1000;
+  std::int64_t bandwidth_out = 1000;
+  /// Latency per mesh hop; a connection between tiles at Manhattan distance h
+  /// gets latency h * hop_latency (small w.r.t. actor execution times).
+  std::int64_t hop_latency = 2;
+};
+
+/// Builds a rows x cols mesh: one tile per grid position and a directed
+/// connection between *every* ordered tile pair, with latency proportional to
+/// Manhattan distance — modeling a NoC with timing guarantees offering a
+/// point-to-point path between any two tiles (Sec. 5).
+[[nodiscard]] Architecture make_mesh(const MeshOptions& options);
+
+/// The 2-tile example platform of Fig. 2 / Tab. 1: tile t1 (type p1, w=10,
+/// m=700, c=5, i=o=100) and t2 (type p2, w=10, m=500, c=7, i=o=100) with
+/// connections c1: t1->t2 and c2: t2->t1, both latency 1.
+[[nodiscard]] Architecture make_example_platform();
+
+}  // namespace sdfmap

@@ -1,0 +1,72 @@
+#include "src/platform/resources.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+TileUsage& TileUsage::operator+=(const TileUsage& rhs) {
+  time_slice += rhs.time_slice;
+  memory += rhs.memory;
+  connections += rhs.connections;
+  bandwidth_in += rhs.bandwidth_in;
+  bandwidth_out += rhs.bandwidth_out;
+  return *this;
+}
+
+bool TileUsage::fits(const Tile& tile) const {
+  return time_slice <= tile.available_wheel() && memory <= tile.memory &&
+         connections <= tile.max_connections && bandwidth_in <= tile.bandwidth_in &&
+         bandwidth_out <= tile.bandwidth_out;
+}
+
+ResourcePool::ResourcePool(Architecture architecture)
+    : arch_(architecture), original_(std::move(architecture)) {}
+
+void ResourcePool::commit(const AllocationUsage& usage) {
+  if (usage.size() != arch_.num_tiles()) {
+    throw std::invalid_argument("ResourcePool::commit: usage/tile count mismatch");
+  }
+  for (std::uint32_t t = 0; t < usage.size(); ++t) {
+    if (!usage[t].fits(arch_.tile(TileId{t}))) {
+      throw std::invalid_argument("ResourcePool::commit: usage exceeds free resources on '" +
+                                  arch_.tile(TileId{t}).name + "'");
+    }
+  }
+  for (std::uint32_t t = 0; t < usage.size(); ++t) {
+    Tile& tile = arch_.tile(TileId{t});
+    tile.occupied_wheel += usage[t].time_slice;
+    tile.memory -= usage[t].memory;
+    tile.max_connections -= usage[t].connections;
+    tile.bandwidth_in -= usage[t].bandwidth_in;
+    tile.bandwidth_out -= usage[t].bandwidth_out;
+  }
+}
+
+ResourcePool::UtilizationReport ResourcePool::utilization() const {
+  std::int64_t wheel_total = 0, wheel_used = 0;
+  std::int64_t mem_total = 0, mem_used = 0;
+  std::int64_t conn_total = 0, conn_used = 0;
+  std::int64_t bwi_total = 0, bwi_used = 0;
+  std::int64_t bwo_total = 0, bwo_used = 0;
+  for (std::uint32_t t = 0; t < arch_.num_tiles(); ++t) {
+    const Tile& now = arch_.tile(TileId{t});
+    const Tile& orig = original_.tile(TileId{t});
+    wheel_total += orig.available_wheel();
+    wheel_used += now.occupied_wheel - orig.occupied_wheel;
+    mem_total += orig.memory;
+    mem_used += orig.memory - now.memory;
+    conn_total += orig.max_connections;
+    conn_used += orig.max_connections - now.max_connections;
+    bwi_total += orig.bandwidth_in;
+    bwi_used += orig.bandwidth_in - now.bandwidth_in;
+    bwo_total += orig.bandwidth_out;
+    bwo_used += orig.bandwidth_out - now.bandwidth_out;
+  }
+  const auto frac = [](std::int64_t used, std::int64_t total) {
+    return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+  };
+  return {frac(wheel_used, wheel_total), frac(mem_used, mem_total),
+          frac(conn_used, conn_total), frac(bwi_used, bwi_total), frac(bwo_used, bwo_total)};
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Resources one application claims on a single tile; the unit matches the
+/// corresponding Tile field (wheel time units, bits, connection slots,
+/// bits/time-unit).
+struct TileUsage {
+  std::int64_t time_slice = 0;   ///< ω reserved on the TDMA wheel
+  std::int64_t memory = 0;       ///< µ of bound actors + α·sz buffers
+  std::int64_t connections = 0;  ///< |D_t,src| + |D_t,dst|
+  std::int64_t bandwidth_in = 0;
+  std::int64_t bandwidth_out = 0;
+
+  TileUsage& operator+=(const TileUsage& rhs);
+
+  /// True when this usage fits within the free resources of `tile`
+  /// (conditions 1-4 of Sec. 7).
+  [[nodiscard]] bool fits(const Tile& tile) const;
+};
+
+/// Per-tile resource usage of a whole allocation (indexed by TileId::value).
+using AllocationUsage = std::vector<TileUsage>;
+
+/// Tracks remaining platform resources across the multi-application
+/// allocation experiments of Sec. 10: every successfully allocated
+/// application's usage is committed, shrinking what the next application can
+/// claim (Ω grows; memory, connections and bandwidth shrink, following the
+/// convention of Sec. 5 that only available resources are specified).
+class ResourcePool {
+ public:
+  explicit ResourcePool(Architecture architecture);
+
+  /// The architecture restricted to currently-free resources; pass this to
+  /// the allocation strategy.
+  [[nodiscard]] const Architecture& available() const { return arch_; }
+
+  /// Subtracts a committed allocation. Throws std::invalid_argument if the
+  /// usage does not fit (the strategy must have validated it).
+  void commit(const AllocationUsage& usage);
+
+  /// Fraction of each resource of the *original* platform that is in use,
+  /// aggregated over all tiles: {wheel, memory, connections, bw_in, bw_out}.
+  /// This feeds the resource-efficiency comparison of Tab. 5.
+  struct UtilizationReport {
+    double wheel = 0;
+    double memory = 0;
+    double connections = 0;
+    double bandwidth_in = 0;
+    double bandwidth_out = 0;
+  };
+  [[nodiscard]] UtilizationReport utilization() const;
+
+ private:
+  Architecture arch_;      // remaining resources
+  Architecture original_;  // as constructed
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,36 @@
+#include "src/sdf/builder.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+GraphBuilder& GraphBuilder::actor(const std::string& name, std::int64_t execution_time) {
+  if (graph_.find_actor(name)) {
+    throw std::invalid_argument("GraphBuilder: duplicate actor name '" + name + "'");
+  }
+  graph_.add_actor(name, execution_time);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::channel(const std::string& src, const std::string& dst,
+                                    std::int64_t production_rate,
+                                    std::int64_t consumption_rate,
+                                    std::int64_t initial_tokens, const std::string& name) {
+  graph_.add_channel(id(src), id(dst), production_rate, consumption_rate, initial_tokens,
+                     name);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::self_loop(const std::string& actor_name, std::int64_t tokens) {
+  const ActorId a = id(actor_name);
+  graph_.add_channel(a, a, 1, 1, tokens, actor_name + "_self");
+  return *this;
+}
+
+ActorId GraphBuilder::id(const std::string& name) const {
+  const auto found = graph_.find_actor(name);
+  if (!found) throw std::invalid_argument("GraphBuilder: unknown actor '" + name + "'");
+  return *found;
+}
+
+}  // namespace sdfmap

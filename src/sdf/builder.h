@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Fluent construction helper for SDFGs, used pervasively by tests and
+/// examples:
+///
+///   GraphBuilder b;
+///   b.actor("a", 1).actor("b", 2);
+///   b.channel("a", "b", 2, 1).channel("b", "a", 1, 2, 4);
+///   Graph g = b.build();
+///
+/// Actors are referenced by name; referencing an unknown name throws.
+class GraphBuilder {
+ public:
+  /// Adds an actor. Duplicate names throw.
+  GraphBuilder& actor(const std::string& name, std::int64_t execution_time = 0);
+
+  /// Adds a channel between named actors.
+  GraphBuilder& channel(const std::string& src, const std::string& dst,
+                        std::int64_t production_rate, std::int64_t consumption_rate,
+                        std::int64_t initial_tokens = 0, const std::string& name = "");
+
+  /// Adds a self-loop with rates 1,1 and one initial token (the
+  /// no-auto-concurrency pattern of Sec. 8.1).
+  GraphBuilder& self_loop(const std::string& actor_name, std::int64_t tokens = 1);
+
+  /// Returns the constructed graph (the builder can keep being used).
+  [[nodiscard]] const Graph& build() const { return graph_; }
+  [[nodiscard]] Graph take() { return std::move(graph_); }
+
+  /// Id lookup for post-construction tweaks.
+  [[nodiscard]] ActorId id(const std::string& name) const;
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,109 @@
+#include "src/sdf/cycles.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/sdf/scc.h"
+
+namespace sdfmap {
+
+std::vector<ActorId> Cycle::actors(const Graph& g) const {
+  std::vector<ActorId> out;
+  out.reserve(channels.size());
+  for (const ChannelId c : channels) out.push_back(g.channel(c).src);
+  return out;
+}
+
+namespace {
+
+/// Johnson's simple-cycle enumeration, adapted to multigraphs: parallel
+/// channels between the same actors yield distinct cycles, which matters for
+/// Eqn. 1 because parallel channels can carry different token counts.
+class JohnsonEnumerator {
+ public:
+  JohnsonEnumerator(const Graph& g, std::size_t max_cycles)
+      : g_(g), max_cycles_(max_cycles) {}
+
+  CycleEnumeration run() {
+    const std::size_t n = g_.num_actors();
+    blocked_.assign(n, false);
+    block_map_.assign(n, {});
+    for (std::uint32_t s = 0; s < n && !done(); ++s) {
+      // Work in the SCC of s within the subgraph of vertices >= s; skip when
+      // s is in a trivial component there.
+      start_ = s;
+      for (std::uint32_t v = s; v < n; ++v) {
+        blocked_[v] = false;
+        block_map_[v].clear();
+      }
+      path_.clear();
+      circuit(s);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool done() const { return result_.truncated; }
+
+  void unblock(std::uint32_t v) {
+    blocked_[v] = false;
+    for (const std::uint32_t w : block_map_[v]) {
+      if (blocked_[w]) unblock(w);
+    }
+    block_map_[v].clear();
+  }
+
+  bool circuit(std::uint32_t v) {
+    if (done()) return true;
+    bool found = false;
+    blocked_[v] = true;
+    for (const ChannelId cid : g_.actor(ActorId{v}).outputs) {
+      const std::uint32_t w = g_.channel(cid).dst.value;
+      if (w < start_) continue;  // only vertices >= start participate
+      if (w == start_) {
+        path_.push_back(cid);
+        if (result_.cycles.size() >= max_cycles_) {
+          result_.truncated = true;
+        } else {
+          result_.cycles.push_back(Cycle{path_});
+        }
+        path_.pop_back();
+        found = true;
+        if (done()) break;
+      } else if (!blocked_[w]) {
+        path_.push_back(cid);
+        if (circuit(w)) found = true;
+        path_.pop_back();
+        if (done()) break;
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (const ChannelId cid : g_.actor(ActorId{v}).outputs) {
+        const std::uint32_t w = g_.channel(cid).dst.value;
+        if (w < start_) continue;
+        auto& lst = block_map_[w];
+        if (std::find(lst.begin(), lst.end(), v) == lst.end()) lst.push_back(v);
+      }
+    }
+    return found;
+  }
+
+  const Graph& g_;
+  const std::size_t max_cycles_;
+  std::uint32_t start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<std::uint32_t>> block_map_;
+  std::vector<ChannelId> path_;
+  CycleEnumeration result_;
+};
+
+}  // namespace
+
+CycleEnumeration enumerate_simple_cycles(const Graph& g, std::size_t max_cycles) {
+  return JohnsonEnumerator(g, max_cycles).run();
+}
+
+}  // namespace sdfmap

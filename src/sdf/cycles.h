@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// A simple cycle, represented by the channels traversed in order; the actor
+/// sequence is src(channels[0]), src(channels[1]), ... (each channel's dst is
+/// the next channel's src, wrapping around).
+struct Cycle {
+  std::vector<ChannelId> channels;
+
+  [[nodiscard]] std::vector<ActorId> actors(const Graph& g) const;
+};
+
+/// Enumerates simple cycles with Johnson's algorithm, bounded by `max_cycles`
+/// (the criticality estimate of Eqn. 1 only needs the dominant cycles, and
+/// dense graphs have exponentially many).
+///
+/// Returns all simple cycles when their number is <= max_cycles; otherwise
+/// the first max_cycles found and sets `truncated`. Self-loops are length-1
+/// cycles and are included.
+struct CycleEnumeration {
+  std::vector<Cycle> cycles;
+  bool truncated = false;
+};
+
+[[nodiscard]] CycleEnumeration enumerate_simple_cycles(const Graph& g,
+                                                       std::size_t max_cycles = 4096);
+
+}  // namespace sdfmap

@@ -1,0 +1,63 @@
+#include "src/sdf/deadlock.h"
+
+#include <deque>
+
+namespace sdfmap {
+
+namespace {
+
+bool can_fire(const Graph& g, ActorId a, const std::vector<std::int64_t>& tokens) {
+  for (const ChannelId cid : g.actor(a).inputs) {
+    const Channel& c = g.channel(cid);
+    if (tokens[cid.value] < c.consumption_rate) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_deadlock_free(const Graph& g) {
+  const auto gamma = compute_repetition_vector(g);
+  if (!gamma) return false;
+  return is_deadlock_free(g, *gamma);
+}
+
+bool is_deadlock_free(const Graph& g, const RepetitionVector& gamma) {
+  std::vector<std::int64_t> tokens(g.num_channels());
+  for (std::size_t i = 0; i < g.num_channels(); ++i) {
+    tokens[i] = g.channels()[i].initial_tokens;
+  }
+  RepetitionVector remaining = gamma;
+
+  // Worklist of actors that might be enabled. Firing an actor can only
+  // enable consumers of its output channels, so we re-examine just those.
+  std::deque<std::uint32_t> work;
+  std::vector<bool> queued(g.num_actors(), true);
+  for (std::uint32_t i = 0; i < g.num_actors(); ++i) work.push_back(i);
+
+  std::int64_t left = iteration_firings(gamma);
+  while (!work.empty()) {
+    const std::uint32_t u = work.front();
+    work.pop_front();
+    queued[u] = false;
+    const ActorId a{u};
+    while (remaining[u] > 0 && can_fire(g, a, tokens)) {
+      for (const ChannelId cid : g.actor(a).inputs) {
+        tokens[cid.value] -= g.channel(cid).consumption_rate;
+      }
+      for (const ChannelId cid : g.actor(a).outputs) {
+        tokens[cid.value] += g.channel(cid).production_rate;
+        const std::uint32_t consumer = g.channel(cid).dst.value;
+        if (!queued[consumer]) {
+          queued[consumer] = true;
+          work.push_back(consumer);
+        }
+      }
+      --remaining[u];
+      --left;
+    }
+  }
+  return left == 0;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+/// Deadlock-freedom check (Sec. 3).
+///
+/// A consistent SDFG is deadlock free iff one full iteration (γ(a) firings of
+/// every actor a) can complete from the initial token distribution; after a
+/// full iteration the distribution is restored, so the execution can repeat
+/// forever. The check abstracts from time: it greedily fires any enabled
+/// actor with remaining iteration credit until either all credits are spent
+/// (deadlock free) or no actor can fire (deadlock).
+///
+/// Returns false for inconsistent graphs (they are never useful, Sec. 3).
+[[nodiscard]] bool is_deadlock_free(const Graph& g);
+
+/// Variant for callers that already computed γ.
+[[nodiscard]] bool is_deadlock_free(const Graph& g, const RepetitionVector& gamma);
+
+}  // namespace sdfmap

@@ -1,0 +1,48 @@
+#include "src/sdf/diagnostics.h"
+
+#include "src/sdf/deadlock.h"
+#include "src/sdf/scc.h"
+
+namespace sdfmap {
+
+GraphDiagnostics diagnose_graph(const Graph& g) {
+  GraphDiagnostics d;
+  const auto gamma = compute_repetition_vector(g);
+  d.consistent = gamma.has_value();
+  if (!d.consistent) {
+    if (const auto witness = find_inconsistency_witness(g)) {
+      d.inconsistency_witness = format_inconsistency_witness(g, *witness);
+    }
+    return d;
+  }
+  d.repetition = *gamma;
+  d.hsdf_actors = iteration_firings(d.repetition);
+  d.deadlock_free = is_deadlock_free(g, d.repetition);
+  d.strongly_connected =
+      g.num_actors() == 0 || strongly_connected_components(g).num_components() == 1;
+  return d;
+}
+
+std::string GraphDiagnostics::to_string(const Graph& g) const {
+  std::string out;
+  out += "actors " + std::to_string(g.num_actors()) + ", channels " +
+         std::to_string(g.num_channels()) + "\n";
+  if (!consistent) {
+    out += "INCONSISTENT";
+    if (inconsistency_witness) out += ": " + *inconsistency_witness;
+    out += "\n";
+    return out;
+  }
+  out += "repetition vector:";
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    out += " " + g.actor(ActorId{a}).name + "=" + std::to_string(repetition[a]);
+  }
+  out += "\nequivalent HSDFG: " + std::to_string(hsdf_actors) + " actors\n";
+  out += deadlock_free ? "deadlock free\n" : "DEADLOCKS\n";
+  out += strongly_connected ? "strongly connected\n"
+                            : "not strongly connected (self-timed state space may be "
+                              "unbounded)\n";
+  return out;
+}
+
+}  // namespace sdfmap

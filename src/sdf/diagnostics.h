@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+/// One-stop static health report for an SDFG, aggregating the checks Sec. 3
+/// requires before any throughput analysis is meaningful: consistency (with
+/// a human-readable witness when violated), deadlock freedom, strong
+/// connectivity (the prerequisite for a bounded self-timed state space), and
+/// the problem-size numbers (γ, HSDFG actor count).
+struct GraphDiagnostics {
+  bool consistent = false;
+  /// Rendered conflicting walk, present iff inconsistent.
+  std::optional<std::string> inconsistency_witness;
+  bool deadlock_free = false;
+  bool strongly_connected = false;
+  /// γ (empty when inconsistent).
+  RepetitionVector repetition;
+  /// Σγ = equivalent-HSDFG actor count (0 when inconsistent).
+  std::int64_t hsdf_actors = 0;
+
+  /// True when every analysis prerequisite holds.
+  [[nodiscard]] bool analyzable() const {
+    return consistent && deadlock_free && strongly_connected;
+  }
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string to_string(const Graph& g) const;
+};
+
+[[nodiscard]] GraphDiagnostics diagnose_graph(const Graph& g);
+
+}  // namespace sdfmap

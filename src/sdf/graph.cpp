@@ -1,0 +1,90 @@
+#include "src/sdf/graph.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+ActorId Graph::add_actor(std::string name, std::int64_t execution_time) {
+  if (execution_time < 0) {
+    throw std::invalid_argument("Graph::add_actor: negative execution time");
+  }
+  Actor a;
+  a.name = name.empty() ? "a" + std::to_string(actors_.size()) : std::move(name);
+  a.execution_time = execution_time;
+  actors_.push_back(std::move(a));
+  return ActorId{static_cast<std::uint32_t>(actors_.size() - 1)};
+}
+
+ChannelId Graph::add_channel(ActorId src, ActorId dst, std::int64_t production_rate,
+                             std::int64_t consumption_rate, std::int64_t initial_tokens,
+                             std::string name) {
+  if (src.value >= actors_.size() || dst.value >= actors_.size()) {
+    throw std::invalid_argument("Graph::add_channel: actor id out of range");
+  }
+  if (production_rate <= 0 || consumption_rate <= 0) {
+    throw std::invalid_argument("Graph::add_channel: rates must be positive");
+  }
+  if (initial_tokens < 0) {
+    throw std::invalid_argument("Graph::add_channel: negative initial tokens");
+  }
+  Channel c;
+  c.name = name.empty() ? "ch" + std::to_string(channels_.size()) : std::move(name);
+  c.src = src;
+  c.dst = dst;
+  c.production_rate = production_rate;
+  c.consumption_rate = consumption_rate;
+  c.initial_tokens = initial_tokens;
+  channels_.push_back(std::move(c));
+  const ChannelId id{static_cast<std::uint32_t>(channels_.size() - 1)};
+  actors_[src.value].outputs.push_back(id);
+  actors_[dst.value].inputs.push_back(id);
+  return id;
+}
+
+void Graph::set_execution_time(ActorId id, std::int64_t execution_time) {
+  if (execution_time < 0) {
+    throw std::invalid_argument("Graph::set_execution_time: negative time");
+  }
+  actors_.at(id.value).execution_time = execution_time;
+}
+
+void Graph::set_initial_tokens(ChannelId id, std::int64_t tokens) {
+  if (tokens < 0) {
+    throw std::invalid_argument("Graph::set_initial_tokens: negative tokens");
+  }
+  channels_.at(id.value).initial_tokens = tokens;
+}
+
+std::optional<ActorId> Graph::find_actor(std::string_view name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return ActorId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+bool Graph::has_self_loop(ActorId id) const {
+  for (const ChannelId c : actors_.at(id.value).outputs) {
+    if (channels_[c.value].dst == id) return true;
+  }
+  return false;
+}
+
+std::vector<ActorId> Graph::actor_ids() const {
+  std::vector<ActorId> ids;
+  ids.reserve(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    ids.push_back(ActorId{static_cast<std::uint32_t>(i)});
+  }
+  return ids;
+}
+
+std::vector<ChannelId> Graph::channel_ids() const {
+  std::vector<ChannelId> ids;
+  ids.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    ids.push_back(ChannelId{static_cast<std::uint32_t>(i)});
+  }
+  return ids;
+}
+
+}  // namespace sdfmap

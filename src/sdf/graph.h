@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdfmap {
+
+/// Strongly-typed index of an actor within a Graph.
+struct ActorId {
+  std::uint32_t value = 0;
+  friend bool operator==(ActorId a, ActorId b) { return a.value == b.value; }
+  friend bool operator!=(ActorId a, ActorId b) { return a.value != b.value; }
+  friend bool operator<(ActorId a, ActorId b) { return a.value < b.value; }
+};
+
+/// Strongly-typed index of a channel (dependency edge) within a Graph.
+struct ChannelId {
+  std::uint32_t value = 0;
+  friend bool operator==(ChannelId a, ChannelId b) { return a.value == b.value; }
+  friend bool operator!=(ChannelId a, ChannelId b) { return a.value != b.value; }
+  friend bool operator<(ChannelId a, ChannelId b) { return a.value < b.value; }
+};
+
+/// An SDFG actor (Def. 1) with the timing annotation Υ(a) used by the
+/// throughput analyses of Sec. 8 (time units per firing).
+struct Actor {
+  std::string name;
+  std::int64_t execution_time = 0;
+
+  /// Channels for which this actor is the consumer / producer. Maintained by
+  /// Graph::add_channel; self-loops appear in both lists.
+  std::vector<ChannelId> inputs;
+  std::vector<ChannelId> outputs;
+};
+
+/// An SDFG dependency edge d = (src, dst, p, q) with Tok(d) initial tokens
+/// (Def. 1). Every firing of `src` produces `production_rate` tokens on the
+/// channel and every firing of `dst` consumes `consumption_rate` tokens.
+struct Channel {
+  std::string name;
+  ActorId src;
+  ActorId dst;
+  std::int64_t production_rate = 1;   // p
+  std::int64_t consumption_rate = 1;  // q
+  std::int64_t initial_tokens = 0;    // Tok(d)
+};
+
+/// A Synchronous Dataflow Graph (A, D) with timing function Υ (Defs. 1, Sec 8).
+///
+/// The graph is an append-only value type: actors and channels are created
+/// through add_actor/add_channel and addressed by stable dense ids, which all
+/// analyses use as vector indices. Rates must be positive; initial tokens
+/// non-negative. The class stores structure and timing only — resource
+/// annotations live in ApplicationGraph (Def. 5).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an actor; `execution_time` is Υ(a) (>= 0).
+  ActorId add_actor(std::string name, std::int64_t execution_time = 0);
+
+  /// Creates a channel src --p,q--> dst carrying `initial_tokens`.
+  /// Throws std::invalid_argument on non-positive rates, negative tokens, or
+  /// out-of-range actor ids. An empty name is auto-generated ("ch<i>").
+  ChannelId add_channel(ActorId src, ActorId dst, std::int64_t production_rate,
+                        std::int64_t consumption_rate, std::int64_t initial_tokens = 0,
+                        std::string name = "");
+
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId id) const { return actors_.at(id.value); }
+  [[nodiscard]] const Channel& channel(ChannelId id) const { return channels_.at(id.value); }
+
+  [[nodiscard]] const std::vector<Actor>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
+
+  /// Updates Υ(a). Throws on negative time.
+  void set_execution_time(ActorId id, std::int64_t execution_time);
+
+  /// Updates Tok(d). Throws on negative tokens.
+  void set_initial_tokens(ChannelId id, std::int64_t tokens);
+
+  /// First actor with the given name, if any.
+  [[nodiscard]] std::optional<ActorId> find_actor(std::string_view name) const;
+
+  /// True when the actor has a channel to itself.
+  [[nodiscard]] bool has_self_loop(ActorId id) const;
+
+  /// All actor ids, in creation order (handy for range-for with ids).
+  [[nodiscard]] std::vector<ActorId> actor_ids() const;
+
+  /// All channel ids, in creation order.
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+ private:
+  std::vector<Actor> actors_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace sdfmap

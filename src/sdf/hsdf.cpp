@@ -1,0 +1,75 @@
+#include "src/sdf/hsdf.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+namespace {
+
+// Floor division for possibly-negative numerator.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+HsdfConversion to_hsdf(const Graph& g) {
+  const auto gamma = compute_repetition_vector(g);
+  if (!gamma) throw std::invalid_argument("to_hsdf: inconsistent SDFG");
+  return to_hsdf(g, *gamma);
+}
+
+HsdfConversion to_hsdf(const Graph& g, const RepetitionVector& gamma) {
+  HsdfConversion out;
+  out.first_copy.resize(g.num_actors());
+
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    const Actor& actor = g.actor(ActorId{a});
+    out.first_copy[a] = static_cast<std::uint32_t>(out.graph.num_actors());
+    for (std::int64_t k = 0; k < gamma[a]; ++k) {
+      std::string name = actor.name;
+      if (gamma[a] > 1) name += "_" + std::to_string(k);
+      out.graph.add_actor(std::move(name), actor.execution_time);
+      out.origin.push_back({ActorId{a}, k});
+    }
+  }
+
+  for (const Channel& c : g.channels()) {
+    const std::int64_t p = c.production_rate;
+    const std::int64_t q = c.consumption_rate;
+    const std::int64_t d = c.initial_tokens;
+    const std::int64_t gamma_src = gamma[c.src.value];
+    const std::int64_t gamma_dst = gamma[c.dst.value];
+
+    // Strongest (minimum-delay) constraint per (src copy, dst copy) pair.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> min_delay;
+
+    for (std::int64_t k = 0; k < gamma_dst; ++k) {
+      for (std::int64_t l = 0; l < q; ++l) {
+        const std::int64_t m = checked_add(checked_mul(k, q), l);  // absolute token index
+        const std::int64_t f = floor_div(m - d, p);                // producing firing
+        const std::int64_t iter = floor_div(f, gamma_src);         // its iteration (<= 0 allowed)
+        const std::int64_t copy = f - checked_mul(iter, gamma_src);
+        const std::int64_t delay = -iter;
+        const std::uint32_t src_id = out.first_copy[c.src.value] + static_cast<std::uint32_t>(copy);
+        const std::uint32_t dst_id = out.first_copy[c.dst.value] + static_cast<std::uint32_t>(k);
+        const auto key = std::make_pair(src_id, dst_id);
+        const auto it = min_delay.find(key);
+        if (it == min_delay.end() || delay < it->second) min_delay[key] = delay;
+      }
+    }
+
+    for (const auto& [key, delay] : min_delay) {
+      out.graph.add_channel(ActorId{key.first}, ActorId{key.second}, 1, 1, delay);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+/// Result of converting an SDFG to its equivalent homogeneous SDFG (Sec. 1,
+/// [20]): every actor a is unfolded into γ(a) copies (one per firing in an
+/// iteration) and every channel into precedence edges with iteration delays.
+struct HsdfConversion {
+  /// The homogeneous graph: all rates are 1; initial tokens encode the
+  /// iteration delay of each precedence constraint.
+  Graph graph;
+
+  /// hsdf actor index -> (original actor, firing index within the iteration).
+  struct Origin {
+    ActorId actor;
+    std::int64_t firing = 0;
+  };
+  std::vector<Origin> origin;
+
+  /// first_copy[a] = HSDF id of firing 0 of original actor a; copies of a are
+  /// contiguous: first_copy[a] .. first_copy[a] + γ(a) - 1.
+  std::vector<std::uint32_t> first_copy;
+};
+
+/// Unfolds a consistent SDFG into its HSDFG.
+///
+/// For a channel (a, b, p, q) with D initial tokens, the l-th token consumed
+/// by firing k of b has absolute index m = k·q + l and was produced by firing
+/// f = floor((m − D)/p) of a; f < 0 means an earlier iteration. The HSDF edge
+/// runs from copy (f mod γ(a)) of a to copy k of b with delay −floor(f/γ(a)).
+/// Parallel edges between the same copies are collapsed to the strongest
+/// (minimum-delay) constraint, which preserves all timing behaviour.
+///
+/// Throws std::invalid_argument when the graph is inconsistent. The HSDFG has
+/// Σ_a γ(a) actors, exposing the exponential blow-up the paper's strategy
+/// avoids (e.g. 4754 actors for the H.263 decoder).
+[[nodiscard]] HsdfConversion to_hsdf(const Graph& g);
+
+/// Convenience: to_hsdf with a precomputed repetition vector.
+[[nodiscard]] HsdfConversion to_hsdf(const Graph& g, const RepetitionVector& gamma);
+
+}  // namespace sdfmap

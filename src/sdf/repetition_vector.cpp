@@ -1,0 +1,198 @@
+#include "src/sdf/repetition_vector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+std::optional<RepetitionVector> compute_repetition_vector(const Graph& g) {
+  const std::size_t n = g.num_actors();
+  // Firing fraction per actor; set on first visit, then checked on every
+  // further channel touching the actor.
+  std::vector<std::optional<Rational>> frac(n);
+
+  // BFS over weakly-connected components; remember each component's members
+  // so normalization can happen per component (Def. 2 asks for the smallest
+  // vector, and disconnected components scale independently).
+  std::vector<std::vector<std::uint32_t>> components;
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (frac[root]) continue;
+    frac[root] = Rational(1);
+    components.emplace_back();
+    components.back().push_back(root);
+    queue.assign(1, root);
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.back();
+      queue.pop_back();
+      const Actor& actor = g.actor(ActorId{u});
+      const auto visit = [&](const Channel& c) {
+        // Balance equation p·γ(src) = q·γ(dst).
+        const std::uint32_t src = c.src.value;
+        const std::uint32_t dst = c.dst.value;
+        const Rational ratio(c.production_rate, c.consumption_rate);
+        if (src == u) {
+          const Rational expected = *frac[src] * ratio;
+          if (!frac[dst]) {
+            frac[dst] = expected;
+            components.back().push_back(dst);
+            queue.push_back(dst);
+          } else if (*frac[dst] != expected) {
+            return false;
+          }
+        } else {
+          const Rational expected = *frac[dst] / ratio;
+          if (!frac[src]) {
+            frac[src] = expected;
+            components.back().push_back(src);
+            queue.push_back(src);
+          } else if (*frac[src] != expected) {
+            return false;
+          }
+        }
+        return true;
+      };
+      for (const ChannelId cid : actor.outputs) {
+        if (!visit(g.channel(cid))) return std::nullopt;
+      }
+      for (const ChannelId cid : actor.inputs) {
+        if (!visit(g.channel(cid))) return std::nullopt;
+      }
+    }
+  }
+
+  // Scale each component's fractions to its smallest integer solution:
+  // multiply by the LCM of denominators, then divide by the GCD of
+  // numerators.
+  RepetitionVector gamma(n, 0);
+  for (const auto& members : components) {
+    std::int64_t den_lcm = 1;
+    for (const std::uint32_t a : members) den_lcm = checked_lcm(den_lcm, frac[a]->den());
+    std::int64_t num_gcd = 0;
+    for (const std::uint32_t a : members) {
+      gamma[a] = checked_mul(frac[a]->num(), den_lcm / frac[a]->den());
+      num_gcd = std::gcd(num_gcd, gamma[a]);
+    }
+    if (num_gcd > 1) {
+      for (const std::uint32_t a : members) gamma[a] /= num_gcd;
+    }
+  }
+  return gamma;
+}
+
+bool is_consistent(const Graph& g) { return compute_repetition_vector(g).has_value(); }
+
+std::optional<std::vector<ChannelId>> find_inconsistency_witness(const Graph& g) {
+  const std::size_t n = g.num_actors();
+  std::vector<std::optional<Rational>> frac(n);
+  // BFS forest with parent channels, so a conflicting edge closes a walk
+  // through the two tree paths.
+  struct Parent {
+    std::uint32_t actor = 0;
+    ChannelId channel{0};
+    bool is_root = true;
+  };
+  std::vector<Parent> parent(n);
+
+  const auto path_to_root = [&](std::uint32_t a) {
+    std::vector<ChannelId> path;
+    while (!parent[a].is_root) {
+      path.push_back(parent[a].channel);
+      a = parent[a].actor;
+    }
+    return path;  // ordered from `a` towards the root
+  };
+
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (frac[root]) continue;
+    frac[root] = Rational(1);
+    queue.assign(1, root);
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.back();
+      queue.pop_back();
+      const Actor& actor = g.actor(ActorId{u});
+      const auto visit = [&](ChannelId cid) -> std::optional<std::vector<ChannelId>> {
+        const Channel& c = g.channel(cid);
+        const Rational ratio(c.production_rate, c.consumption_rate);
+        const std::uint32_t other = c.src.value == u ? c.dst.value : c.src.value;
+        const Rational expected =
+            c.src.value == u ? *frac[u] * ratio : *frac[u] / ratio;
+        if (!frac[other]) {
+          frac[other] = expected;
+          parent[other] = {u, cid, false};
+          queue.push_back(other);
+          return std::nullopt;
+        }
+        if (*frac[other] == expected) return std::nullopt;
+        // Conflict: close the walk u -> (tree path to root) ... reversed from
+        // other, i.e. other-path (reversed) + conflicting channel + u-path.
+        std::vector<ChannelId> walk = path_to_root(other);
+        std::reverse(walk.begin(), walk.end());
+        walk.push_back(cid);
+        const std::vector<ChannelId> up = path_to_root(u);
+        walk.insert(walk.end(), up.begin(), up.end());
+        return walk;
+      };
+      for (const ChannelId cid : actor.outputs) {
+        if (g.channel(cid).dst.value == u) continue;  // self-loops handled below
+        if (auto witness = visit(cid)) return witness;
+      }
+      for (const ChannelId cid : actor.inputs) {
+        if (g.channel(cid).dst.value != u) continue;
+        if (g.channel(cid).src.value == u) {
+          // Self-loop: inconsistent iff rates differ.
+          const Channel& c = g.channel(cid);
+          if (c.production_rate != c.consumption_rate) return std::vector<ChannelId>{cid};
+          continue;
+        }
+        if (auto witness = visit(cid)) return witness;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_inconsistency_witness(const Graph& g, const std::vector<ChannelId>& walk) {
+  if (walk.empty()) return "";
+  // Find the starting actor: the endpoint of the first channel that is not
+  // shared with the second, or either endpoint for a single-channel walk.
+  const Channel& first = g.channel(walk.front());
+  std::uint32_t at = first.src.value;
+  if (walk.size() > 1) {
+    const Channel& second = g.channel(walk[1]);
+    if (first.src.value == second.src.value || first.src.value == second.dst.value) {
+      at = first.dst.value;
+    }
+  }
+  std::string out = g.actor(ActorId{at}).name;
+  for (const ChannelId cid : walk) {
+    const Channel& c = g.channel(cid);
+    if (c.src.value == at && c.dst.value == at) {
+      out += " -(" + std::to_string(c.production_rate) + ":" +
+             std::to_string(c.consumption_rate) + ")-> " + g.actor(c.dst).name;
+      continue;
+    }
+    if (c.src.value == at) {
+      out += " -(" + std::to_string(c.production_rate) + ":" +
+             std::to_string(c.consumption_rate) + ")-> " + g.actor(c.dst).name;
+      at = c.dst.value;
+    } else {
+      out += " <-(" + std::to_string(c.production_rate) + ":" +
+             std::to_string(c.consumption_rate) + ")- " + g.actor(c.src).name;
+      at = c.src.value;
+    }
+  }
+  return out;
+}
+
+std::int64_t iteration_firings(const RepetitionVector& gamma) {
+  std::int64_t total = 0;
+  for (const std::int64_t v : gamma) total = checked_add(total, v);
+  return total;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// The repetition vector γ of a consistent SDFG (Def. 2): the smallest
+/// positive integers with p·γ(src) = q·γ(dst) on every channel. Indexed by
+/// ActorId::value.
+using RepetitionVector = std::vector<std::int64_t>;
+
+/// Computes the (smallest non-trivial) repetition vector, or nullopt when the
+/// graph is inconsistent (Def. 2 has only the trivial all-zero solution).
+///
+/// Works per weakly-connected component with rational firing fractions and
+/// normalizes globally, so disconnected graphs are supported; an SDFG with no
+/// actors yields an empty vector.
+[[nodiscard]] std::optional<RepetitionVector> compute_repetition_vector(const Graph& g);
+
+/// True when the graph is consistent (has a non-trivial repetition vector).
+[[nodiscard]] bool is_consistent(const Graph& g);
+
+/// Diagnostic for inconsistent graphs: a closed undirected walk (sequence of
+/// channels) whose rate products conflict — following the walk and applying
+/// every balance equation returns to the start actor with a firing fraction
+/// different from 1. Returns nullopt for consistent graphs. Intended for
+/// error messages (see format_inconsistency_witness).
+[[nodiscard]] std::optional<std::vector<ChannelId>> find_inconsistency_witness(
+    const Graph& g);
+
+/// Human-readable rendering of a witness walk: "a -(2:1)-> b -(1:1)-> a ...".
+[[nodiscard]] std::string format_inconsistency_witness(const Graph& g,
+                                                       const std::vector<ChannelId>& walk);
+
+/// Sum of the repetition vector = number of actor firings per graph
+/// iteration = actor count of the equivalent HSDFG.
+[[nodiscard]] std::int64_t iteration_firings(const RepetitionVector& gamma);
+
+}  // namespace sdfmap

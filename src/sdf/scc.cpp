@@ -1,0 +1,78 @@
+#include "src/sdf/scc.h"
+
+#include <algorithm>
+
+namespace sdfmap {
+
+bool SccResult::is_cyclic(std::uint32_t comp, const Graph& g) const {
+  if (members.at(comp).size() > 1) return true;
+  const ActorId only = members[comp].front();
+  return g.has_self_loop(only);
+}
+
+SccResult strongly_connected_components(const Graph& g) {
+  const std::size_t n = g.num_actors();
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+
+  SccResult result;
+  result.component.assign(n, 0);
+
+  // Explicit DFS frame: actor and position in its output list.
+  struct Frame {
+    std::uint32_t actor;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const Actor& actor = g.actor(ActorId{frame.actor});
+      if (frame.edge < actor.outputs.size()) {
+        const std::uint32_t w = g.channel(actor.outputs[frame.edge]).dst.value;
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+        } else if (on_stack[w]) {
+          lowlink[frame.actor] = std::min(lowlink[frame.actor], index[w]);
+        }
+      } else {
+        const std::uint32_t u = frame.actor;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().actor] = std::min(lowlink[dfs.back().actor], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          std::vector<ActorId> comp;
+          std::uint32_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = static_cast<std::uint32_t>(result.members.size());
+            comp.push_back(ActorId{w});
+          } while (w != u);
+          result.members.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sdfmap

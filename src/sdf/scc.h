@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Result of a strongly-connected-component decomposition.
+struct SccResult {
+  /// component[a] = index of the SCC containing actor a.
+  std::vector<std::uint32_t> component;
+  /// Actors grouped per component, components in reverse topological order
+  /// (Tarjan emission order).
+  std::vector<std::vector<ActorId>> members;
+
+  [[nodiscard]] std::size_t num_components() const { return members.size(); }
+
+  /// A component is cyclic when it has more than one actor or a self-loop.
+  [[nodiscard]] bool is_cyclic(std::uint32_t comp, const Graph& g) const;
+};
+
+/// Tarjan's strongly-connected-components algorithm (iterative, so deep
+/// graphs cannot overflow the call stack). Channels are the directed edges;
+/// rates and tokens are ignored.
+[[nodiscard]] SccResult strongly_connected_components(const Graph& g);
+
+}  // namespace sdfmap

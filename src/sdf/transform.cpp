@@ -1,0 +1,58 @@
+#include "src/sdf/transform.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+Graph reverse_graph(const Graph& g) {
+  Graph out;
+  for (const Actor& a : g.actors()) out.add_actor(a.name, a.execution_time);
+  for (const Channel& c : g.channels()) {
+    out.add_channel(c.dst, c.src, c.consumption_rate, c.production_rate, c.initial_tokens,
+                    c.name);
+  }
+  return out;
+}
+
+Graph unfold_hsdf(const Graph& g, std::int64_t unfolding_factor) {
+  if (unfolding_factor < 1) {
+    throw std::invalid_argument("unfold_hsdf: unfolding factor must be >= 1");
+  }
+  for (const Channel& c : g.channels()) {
+    if (c.production_rate != 1 || c.consumption_rate != 1) {
+      throw std::invalid_argument("unfold_hsdf: graph is not homogeneous");
+    }
+  }
+  const std::int64_t j_max = unfolding_factor;
+  Graph out;
+  // Copies of actor a are contiguous: a*J + j.
+  for (const Actor& a : g.actors()) {
+    for (std::int64_t j = 0; j < j_max; ++j) {
+      out.add_actor(a.name + "#" + std::to_string(j), a.execution_time);
+    }
+  }
+  for (const Channel& c : g.channels()) {
+    for (std::int64_t j = 0; j < j_max; ++j) {
+      const std::int64_t target = j + c.initial_tokens;
+      const ActorId src{static_cast<std::uint32_t>(c.src.value * j_max + j)};
+      const ActorId dst{
+          static_cast<std::uint32_t>(c.dst.value * j_max + target % j_max)};
+      out.add_channel(src, dst, 1, 1, target / j_max,
+                      c.name + "#" + std::to_string(j));
+    }
+  }
+  return out;
+}
+
+Graph scale_token_granularity(const Graph& g, std::int64_t k) {
+  if (k < 1) throw std::invalid_argument("scale_token_granularity: k must be >= 1");
+  Graph out;
+  for (const Actor& a : g.actors()) out.add_actor(a.name, a.execution_time);
+  for (const Channel& c : g.channels()) {
+    out.add_channel(c.src, c.dst, c.production_rate * k, c.consumption_rate * k,
+                    c.initial_tokens * k, c.name);
+  }
+  return out;
+}
+
+}  // namespace sdfmap

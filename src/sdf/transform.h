@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/sdf/graph.h"
+
+namespace sdfmap {
+
+/// Structure-preserving SDFG transformations used by scheduling flows built
+/// on top of the core model ([20] Ch. 3-5 territory). All of them preserve
+/// well-defined timing properties, which the property test suite checks
+/// against the throughput engines.
+
+/// The transpose graph: every channel's direction flips, rates swap and
+/// initial tokens stay. Cycle ratios (and hence the maximum cycle ratio) are
+/// preserved, since every cycle survives with the same actors and tokens.
+[[nodiscard]] Graph reverse_graph(const Graph& g);
+
+/// J-fold unfolding of a homogeneous SDFG (all rates 1): copy (a, j) executes
+/// firing n·J + j of actor a; an edge (u, v) with delay d becomes an edge
+/// from (u, j) to (v, (j + d) mod J) with delay floor((j + d) / J).
+/// One iteration of the unfolded graph covers J iterations of the original,
+/// so its iteration period is exactly J times the original's — the classical
+/// transformation behind unfolding-based pipelined scheduling.
+/// Throws std::invalid_argument when J < 1 or the graph is not homogeneous.
+[[nodiscard]] Graph unfold_hsdf(const Graph& g, std::int64_t unfolding_factor);
+
+/// Scales every channel's rates and initial tokens by k >= 1. The repetition
+/// vector and the self-timed iteration period are unchanged (each Tok/q term
+/// in every cycle is invariant); the transformation models coarser token
+/// granularity (e.g. lines instead of pixels). Throws when k < 1.
+[[nodiscard]] Graph scale_token_granularity(const Graph& g, std::int64_t k);
+
+}  // namespace sdfmap

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdfmap {
+
+/// Minimal command-line flag parser for the example and benchmark binaries.
+///
+/// Accepts flags of the form `--name=value` or `--name value`; anything else
+/// is collected as a positional argument. Unknown flags are kept (benchmark
+/// binaries forward google-benchmark's own flags).
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// Value of --name, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sdfmap

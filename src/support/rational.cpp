@@ -1,0 +1,110 @@
+#include "src/support/rational.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace sdfmap {
+
+namespace {
+
+// Normalizes sign into the numerator and divides out the gcd.
+void normalize(std::int64_t& num, std::int64_t& den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const std::int64_t g = std::gcd(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  normalize(num_, den_);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+Rational Rational::inverse() const {
+  if (num_ == 0) throw std::domain_error("Rational::inverse of zero");
+  return Rational(den_, num_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Use the gcd of denominators to keep intermediates small.
+  const std::int64_t g = std::gcd(den_, rhs.den_);
+  const std::int64_t scale = rhs.den_ / g;
+  std::int64_t num = checked_add(checked_mul(num_, scale), checked_mul(rhs.num_, den_ / g));
+  std::int64_t den = checked_mul(den_, scale);
+  normalize(num, den);
+  num_ = num;
+  den_ = den;
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  // Cross-reduce before multiplying to avoid overflow.
+  const std::int64_t g1 = std::gcd(num_, rhs.den_);
+  const std::int64_t g2 = std::gcd(rhs.num_, den_);
+  std::int64_t num = checked_mul(num_ / g1, rhs.num_ / g2);
+  std::int64_t den = checked_mul(den_ / g2, rhs.den_ / g1);
+  normalize(num, den);
+  num_ = num;
+  den_ = den;
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) { return *this *= rhs.inverse(); }
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens positive).
+  return checked_mul(a.num_, b.den_) < checked_mul(b.num_, a.den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw std::overflow_error("Rational: 64-bit multiply overflow");
+  }
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw std::overflow_error("Rational: 64-bit add overflow");
+  }
+  return out;
+}
+
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = std::gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace sdfmap {
+
+/// Exact rational arithmetic on 64-bit integers.
+///
+/// All throughput results and timing quantities in the analysis engines are
+/// rationals so that no floating-point rounding can change a feasibility
+/// verdict. The representation is always normalized: gcd(num, den) == 1 and
+/// den > 0. Overflow in intermediate products throws std::overflow_error
+/// rather than silently wrapping.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// The integer value `v` (denominator 1).
+  constexpr Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// The fraction num/den, normalized. Throws std::domain_error if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  /// Closest double; for reporting only, never for analysis decisions.
+  [[nodiscard]] double to_double() const;
+
+  /// Multiplicative inverse. Throws std::domain_error when zero.
+  [[nodiscard]] Rational inverse() const;
+
+  /// Renders "num/den", or just "num" when the value is integral.
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+  friend bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// Checked 64-bit multiply; throws std::overflow_error on overflow.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+/// Checked 64-bit add; throws std::overflow_error on overflow.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// Least common multiple with overflow checking.
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b);
+
+/// Ceiling division for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sdfmap

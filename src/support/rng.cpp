@@ -1,0 +1,77 @@
+#include "src/support/rng.h"
+
+#include <stdexcept>
+
+namespace sdfmap {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("Rng::weighted_index: no positive weight");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdfmap {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every randomized component in sdfmap (graph generation, benchmark set
+/// construction) takes an explicit seed through this class so experiments are
+/// bit-reproducible across platforms; std::mt19937 distributions are avoided
+/// because their outputs are not guaranteed identical across standard library
+/// implementations.
+class Rng {
+ public:
+  /// Seeds the state from `seed` via splitmix64, so nearby seeds give
+  /// unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Picks an index with probability proportional to `weights` (all >= 0,
+  /// at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sdfmap

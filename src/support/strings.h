@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdfmap {
+
+/// Splits `s` on `sep`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins the string representations of a container with `sep`.
+template <typename Container>
+std::string join(const Container& items, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    if constexpr (std::is_convertible_v<decltype(item), std::string_view>) {
+      out += item;
+    } else {
+      out += std::to_string(item);
+    }
+  }
+  return out;
+}
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; throws std::invalid_argument on junk.
+std::int64_t parse_int(std::string_view s);
+
+}  // namespace sdfmap

@@ -1,0 +1,102 @@
+#include "src/analysis/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Latency, PipelineFirstOutput) {
+  // a(2) -> b(3) -> c(4) chain with feedback bounding it; first c completion
+  // at 2 + 3 + 4 = 9.
+  GraphBuilder b;
+  b.actor("a", 2).actor("b", 3).actor("c", 4);
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1).channel("c", "a", 1, 1, 3);
+  const Graph& g = b.build();
+  const auto gamma = *compute_repetition_vector(g);
+  const auto report = self_timed_latency(g, gamma, ActorId{2});
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report->first_output, 9);
+  EXPECT_EQ(report->first_iteration_completion, 9);  // γ(c) = 1
+}
+
+TEST(Latency, MultiRateIterationNeedsAllFirings) {
+  // γ(b) = 2: the iteration completes at b's second completion.
+  GraphBuilder b;
+  b.actor("a", 5).actor("b", 3);
+  b.channel("a", "b", 2, 1);
+  b.channel("b", "a", 1, 2, 2);
+  const Graph& g = b.build();
+  const auto gamma = *compute_repetition_vector(g);
+  ASSERT_EQ(gamma[1], 2);
+  const auto report = self_timed_latency(g, gamma, ActorId{1});
+  ASSERT_TRUE(report);
+  // a: [0,5); both b firings start at 5 (auto-concurrency), end at 8.
+  EXPECT_EQ(report->first_output, 8);
+  EXPECT_EQ(report->first_iteration_completion, 8);
+}
+
+TEST(Latency, DeadlockGivesNullopt) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1).channel("x", "a", 1, 1);
+  const Graph& g = b.build();
+  const auto gamma = *compute_repetition_vector(g);
+  EXPECT_FALSE(self_timed_latency(g, gamma, ActorId{1}).has_value());
+}
+
+TEST(Latency, InvalidSinkGivesNullopt) {
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a");
+  const Graph& g = b.build();
+  const auto gamma = *compute_repetition_vector(g);
+  EXPECT_FALSE(self_timed_latency(g, gamma, ActorId{7}).has_value());
+}
+
+TEST(Latency, ConstrainedNeverFasterThanSelfTimed) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+  const ListSchedulingResult sched = construct_schedules(app, arch, binding);
+  const BindingAwareGraph& bag = sched.binding_aware;
+  const auto gamma = *compute_repetition_vector(bag.graph);
+  const ActorId a3{2};
+
+  const auto self_timed = self_timed_latency(bag.graph, gamma, a3);
+  ASSERT_TRUE(self_timed);
+
+  const ConstrainedSpec spec = make_constrained_spec(arch, bag, sched.schedules);
+  const auto constrained = constrained_latency(bag.graph, gamma, spec, a3);
+  ASSERT_TRUE(constrained);
+
+  EXPECT_GE(constrained->first_output, self_timed->first_output);
+  EXPECT_GE(constrained->first_iteration_completion,
+            self_timed->first_iteration_completion);
+}
+
+TEST(Latency, ConstrainedAccountsForGating) {
+  // One actor, exec 4, slice 2 of wheel 10: completion needs two windows:
+  // [0,2) + [10,12) -> first output at 12.
+  GraphBuilder b;
+  b.actor("a", 4).self_loop("a");
+  const Graph& g = b.build();
+  const auto gamma = *compute_repetition_vector(g);
+  ConstrainedSpec spec;
+  spec.actor_tile = {0};
+  StaticOrderSchedule sched;
+  sched.firings = {ActorId{0}};
+  sched.loop_start = 0;
+  spec.tiles.push_back({10, 2, 0, sched});
+  const auto report = constrained_latency(g, gamma, spec, ActorId{0});
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report->first_output, 12);
+}
+
+}  // namespace
+}  // namespace sdfmap

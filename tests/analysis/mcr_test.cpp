@@ -1,0 +1,133 @@
+#include "src/analysis/mcr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/builder.h"
+#include "src/sdf/hsdf.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+Graph ring(std::vector<std::int64_t> exec, std::vector<std::int64_t> tokens) {
+  Graph g;
+  const std::size_t n = exec.size();
+  for (std::size_t i = 0; i < n; ++i) g.add_actor("a" + std::to_string(i), exec[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_channel(ActorId{static_cast<std::uint32_t>(i)},
+                  ActorId{static_cast<std::uint32_t>((i + 1) % n)}, 1, 1, tokens[i]);
+  }
+  return g;
+}
+
+TEST(Mcr, SimpleRing) {
+  const Graph g = ring({1, 1, 2}, {0, 0, 2});
+  const McrResult r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.is_finite());
+  EXPECT_EQ(r.ratio, Rational(2));  // (1+1+2)/2
+}
+
+TEST(Mcr, SelfLoop) {
+  GraphBuilder b;
+  b.actor("a", 7).self_loop("a", 2);
+  const McrResult r = max_cycle_ratio(b.build());
+  ASSERT_TRUE(r.is_finite());
+  EXPECT_EQ(r.ratio, Rational(7, 2));
+}
+
+TEST(Mcr, AcyclicGraph) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 1);
+  b.channel("a", "b", 1, 1);
+  EXPECT_EQ(max_cycle_ratio(b.build()).kind, McrResult::Kind::kAcyclic);
+}
+
+TEST(Mcr, ZeroTokenCycleIsDeadlock) {
+  const Graph g = ring({1, 1}, {0, 0});
+  EXPECT_EQ(max_cycle_ratio(g).kind, McrResult::Kind::kDeadlock);
+}
+
+TEST(Mcr, PicksCriticalOfTwoCycles) {
+  // Cycle 1: a<->b ratio (2+3)/1 = 5. Cycle 2: a<->c ratio (2+9)/2 = 5.5.
+  Graph g;
+  const ActorId a = g.add_actor("a", 2);
+  const ActorId b = g.add_actor("b", 3);
+  const ActorId c = g.add_actor("c", 9);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 1);
+  g.add_channel(a, c, 1, 1, 0);
+  g.add_channel(c, a, 1, 1, 2);
+  const McrResult r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.is_finite());
+  EXPECT_EQ(r.ratio, Rational(11, 2));
+  // Critical cycle covers a and c.
+  ASSERT_EQ(r.critical_cycle.size(), 2u);
+}
+
+TEST(Mcr, MultipleSccs) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 4);
+  const ActorId b = g.add_actor("b", 6);
+  g.add_channel(a, a, 1, 1, 1);  // ratio 4
+  g.add_channel(b, b, 1, 1, 2);  // ratio 3
+  g.add_channel(a, b, 1, 1, 0);  // bridge, not a cycle
+  const McrResult r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.is_finite());
+  EXPECT_EQ(r.ratio, Rational(4));
+}
+
+TEST(Mcr, EnumerationOracleAgreesOnSmallGraph) {
+  const Graph g = ring({3, 1, 4, 1}, {1, 0, 2, 0});
+  const McrResult howard = max_cycle_ratio(g);
+  const McrResult oracle = max_cycle_ratio_by_enumeration(g);
+  ASSERT_TRUE(howard.is_finite());
+  ASSERT_TRUE(oracle.is_finite());
+  EXPECT_EQ(howard.ratio, oracle.ratio);
+}
+
+TEST(Mcr, BellmanFordWitness) {
+  const Graph g = ring({1, 1, 2}, {0, 0, 2});  // MCR = 2
+  EXPECT_TRUE(has_cycle_with_ratio_above(g, Rational(3, 2)));
+  EXPECT_FALSE(has_cycle_with_ratio_above(g, Rational(2)));
+  EXPECT_FALSE(has_cycle_with_ratio_above(g, Rational(5, 2)));
+}
+
+// Property sweep: Howard agrees with the enumeration oracle and with the
+// Bellman-Ford separator on random strongly-connected HSDFGs.
+class McrProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McrProperty, HowardMatchesOracle) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 7));
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_actor("a" + std::to_string(i), rng.uniform(1, 20));
+  }
+  // Ring for strong connectivity (one token somewhere), plus random chords.
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_channel(ActorId{static_cast<std::uint32_t>(i)},
+                  ActorId{static_cast<std::uint32_t>((i + 1) % n)}, 1, 1,
+                  i == 0 ? rng.uniform(1, 3) : rng.uniform(0, 2));
+  }
+  const std::size_t extra = static_cast<std::size_t>(rng.uniform(0, 2 * n));
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.index(n));
+    const auto v = static_cast<std::uint32_t>(rng.index(n));
+    g.add_channel(ActorId{u}, ActorId{v}, 1, 1, rng.uniform(0, 3));
+  }
+
+  const McrResult howard = max_cycle_ratio(g);
+  const McrResult oracle = max_cycle_ratio_by_enumeration(g);
+  ASSERT_EQ(howard.kind, oracle.kind);
+  if (howard.is_finite()) {
+    EXPECT_EQ(howard.ratio, oracle.ratio) << "n=" << n;
+    EXPECT_FALSE(has_cycle_with_ratio_above(g, howard.ratio));
+    EXPECT_TRUE(has_cycle_with_ratio_above(
+        g, howard.ratio - Rational(1, 1000)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McrProperty, ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace sdfmap

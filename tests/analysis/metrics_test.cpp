@@ -1,0 +1,102 @@
+#include "src/analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Metrics, ActorThroughputsFromPeriodFirings) {
+  GraphBuilder b;
+  b.actor("a", 4).actor("x", 3);
+  b.channel("a", "x", 2, 1);
+  b.channel("x", "a", 1, 2, 4);  // γ = (1, 2), period 7/2
+  const Graph& g = b.build();
+  const SelfTimedResult r = self_timed_throughput(g);
+  ASSERT_FALSE(r.deadlocked());
+  const auto thr = actor_firing_throughputs(g, r);
+  ASSERT_EQ(thr.size(), 2u);
+  // firing throughput = γ(a) / iteration period.
+  EXPECT_EQ(thr[0], Rational(2, 7));
+  EXPECT_EQ(thr[1], Rational(4, 7));
+}
+
+TEST(Metrics, DeadlockGivesZeroThroughputs) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1).channel("x", "a", 1, 1);
+  const Graph& g = b.build();
+  const SelfTimedResult r = self_timed_throughput(g);
+  ASSERT_TRUE(r.deadlocked());
+  for (const auto& t : actor_firing_throughputs(g, r)) EXPECT_EQ(t, Rational(0));
+}
+
+class ConstrainedMetrics : public ::testing::Test {
+ protected:
+  ConstrainedMetrics()
+      : arch_(make_example_platform()),
+        app_(make_paper_example_application()),
+        binding_(make_paper_example_binding(arch_)) {
+    const ListSchedulingResult sched = construct_schedules(app_, arch_, binding_);
+    bag_ = sched.binding_aware;
+    spec_ = make_constrained_spec(arch_, bag_, sched.schedules);
+    const auto gamma = compute_repetition_vector(bag_.graph);
+    run_ = execute_constrained(bag_.graph, *gamma, spec_, SchedulingMode::kStaticOrder);
+  }
+
+  Architecture arch_;
+  ApplicationGraph app_;
+  Binding binding_;
+  BindingAwareGraph bag_;
+  ConstrainedSpec spec_;
+  ConstrainedResult run_;
+};
+
+TEST_F(ConstrainedMetrics, TileActiveFractions) {
+  ASSERT_FALSE(run_.base.deadlocked());
+  const auto fractions = tile_active_fractions(bag_.graph, spec_, run_);
+  ASSERT_EQ(fractions.size(), 2u);
+  // Period 30: t1 runs a1 (1) + a2 (1) = 2/30; t2 runs a3 (2) = 2/30.
+  EXPECT_DOUBLE_EQ(fractions[0], 2.0 / 30.0);
+  EXPECT_DOUBLE_EQ(fractions[1], 2.0 / 30.0);
+}
+
+TEST_F(ConstrainedMetrics, ActiveFractionBoundedBySlice) {
+  const auto fractions = tile_active_fractions(bag_.graph, spec_, run_);
+  for (std::size_t t = 0; t < fractions.size(); ++t) {
+    const double slice_fraction = static_cast<double>(spec_.tiles[t].slice) /
+                                  static_cast<double>(spec_.tiles[t].wheel_size);
+    EXPECT_LE(fractions[t], slice_fraction + 1e-12);
+  }
+}
+
+TEST_F(ConstrainedMetrics, InterconnectTransferRate) {
+  // Per period 30: d2 moves 2 tokens (conn+sync fire 2x each = 4 firings),
+  // d3 moves 1 token (2 firings) -> 6 unscheduled firings / (2·30) = 1/10.
+  EXPECT_EQ(interconnect_transfer_rate(bag_.graph, spec_, run_), Rational(1, 10));
+}
+
+TEST_F(ConstrainedMetrics, PeriodFiringsMatchGammaMultiples) {
+  const auto gamma = *compute_repetition_vector(bag_.graph);
+  ASSERT_FALSE(run_.base.period_firings.empty());
+  // The periodic phase spans k whole iterations for one positive integer k.
+  std::optional<Rational> k;
+  for (std::uint32_t a = 0; a < bag_.graph.num_actors(); ++a) {
+    if (gamma[a] == 0) continue;
+    const Rational it(run_.base.period_firings[a], gamma[a]);
+    if (!k) k = it;
+    EXPECT_EQ(*k, it) << bag_.graph.actor(ActorId{a}).name;
+  }
+  ASSERT_TRUE(k);
+  EXPECT_TRUE(k->is_integer());
+  EXPECT_GE(*k, Rational(1));
+}
+
+}  // namespace
+}  // namespace sdfmap

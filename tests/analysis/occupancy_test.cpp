@@ -1,0 +1,93 @@
+// Tests of the observed-buffer-occupancy reporting (max_tokens), which ties
+// the throughput engines to the storage-distribution analyses of [21].
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/constrained.h"
+#include "src/analysis/state_space.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Occupancy, TracksPeakTokens) {
+  // a produces 3 tokens per firing, b drains one at a time; the self-loop on
+  // a allows one firing at a time: peak = 3 on the data channel.
+  GraphBuilder b;
+  b.actor("a", 6).actor("x", 2);
+  b.self_loop("a");
+  b.channel("a", "x", 3, 1, 0, "data");
+  b.channel("x", "a", 1, 3, 3, "space");
+  const Graph& g = b.build();
+  const SelfTimedResult r = self_timed_throughput(g);
+  ASSERT_FALSE(r.deadlocked());
+  ASSERT_EQ(r.max_tokens.size(), g.num_channels());
+  EXPECT_EQ(r.max_tokens[1], 3);  // "data"
+  EXPECT_EQ(r.max_tokens[2], 3);  // "space" starts full
+}
+
+TEST(Occupancy, InitialTokensCounted) {
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a", 5);
+  const SelfTimedResult r = self_timed_throughput(b.build());
+  ASSERT_FALSE(r.deadlocked());
+  EXPECT_EQ(r.max_tokens[0], 5);
+}
+
+TEST(Occupancy, BindingAwareOccupancyRespectsAlpha) {
+  // In the binding-aware graph every buffered channel's occupancy plus its
+  // back-edge occupancy is bounded by the α capacity — the structural
+  // invariant of the Sec. 8.1 buffer model.
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+  const BindingAwareGraph bag = build_binding_aware_graph(app, arch, binding, {5, 5});
+  const auto gamma = *compute_repetition_vector(bag.graph);
+  const SelfTimedResult r = self_timed_throughput(bag.graph, gamma);
+  ASSERT_FALSE(r.deadlocked());
+
+  // d1 intra-tile with α_tile = 1: its occupancy can never exceed 1.
+  for (std::uint32_t c = 0; c < bag.graph.num_channels(); ++c) {
+    if (bag.graph.channel(ChannelId{c}).name == "d1") {
+      EXPECT_LE(r.max_tokens[c], 1);
+    }
+    if (bag.graph.channel(ChannelId{c}).name == "d2_src") {
+      // α_src = 2 bounds the source-side buffer of d2.
+      EXPECT_LE(r.max_tokens[c], 2);
+    }
+  }
+}
+
+TEST(Occupancy, ConstrainedEngineReportsToo) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+  const ListSchedulingResult sched = construct_schedules(app, arch, binding);
+  const auto gamma = *compute_repetition_vector(sched.binding_aware.graph);
+  const ConstrainedResult r = execute_constrained(
+      sched.binding_aware.graph, gamma,
+      make_constrained_spec(arch, sched.binding_aware, sched.schedules),
+      SchedulingMode::kStaticOrder);
+  ASSERT_FALSE(r.base.deadlocked());
+  ASSERT_EQ(r.base.max_tokens.size(), sched.binding_aware.graph.num_channels());
+  for (const auto m : r.base.max_tokens) EXPECT_GE(m, 0);
+}
+
+TEST(Occupancy, TightBuffersShowFullUtilization) {
+  // With capacity-1 buffers the data channel peak is exactly 1.
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1, 0, "data");
+  b.channel("x", "a", 1, 1, 1, "space");
+  const SelfTimedResult r = self_timed_throughput(b.build());
+  ASSERT_FALSE(r.deadlocked());
+  EXPECT_EQ(r.max_tokens[0], 1);
+}
+
+}  // namespace
+}  // namespace sdfmap

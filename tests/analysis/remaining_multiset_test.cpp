@@ -1,0 +1,80 @@
+#include "src/analysis/remaining_multiset.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+TEST(RemainingMultiset, StartsEmpty) {
+  const RemainingMultiset m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.zero_count(), 0);
+  EXPECT_EQ(m.total(), 0);
+}
+
+TEST(RemainingMultiset, AddMergesEqualValues) {
+  RemainingMultiset m;
+  m.add(5, 3);
+  m.add(5, 2);
+  m.add(2, 1);
+  EXPECT_EQ(m.total(), 6);
+  ASSERT_EQ(m.entries().size(), 2u);
+  EXPECT_EQ(m.front(), 2);
+  EXPECT_EQ(m.entries()[1].remaining, 5);
+  EXPECT_EQ(m.entries()[1].count, 5);
+}
+
+TEST(RemainingMultiset, AddIgnoresNonPositiveCounts) {
+  RemainingMultiset m;
+  m.add(1, 0);
+  m.add(1, -2);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(RemainingMultiset, KeepsSortedOrder) {
+  RemainingMultiset m;
+  m.add(7, 1);
+  m.add(3, 1);
+  m.add(5, 1);
+  ASSERT_EQ(m.entries().size(), 3u);
+  EXPECT_EQ(m.entries()[0].remaining, 3);
+  EXPECT_EQ(m.entries()[1].remaining, 5);
+  EXPECT_EQ(m.entries()[2].remaining, 7);
+}
+
+TEST(RemainingMultiset, AdvanceAndZeroHandling) {
+  RemainingMultiset m;
+  m.add(4, 2);
+  m.add(9, 1);
+  m.advance(4);
+  EXPECT_EQ(m.zero_count(), 2);
+  m.pop_zeros();
+  EXPECT_EQ(m.zero_count(), 0);
+  EXPECT_EQ(m.front(), 5);
+  EXPECT_EQ(m.total(), 1);
+}
+
+TEST(RemainingMultiset, EncodeIsCanonical) {
+  RemainingMultiset a;
+  a.add(2, 3);
+  a.add(6, 1);
+  RemainingMultiset b;
+  b.add(6, 1);
+  b.add(2, 1);
+  b.add(2, 2);
+  std::vector<std::int64_t> wa, wb;
+  a.encode(wa);
+  b.encode(wb);
+  EXPECT_EQ(wa, wb);  // same multiset, same key regardless of insertion order
+  EXPECT_EQ(wa, (std::vector<std::int64_t>{2, 2, 3, 6, 1}));
+}
+
+TEST(RemainingMultiset, ZeroRemainingEntriesMerge) {
+  RemainingMultiset m;
+  m.add(0, 2);
+  m.add(0, 1);
+  EXPECT_EQ(m.zero_count(), 3);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,152 @@
+// Differential validation of the run-length-encoded self-timed engine: a
+// deliberately naive simulator (plain multiset of remaining times, one time
+// unit per tick) implements the same semantics; both must agree on the
+// iteration period of randomized strongly-connected multi-rate graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/analysis/state_space.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+class NaiveSelfTimed {
+ public:
+  explicit NaiveSelfTimed(const Graph& g) : g_(g) {
+    tokens_.resize(g.num_channels());
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      tokens_[c] = g.channels()[c].initial_tokens;
+    }
+    remaining_.resize(g.num_actors());
+    fires_.assign(g.num_actors(), 0);
+  }
+
+  std::optional<Rational> run(const RepetitionVector& gamma, std::int64_t max_time) {
+    std::uint32_t ref = 0;
+    for (std::uint32_t a = 0; a < g_.num_actors(); ++a) {
+      if (gamma[a] < gamma[ref]) ref = a;
+    }
+    std::map<std::vector<std::int64_t>, std::pair<std::int64_t, std::int64_t>> seen;
+    std::int64_t last_ref = -1;
+    for (std::int64_t now = 0; now < max_time; ++now) {
+      settle();
+      if (fires_[ref] != last_ref) {
+        last_ref = fires_[ref];
+        const auto [it, inserted] =
+            seen.try_emplace(encode(), std::make_pair(now, fires_[ref]));
+        if (!inserted) {
+          const auto [prev_time, prev_fires] = it->second;
+          if (fires_[ref] == prev_fires) return std::nullopt;
+          return Rational(now - prev_time) * Rational(gamma[ref], fires_[ref] - prev_fires);
+        }
+      }
+      for (auto& rem : remaining_) {
+        for (auto& r : rem) --r;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  bool can_fire(std::uint32_t a) const {
+    for (const ChannelId c : g_.actor(ActorId{a}).inputs) {
+      if (tokens_[c.value] < g_.channel(c).consumption_rate) return false;
+    }
+    return true;
+  }
+
+  void settle() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t a = 0; a < g_.num_actors(); ++a) {
+        auto& rem = remaining_[a];
+        for (auto it = rem.begin(); it != rem.end();) {
+          if (*it == 0) {
+            for (const ChannelId c : g_.actor(ActorId{a}).outputs) {
+              tokens_[c.value] += g_.channel(c).production_rate;
+            }
+            ++fires_[a];
+            it = rem.erase(it);
+            changed = true;
+          } else {
+            ++it;
+          }
+        }
+        while (can_fire(a)) {
+          for (const ChannelId c : g_.actor(ActorId{a}).inputs) {
+            tokens_[c.value] -= g_.channel(c).consumption_rate;
+          }
+          rem.push_back(g_.actor(ActorId{a}).execution_time);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<std::int64_t> encode() const {
+    std::vector<std::int64_t> key = tokens_;
+    for (const auto& rem : remaining_) {
+      auto sorted = rem;
+      std::sort(sorted.begin(), sorted.end());
+      key.push_back(static_cast<std::int64_t>(sorted.size()));
+      key.insert(key.end(), sorted.begin(), sorted.end());
+    }
+    return key;
+  }
+
+  const Graph& g_;
+  std::vector<std::int64_t> tokens_;
+  std::vector<std::vector<std::int64_t>> remaining_;
+  std::vector<std::int64_t> fires_;
+};
+
+class SelfTimedReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelfTimedReference, EngineMatchesNaiveSimulator) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 5));
+  std::vector<std::int64_t> gamma(n);
+  for (auto& v : gamma) v = rng.uniform(1, 3);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_actor("a" + std::to_string(i), rng.uniform(1, 6));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = (i + 1) % n;
+    const std::int64_t lcm = std::lcm(gamma[i], gamma[d]);
+    g.add_channel(ActorId{static_cast<std::uint32_t>(i)},
+                  ActorId{static_cast<std::uint32_t>(d)}, lcm / gamma[i], lcm / gamma[d],
+                  d == 0 ? (lcm / gamma[d]) * gamma[d] * rng.uniform(1, 2) : 0);
+  }
+  if (rng.chance(0.5)) {
+    const auto a = static_cast<std::uint32_t>(rng.index(n));
+    g.add_channel(ActorId{a}, ActorId{a}, 1, 1, rng.uniform(1, 2));
+  }
+
+  const auto rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv);
+  const SelfTimedResult engine = self_timed_throughput(g, *rv);
+
+  NaiveSelfTimed reference(g);
+  const auto naive = reference.run(*rv, 5000);
+
+  if (engine.deadlocked()) {
+    EXPECT_FALSE(naive.has_value()) << "seed " << GetParam();
+  } else {
+    ASSERT_TRUE(naive.has_value()) << "seed " << GetParam();
+    EXPECT_EQ(engine.iteration_period, *naive) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfTimedReference, ::testing::Range<std::uint64_t>(1, 81));
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,154 @@
+#include "src/analysis/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/builder.h"
+#include "src/sdf/deadlock.h"
+#include "src/sdf/repetition_vector.h"
+#include "src/support/rng.h"
+#include "src/gen/generator.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Storage, WithCapacitiesAddsReverseChannels) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 2, 3, 1);
+  const Graph& g = b.build();
+  const Graph bounded = with_capacities(g, {5});
+  ASSERT_EQ(bounded.num_channels(), 2u);
+  const Channel& back = bounded.channel(ChannelId{1});
+  EXPECT_EQ(back.src.value, 1u);
+  EXPECT_EQ(back.dst.value, 0u);
+  EXPECT_EQ(back.production_rate, 3);
+  EXPECT_EQ(back.consumption_rate, 2);
+  EXPECT_EQ(back.initial_tokens, 4);  // capacity − Tok
+}
+
+TEST(Storage, WithCapacitiesValidation) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1, 3);
+  EXPECT_THROW(with_capacities(b.build(), {2}), std::invalid_argument);   // < Tok
+  EXPECT_THROW(with_capacities(b.build(), {2, 2}), std::invalid_argument);  // arity
+}
+
+TEST(Storage, WithCapacitiesSkipsSelfLoopsAndZeros) {
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a");
+  b.actor("x", 1);
+  b.channel("a", "x", 1, 1);
+  const Graph bounded = with_capacities(b.build(), {0, 0});
+  EXPECT_EQ(bounded.num_channels(), 2u);  // unchanged
+}
+
+TEST(Storage, TwoActorPipelineKnownTradeoff) {
+  // a(2) -> b(3): capacity 1 serializes (cycle (2+3)/1 -> period 5);
+  // capacity 2 lets two firings overlap (cycle (2+3)/2 -> period 5/2).
+  GraphBuilder b;
+  b.actor("a", 2).actor("x", 3);
+  b.channel("a", "x", 1, 1);
+  const Graph& g = b.build();
+  const Graph serial = with_capacities(g, {1});
+  const Graph pipelined = with_capacities(g, {2});
+  EXPECT_EQ(self_timed_throughput(serial).iteration_period, Rational(5));
+  EXPECT_EQ(self_timed_throughput(pipelined).iteration_period, Rational(5, 2));
+}
+
+TEST(Storage, MinimizeFindsSerialCapacityForLooseTarget) {
+  GraphBuilder b;
+  b.actor("a", 2).actor("x", 3);
+  b.channel("a", "x", 1, 1);
+  const StorageResult r = minimize_storage(b.build(), Rational(5));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.capacities, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(r.achieved_period, Rational(5));
+}
+
+TEST(Storage, MinimizeGrowsForTightTarget) {
+  GraphBuilder b;
+  b.actor("a", 2).actor("x", 3);
+  b.channel("a", "x", 1, 1);
+  const StorageResult r = minimize_storage(b.build(), Rational(3));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.capacities, (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(r.achieved_period, Rational(5, 2));
+}
+
+TEST(Storage, UnreachableTargetFails) {
+  GraphBuilder b;
+  b.actor("a", 2).actor("x", 3);
+  b.channel("a", "x", 1, 1);
+  // The bottleneck actor alone needs 3 time units per firing... but with
+  // auto-concurrency unbounded the inherent bound is lower; ask for the
+  // impossible anyway.
+  const StorageResult r = minimize_storage(b.build(), Rational(1, 1000));
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.failure_reason.empty());
+}
+
+TEST(Storage, InconsistentGraphFails) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 2, 1).channel("x", "a", 1, 1);
+  const StorageResult r = minimize_storage(b.build(), Rational(100));
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Storage, MultiRateMinimalLiveCapacity) {
+  // a -(3,2)-> b: the minimal live capacity is p + q − gcd = 3 + 2 − 1 = 4.
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 3, 2);
+  const StorageResult r = minimize_storage(b.build(), Rational(1000));
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.capacities[0], 4);
+  EXPECT_TRUE(is_deadlock_free(with_capacities(b.build(), r.capacities)));
+}
+
+class StorageProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StorageProperty, ResultIsFeasibleAndLocallyMinimal) {
+  Rng rng(GetParam());
+  GeneratorOptions options;
+  options.min_actors = 3;
+  options.max_actors = 5;
+  options.max_repetition = 3;
+  const ApplicationGraph app = generate_application(options, rng, "st");
+  // Use the structure with the fastest execution times as a timed graph.
+  Graph g = app.sdf();
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    g.set_execution_time(ActorId{a}, app.max_execution_time(ActorId{a}));
+  }
+  // Target: 3x the unconstrained period (one-iteration buffering bound).
+  const auto gamma = *compute_repetition_vector(g);
+  const SelfTimedResult unbound = self_timed_throughput(g, gamma);
+  ASSERT_FALSE(unbound.deadlocked());
+  const Rational target = unbound.iteration_period * Rational(3);
+
+  const StorageResult r = minimize_storage(g, target);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_LE(r.achieved_period, target);
+
+  // Local minimality: removing any single token breaks the target.
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    const Channel& ch = g.channel(ChannelId{c});
+    if (ch.src == ch.dst || r.capacities[c] <= std::max<std::int64_t>(ch.initial_tokens, 1)) {
+      continue;
+    }
+    auto caps = r.capacities;
+    --caps[c];
+    const Graph bounded = with_capacities(g, caps);
+    const auto bg = compute_repetition_vector(bounded);
+    ASSERT_TRUE(bg);
+    const SelfTimedResult shrunk = self_timed_throughput(bounded, *bg);
+    EXPECT_TRUE(shrunk.deadlocked() || shrunk.iteration_period > target)
+        << "channel " << ch.name << " capacity was not minimal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageProperty, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace sdfmap

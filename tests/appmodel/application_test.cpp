@@ -1,0 +1,98 @@
+#include "src/appmodel/application.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+ApplicationGraph two_actor_app() {
+  GraphBuilder b;
+  b.actor("a").actor("x");
+  b.channel("a", "x", 1, 1).channel("x", "a", 1, 1, 1);
+  return ApplicationGraph("app", b.take(), 2);
+}
+
+TEST(ApplicationGraph, RequirementsDefaultToUnsupported) {
+  const ApplicationGraph app = two_actor_app();
+  EXPECT_FALSE(app.requirement(ActorId{0}, ProcTypeId{0}).has_value());
+  EXPECT_FALSE(app.is_mappable(ActorId{0}));
+}
+
+TEST(ApplicationGraph, SetAndQueryRequirement) {
+  ApplicationGraph app = two_actor_app();
+  app.set_requirement(ActorId{0}, ProcTypeId{1}, {5, 100});
+  ASSERT_TRUE(app.requirement(ActorId{0}, ProcTypeId{1}));
+  EXPECT_EQ(app.requirement(ActorId{0}, ProcTypeId{1})->execution_time, 5);
+  EXPECT_TRUE(app.is_mappable(ActorId{0}));
+  EXPECT_EQ(app.max_execution_time(ActorId{0}), 5);
+  app.set_requirement(ActorId{0}, ProcTypeId{0}, {9, 50});
+  EXPECT_EQ(app.max_execution_time(ActorId{0}), 9);
+}
+
+TEST(ApplicationGraph, RequirementValidation) {
+  ApplicationGraph app = two_actor_app();
+  EXPECT_THROW(app.set_requirement(ActorId{0}, ProcTypeId{0}, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(app.set_requirement(ActorId{0}, ProcTypeId{0}, {1, -1}),
+               std::invalid_argument);
+  EXPECT_THROW(app.max_execution_time(ActorId{1}), std::logic_error);
+}
+
+TEST(ApplicationGraph, EdgeRequirements) {
+  ApplicationGraph app = two_actor_app();
+  app.set_edge_requirement(ChannelId{0}, {64, 3, 2, 2, 10});
+  EXPECT_EQ(app.edge_requirement(ChannelId{0}).token_size, 64);
+  EXPECT_THROW(app.set_edge_requirement(ChannelId{0}, {-1, 0, 0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(ApplicationGraph, RepetitionVectorCachedAndCorrect) {
+  ApplicationGraph app = two_actor_app();
+  EXPECT_EQ(app.repetition_vector(), (RepetitionVector{1, 1}));
+}
+
+TEST(ApplicationGraph, RepetitionVectorThrowsOnInconsistent) {
+  GraphBuilder b;
+  b.actor("a").actor("x");
+  b.channel("a", "x", 2, 1).channel("x", "a", 1, 1);
+  const ApplicationGraph app("bad", b.take(), 1);
+  EXPECT_THROW(app.repetition_vector(), std::invalid_argument);
+}
+
+TEST(ApplicationGraph, ValidateFlagsProblems) {
+  GraphBuilder b;
+  b.actor("a").actor("x");
+  b.channel("a", "x", 1, 1, 5).channel("x", "a", 1, 1);
+  ApplicationGraph app("app", b.take(), 1);
+  // No requirements set, α_tile < tokens on channel 0.
+  app.set_edge_requirement(ChannelId{0}, {8, 2, 0, 0, 0});
+  const auto problems = app.validate();
+  EXPECT_GE(problems.size(), 3u);  // two unmappable actors + alpha problem
+}
+
+TEST(ApplicationGraph, ValidateAcceptsPaperExample) {
+  const ApplicationGraph app = make_paper_example_application();
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(ApplicationGraph, PaperExampleMatchesTable2) {
+  const ApplicationGraph app = make_paper_example_application();
+  EXPECT_EQ(app.sdf().num_actors(), 3u);
+  EXPECT_EQ(app.sdf().num_channels(), 3u);
+  const ActorId a1 = *app.sdf().find_actor("a1");
+  const ActorId a3 = *app.sdf().find_actor("a3");
+  EXPECT_EQ(app.requirement(a1, ProcTypeId{0})->execution_time, 1);
+  EXPECT_EQ(app.requirement(a1, ProcTypeId{1})->memory, 15);
+  EXPECT_EQ(app.requirement(a3, ProcTypeId{1})->execution_time, 2);
+  EXPECT_EQ(app.edge_requirement(ChannelId{1}).token_size, 100);
+  EXPECT_EQ(app.edge_requirement(ChannelId{1}).bandwidth, 10);
+  // γ = (1, 1, 1) for the reconstructed rates (d2 is the multi-rate edge
+  // with rates 2,2).
+  EXPECT_EQ(app.repetition_vector(), (RepetitionVector{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace sdfmap

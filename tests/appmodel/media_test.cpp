@@ -1,0 +1,107 @@
+#include "src/appmodel/media.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/deadlock.h"
+#include "src/sdf/hsdf.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Media, H263StructureMatchesPaper) {
+  const ApplicationGraph app = make_h263_decoder(2);
+  EXPECT_EQ(app.sdf().num_actors(), 4u);
+  const auto& gamma = app.repetition_vector();
+  EXPECT_EQ(iteration_firings(gamma), 4754);  // HSDFG size from Sec. 1
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(Media, H263HsdfSize) {
+  const ApplicationGraph app = make_h263_decoder(2);
+  EXPECT_EQ(to_hsdf(app.sdf()).graph.num_actors(), 4754u);
+}
+
+TEST(Media, H263ScaledVariant) {
+  const ApplicationGraph app = make_h263_decoder(2, 99, "h263_qcif");
+  EXPECT_EQ(iteration_firings(app.repetition_vector()), 2 * 99 + 2);
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(Media, H263AcceleratorOnlySupportsKernels) {
+  const ApplicationGraph app = make_h263_decoder(2);
+  const ActorId vld = *app.sdf().find_actor("vld");
+  const ActorId iq = *app.sdf().find_actor("iq");
+  EXPECT_TRUE(app.requirement(vld, ProcTypeId{0}));
+  EXPECT_FALSE(app.requirement(vld, ProcTypeId{1}));
+  EXPECT_TRUE(app.requirement(iq, ProcTypeId{1}));
+  EXPECT_LT(app.requirement(iq, ProcTypeId{1})->execution_time,
+            app.requirement(iq, ProcTypeId{0})->execution_time);
+}
+
+TEST(Media, H263SingleProcTypeStillWellFormed) {
+  const ApplicationGraph app = make_h263_decoder(1);
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(Media, H263RejectsBadArgs) {
+  EXPECT_THROW(make_h263_decoder(0), std::invalid_argument);
+  EXPECT_THROW(make_h263_decoder(2, 0), std::invalid_argument);
+}
+
+TEST(Media, Mp3Has13ActorsAndSingleRate) {
+  const ApplicationGraph app = make_mp3_decoder(2);
+  EXPECT_EQ(app.sdf().num_actors(), 13u);
+  const auto& gamma = app.repetition_vector();
+  for (const auto v : gamma) EXPECT_EQ(v, 1);
+  // HSDFG also has 13 actors (14275 = 3·4754 + 13 in Sec. 10.3).
+  EXPECT_EQ(to_hsdf(app.sdf()).graph.num_actors(), 13u);
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(Media, Mp3DeadlockFree) {
+  const ApplicationGraph app = make_mp3_decoder(2);
+  EXPECT_TRUE(is_deadlock_free(app.sdf()));
+}
+
+TEST(Media, MediaPlatformLayout) {
+  const Architecture arch = make_media_platform();
+  EXPECT_EQ(arch.num_tiles(), 4u);
+  EXPECT_EQ(arch.num_proc_types(), 2u);
+  int generic = 0;
+  for (const TileId t : arch.tile_ids()) {
+    if (arch.proc_type_name(arch.tile(t).proc_type) == "generic") ++generic;
+  }
+  EXPECT_EQ(generic, 2);
+}
+
+TEST(Media, Cd2DatRepetitionVectorIsTextbook) {
+  const ApplicationGraph app = make_cd2dat_converter(2);
+  // 44.1 kHz : 48 kHz = 147 : 160 through stages (1,1)(2,3)(2,7)(8,7)(5,1).
+  EXPECT_EQ(app.repetition_vector(), (RepetitionVector{147, 147, 98, 28, 32, 160}));
+  EXPECT_EQ(iteration_firings(app.repetition_vector()), 612);
+  EXPECT_TRUE(app.validate().empty());
+}
+
+TEST(Media, Cd2DatHsdfExplosion) {
+  const ApplicationGraph app = make_cd2dat_converter(1);
+  // 6 SDF actors unfold into 612 HSDF actors.
+  EXPECT_EQ(to_hsdf(app.sdf()).graph.num_actors(), 612u);
+}
+
+TEST(Media, Cd2DatDeadlockFree) {
+  EXPECT_TRUE(is_deadlock_free(make_cd2dat_converter(2).sdf()));
+}
+
+TEST(Media, CombinedUseCaseHsdfSize) {
+  // 3 H.263 + 1 MP3: 3·4754 + 13 = 14275 HSDF actors (Sec. 10.3).
+  std::int64_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    total += iteration_firings(make_h263_decoder(2).repetition_vector());
+  }
+  total += iteration_firings(make_mp3_decoder(2).repetition_vector());
+  EXPECT_EQ(total, 14275);
+}
+
+}  // namespace
+}  // namespace sdfmap

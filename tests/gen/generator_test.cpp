@@ -1,0 +1,107 @@
+#include "src/gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/benchmark_sets.h"
+#include "src/sdf/deadlock.h"
+#include "src/sdf/scc.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorOptions options;
+  Rng rng1(99), rng2(99);
+  const ApplicationGraph a = generate_application(options, rng1, "a");
+  const ApplicationGraph b = generate_application(options, rng2, "b");
+  ASSERT_EQ(a.sdf().num_actors(), b.sdf().num_actors());
+  ASSERT_EQ(a.sdf().num_channels(), b.sdf().num_channels());
+  for (std::uint32_t c = 0; c < a.sdf().num_channels(); ++c) {
+    EXPECT_EQ(a.sdf().channel(ChannelId{c}).production_rate,
+              b.sdf().channel(ChannelId{c}).production_rate);
+    EXPECT_EQ(a.sdf().channel(ChannelId{c}).initial_tokens,
+              b.sdf().channel(ChannelId{c}).initial_tokens);
+  }
+  EXPECT_EQ(a.throughput_constraint(), b.throughput_constraint());
+}
+
+TEST(Generator, RespectsActorCountRange) {
+  GeneratorOptions options;
+  options.min_actors = 4;
+  options.max_actors = 5;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const ApplicationGraph app = generate_application(options, rng, "x");
+    EXPECT_GE(app.sdf().num_actors(), 4u);
+    EXPECT_LE(app.sdf().num_actors(), 5u);
+  }
+}
+
+TEST(Generator, BadRangeThrows) {
+  GeneratorOptions options;
+  options.min_actors = 1;
+  Rng rng(1);
+  EXPECT_THROW(generate_application(options, rng, "x"), std::invalid_argument);
+}
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, WellFormedApplications) {
+  Rng rng(GetParam());
+  GeneratorOptions options;
+  options.max_repetition = 3;
+  const ApplicationGraph app = generate_application(options, rng, "prop");
+
+  // Valid by every model rule.
+  EXPECT_TRUE(app.validate().empty());
+
+  // Strongly connected (single SCC).
+  const SccResult scc = strongly_connected_components(app.sdf());
+  EXPECT_EQ(scc.num_components(), 1u);
+
+  // Deadlock free.
+  EXPECT_TRUE(is_deadlock_free(app.sdf()));
+
+  // Constraint is positive and satisfiable in the ideal schedule.
+  EXPECT_GT(app.throughput_constraint(), Rational(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty, ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(BenchmarkSets, NamesAndProfiles) {
+  EXPECT_EQ(benchmark_set_name(BenchmarkSet::kProcessing), "processing");
+  EXPECT_EQ(benchmark_set_name(BenchmarkSet::kMixed), "mixed");
+  const GeneratorOptions proc = options_for_set(BenchmarkSet::kProcessing);
+  const GeneratorOptions mem = options_for_set(BenchmarkSet::kMemory);
+  const GeneratorOptions comm = options_for_set(BenchmarkSet::kCommunication);
+  EXPECT_GT(proc.min_exec, mem.min_exec);        // processing set: long tasks
+  EXPECT_GT(mem.min_state_memory, proc.min_state_memory);
+  EXPECT_GT(comm.min_bandwidth, proc.min_bandwidth);
+}
+
+TEST(BenchmarkSets, SequenceGeneration) {
+  const auto apps = generate_sequence(BenchmarkSet::kMixed, 5, 42);
+  ASSERT_EQ(apps.size(), 5u);
+  for (const auto& app : apps) {
+    EXPECT_TRUE(app.validate().empty());
+  }
+  // Deterministic.
+  const auto again = generate_sequence(BenchmarkSet::kMixed, 5, 42);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(apps[i].sdf().num_actors(), again[i].sdf().num_actors());
+  }
+}
+
+TEST(BenchmarkSets, ArchitectureVariants) {
+  const Architecture v0 = make_benchmark_architecture(0);
+  const Architecture v1 = make_benchmark_architecture(1);
+  const Architecture v2 = make_benchmark_architecture(2);
+  EXPECT_EQ(v0.num_tiles(), 9u);
+  EXPECT_EQ(v0.num_proc_types(), 3u);
+  EXPECT_GT(v1.tile(TileId{0}).memory, v0.tile(TileId{0}).memory);
+  EXPECT_LT(v2.tile(TileId{0}).max_connections, v0.tile(TileId{0}).max_connections);
+  EXPECT_THROW(make_benchmark_architecture(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,85 @@
+#include "src/mapping/multi_app.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/media.h"
+#include "src/appmodel/paper_example.h"
+#include "src/gen/benchmark_sets.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(MultiApp, StacksPaperExamplesUntilWheelRunsOut) {
+  // Each instance of the running example needs a slice on both tiles; the
+  // 10-unit wheels can host only a few before allocation fails.
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 6; ++i) apps.push_back(make_paper_example_application());
+  const MultiAppResult r = allocate_sequence(apps, make_example_platform(), StrategyOptions{});
+  EXPECT_GE(r.num_allocated, 1u);
+  EXPECT_LT(r.num_allocated, 6u);
+  // The failing application's result is recorded too.
+  EXPECT_EQ(r.results.size(), r.num_allocated + 1);
+  EXPECT_FALSE(r.results.back().success);
+  EXPECT_GT(r.total_throughput_checks, 0);
+}
+
+TEST(MultiApp, CommittedResourcesAreConsistent) {
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 6; ++i) apps.push_back(make_paper_example_application());
+  const Architecture arch = make_example_platform();
+  const MultiAppResult r = allocate_sequence(apps, arch, StrategyOptions{});
+
+  // Re-commit the successful allocations into a fresh pool: must fit.
+  ResourcePool pool(arch);
+  for (std::size_t i = 0; i < r.num_allocated; ++i) {
+    EXPECT_NO_THROW(pool.commit(r.results[i].usage));
+  }
+  const auto u = pool.utilization();
+  EXPECT_GT(u.wheel, 0.0);
+  EXPECT_LE(u.wheel, 1.0);
+}
+
+TEST(MultiApp, MultimediaUseCaseAllocatesAllFour) {
+  // Sec. 10.3: three H.263 decoders + MP3 on the 2x2 mesh with weights
+  // (2,0,1).
+  const Architecture arch = make_media_platform();
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 3; ++i) {
+    apps.push_back(make_h263_decoder(arch.num_proc_types(), 2376,
+                                     "h263_" + std::to_string(i)));
+  }
+  apps.push_back(make_mp3_decoder(arch.num_proc_types()));
+  StrategyOptions options;
+  options.weights = {2, 0, 1};
+  const MultiAppResult r = allocate_sequence(apps, arch, options);
+  EXPECT_EQ(r.num_allocated, 4u);
+  for (std::size_t i = 0; i < r.num_allocated; ++i) {
+    EXPECT_GE(r.results[i].achieved_throughput, apps[i].throughput_constraint());
+  }
+}
+
+TEST(MultiApp, GeneratedSequenceAllocationsAreValid) {
+  const auto apps = generate_sequence(BenchmarkSet::kProcessing, 8, 3);
+  const Architecture arch = make_benchmark_architecture(0);
+  const MultiAppResult r = allocate_sequence(apps, arch, StrategyOptions{});
+  EXPECT_GE(r.num_allocated, 1u);
+  for (std::size_t i = 0; i < r.num_allocated; ++i) {
+    const StrategyResult& s = r.results[i];
+    EXPECT_GE(s.achieved_throughput, apps[i].throughput_constraint());
+    // Slices are only allocated on tiles hosting actors.
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+      const bool hosts = !s.binding.actors_on(TileId{t}).empty();
+      EXPECT_EQ(s.slices[t] > 0, hosts);
+    }
+  }
+}
+
+TEST(MultiApp, EmptySequence) {
+  const MultiAppResult r = allocate_sequence({}, make_example_platform(), StrategyOptions{});
+  EXPECT_EQ(r.num_allocated, 0u);
+  EXPECT_TRUE(r.results.empty());
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,98 @@
+// Whole-flow property sweeps over generated applications: every allocation
+// the strategy reports as successful must be *valid* in the Sec. 7 sense
+// (resources within limits and throughput constraint met when re-verified
+// from scratch), and the paper's analytical relationships must hold
+// (conservative [4] model never beats the gated analysis; bigger slices never
+// hurt; the rebalance pass preserves feasibility).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/conservative.h"
+#include "src/analysis/constrained.h"
+#include "src/appmodel/paper_example.h"
+#include "src/gen/generator.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+Architecture small_platform() {
+  MeshOptions options;
+  options.rows = 1;
+  options.cols = 3;
+  options.proc_types = {"p1", "p2", "p3"};
+  options.wheel_size = 200;
+  options.memory = 200'000;
+  options.max_connections = 8;
+  options.bandwidth_in = options.bandwidth_out = 500;
+  options.hop_latency = 2;
+  return make_mesh(options);
+}
+
+class StrategyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyProperty, SuccessfulAllocationsAreValid) {
+  Rng rng(GetParam());
+  GeneratorOptions gen;
+  gen.min_actors = 4;
+  gen.max_actors = 7;
+  gen.constraint_tightness = 0.1;
+  const ApplicationGraph app = generate_application(gen, rng, "prop");
+  const Architecture arch = small_platform();
+
+  StrategyOptions options;
+  options.weights = {1, 1, 1};
+  const StrategyResult r = allocate_resources(app, arch, options);
+  if (!r.success) {
+    // Failure is acceptable; it must carry a reason and a stage.
+    EXPECT_FALSE(r.failure_reason.empty());
+    EXPECT_FALSE(r.stage.empty());
+    return;
+  }
+
+  // (1) Resource validity: usage fits every tile.
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    EXPECT_TRUE(r.usage[t].fits(arch.tile(TileId{t}))) << "tile " << t;
+  }
+
+  // (2) Independent throughput re-verification with the reported binding,
+  // schedules and slices.
+  const BindingAwareGraph bag = build_binding_aware_graph(app, arch, r.binding, r.slices);
+  const auto gamma = compute_repetition_vector(bag.graph);
+  ASSERT_TRUE(gamma);
+  const ConstrainedResult check =
+      execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, r.schedules),
+                          SchedulingMode::kStaticOrder);
+  ASSERT_FALSE(check.base.deadlocked());
+  EXPECT_EQ(check.base.throughput(), r.achieved_throughput);
+  EXPECT_GE(check.base.throughput(), app.throughput_constraint());
+
+  // (3) The conservative [4] model never reports better throughput.
+  const ConstrainedResult conservative =
+      conservative_throughput(app, arch, r.binding, r.schedules, r.slices);
+  if (!conservative.base.deadlocked()) {
+    EXPECT_LE(conservative.base.throughput(), check.base.throughput());
+  }
+
+  // (4) Granting the full wheels can only help.
+  std::vector<std::int64_t> full(arch.num_tiles(), 0);
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    if (r.slices[t] > 0) full[t] = arch.tile(TileId{t}).available_wheel();
+  }
+  const BindingAwareGraph full_bag = build_binding_aware_graph(app, arch, r.binding, full);
+  const auto full_gamma = compute_repetition_vector(full_bag.graph);
+  const ConstrainedResult generous = execute_constrained(
+      full_bag.graph, *full_gamma, make_constrained_spec(arch, full_bag, r.schedules),
+      SchedulingMode::kStaticOrder);
+  ASSERT_FALSE(generous.base.deadlocked());
+  EXPECT_GE(generous.base.throughput(), check.base.throughput());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyProperty, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,132 @@
+#include "src/io/app_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/appmodel/media.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(AppFormat, ApplicationRoundTrip) {
+  const ApplicationGraph original = make_paper_example_application();
+  std::ostringstream os;
+  write_application(os, original);
+  std::istringstream is(os.str());
+  const ApplicationGraph parsed = read_application(is);
+
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.num_proc_types(), original.num_proc_types());
+  ASSERT_EQ(parsed.sdf().num_actors(), original.sdf().num_actors());
+  ASSERT_EQ(parsed.sdf().num_channels(), original.sdf().num_channels());
+  for (std::uint32_t c = 0; c < original.sdf().num_channels(); ++c) {
+    const Channel& a = original.sdf().channel(ChannelId{c});
+    const Channel& b = parsed.sdf().channel(ChannelId{c});
+    EXPECT_EQ(a.production_rate, b.production_rate);
+    EXPECT_EQ(a.consumption_rate, b.consumption_rate);
+    EXPECT_EQ(a.initial_tokens, b.initial_tokens);
+    EXPECT_EQ(original.edge_requirement(ChannelId{c}).bandwidth,
+              parsed.edge_requirement(ChannelId{c}).bandwidth);
+  }
+  for (std::uint32_t a = 0; a < original.sdf().num_actors(); ++a) {
+    for (std::uint32_t pt = 0; pt < original.num_proc_types(); ++pt) {
+      const auto& x = original.requirement(ActorId{a}, ProcTypeId{pt});
+      const auto& y = parsed.requirement(ActorId{a}, ProcTypeId{pt});
+      ASSERT_EQ(x.has_value(), y.has_value());
+      if (x) {
+        EXPECT_EQ(x->execution_time, y->execution_time);
+        EXPECT_EQ(x->memory, y->memory);
+      }
+    }
+  }
+  EXPECT_EQ(parsed.throughput_constraint(), original.throughput_constraint());
+  EXPECT_TRUE(parsed.validate().empty());
+}
+
+TEST(AppFormat, Mp3RoundTripStaysAllocatable) {
+  const ApplicationGraph original = make_mp3_decoder(2);
+  std::ostringstream os;
+  write_application(os, original);
+  std::istringstream is(os.str());
+  const ApplicationGraph parsed = read_application(is);
+  const StrategyResult r = allocate_resources(parsed, make_media_platform(), {});
+  EXPECT_TRUE(r.success) << r.failure_reason;
+}
+
+TEST(AppFormat, ArchitectureRoundTrip) {
+  const Architecture original = make_example_platform();
+  std::ostringstream os;
+  write_architecture(os, original, "fig2");
+  std::istringstream is(os.str());
+  const Architecture parsed = read_architecture(is);
+
+  ASSERT_EQ(parsed.num_tiles(), original.num_tiles());
+  ASSERT_EQ(parsed.num_connections(), original.num_connections());
+  for (std::uint32_t t = 0; t < original.num_tiles(); ++t) {
+    const Tile& a = original.tile(TileId{t});
+    const Tile& b = parsed.tile(TileId{t});
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.wheel_size, b.wheel_size);
+    EXPECT_EQ(a.memory, b.memory);
+    EXPECT_EQ(a.max_connections, b.max_connections);
+    EXPECT_EQ(a.bandwidth_in, b.bandwidth_in);
+    EXPECT_EQ(a.occupied_wheel, b.occupied_wheel);
+    EXPECT_EQ(original.proc_type_name(a.proc_type), parsed.proc_type_name(b.proc_type));
+  }
+  for (std::uint32_t c = 0; c < original.num_connections(); ++c) {
+    EXPECT_EQ(original.connection(ConnectionId{c}).latency,
+              parsed.connection(ConnectionId{c}).latency);
+  }
+}
+
+TEST(AppFormat, OccupiedWheelOptional) {
+  std::istringstream is(
+      "architecture x\nproctype p\ntile t0 p 10 100 2 50 50\ntile t1 p 10 100 2 50 50 4\n");
+  const Architecture arch = read_architecture(is);
+  EXPECT_EQ(arch.tile(TileId{0}).occupied_wheel, 0);
+  EXPECT_EQ(arch.tile(TileId{1}).occupied_wheel, 4);
+}
+
+TEST(AppFormat, RationalConstraintParsing) {
+  std::istringstream is(
+      "application a 1\nactor x\nchannel d x x 1 1 1\nrequirement x 0 1 1\n"
+      "edge d 8 2 0 0 0\nconstraint 3/7\n");
+  const ApplicationGraph app = read_application(is);
+  EXPECT_EQ(app.throughput_constraint(), Rational(3, 7));
+}
+
+TEST(AppFormat, ErrorsCarryLineNumbers) {
+  std::istringstream is("application a 1\nbogus\n");
+  try {
+    read_application(is);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(AppFormat, MissingHeaderRejected) {
+  std::istringstream app("actor x\n");
+  EXPECT_THROW(read_application(app), std::invalid_argument);
+  std::istringstream arch("proctype p\n");
+  EXPECT_THROW(read_architecture(arch), std::invalid_argument);
+}
+
+TEST(AppFormat, UnknownReferencesRejected) {
+  std::istringstream bad_req(
+      "application a 1\nactor x\nrequirement nope 0 1 1\nconstraint 0\n");
+  EXPECT_THROW(read_application(bad_req), std::invalid_argument);
+  std::istringstream bad_pt(
+      "application a 1\nactor x\nrequirement x 3 1 1\nconstraint 0\n");
+  EXPECT_THROW(read_application(bad_pt), std::invalid_argument);
+  std::istringstream bad_conn(
+      "architecture x\nproctype p\ntile t0 p 10 100 2 50 50\nconnection c t0 nope 1\n");
+  EXPECT_THROW(read_architecture(bad_conn), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdfmap

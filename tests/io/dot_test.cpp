@@ -1,0 +1,47 @@
+#include "src/io/dot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Dot, GraphRendering) {
+  GraphBuilder b;
+  b.actor("a", 3).actor("x", 1);
+  b.channel("a", "x", 2, 1, 4);
+  std::ostringstream os;
+  write_dot(os, b.build(), "demo");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("a\\nt=3"), std::string::npos);
+  EXPECT_NE(dot.find("2,1 (4)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, OmitsZeroTokenAnnotation) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1, 0);
+  std::ostringstream os;
+  write_dot(os, b.build());
+  EXPECT_EQ(os.str().find("(0)"), std::string::npos);
+}
+
+TEST(Dot, ArchitectureRendering) {
+  std::ostringstream os;
+  write_dot(os, make_example_platform(), "plat");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("t1"), std::string::npos);
+  EXPECT_NE(dot.find("w=10"), std::string::npos);
+  EXPECT_NE(dot.find("L=1"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

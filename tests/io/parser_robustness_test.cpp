@@ -1,0 +1,105 @@
+// Robustness of the text parsers: randomly mutated valid inputs must either
+// parse or throw std::invalid_argument — never crash, hang, or corrupt
+// state. Exercises read_graph, read_application and read_architecture with
+// byte-level mutations (deletions, substitutions, duplicated lines).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/appmodel/paper_example.h"
+#include "src/io/app_format.h"
+#include "src/io/text_format.h"
+#include "src/platform/mesh.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+std::string mutate(std::string text, Rng& rng) {
+  const int kind = static_cast<int>(rng.uniform(0, 3));
+  if (text.empty()) return text;
+  switch (kind) {
+    case 0: {  // delete a random span
+      const std::size_t at = rng.index(text.size());
+      const std::size_t len = 1 + rng.index(std::min<std::size_t>(8, text.size() - at));
+      text.erase(at, len);
+      break;
+    }
+    case 1: {  // overwrite a byte with printable junk
+      text[rng.index(text.size())] = static_cast<char>(rng.uniform(32, 126));
+      break;
+    }
+    case 2: {  // duplicate a line
+      const std::size_t at = text.find('\n', rng.index(text.size()));
+      if (at != std::string::npos) {
+        const std::size_t prev = text.rfind('\n', at == 0 ? 0 : at - 1);
+        const std::size_t start = prev == std::string::npos ? 0 : prev + 1;
+        text.insert(at + 1, text.substr(start, at - start + 1));
+      }
+      break;
+    }
+    default: {  // swap two halves
+      const std::size_t at = rng.index(text.size());
+      text = text.substr(at) + text.substr(0, at);
+      break;
+    }
+  }
+  return text;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRobustness, GraphParserNeverCrashes) {
+  std::ostringstream os;
+  write_graph(os, make_paper_example_application().sdf());
+  Rng rng(GetParam());
+  std::string text = os.str();
+  for (int round = 0; round < 16; ++round) {
+    text = mutate(text, rng);
+    std::istringstream is(text);
+    try {
+      const Graph g = read_graph(is);
+      EXPECT_LE(g.num_channels(), 64u);  // parsed something sane
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST_P(ParserRobustness, ApplicationParserNeverCrashes) {
+  std::ostringstream os;
+  write_application(os, make_paper_example_application());
+  Rng rng(GetParam() + 1000);
+  std::string text = os.str();
+  for (int round = 0; round < 16; ++round) {
+    text = mutate(text, rng);
+    std::istringstream is(text);
+    try {
+      (void)read_application(is);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+      // std::stod inside rational parsing may reject huge numbers
+    }
+  }
+}
+
+TEST_P(ParserRobustness, ArchitectureParserNeverCrashes) {
+  std::ostringstream os;
+  write_architecture(os, make_example_platform());
+  Rng rng(GetParam() + 2000);
+  std::string text = os.str();
+  for (int round = 0; round < 16; ++round) {
+    text = mutate(text, rng);
+    std::istringstream is(text);
+    try {
+      (void)read_architecture(is);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,66 @@
+#include "src/io/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Report, SuccessfulStrategyResult) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const StrategyResult r = allocate_resources(app, arch, {});
+  ASSERT_TRUE(r.success);
+  const std::string text = format_strategy_result(app, arch, r);
+  EXPECT_NE(text.find("application 'paper_example': allocated"), std::string::npos);
+  EXPECT_NE(text.find("constraint 1/30"), std::string::npos);
+  EXPECT_NE(text.find("t1: slice"), std::string::npos);
+  EXPECT_NE(text.find("schedule (a1 a2)*"), std::string::npos);
+  EXPECT_NE(text.find("throughput checks"), std::string::npos);
+}
+
+TEST(Report, FailedStrategyResult) {
+  const Architecture arch = make_example_platform();
+  ApplicationGraph app = make_paper_example_application();
+  app.set_throughput_constraint(Rational(1, 2));
+  const StrategyResult r = allocate_resources(app, arch, {});
+  ASSERT_FALSE(r.success);
+  const std::string text = format_strategy_result(app, arch, r);
+  EXPECT_NE(text.find("FAILED in slices"), std::string::npos);
+  EXPECT_NE(text.find("unreachable"), std::string::npos);
+}
+
+TEST(Report, MultiAppSummary) {
+  const Architecture arch = make_example_platform();
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 4; ++i) apps.push_back(make_paper_example_application());
+  const MultiAppResult r = allocate_sequence(apps, arch, StrategyOptions{});
+  const std::string text = format_multi_app_result(apps, arch, r);
+  EXPECT_NE(text.find("allocated " + std::to_string(r.num_allocated) + "/4"),
+            std::string::npos);
+  EXPECT_NE(text.find("utilization: wheel"), std::string::npos);
+  EXPECT_NE(text.find("throughput checks"), std::string::npos);
+  if (r.num_allocated < 4) {
+    EXPECT_NE(text.find("FAILED"), std::string::npos);
+  }
+}
+
+TEST(Report, RespectsAttemptOrderAfterReordering) {
+  const Architecture arch = make_example_platform();
+  std::vector<ApplicationGraph> apps;
+  apps.push_back(make_paper_example_application());
+  apps.back().set_throughput_constraint(Rational(1, 60));
+  apps.push_back(make_paper_example_application());
+  MultiAppOptions options;
+  options.ordering = OrderingPolicy::kAscendingWorkload;
+  options.failure_policy = FailurePolicy::kSkipAndContinue;
+  const MultiAppResult r = allocate_sequence(apps, arch, options);
+  // The formatter must not crash or mis-index after reordering.
+  const std::string text = format_multi_app_result(apps, arch, r);
+  EXPECT_NE(text.find("paper_example"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

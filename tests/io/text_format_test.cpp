@@ -1,0 +1,69 @@
+#include "src/io/text_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(TextFormat, RoundTrip) {
+  GraphBuilder b;
+  b.actor("vld", 10).actor("iq", 2);
+  b.channel("vld", "iq", 2376, 1, 5, "d0");
+  std::ostringstream os;
+  write_graph(os, b.build());
+
+  std::istringstream is(os.str());
+  const Graph g = read_graph(is);
+  ASSERT_EQ(g.num_actors(), 2u);
+  ASSERT_EQ(g.num_channels(), 1u);
+  EXPECT_EQ(g.actor(ActorId{0}).name, "vld");
+  EXPECT_EQ(g.actor(ActorId{0}).execution_time, 10);
+  const Channel& c = g.channel(ChannelId{0});
+  EXPECT_EQ(c.name, "d0");
+  EXPECT_EQ(c.production_rate, 2376);
+  EXPECT_EQ(c.consumption_rate, 1);
+  EXPECT_EQ(c.initial_tokens, 5);
+}
+
+TEST(TextFormat, SkipsCommentsAndBlankLines) {
+  std::istringstream is("# header\n\n  actor a 1\n# mid\nactor b 2\n");
+  const Graph g = read_graph(is);
+  EXPECT_EQ(g.num_actors(), 2u);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  std::istringstream is("actor a 1\nbogus x\n");
+  try {
+    read_graph(is);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, RejectsUnknownActorInChannel) {
+  std::istringstream is("actor a 1\nchannel d a nope 1 1 0\n");
+  EXPECT_THROW(read_graph(is), std::invalid_argument);
+}
+
+TEST(TextFormat, RejectsBadArity) {
+  std::istringstream is("actor a\n");
+  EXPECT_THROW(read_graph(is), std::invalid_argument);
+}
+
+TEST(TextFormat, RejectsDuplicateActor) {
+  std::istringstream is("actor a 1\nactor a 2\n");
+  EXPECT_THROW(read_graph(is), std::invalid_argument);
+}
+
+TEST(TextFormat, RejectsNonPositiveRate) {
+  std::istringstream is("actor a 1\nchannel d a a 0 1 0\n");
+  EXPECT_THROW(read_graph(is), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,141 @@
+#include "src/io/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+struct GatedFixture {
+  Graph g;
+  ConstrainedSpec spec;
+  TraceRecorder recorder;
+  ConstrainedResult result;
+
+  GatedFixture() {
+    GraphBuilder b;
+    b.actor("a", 2).actor("x", 3);
+    b.channel("a", "x", 1, 1).channel("x", "a", 1, 1, 1);
+    g = b.take();
+    spec.actor_tile = {0, 0};
+    StaticOrderSchedule sched;
+    sched.firings = {ActorId{0}, ActorId{1}};
+    sched.loop_start = 0;
+    spec.tiles.push_back({10, 5, 0, sched});
+    const auto gamma = *compute_repetition_vector(g);
+    result = execute_constrained(g, gamma, spec, SchedulingMode::kStaticOrder,
+                                 ExecutionLimits{}, recorder.observer());
+  }
+};
+
+TEST(TraceRecorder, ReconstructsFiringIntervals) {
+  GatedFixture fx;
+  ASSERT_FALSE(fx.result.base.deadlocked());
+  ASSERT_GE(fx.recorder.firings().size(), 2u);
+  // First firing: a at t=0, exec 2 inside the slice -> ends at 2.
+  const FiringInterval& first = fx.recorder.firings().front();
+  EXPECT_EQ(first.actor, (ActorId{0}));
+  EXPECT_EQ(first.start, 0);
+  EXPECT_EQ(first.end, 2);
+  // Second: x starts at 2, needs 3 units of the 5-slice -> ends at 10... the
+  // slice [0,5) leaves 3 units: ends exactly at 5.
+  const FiringInterval& second = fx.recorder.firings()[1];
+  EXPECT_EQ(second.actor, (ActorId{1}));
+  EXPECT_EQ(second.start, 2);
+  EXPECT_EQ(second.end, 5);
+}
+
+TEST(Gantt, RendersOccupancyAndSlices) {
+  GatedFixture fx;
+  const std::string chart =
+      render_gantt(fx.g, fx.spec, fx.recorder.firings(), 0, 12);
+  // a (A) holds the processor [0,2); x (B) [2,5); then a starts again at 5
+  // and holds through the out-of-slice gap until it completes at 12.
+  EXPECT_NE(chart.find("tile0 |AABBBAAAAAAA|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("legend: A=a B=x"), std::string::npos);
+}
+
+TEST(Gantt, MarksIdleSliceTime) {
+  // With no recorded firings, reserved-but-idle slice time renders as dots
+  // and out-of-slice time as blanks.
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a");
+  Graph g = b.take();
+  ConstrainedSpec spec;
+  spec.actor_tile = {0};
+  StaticOrderSchedule sched;
+  sched.firings = {ActorId{0}};
+  sched.loop_start = 0;
+  spec.tiles.push_back({10, 5, 0, sched});
+  const std::string chart = render_gantt(g, spec, {}, 0, 10);
+  EXPECT_NE(chart.find("tile0 |.....     |"), std::string::npos) << chart;
+}
+
+TEST(Gantt, BusyProcessorFillsTheRow) {
+  // A self-loop actor with exec 1 restarts instantly: the processor row is
+  // fully occupied (the firing holds it through the out-of-slice gap too).
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a");
+  Graph g = b.take();
+  ConstrainedSpec spec;
+  spec.actor_tile = {0};
+  StaticOrderSchedule sched;
+  sched.firings = {ActorId{0}};
+  sched.loop_start = 0;
+  spec.tiles.push_back({10, 5, 0, sched});
+  TraceRecorder recorder;
+  const auto gamma = *compute_repetition_vector(g);
+  (void)execute_constrained(g, gamma, spec, SchedulingMode::kStaticOrder, ExecutionLimits{},
+                            recorder.observer());
+  const std::string chart = render_gantt(g, spec, recorder.firings(), 0, 10);
+  EXPECT_NE(chart.find("tile0 |AAAAAAAAAA|"), std::string::npos) << chart;
+}
+
+TEST(Gantt, SliceOffsetShiftsWindow) {
+  GraphBuilder b;
+  b.actor("a", 1).self_loop("a");
+  Graph g = b.take();
+  ConstrainedSpec spec;
+  spec.actor_tile = {kUnscheduled};
+  TdmaTileSpec tile;
+  tile.wheel_size = 10;
+  tile.slice = 4;
+  tile.slice_offset = 3;
+  spec.tiles.push_back(tile);
+  const std::string chart = render_gantt(g, spec, {}, 0, 10);
+  EXPECT_NE(chart.find("tile0 |   ....   |"), std::string::npos) << chart;
+}
+
+TEST(Vcd, EmitsToggles) {
+  GatedFixture fx;
+  std::ostringstream os;
+  write_vcd(os, fx.g, fx.recorder.firings(), fx.recorder.horizon());
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 \" x $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+  // a goes high at 0 and low at 2.
+  EXPECT_NE(vcd.find("1!"), std::string::npos);
+  EXPECT_NE(vcd.find("#2\n"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ConcurrentFiringsStayHighUntilLastEnds) {
+  // Two overlapping firings of one actor: the wire must go low only once.
+  Graph g;
+  g.add_actor("u", 4);
+  std::vector<FiringInterval> firings{{ActorId{0}, 0, 4}, {ActorId{0}, 2, 6}};
+  std::ostringstream os;
+  write_vcd(os, g, firings, 8);
+  const std::string vcd = os.str();
+  // High at 0; no toggle at 2 or 4; low at 6.
+  EXPECT_EQ(vcd.find("#4\n0"), std::string::npos);
+  EXPECT_NE(vcd.find("#6\n0!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,116 @@
+// Tests of the binder's optional backtracking (an extension over the paper's
+// single greedy pass, recovering mid-application dead-ends).
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/gen/benchmark_sets.h"
+#include "src/mapping/binder.h"
+#include "src/mapping/multi_app.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+/// A fixture engineered to dead-end the greedy binder: actors m1, m2 are
+/// memory hogs that both fit tile t0 (larger memory) individually; the
+/// communication-only cost packs both onto t0, after which actor "d" — which
+/// only runs on t1's processor type and shares a wide channel with m2 —
+/// cannot be placed: its cross buffer overflows the packed t0. Revising one
+/// decision (m2 -> t1) makes everything fit.
+struct DeadEndFixture {
+  Architecture arch;
+  ApplicationGraph app;
+
+  DeadEndFixture() : app(make()) {
+    arch.add_proc_type("p0");
+    arch.add_proc_type("p1");
+    Tile t0;
+    t0.name = "t0";
+    t0.proc_type = ProcTypeId{0};
+    t0.wheel_size = 100;
+    t0.memory = 1000;
+    t0.max_connections = 8;
+    t0.bandwidth_in = t0.bandwidth_out = 100;
+    arch.add_tile(t0);
+    Tile t1 = t0;
+    t1.name = "t1";
+    t1.proc_type = ProcTypeId{1};
+    t1.memory = 900;
+    arch.add_tile(t1);
+    arch.add_connection(TileId{0}, TileId{1}, 1);
+    arch.add_connection(TileId{1}, TileId{0}, 1);
+  }
+
+  static ApplicationGraph make() {
+    GraphBuilder b;
+    b.actor("m1").actor("m2").actor("d");
+    b.channel("m1", "m2", 1, 1, 0, "e1");
+    b.channel("m2", "d", 1, 1, 0, "e2");
+    b.channel("d", "m1", 1, 1, 2, "e3");
+    ApplicationGraph app("deadend", b.take(), 2);
+    // m1, m2 run on both types; d runs only on p1 (tile t1).
+    app.set_requirement(ActorId{0}, ProcTypeId{0}, {10, 450});
+    app.set_requirement(ActorId{0}, ProcTypeId{1}, {10, 450});
+    app.set_requirement(ActorId{1}, ProcTypeId{0}, {10, 450});
+    app.set_requirement(ActorId{1}, ProcTypeId{1}, {10, 450});
+    app.set_requirement(ActorId{2}, ProcTypeId{1}, {5, 100});
+    // e2 crossing needs a 200-bit buffer share on m2's tile.
+    app.set_edge_requirement(ChannelId{0}, {10, 2, 2, 2, 5});
+    app.set_edge_requirement(ChannelId{1}, {100, 2, 2, 2, 5});
+    app.set_edge_requirement(ChannelId{2}, {10, 3, 3, 3, 5});
+    app.set_throughput_constraint(Rational(0));
+    return app;
+  }
+};
+
+TEST(Backtracking, GreedyDeadEndsOnPackedTile) {
+  const DeadEndFixture fx;
+  const BindingResult greedy = bind_actors(fx.app, fx.arch, {0, 0, 1}, 0);
+  EXPECT_FALSE(greedy.success);
+  EXPECT_NE(greedy.failure_reason.find("'d'"), std::string::npos);
+}
+
+TEST(Backtracking, SmallBudgetRecovers) {
+  const DeadEndFixture fx;
+  const BindingResult fixed = bind_actors(fx.app, fx.arch, {0, 0, 1}, 2);
+  ASSERT_TRUE(fixed.success) << fixed.failure_reason;
+  EXPECT_EQ(check_binding(fx.app, fx.arch, fixed.binding), std::nullopt);
+  // d ends up on t1 (its only processor type).
+  EXPECT_EQ(*fixed.binding.tile_of(ActorId{2}), (TileId{1}));
+}
+
+TEST(Backtracking, ZeroBudgetMatchesGreedyOnFeasibleInputs) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  for (const TileCostWeights w :
+       {TileCostWeights{1, 0, 0}, TileCostWeights{0, 1, 0}, TileCostWeights{1, 1, 1}}) {
+    const BindingResult greedy = bind_actors(app, arch, w, 0);
+    const BindingResult with_budget = bind_actors(app, arch, w, 8);
+    ASSERT_TRUE(greedy.success);
+    ASSERT_TRUE(with_budget.success);
+    for (std::uint32_t a = 0; a < 3; ++a) {
+      EXPECT_EQ(greedy.binding.tile_of(ActorId{a}), with_budget.binding.tile_of(ActorId{a}))
+          << w.to_string();
+    }
+  }
+}
+
+TEST(Backtracking, StrategyOptionImprovesAllocationCount) {
+  // On the memory-heavy set with the communication-only weights the greedy
+  // strategy dead-ends early; backtracking can only do better or equal.
+  const auto apps = generate_sequence(BenchmarkSet::kMemory, 24, 1);
+  const Architecture arch = make_benchmark_architecture(0);
+  StrategyOptions greedy;
+  greedy.weights = {0, 0, 1};
+  StrategyOptions backtracking = greedy;
+  backtracking.binding_backtracking = 8;
+  const MultiAppResult a = allocate_sequence(apps, arch, greedy);
+  const MultiAppResult b = allocate_sequence(apps, arch, backtracking);
+  EXPECT_GE(b.num_allocated, a.num_allocated);
+}
+
+}  // namespace
+}  // namespace sdfmap

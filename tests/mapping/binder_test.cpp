@@ -1,0 +1,109 @@
+#include "src/mapping/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+std::string binding_signature(const ApplicationGraph& app, const Architecture& arch,
+                              const Binding& b) {
+  std::string out;
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    out += arch.tile(*b.tile_of(ActorId{a})).name;
+    out += " ";
+  }
+  return out;
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(BinderTest, ProducesCompleteValidBinding) {
+  const BindingResult r = bind_actors(app_, arch_, {1, 1, 1});
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.binding.is_complete());
+  EXPECT_EQ(check_binding(app_, arch_, r.binding), std::nullopt);
+}
+
+TEST_F(BinderTest, Table3ProcessingWeights) {
+  // Paper Tab. 3 row (1,0,0): a1 -> t1, a2 -> t1, a3 -> t2.
+  const BindingResult r = bind_actors(app_, arch_, {1, 0, 0});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding_signature(app_, arch_, r.binding), "t1 t1 t2 ");
+}
+
+TEST_F(BinderTest, Table3CommunicationWeightsKeepOneTile) {
+  // Paper Tab. 3 row (0,0,1): everything on t1 (no connections used).
+  const BindingResult r = bind_actors(app_, arch_, {0, 0, 1});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding_signature(app_, arch_, r.binding), "t1 t1 t1 ");
+}
+
+TEST_F(BinderTest, Table3AllWeights) {
+  // Paper Tab. 3 row (1,1,1): a1 -> t1, a2 -> t1, a3 -> t2.
+  const BindingResult r = bind_actors(app_, arch_, {1, 1, 1});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(binding_signature(app_, arch_, r.binding), "t1 t1 t2 ");
+}
+
+TEST_F(BinderTest, FailsWhenNoTileSupportsActor) {
+  ApplicationGraph app("impossible", app_.sdf(), 2);
+  // a1 supports nothing.
+  app.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  app.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
+  const BindingResult r = bind_actors(app, arch_, {1, 1, 1});
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("a1"), std::string::npos);
+}
+
+TEST_F(BinderTest, FailsWhenResourcesExhausted) {
+  Architecture tiny = make_example_platform();
+  tiny.tile(TileId{0}).memory = 20;
+  tiny.tile(TileId{1}).memory = 20;  // buffers cannot fit anywhere
+  const BindingResult r = bind_actors(app_, tiny, {0, 1, 0});
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(BinderTest, RebalanceKeepsValidity) {
+  const BindingResult r = bind_actors(app_, arch_, {1, 1, 1});
+  ASSERT_TRUE(r.success);
+  const Binding improved = rebalance_binding(app_, arch_, {1, 1, 1}, r.binding);
+  EXPECT_TRUE(improved.is_complete());
+  EXPECT_EQ(check_binding(app_, arch_, improved), std::nullopt);
+}
+
+TEST_F(BinderTest, RebalanceIsIdempotentOnStableBinding) {
+  const BindingResult r = bind_actors(app_, arch_, {1, 0, 0});
+  ASSERT_TRUE(r.success);
+  const Binding once = rebalance_binding(app_, arch_, {1, 0, 0}, r.binding);
+  const Binding twice = rebalance_binding(app_, arch_, {1, 0, 0}, once);
+  EXPECT_EQ(binding_signature(app_, arch_, once), binding_signature(app_, arch_, twice));
+}
+
+TEST_F(BinderTest, HeterogeneityRespected) {
+  // Restrict a3 to p2: every weight set must put it on t2.
+  ApplicationGraph app("restricted", app_.sdf(), 2);
+  app.set_requirement(ActorId{0}, ProcTypeId{0}, {1, 10});
+  app.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  app.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    app.set_edge_requirement(ChannelId{c}, app_.edge_requirement(ChannelId{c}));
+  }
+  for (const TileCostWeights w : {TileCostWeights{1, 0, 0}, TileCostWeights{0, 0, 1}}) {
+    const BindingResult r = bind_actors(app, arch_, w);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(arch_.tile(*r.binding.tile_of(ActorId{2})).name, "t2");
+    EXPECT_EQ(arch_.tile(*r.binding.tile_of(ActorId{0})).name, "t1");
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,155 @@
+#include "src/mapping/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+class BindingTest : public ::testing::Test {
+ protected:
+  BindingTest() : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(BindingTest, BindUnbindQuery) {
+  Binding b(3);
+  EXPECT_FALSE(b.is_bound(ActorId{0}));
+  EXPECT_FALSE(b.is_complete());
+  b.bind(ActorId{0}, TileId{1});
+  EXPECT_EQ(b.tile_of(ActorId{0}), std::optional<TileId>(TileId{1}));
+  b.unbind(ActorId{0});
+  EXPECT_FALSE(b.is_bound(ActorId{0}));
+}
+
+TEST_F(BindingTest, ActorsOnTile) {
+  Binding b(3);
+  b.bind(ActorId{0}, TileId{0});
+  b.bind(ActorId{2}, TileId{0});
+  b.bind(ActorId{1}, TileId{1});
+  const auto on0 = b.actors_on(TileId{0});
+  ASSERT_EQ(on0.size(), 2u);
+  EXPECT_EQ(on0[0], (ActorId{0}));
+  EXPECT_EQ(on0[1], (ActorId{2}));
+  EXPECT_TRUE(b.is_complete());
+}
+
+TEST_F(BindingTest, EdgePlacementClassification) {
+  const Graph& g = app_.sdf();
+  Binding b(3);
+  EXPECT_EQ(edge_placement(g, ChannelId{0}, b), EdgePlacement::kUnbound);
+  b.bind(ActorId{0}, TileId{0});
+  b.bind(ActorId{1}, TileId{0});
+  EXPECT_EQ(edge_placement(g, ChannelId{0}, b), EdgePlacement::kIntraTile);
+  b.bind(ActorId{2}, TileId{1});
+  EXPECT_EQ(edge_placement(g, ChannelId{1}, b), EdgePlacement::kInterTile);
+}
+
+TEST_F(BindingTest, UsageMatchesPaperBinding) {
+  const Binding b = make_paper_example_binding(arch_);
+  const AllocationUsage usage = compute_usage(app_, arch_, b);
+  // t1: µ(a1)+µ(a2) on p1 = 10+7, d1 intra: α_tile·sz = 1·7,
+  // d2 src side: 2·100, d3 dst side: 0.
+  EXPECT_EQ(usage[0].memory, 10 + 7 + 1 * 7 + 2 * 100);
+  // t2: µ(a3) on p2 = 10, d2 dst side: 2·100, d3 src side: 0.
+  EXPECT_EQ(usage[1].memory, 10 + 2 * 100);
+  // One crossing edge each way: d2 (t1->t2) and d3 (t2->t1).
+  EXPECT_EQ(usage[0].connections, 2);
+  EXPECT_EQ(usage[1].connections, 2);
+  EXPECT_EQ(usage[0].bandwidth_out, 10);
+  EXPECT_EQ(usage[1].bandwidth_in, 10);
+  EXPECT_EQ(usage[0].bandwidth_in, 0);  // d3 has β = 0
+}
+
+TEST_F(BindingTest, PartialBindingContributesNothingForUnboundEdges) {
+  Binding b(3);
+  b.bind(ActorId{0}, TileId{0});
+  const AllocationUsage usage = compute_usage(app_, arch_, b);
+  EXPECT_EQ(usage[0].memory, 10);  // only µ(a1)
+  EXPECT_EQ(usage[0].connections, 0);
+}
+
+TEST_F(BindingTest, CheckBindingAcceptsPaperBinding) {
+  EXPECT_EQ(check_binding(app_, arch_, make_paper_example_binding(arch_)), std::nullopt);
+}
+
+TEST_F(BindingTest, CheckBindingRejectsMemoryOverflow) {
+  // All three actors plus buffers on t2 (500 bits memory): d2 α_tile·sz = 200,
+  // µ sums 15+19+10 = 44 -> fits; shrink the tile to force failure.
+  Architecture small;
+  small.add_proc_type("p1");
+  small.add_proc_type("p2");
+  Tile t;
+  t.name = "t1";
+  t.proc_type = ProcTypeId{1};
+  t.wheel_size = 10;
+  t.memory = 100;  // too small for the d2 buffer
+  t.max_connections = 5;
+  t.bandwidth_in = t.bandwidth_out = 100;
+  small.add_tile(t);
+  Binding b(3);
+  for (std::uint32_t a = 0; a < 3; ++a) b.bind(ActorId{a}, TileId{0});
+  const auto problem = check_binding(app_, small, b);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("resources"), std::string::npos);
+}
+
+TEST_F(BindingTest, CheckBindingRejectsUnsupportedProcessor) {
+  Architecture arch = make_example_platform();
+  ApplicationGraph app = make_paper_example_application();
+  // Make a1 p1-only, then bind it to t2 (p2).
+  Binding b(3);
+  b.bind(ActorId{0}, TileId{1});
+  b.bind(ActorId{1}, TileId{0});
+  b.bind(ActorId{2}, TileId{1});
+  // Rebuild app without a1@p2.
+  ApplicationGraph restricted("r", app.sdf(), 2);
+  restricted.set_requirement(ActorId{0}, ProcTypeId{0}, {1, 10});
+  restricted.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  restricted.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    restricted.set_edge_requirement(ChannelId{c}, app.edge_requirement(ChannelId{c}));
+  }
+  const auto problem = check_binding(restricted, arch, b);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("cannot run"), std::string::npos);
+}
+
+TEST_F(BindingTest, CheckBindingRejectsMissingConnection) {
+  // One-directional platform: t1 -> t2 only; d3 (a3 -> a1) needs t2 -> t1.
+  Architecture arch;
+  arch.add_proc_type("p1");
+  arch.add_proc_type("p2");
+  Tile t1;
+  t1.name = "t1";
+  t1.proc_type = ProcTypeId{0};
+  t1.wheel_size = 10;
+  t1.memory = 700;
+  t1.max_connections = 5;
+  t1.bandwidth_in = t1.bandwidth_out = 100;
+  arch.add_tile(t1);
+  Tile t2 = t1;
+  t2.name = "t2";
+  t2.proc_type = ProcTypeId{1};
+  arch.add_tile(t2);
+  arch.add_connection(TileId{0}, TileId{1}, 1);
+  const Binding b = make_paper_example_binding(arch);
+  const auto problem = check_binding(app_, arch, b);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("no connection"), std::string::npos);
+}
+
+TEST_F(BindingTest, CheckBindingRejectsFullWheel) {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).occupied_wheel = 10;  // Ω = w
+  const auto problem = check_binding(app_, arch, make_paper_example_binding(arch));
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("wheel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

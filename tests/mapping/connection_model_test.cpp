@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/state_space.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(ConnectionModel, SimpleMatchesPaperFormula) {
+  const ConnectionModel model;
+  // Υ(conn) = L + ceil(sz/β): the paper's 1 + ceil(100/10) = 11.
+  EXPECT_EQ(model.transfer_time(1, 100, 10), 11);
+  EXPECT_EQ(model.transfer_time(2, 100, 100), 3);
+  EXPECT_EQ(model.transfer_time(2, 101, 100), 4);
+}
+
+TEST(ConnectionModel, ZeroBandwidthIsPureSynchronization) {
+  for (const ConnectionModel::Kind kind :
+       {ConnectionModel::Kind::kSimple, ConnectionModel::Kind::kPacketized}) {
+    ConnectionModel model;
+    model.kind = kind;
+    EXPECT_EQ(model.transfer_time(3, 1000, 0), 3);
+  }
+}
+
+TEST(ConnectionModel, PacketizedAddsHeaderOverhead) {
+  ConnectionModel model;
+  model.kind = ConnectionModel::Kind::kPacketized;
+  model.packet_payload_bits = 64;
+  model.packet_header_bits = 16;
+  // 100 bits -> 2 packets -> 100 + 32 = 132 bits over β = 10: L + 14.
+  EXPECT_EQ(model.transfer_time(1, 100, 10), 15);
+  // Never cheaper than the simple model.
+  const ConnectionModel simple;
+  for (std::int64_t sz : {1, 63, 64, 65, 500}) {
+    for (std::int64_t beta : {1, 7, 64}) {
+      EXPECT_GE(model.transfer_time(2, sz, beta), simple.transfer_time(2, sz, beta));
+    }
+  }
+}
+
+TEST(ConnectionModel, PacketizedSlowsBindingAwareThroughput) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+
+  ConnectionModel packetized;
+  packetized.kind = ConnectionModel::Kind::kPacketized;
+  packetized.packet_payload_bits = 32;
+  packetized.packet_header_bits = 16;
+
+  const auto period = [&](const ConnectionModel& model) {
+    const BindingAwareGraph bag =
+        build_binding_aware_graph(app, arch, binding, {5, 5}, model);
+    const auto gamma = compute_repetition_vector(bag.graph);
+    return self_timed_throughput(bag.graph, *gamma).iteration_period;
+  };
+  EXPECT_EQ(period(ConnectionModel{}), Rational(29));  // Fig. 5(b)
+  EXPECT_GT(period(packetized), Rational(29));
+}
+
+TEST(ConnectionModel, StrategyHonorsModel) {
+  const Architecture arch = make_example_platform();
+  ApplicationGraph app = make_paper_example_application();
+  app.set_throughput_constraint(Rational(1, 40));  // loose enough for both models
+
+  StrategyOptions simple_options;
+  StrategyOptions packet_options;
+  packet_options.slices.connection_model.kind = ConnectionModel::Kind::kPacketized;
+  packet_options.slices.connection_model.packet_payload_bits = 32;
+  packet_options.slices.connection_model.packet_header_bits = 16;
+
+  const StrategyResult simple = allocate_resources(app, arch, simple_options);
+  const StrategyResult packet = allocate_resources(app, arch, packet_options);
+  ASSERT_TRUE(simple.success);
+  ASSERT_TRUE(packet.success);
+  // The packetized interconnect can only need equal-or-larger slices.
+  std::int64_t simple_total = 0, packet_total = 0;
+  for (std::size_t t = 0; t < simple.slices.size(); ++t) {
+    simple_total += simple.slices[t];
+    packet_total += packet.slices[t];
+  }
+  EXPECT_GE(packet_total, simple_total);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,73 @@
+#include "src/mapping/dimensioning.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/benchmark_sets.h"
+
+namespace sdfmap {
+namespace {
+
+MeshOptions benchmark_template() {
+  MeshOptions options;
+  options.proc_types = {"risc", "dsp", "vliw"};
+  options.wheel_size = 200;
+  options.memory = 150'000;
+  options.max_connections = 16;
+  options.bandwidth_in = options.bandwidth_out = 1200;
+  options.hop_latency = 2;
+  return options;
+}
+
+TEST(Dimensioning, MeshGrowthCandidatesShapes) {
+  const auto candidates = mesh_growth_candidates(benchmark_template(), 3, 3);
+  // 1x1, 1x2, 2x2, 2x3, 3x3.
+  ASSERT_EQ(candidates.size(), 5u);
+  EXPECT_EQ(candidates[0].num_tiles(), 1u);
+  EXPECT_EQ(candidates[1].num_tiles(), 2u);
+  EXPECT_EQ(candidates[2].num_tiles(), 4u);
+  EXPECT_EQ(candidates[3].num_tiles(), 6u);
+  EXPECT_EQ(candidates[4].num_tiles(), 9u);
+}
+
+TEST(Dimensioning, ResourceScalingCandidates) {
+  const auto candidates = resource_scaling_candidates(benchmark_template(), {0.5, 1.0, 2.0});
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].tile(TileId{0}).memory, 75'000);
+  EXPECT_EQ(candidates[2].tile(TileId{0}).memory, 300'000);
+  EXPECT_EQ(candidates[2].tile(TileId{0}).max_connections, 32);
+  EXPECT_THROW(resource_scaling_candidates(benchmark_template(), {0.0}),
+               std::invalid_argument);
+}
+
+TEST(Dimensioning, FindsSmallestHostingPlatform) {
+  const auto apps = generate_sequence(BenchmarkSet::kProcessing, 4, 11);
+  const auto candidates = mesh_growth_candidates(benchmark_template(), 3, 3);
+  const DimensioningResult r = dimension_platform(apps, candidates);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.allocation.num_allocated, apps.size());
+  EXPECT_GE(r.candidates_tried, r.chosen_candidate + 1);
+  // Every smaller candidate must have failed (that is what the scan checked).
+  if (r.chosen_candidate > 0) {
+    const MultiAppResult smaller =
+        allocate_sequence(apps, candidates[r.chosen_candidate - 1], MultiAppOptions{});
+    EXPECT_LT(smaller.num_allocated, apps.size());
+  }
+}
+
+TEST(Dimensioning, FailsWhenNoCandidateSuffices) {
+  const auto apps = generate_sequence(BenchmarkSet::kMemory, 30, 2);
+  const auto candidates = mesh_growth_candidates(benchmark_template(), 1, 2);
+  const DimensioningResult r = dimension_platform(apps, candidates);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.candidates_tried, candidates.size());
+}
+
+TEST(Dimensioning, EmptyApplicationListFitsSmallestCandidate) {
+  const auto candidates = mesh_growth_candidates(benchmark_template(), 2, 2);
+  const DimensioningResult r = dimension_platform({}, candidates);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.chosen_candidate, 0u);
+}
+
+}  // namespace
+}  // namespace sdfmap

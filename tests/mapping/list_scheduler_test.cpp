@@ -1,0 +1,103 @@
+#include "src/mapping/list_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+class ListSchedulerTest : public ::testing::Test {
+ protected:
+  ListSchedulerTest()
+      : arch_(make_example_platform()),
+        app_(make_paper_example_application()),
+        binding_(make_paper_example_binding(arch_)) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+  Binding binding_;
+};
+
+TEST_F(ListSchedulerTest, ProducesPaperSchedules) {
+  const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_EQ(r.schedules.size(), 2u);
+  // Sec. 9.2: t1's 17-state schedule reduces to (a1 a2)*, t2 runs (a3)*.
+  EXPECT_EQ(r.schedules[0].to_string(app_.sdf()), "(a1 a2)*");
+  EXPECT_EQ(r.schedules[1].to_string(app_.sdf()), "(a3)*");
+}
+
+TEST_F(ListSchedulerTest, SchedulesOnlyContainTileActors) {
+  const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+  ASSERT_TRUE(r.success);
+  for (std::size_t t = 0; t < r.schedules.size(); ++t) {
+    for (const ActorId a : r.schedules[t].firings) {
+      EXPECT_EQ(*binding_.tile_of(a), (TileId{static_cast<std::uint32_t>(t)}));
+    }
+  }
+}
+
+TEST_F(ListSchedulerTest, ScheduleFiringCountsMatchGamma) {
+  // Within one period, each actor appears a multiple of γ(a) times (whole
+  // iterations).
+  const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+  ASSERT_TRUE(r.success);
+  const auto& gamma = app_.repetition_vector();
+  for (const auto& sched : r.schedules) {
+    std::vector<std::int64_t> count(app_.sdf().num_actors(), 0);
+    for (std::size_t i = sched.loop_start; i < sched.size(); ++i) {
+      ++count[sched.at(i).value];
+    }
+    std::optional<Rational> iterations;
+    for (std::uint32_t a = 0; a < count.size(); ++a) {
+      if (count[a] == 0) continue;
+      const Rational it(count[a], gamma[a]);
+      if (!iterations) iterations = it;
+      EXPECT_EQ(*iterations, it);
+      EXPECT_TRUE(it.is_integer());
+    }
+  }
+}
+
+TEST_F(ListSchedulerTest, EmptyTileGetsEmptySchedule) {
+  Binding all_on_t1(3);
+  for (std::uint32_t a = 0; a < 3; ++a) all_on_t1.bind(ActorId{a}, TileId{0});
+  const ListSchedulingResult r = construct_schedules(app_, arch_, all_on_t1);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.schedules[0].empty());
+  EXPECT_TRUE(r.schedules[1].empty());
+}
+
+TEST_F(ListSchedulerTest, BindingAwareGraphExposedForReuse) {
+  const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.binding_aware.num_app_actors, 3u);
+  EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST_F(ListSchedulerTest, MakeConstrainedSpecWiring) {
+  const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+  ASSERT_TRUE(r.success);
+  const ConstrainedSpec spec = make_constrained_spec(arch_, r.binding_aware, r.schedules);
+  EXPECT_EQ(spec.actor_tile, r.binding_aware.actor_tile);
+  ASSERT_EQ(spec.tiles.size(), 2u);
+  EXPECT_EQ(spec.tiles[0].wheel_size, 10);
+  EXPECT_EQ(spec.tiles[0].slice, 5);  // 50% assumption
+  EXPECT_EQ(spec.tiles[0].schedule.to_string(app_.sdf()), "(a1 a2)*");
+}
+
+TEST_F(ListSchedulerTest, DeadlockingBufferReportsFailure) {
+  ApplicationGraph app = make_paper_example_application();
+  // α_dst = 1 < q2 = 2: a3 can never gather two tokens in its input buffer.
+  EdgeRequirement req = app.edge_requirement(ChannelId{1});
+  req.alpha_dst = 1;
+  app.set_edge_requirement(ChannelId{1}, req);
+  const ListSchedulingResult r = construct_schedules(app, arch_, binding_);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("deadlock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

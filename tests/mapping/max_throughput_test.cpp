@@ -1,0 +1,77 @@
+#include "src/mapping/max_throughput.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/multi_app.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(MaxThroughput, ClaimsWholeWheels) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const MaxThroughputResult r = maximize_throughput(app, arch, {1, 1, 1});
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    const bool used = !r.binding.actors_on(TileId{t}).empty();
+    EXPECT_EQ(r.slices[t], used ? arch.tile(TileId{t}).wheel_size : 0);
+  }
+}
+
+TEST(MaxThroughput, BeatsTheConstraintStrategyThroughput) {
+  // The throughput-maximizing baseline must deliver at least the throughput
+  // the resource-minimizing strategy settles for.
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const StrategyResult min_resources = allocate_resources(app, arch, {});
+  const MaxThroughputResult max_thr = maximize_throughput(app, arch, {1, 1, 1});
+  ASSERT_TRUE(min_resources.success);
+  ASSERT_TRUE(max_thr.success);
+  EXPECT_GE(max_thr.achieved_throughput, min_resources.achieved_throughput);
+}
+
+TEST(MaxThroughput, OnlyOneApplicationFits) {
+  // The paper's point (Sec. 2): after a throughput-maximizing allocation no
+  // second application can be admitted, while the constraint-driven strategy
+  // stacks several.
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+
+  const MaxThroughputResult greedy = maximize_throughput(app, arch, {1, 1, 1});
+  ASSERT_TRUE(greedy.success);
+  ResourcePool pool(arch);
+  pool.commit(greedy.usage);
+  const StrategyResult second = allocate_resources(app, pool.available(), {});
+  EXPECT_FALSE(second.success);  // wheels are gone
+
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 4; ++i) apps.push_back(make_paper_example_application());
+  const MultiAppResult stacked = allocate_sequence(apps, arch, StrategyOptions{});
+  EXPECT_GE(stacked.num_allocated, 2u);
+}
+
+TEST(MaxThroughput, ReportsBindingFailure) {
+  ApplicationGraph app("impossible", make_paper_example_application().sdf(), 2);
+  app.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  app.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
+  const MaxThroughputResult r =
+      maximize_throughput(app, make_example_platform(), {1, 1, 1});
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.failure_reason.empty());
+}
+
+TEST(MaxThroughput, RespectsOccupiedWheels) {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).occupied_wheel = 6;
+  const ApplicationGraph app = make_paper_example_application();
+  const MaxThroughputResult r = maximize_throughput(app, arch, {1, 1, 1});
+  ASSERT_TRUE(r.success);
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    EXPECT_LE(r.slices[t], arch.tile(TileId{t}).available_wheel());
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

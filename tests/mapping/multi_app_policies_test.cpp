@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/gen/benchmark_sets.h"
+#include "src/mapping/multi_app.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(MultiAppPolicies, WorkloadIsGammaWeightedMaxTau) {
+  const ApplicationGraph app = make_paper_example_application();
+  // γ = (1,1,1), max τ = (4, 7, 3) -> 14.
+  EXPECT_EQ(application_workload(app), 14);
+}
+
+TEST(MultiAppPolicies, SkipAndContinueAllocatesMore) {
+  // A sequence with an impossible application in the middle: the paper
+  // protocol stops there; skip-and-continue places the rest.
+  std::vector<ApplicationGraph> apps;
+  apps.push_back(make_paper_example_application());
+  ApplicationGraph impossible = make_paper_example_application();
+  impossible.set_throughput_constraint(Rational(1, 2));  // unreachable
+  apps.push_back(std::move(impossible));
+  apps.push_back(make_paper_example_application());
+
+  const Architecture arch = make_example_platform();
+  MultiAppOptions stop;
+  const MultiAppResult conservative = allocate_sequence(apps, arch, stop);
+  EXPECT_EQ(conservative.num_allocated, 1u);
+  EXPECT_EQ(conservative.results.size(), 2u);
+
+  MultiAppOptions skip;
+  skip.failure_policy = FailurePolicy::kSkipAndContinue;
+  const MultiAppResult tolerant = allocate_sequence(apps, arch, skip);
+  EXPECT_EQ(tolerant.num_allocated, 2u);
+  EXPECT_EQ(tolerant.results.size(), 3u);
+  EXPECT_FALSE(tolerant.results[1].success);
+  EXPECT_EQ(tolerant.attempted_indices, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(MultiAppPolicies, OrderingReordersAttempts) {
+  const auto apps = generate_sequence(BenchmarkSet::kMixed, 6, 5);
+  std::vector<std::int64_t> workloads;
+  for (const auto& app : apps) workloads.push_back(application_workload(app));
+
+  const Architecture arch = make_benchmark_architecture(0);
+  MultiAppOptions asc;
+  asc.ordering = OrderingPolicy::kAscendingWorkload;
+  asc.failure_policy = FailurePolicy::kSkipAndContinue;
+  const MultiAppResult r = allocate_sequence(apps, arch, asc);
+  ASSERT_EQ(r.attempted_indices.size(), apps.size());
+  for (std::size_t i = 1; i < r.attempted_indices.size(); ++i) {
+    EXPECT_LE(workloads[r.attempted_indices[i - 1]], workloads[r.attempted_indices[i]]);
+  }
+
+  MultiAppOptions desc;
+  desc.ordering = OrderingPolicy::kDescendingWorkload;
+  desc.failure_policy = FailurePolicy::kSkipAndContinue;
+  const MultiAppResult d = allocate_sequence(apps, arch, desc);
+  for (std::size_t i = 1; i < d.attempted_indices.size(); ++i) {
+    EXPECT_GE(workloads[d.attempted_indices[i - 1]], workloads[d.attempted_indices[i]]);
+  }
+}
+
+TEST(MultiAppPolicies, AscendingWorkloadNeverAllocatesFewer) {
+  // Smallest-first is the classic greedy maximizing the allocated count; on
+  // generated workloads it must not do worse than the given order under
+  // skip-and-continue.
+  const auto apps = generate_sequence(BenchmarkSet::kProcessing, 16, 9);
+  const Architecture arch = make_benchmark_architecture(0);
+  MultiAppOptions base;
+  base.failure_policy = FailurePolicy::kSkipAndContinue;
+  MultiAppOptions asc = base;
+  asc.ordering = OrderingPolicy::kAscendingWorkload;
+  const std::size_t plain = allocate_sequence(apps, arch, base).num_allocated;
+  const std::size_t sorted = allocate_sequence(apps, arch, asc).num_allocated;
+  EXPECT_GE(sorted + 1, plain);  // allow one-off greedy noise, never collapse
+}
+
+TEST(MultiAppPolicies, LegacyOverloadMatchesDefaults) {
+  std::vector<ApplicationGraph> apps;
+  for (int i = 0; i < 3; ++i) apps.push_back(make_paper_example_application());
+  const Architecture arch = make_example_platform();
+  const MultiAppResult a = allocate_sequence(apps, arch, StrategyOptions{});
+  const MultiAppResult b = allocate_sequence(apps, arch, MultiAppOptions{});
+  EXPECT_EQ(a.num_allocated, b.num_allocated);
+  EXPECT_EQ(a.results.size(), b.results.size());
+}
+
+}  // namespace
+}  // namespace sdfmap

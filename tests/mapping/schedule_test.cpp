@@ -1,0 +1,113 @@
+#include "src/mapping/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+Graph two_actor_graph() {
+  GraphBuilder b;
+  b.actor("a1").actor("a2");
+  return b.take();
+}
+
+StaticOrderSchedule make(std::vector<std::uint32_t> ids, std::size_t loop_start) {
+  StaticOrderSchedule s;
+  for (const auto id : ids) s.firings.push_back(ActorId{id});
+  s.loop_start = loop_start;
+  return s;
+}
+
+TEST(Schedule, NextWrapsToLoopStart) {
+  const StaticOrderSchedule s = make({0, 1, 0, 1}, 2);
+  EXPECT_EQ(s.next(0), 1u);
+  EXPECT_EQ(s.next(1), 2u);
+  EXPECT_EQ(s.next(3), 2u);  // wrap into periodic part
+}
+
+TEST(Schedule, ToStringShowsTransientAndPeriod) {
+  const Graph g = two_actor_graph();
+  EXPECT_EQ(make({0, 1}, 0).to_string(g), "(a1 a2)*");
+  EXPECT_EQ(make({0, 0, 1}, 1).to_string(g), "a1 (a1 a2)*");
+  EXPECT_EQ(make({0, 1}, 2).to_string(g), "a1 a2");  // transient only
+  EXPECT_EQ(make({}, 0).to_string(g), "");
+}
+
+TEST(Schedule, ReducePeriodicRepetition) {
+  // (a1 a2 a1 a2)* -> (a1 a2)*  (the optimization of Sec. 9.2).
+  const StaticOrderSchedule r = reduce_schedule(make({0, 1, 0, 1}, 0));
+  EXPECT_EQ(r.loop_start, 0u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.firings[0].value, 0u);
+  EXPECT_EQ(r.firings[1].value, 1u);
+}
+
+TEST(Schedule, ReducePaperSeventeenStateSchedule) {
+  // a1a2 a1a2 a1a2 a1a2 a1 (a2a1 a2a1 a2a1 a2a1)* — the 17-state schedule of
+  // Sec. 9.2 — reduces to (a1 a2)*.
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(0);
+    ids.push_back(1);
+  }
+  ids.push_back(0);
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(1);
+    ids.push_back(0);
+  }
+  const StaticOrderSchedule r = reduce_schedule(make(ids, 9));
+  EXPECT_EQ(r.loop_start, 0u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.firings[0].value, 0u);
+  EXPECT_EQ(r.firings[1].value, 1u);
+}
+
+TEST(Schedule, ReduceFoldsRotatedTransient) {
+  // a1 (a2 a1)* == (a1 a2)*.
+  const StaticOrderSchedule r = reduce_schedule(make({0, 1, 0}, 1));
+  EXPECT_EQ(r.loop_start, 0u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.firings[0].value, 0u);
+  EXPECT_EQ(r.firings[1].value, 1u);
+}
+
+TEST(Schedule, ReduceKeepsGenuineTransient) {
+  // a2 (a1)* cannot lose its transient.
+  const StaticOrderSchedule r = reduce_schedule(make({1, 0}, 1));
+  EXPECT_EQ(r.loop_start, 1u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.firings[0].value, 1u);
+}
+
+TEST(Schedule, ReduceTransientOnlyScheduleUnchanged) {
+  const StaticOrderSchedule r = reduce_schedule(make({0, 1, 0}, 3));
+  EXPECT_EQ(r.loop_start, 3u);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Schedule, ReduceSingletonPeriod) {
+  const StaticOrderSchedule r = reduce_schedule(make({1, 1, 1, 1}, 1));
+  // (1)(1 1 1)* -> period root (1), fold transient -> (1)*.
+  EXPECT_EQ(r.loop_start, 0u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Schedule, ReduceShrinksPeriodButKeepsForeignTransient) {
+  const StaticOrderSchedule r = reduce_schedule(make({0, 1, 1}, 1));
+  // a1 (a2 a2)* -> a1 (a2)*: the period shrinks to its root, but the a1
+  // transient cannot fold into an a2 period.
+  EXPECT_EQ(r.loop_start, 1u);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.firings[0].value, 0u);
+  EXPECT_EQ(r.firings[1].value, 1u);
+}
+
+TEST(Schedule, EmptyScheduleReduces) {
+  const StaticOrderSchedule r = reduce_schedule({});
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,131 @@
+#include "src/mapping/slice_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/constrained.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+class SliceAllocatorTest : public ::testing::Test {
+ protected:
+  SliceAllocatorTest()
+      : arch_(make_example_platform()),
+        app_(make_paper_example_application()),
+        binding_(make_paper_example_binding(arch_)) {
+    const ListSchedulingResult r = construct_schedules(app_, arch_, binding_);
+    EXPECT_TRUE(r.success);
+    schedules_ = r.schedules;
+  }
+
+  Rational throughput_at(const std::vector<std::int64_t>& slices) {
+    const BindingAwareGraph bag = build_binding_aware_graph(app_, arch_, binding_, slices);
+    const auto gamma = compute_repetition_vector(bag.graph);
+    const ConstrainedResult run =
+        execute_constrained(bag.graph, *gamma, make_constrained_spec(arch_, bag, schedules_),
+                            SchedulingMode::kStaticOrder);
+    return run.base.throughput();
+  }
+
+  Architecture arch_;
+  ApplicationGraph app_;
+  Binding binding_;
+  std::vector<StaticOrderSchedule> schedules_;
+};
+
+TEST_F(SliceAllocatorTest, MeetsConstraint) {
+  const SliceAllocationResult r = allocate_slices(app_, arch_, binding_, schedules_);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+  // Cross-check the reported throughput against an independent evaluation.
+  EXPECT_EQ(throughput_at(r.slices), r.achieved_throughput);
+  EXPECT_GT(r.throughput_checks, 0);
+}
+
+TEST_F(SliceAllocatorTest, PaperConstraintGetsHalfWheels) {
+  // λ = 1/30 is exactly what 50% slices deliver (Fig. 5(c)); the allocator
+  // must find slices no larger than 50% plus the 10% band.
+  const SliceAllocationResult r = allocate_slices(app_, arch_, binding_, schedules_);
+  ASSERT_TRUE(r.success);
+  for (std::size_t t = 0; t < r.slices.size(); ++t) {
+    EXPECT_LE(r.slices[t], 6) << "tile " << t;
+    EXPECT_GE(r.slices[t], 1) << "tile " << t;
+  }
+}
+
+TEST_F(SliceAllocatorTest, UnreachableConstraintFails) {
+  ApplicationGraph greedy = make_paper_example_application();
+  greedy.set_throughput_constraint(Rational(1, 2));  // even ungated gives 1/29
+  const SliceAllocationResult r = allocate_slices(greedy, arch_, binding_, schedules_);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("unreachable"), std::string::npos);
+}
+
+TEST_F(SliceAllocatorTest, ZeroConstraintMinimizesSlices) {
+  ApplicationGraph relaxed = make_paper_example_application();
+  relaxed.set_throughput_constraint(Rational(0));
+  const SliceAllocationResult r = allocate_slices(relaxed, arch_, binding_, schedules_);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.slices[0], 1);
+  EXPECT_EQ(r.slices[1], 1);
+}
+
+TEST_F(SliceAllocatorTest, RefinementNeverBreaksConstraint) {
+  SliceAllocationOptions options;
+  options.per_tile_refinement = true;
+  options.max_refinement_passes = 3;
+  const SliceAllocationResult r =
+      allocate_slices(app_, arch_, binding_, schedules_, options);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+}
+
+TEST_F(SliceAllocatorTest, RefinementOnlyShrinksSlices) {
+  SliceAllocationOptions no_refine;
+  no_refine.per_tile_refinement = false;
+  const SliceAllocationResult base =
+      allocate_slices(app_, arch_, binding_, schedules_, no_refine);
+  const SliceAllocationResult refined = allocate_slices(app_, arch_, binding_, schedules_);
+  ASSERT_TRUE(base.success);
+  ASSERT_TRUE(refined.success);
+  for (std::size_t t = 0; t < base.slices.size(); ++t) {
+    EXPECT_LE(refined.slices[t], base.slices[t]);
+  }
+}
+
+TEST_F(SliceAllocatorTest, RespectsOccupiedWheel) {
+  Architecture busy = make_example_platform();
+  busy.tile(TileId{0}).occupied_wheel = 10;
+  const SliceAllocationResult r = allocate_slices(app_, busy, binding_, schedules_);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("wheel"), std::string::npos);
+}
+
+TEST_F(SliceAllocatorTest, SlicesOnlyOnUsedTiles) {
+  Binding all_on_t1(3);
+  for (std::uint32_t a = 0; a < 3; ++a) all_on_t1.bind(ActorId{a}, TileId{0});
+  const ListSchedulingResult sched = construct_schedules(app_, arch_, all_on_t1);
+  ASSERT_TRUE(sched.success);
+  ApplicationGraph relaxed = make_paper_example_application();
+  relaxed.set_throughput_constraint(Rational(1, 60));
+  const SliceAllocationResult r =
+      allocate_slices(relaxed, arch_, all_on_t1, sched.schedules);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_GT(r.slices[0], 0);
+  EXPECT_EQ(r.slices[1], 0);
+}
+
+TEST_F(SliceAllocatorTest, IncompleteBindingFails) {
+  Binding partial(3);
+  partial.bind(ActorId{0}, TileId{0});
+  const SliceAllocationResult r = allocate_slices(app_, arch_, partial, schedules_);
+  EXPECT_FALSE(r.success);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,100 @@
+#include "src/mapping/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  StrategyTest() : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(StrategyTest, EndToEndSuccessOnPaperExample) {
+  StrategyOptions options;
+  options.weights = {1, 1, 1};
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(r.success) << r.stage << ": " << r.failure_reason;
+  EXPECT_EQ(r.stage, "slices");
+  EXPECT_TRUE(r.binding.is_complete());
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+  EXPECT_EQ(r.achieved_period, r.achieved_throughput.inverse());
+  EXPECT_GT(r.throughput_checks, 0);
+}
+
+TEST_F(StrategyTest, UsageIncludesSlices) {
+  const StrategyResult r = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.usage.size(), 2u);
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(r.usage[t].time_slice, r.slices[t]);
+    EXPECT_TRUE(r.usage[t].fits(arch_.tile(TileId{t})));
+  }
+}
+
+TEST_F(StrategyTest, FailureInBindingStageReported) {
+  ApplicationGraph app("impossible", app_.sdf(), 2);
+  app.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  app.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
+  const StrategyResult r = allocate_resources(app, arch_, {});
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "binding");
+  EXPECT_FALSE(r.failure_reason.empty());
+}
+
+TEST_F(StrategyTest, FailureInSliceStageReported) {
+  ApplicationGraph greedy = make_paper_example_application();
+  greedy.set_throughput_constraint(Rational(1, 2));
+  const StrategyResult r = allocate_resources(greedy, arch_, {});
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "slices");
+}
+
+TEST_F(StrategyTest, RebalanceToggle) {
+  StrategyOptions no_rebalance;
+  no_rebalance.rebalance = false;
+  const StrategyResult r = allocate_resources(app_, arch_, no_rebalance);
+  ASSERT_TRUE(r.success);
+}
+
+TEST_F(StrategyTest, TimingBreakdownPopulated) {
+  const StrategyResult r = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.binding_seconds, 0);
+  EXPECT_GE(r.scheduling_seconds, 0);
+  EXPECT_GE(r.slice_seconds, 0);
+  EXPECT_DOUBLE_EQ(r.total_seconds(),
+                   r.binding_seconds + r.scheduling_seconds + r.slice_seconds);
+}
+
+TEST_F(StrategyTest, SchedulesCoverAllBoundActors) {
+  const StrategyResult r = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(r.success);
+  std::vector<bool> scheduled(app_.sdf().num_actors(), false);
+  for (const auto& sched : r.schedules) {
+    for (const ActorId a : sched.firings) scheduled[a.value] = true;
+  }
+  for (std::uint32_t a = 0; a < app_.sdf().num_actors(); ++a) {
+    EXPECT_TRUE(scheduled[a]) << "actor " << a << " missing from all schedules";
+  }
+}
+
+TEST_F(StrategyTest, DifferentWeightsStillSucceed) {
+  for (const TileCostWeights w : {TileCostWeights{1, 0, 0}, TileCostWeights{0, 1, 0},
+                                  TileCostWeights{0, 0, 1}, TileCostWeights{0, 1, 2}}) {
+    StrategyOptions options;
+    options.weights = w;
+    const StrategyResult r = allocate_resources(app_, arch_, options);
+    EXPECT_TRUE(r.success) << w.to_string() << " failed in " << r.stage << ": "
+                           << r.failure_reason;
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,82 @@
+#include "src/mapping/tile_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+class TileCostTest : public ::testing::Test {
+ protected:
+  TileCostTest()
+      : arch_(make_example_platform()),
+        app_(make_paper_example_application()),
+        binding_(make_paper_example_binding(arch_)) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+  Binding binding_;
+};
+
+TEST_F(TileCostTest, EmptyBindingHasZeroLoads) {
+  const Binding empty(3);
+  for (const TileId t : arch_.tile_ids()) {
+    EXPECT_DOUBLE_EQ(processing_load(app_, arch_, empty, t), 0.0);
+    EXPECT_DOUBLE_EQ(memory_load(app_, arch_, empty, t), 0.0);
+    EXPECT_DOUBLE_EQ(communication_load(app_, arch_, empty, t), 0.0);
+  }
+}
+
+TEST_F(TileCostTest, ProcessingLoadMatchesDefinition) {
+  // Bound: a1,a2 on t1 (τ=1 each, γ=1 each), a3 on t2 (τ=2, γ=1).
+  // Total: Σ γ·maxτ = 4 + 7 + 3 = 14.
+  EXPECT_DOUBLE_EQ(processing_load(app_, arch_, binding_, TileId{0}), (1.0 + 1.0) / 14.0);
+  EXPECT_DOUBLE_EQ(processing_load(app_, arch_, binding_, TileId{1}), 2.0 / 14.0);
+}
+
+TEST_F(TileCostTest, MemoryLoadMatchesUsage) {
+  // t1: 10+7 + 7 (d1 buffer) + 200 (d2 src) = 224 of 700.
+  EXPECT_DOUBLE_EQ(memory_load(app_, arch_, binding_, TileId{0}), 224.0 / 700.0);
+  // t2: 10 + 200 = 210 of 500.
+  EXPECT_DOUBLE_EQ(memory_load(app_, arch_, binding_, TileId{1}), 210.0 / 500.0);
+}
+
+TEST_F(TileCostTest, CommunicationLoadAveragesThreeTerms) {
+  // t1: out 10/100, in 0/100, connections 2/5 -> avg = (0.1 + 0 + 0.4)/3.
+  EXPECT_DOUBLE_EQ(communication_load(app_, arch_, binding_, TileId{0}),
+                   (0.1 + 0.0 + 0.4) / 3.0);
+  // t2: out 0/100, in 10/100, connections 2/7.
+  EXPECT_DOUBLE_EQ(communication_load(app_, arch_, binding_, TileId{1}),
+                   (0.0 + 0.1 + 2.0 / 7.0) / 3.0);
+}
+
+TEST_F(TileCostTest, WeightsCombineLinearly) {
+  const TileCostWeights w{2, 3, 5};
+  const double expected = 2 * processing_load(app_, arch_, binding_, TileId{0}) +
+                          3 * memory_load(app_, arch_, binding_, TileId{0}) +
+                          5 * communication_load(app_, arch_, binding_, TileId{0});
+  EXPECT_DOUBLE_EQ(tile_cost(app_, arch_, binding_, TileId{0}, w), expected);
+}
+
+TEST_F(TileCostTest, ZeroWeightIgnoresDimension) {
+  const TileCostWeights w{1, 0, 0};
+  EXPECT_DOUBLE_EQ(tile_cost(app_, arch_, binding_, TileId{0}, w),
+                   processing_load(app_, arch_, binding_, TileId{0}));
+}
+
+TEST_F(TileCostTest, WeightsToString) {
+  EXPECT_EQ((TileCostWeights{0, 1, 2}).to_string(), "(0,1,2)");
+}
+
+TEST_F(TileCostTest, ZeroCapacityUsedResourceIsHuge) {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).memory = 0;
+  Binding b(3);
+  b.bind(ActorId{0}, TileId{0});
+  EXPECT_GT(memory_load(app_, arch, b, TileId{0}), 1e9);
+}
+
+}  // namespace
+}  // namespace sdfmap

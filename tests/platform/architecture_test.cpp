@@ -1,0 +1,81 @@
+#include "src/platform/architecture.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+Tile make_tile(ProcTypeId pt, std::string name = "") {
+  Tile t;
+  t.name = std::move(name);
+  t.proc_type = pt;
+  t.wheel_size = 10;
+  t.memory = 100;
+  t.max_connections = 2;
+  t.bandwidth_in = 50;
+  t.bandwidth_out = 50;
+  return t;
+}
+
+TEST(Architecture, ProcTypes) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  EXPECT_EQ(arch.proc_type_name(p), "arm");
+  EXPECT_EQ(arch.find_proc_type("arm"), std::optional<ProcTypeId>(p));
+  EXPECT_FALSE(arch.find_proc_type("dsp").has_value());
+  EXPECT_THROW(arch.add_proc_type("arm"), std::invalid_argument);
+}
+
+TEST(Architecture, TileValidation) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  Tile bad = make_tile(p);
+  bad.memory = -1;
+  EXPECT_THROW(arch.add_tile(bad), std::invalid_argument);
+  Tile unknown = make_tile(ProcTypeId{5});
+  EXPECT_THROW(arch.add_tile(unknown), std::invalid_argument);
+  Tile omega = make_tile(p);
+  omega.occupied_wheel = 11;  // > wheel
+  EXPECT_THROW(arch.add_tile(omega), std::invalid_argument);
+}
+
+TEST(Architecture, AvailableWheel) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  Tile t = make_tile(p);
+  t.occupied_wheel = 3;
+  const TileId id = arch.add_tile(t);
+  EXPECT_EQ(arch.tile(id).available_wheel(), 7);
+}
+
+TEST(Architecture, AutoNamesTiles) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  const TileId t = arch.add_tile(make_tile(p));
+  EXPECT_EQ(arch.tile(t).name, "t0");
+  EXPECT_EQ(arch.find_tile("t0"), std::optional<TileId>(t));
+}
+
+TEST(Architecture, ConnectionsAndLookup) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  const TileId a = arch.add_tile(make_tile(p, "a"));
+  const TileId b = arch.add_tile(make_tile(p, "b"));
+  arch.add_connection(a, b, 5, "slow");
+  const ConnectionId fast = arch.add_connection(a, b, 2, "fast");
+  EXPECT_EQ(arch.find_connection(a, b), std::optional<ConnectionId>(fast));
+  EXPECT_FALSE(arch.find_connection(b, a).has_value());
+  EXPECT_THROW(arch.add_connection(a, b, 0), std::invalid_argument);
+  EXPECT_THROW(arch.add_connection(a, TileId{9}, 1), std::invalid_argument);
+}
+
+TEST(Architecture, TileIdEnumeration) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("arm");
+  arch.add_tile(make_tile(p));
+  arch.add_tile(make_tile(p));
+  EXPECT_EQ(arch.tile_ids().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sdfmap

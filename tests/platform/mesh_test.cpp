@@ -1,0 +1,77 @@
+#include "src/platform/mesh.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+TEST(Mesh, BuildsFullConnectivity) {
+  MeshOptions options;
+  options.rows = 2;
+  options.cols = 3;
+  const Architecture arch = make_mesh(options);
+  EXPECT_EQ(arch.num_tiles(), 6u);
+  // Every ordered pair is connected.
+  EXPECT_EQ(arch.num_connections(), 6u * 5u);
+  for (const TileId u : arch.tile_ids()) {
+    for (const TileId v : arch.tile_ids()) {
+      if (u == v) continue;
+      EXPECT_TRUE(arch.find_connection(u, v).has_value());
+    }
+  }
+}
+
+TEST(Mesh, LatencyIsManhattanTimesHop) {
+  MeshOptions options;
+  options.rows = 3;
+  options.cols = 3;
+  options.hop_latency = 2;
+  const Architecture arch = make_mesh(options);
+  const TileId corner = *arch.find_tile("tile_0_0");
+  const TileId opposite = *arch.find_tile("tile_2_2");
+  const TileId neighbor = *arch.find_tile("tile_0_1");
+  EXPECT_EQ(arch.connection(*arch.find_connection(corner, opposite)).latency, 8);
+  EXPECT_EQ(arch.connection(*arch.find_connection(corner, neighbor)).latency, 2);
+}
+
+TEST(Mesh, ProcTypesRoundRobin) {
+  MeshOptions options;
+  options.rows = 2;
+  options.cols = 2;
+  options.proc_types = {"generic", "accel"};
+  const Architecture arch = make_mesh(options);
+  EXPECT_EQ(arch.proc_type_name(arch.tile(TileId{0}).proc_type), "generic");
+  EXPECT_EQ(arch.proc_type_name(arch.tile(TileId{1}).proc_type), "accel");
+  EXPECT_EQ(arch.proc_type_name(arch.tile(TileId{2}).proc_type), "generic");
+  EXPECT_EQ(arch.proc_type_name(arch.tile(TileId{3}).proc_type), "accel");
+}
+
+TEST(Mesh, Validation) {
+  MeshOptions bad;
+  bad.rows = 0;
+  EXPECT_THROW(make_mesh(bad), std::invalid_argument);
+  MeshOptions no_types;
+  no_types.proc_types.clear();
+  EXPECT_THROW(make_mesh(no_types), std::invalid_argument);
+}
+
+TEST(Mesh, ExamplePlatformMatchesTable1) {
+  const Architecture arch = make_example_platform();
+  ASSERT_EQ(arch.num_tiles(), 2u);
+  const Tile& t1 = arch.tile(*arch.find_tile("t1"));
+  const Tile& t2 = arch.tile(*arch.find_tile("t2"));
+  EXPECT_EQ(arch.proc_type_name(t1.proc_type), "p1");
+  EXPECT_EQ(t1.wheel_size, 10);
+  EXPECT_EQ(t1.memory, 700);
+  EXPECT_EQ(t1.max_connections, 5);
+  EXPECT_EQ(t1.bandwidth_in, 100);
+  EXPECT_EQ(t2.memory, 500);
+  EXPECT_EQ(t2.max_connections, 7);
+  const auto c1 = arch.find_connection(*arch.find_tile("t1"), *arch.find_tile("t2"));
+  ASSERT_TRUE(c1);
+  EXPECT_EQ(arch.connection(*c1).latency, 1);
+  EXPECT_EQ(arch.connection(*c1).name, "c1");
+}
+
+}  // namespace
+}  // namespace sdfmap

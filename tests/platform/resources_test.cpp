@@ -1,0 +1,98 @@
+#include "src/platform/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(TileUsage, Accumulates) {
+  TileUsage a{1, 10, 1, 5, 5};
+  const TileUsage b{2, 20, 1, 5, 0};
+  a += b;
+  EXPECT_EQ(a.time_slice, 3);
+  EXPECT_EQ(a.memory, 30);
+  EXPECT_EQ(a.connections, 2);
+  EXPECT_EQ(a.bandwidth_in, 10);
+  EXPECT_EQ(a.bandwidth_out, 5);
+}
+
+TEST(TileUsage, FitsChecksEveryResource) {
+  Tile tile;
+  tile.wheel_size = 10;
+  tile.occupied_wheel = 4;
+  tile.memory = 100;
+  tile.max_connections = 2;
+  tile.bandwidth_in = 50;
+  tile.bandwidth_out = 50;
+
+  EXPECT_TRUE((TileUsage{6, 100, 2, 50, 50}).fits(tile));
+  EXPECT_FALSE((TileUsage{7, 0, 0, 0, 0}).fits(tile));   // wheel
+  EXPECT_FALSE((TileUsage{0, 101, 0, 0, 0}).fits(tile)); // memory
+  EXPECT_FALSE((TileUsage{0, 0, 3, 0, 0}).fits(tile));   // connections
+  EXPECT_FALSE((TileUsage{0, 0, 0, 51, 0}).fits(tile));  // bw in
+  EXPECT_FALSE((TileUsage{0, 0, 0, 0, 51}).fits(tile));  // bw out
+}
+
+TEST(ResourcePool, CommitShrinksAvailability) {
+  const Architecture arch = make_example_platform();
+  ResourcePool pool(arch);
+  AllocationUsage usage(2);
+  usage[0] = {4, 200, 1, 10, 20};
+  pool.commit(usage);
+  const Tile& t1 = pool.available().tile(TileId{0});
+  EXPECT_EQ(t1.available_wheel(), 6);
+  EXPECT_EQ(t1.memory, 500);
+  EXPECT_EQ(t1.max_connections, 4);
+  EXPECT_EQ(t1.bandwidth_in, 90);
+  EXPECT_EQ(t1.bandwidth_out, 80);
+  // Tile 2 untouched.
+  EXPECT_EQ(pool.available().tile(TileId{1}).memory, 500);
+}
+
+TEST(ResourcePool, CommitRejectsOverflow) {
+  ResourcePool pool(make_example_platform());
+  AllocationUsage usage(2);
+  usage[0].time_slice = 11;
+  EXPECT_THROW(pool.commit(usage), std::invalid_argument);
+  AllocationUsage wrong_size(1);
+  EXPECT_THROW(pool.commit(wrong_size), std::invalid_argument);
+}
+
+TEST(ResourcePool, SequentialCommitsStack) {
+  ResourcePool pool(make_example_platform());
+  AllocationUsage usage(2);
+  usage[0].time_slice = 4;
+  usage[1].time_slice = 5;
+  pool.commit(usage);
+  pool.commit(usage);
+  EXPECT_EQ(pool.available().tile(TileId{0}).available_wheel(), 2);
+  EXPECT_EQ(pool.available().tile(TileId{1}).available_wheel(), 0);
+  AllocationUsage third(2);
+  third[1].time_slice = 1;
+  EXPECT_THROW(pool.commit(third), std::invalid_argument);
+}
+
+TEST(ResourcePool, UtilizationReport) {
+  ResourcePool pool(make_example_platform());
+  AllocationUsage usage(2);
+  usage[0] = {10, 700, 5, 100, 100};  // all of t1
+  pool.commit(usage);
+  const auto u = pool.utilization();
+  EXPECT_DOUBLE_EQ(u.wheel, 0.5);
+  EXPECT_DOUBLE_EQ(u.memory, 700.0 / 1200.0);
+  EXPECT_DOUBLE_EQ(u.connections, 5.0 / 12.0);
+  EXPECT_DOUBLE_EQ(u.bandwidth_in, 0.5);
+  EXPECT_DOUBLE_EQ(u.bandwidth_out, 0.5);
+}
+
+TEST(ResourcePool, UtilizationStartsAtZero) {
+  ResourcePool pool(make_example_platform());
+  const auto u = pool.utilization();
+  EXPECT_DOUBLE_EQ(u.wheel, 0);
+  EXPECT_DOUBLE_EQ(u.memory, 0);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,51 @@
+#include "src/sdf/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+TEST(GraphBuilder, BuildsByName) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 2);
+  b.channel("a", "b", 2, 1, 3, "d");
+  const Graph& g = b.build();
+  EXPECT_EQ(g.num_actors(), 2u);
+  ASSERT_EQ(g.num_channels(), 1u);
+  EXPECT_EQ(g.channel(ChannelId{0}).name, "d");
+  EXPECT_EQ(g.channel(ChannelId{0}).initial_tokens, 3);
+}
+
+TEST(GraphBuilder, DuplicateActorThrows) {
+  GraphBuilder b;
+  b.actor("a");
+  EXPECT_THROW(b.actor("a"), std::invalid_argument);
+}
+
+TEST(GraphBuilder, UnknownActorThrows) {
+  GraphBuilder b;
+  b.actor("a");
+  EXPECT_THROW(b.channel("a", "nope", 1, 1), std::invalid_argument);
+  EXPECT_THROW(b.id("nope"), std::invalid_argument);
+}
+
+TEST(GraphBuilder, SelfLoopHelper) {
+  GraphBuilder b;
+  b.actor("a").self_loop("a", 2);
+  const Graph& g = b.build();
+  ASSERT_EQ(g.num_channels(), 1u);
+  const Channel& c = g.channel(ChannelId{0});
+  EXPECT_EQ(c.src, c.dst);
+  EXPECT_EQ(c.initial_tokens, 2);
+  EXPECT_EQ(c.name, "a_self");
+}
+
+TEST(GraphBuilder, TakeMovesGraph) {
+  GraphBuilder b;
+  b.actor("a");
+  Graph g = b.take();
+  EXPECT_EQ(g.num_actors(), 1u);
+}
+
+}  // namespace
+}  // namespace sdfmap

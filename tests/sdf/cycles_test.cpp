@@ -1,0 +1,100 @@
+#include "src/sdf/cycles.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Cycles, SimpleRing) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1).channel("c", "a", 1, 1);
+  const Graph& g = b.build();
+  const CycleEnumeration e = enumerate_simple_cycles(g);
+  EXPECT_FALSE(e.truncated);
+  ASSERT_EQ(e.cycles.size(), 1u);
+  EXPECT_EQ(e.cycles[0].channels.size(), 3u);
+  EXPECT_EQ(e.cycles[0].actors(g).size(), 3u);
+}
+
+TEST(Cycles, SelfLoopIsLengthOneCycle) {
+  GraphBuilder b;
+  b.actor("a").self_loop("a");
+  const CycleEnumeration e = enumerate_simple_cycles(b.build());
+  ASSERT_EQ(e.cycles.size(), 1u);
+  EXPECT_EQ(e.cycles[0].channels.size(), 1u);
+}
+
+TEST(Cycles, AcyclicGraphHasNone) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("a", "c", 1, 1).channel("b", "c", 1, 1);
+  EXPECT_TRUE(enumerate_simple_cycles(b.build()).cycles.empty());
+}
+
+TEST(Cycles, ParallelChannelsAreDistinctCycles) {
+  GraphBuilder b;
+  b.actor("a").actor("b");
+  b.channel("a", "b", 1, 1).channel("b", "a", 1, 1).channel("b", "a", 1, 1, 5);
+  const CycleEnumeration e = enumerate_simple_cycles(b.build());
+  EXPECT_EQ(e.cycles.size(), 2u);
+}
+
+TEST(Cycles, TwoOverlappingCycles) {
+  // a -> b -> a  and  a -> b -> c -> a.
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "a", 1, 1);
+  b.channel("b", "c", 1, 1).channel("c", "a", 1, 1);
+  const CycleEnumeration e = enumerate_simple_cycles(b.build());
+  EXPECT_EQ(e.cycles.size(), 2u);
+}
+
+TEST(Cycles, CompleteGraphCount) {
+  // K4 has 3! ordered... number of simple directed cycles in complete digraph
+  // on 4 vertices: length-2: C(4,2)=6, length-3: 2·C(4,3)... = 8, length-4:
+  // 3!·... = 6. Total 20.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_actor("");
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i != j) g.add_channel(ActorId{i}, ActorId{j}, 1, 1);
+    }
+  }
+  const CycleEnumeration e = enumerate_simple_cycles(g);
+  EXPECT_FALSE(e.truncated);
+  EXPECT_EQ(e.cycles.size(), 20u);
+}
+
+TEST(Cycles, TruncationFlag) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.add_actor("");
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    for (std::uint32_t j = 0; j < 6; ++j) {
+      if (i != j) g.add_channel(ActorId{i}, ActorId{j}, 1, 1);
+    }
+  }
+  const CycleEnumeration e = enumerate_simple_cycles(g, 10);
+  EXPECT_TRUE(e.truncated);
+  EXPECT_EQ(e.cycles.size(), 10u);
+}
+
+TEST(Cycles, CycleChannelsFormClosedWalk) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1).channel("c", "a", 1, 1);
+  b.channel("b", "a", 1, 1);
+  const Graph& g = b.build();
+  for (const Cycle& cycle : enumerate_simple_cycles(g).cycles) {
+    for (std::size_t i = 0; i < cycle.channels.size(); ++i) {
+      const Channel& cur = g.channel(cycle.channels[i]);
+      const Channel& next = g.channel(cycle.channels[(i + 1) % cycle.channels.size()]);
+      EXPECT_EQ(cur.dst, next.src);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,74 @@
+#include "src/sdf/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/media.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Diagnostics, HealthyGraph) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 2);
+  b.channel("a", "x", 2, 1).channel("x", "a", 1, 2, 4);
+  const Graph& g = b.build();
+  const GraphDiagnostics d = diagnose_graph(g);
+  EXPECT_TRUE(d.consistent);
+  EXPECT_TRUE(d.deadlock_free);
+  EXPECT_TRUE(d.strongly_connected);
+  EXPECT_TRUE(d.analyzable());
+  EXPECT_EQ(d.repetition, (RepetitionVector{1, 2}));
+  EXPECT_EQ(d.hsdf_actors, 3);
+  const std::string text = d.to_string(g);
+  EXPECT_NE(text.find("deadlock free"), std::string::npos);
+  EXPECT_NE(text.find("a=1 x=2"), std::string::npos);
+}
+
+TEST(Diagnostics, InconsistentGraphCarriesWitness) {
+  GraphBuilder b;
+  b.actor("a").actor("x");
+  b.channel("a", "x", 2, 1).channel("x", "a", 1, 1);
+  const Graph& g = b.build();
+  const GraphDiagnostics d = diagnose_graph(g);
+  EXPECT_FALSE(d.consistent);
+  EXPECT_FALSE(d.analyzable());
+  ASSERT_TRUE(d.inconsistency_witness);
+  EXPECT_NE(d.to_string(g).find("INCONSISTENT"), std::string::npos);
+}
+
+TEST(Diagnostics, DeadlockFlagged) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1).channel("x", "a", 1, 1);
+  const GraphDiagnostics d = diagnose_graph(b.build());
+  EXPECT_TRUE(d.consistent);
+  EXPECT_FALSE(d.deadlock_free);
+  EXPECT_FALSE(d.analyzable());
+}
+
+TEST(Diagnostics, WeakConnectivityFlagged) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1);
+  const GraphDiagnostics d = diagnose_graph(b.build());
+  EXPECT_TRUE(d.consistent);
+  EXPECT_FALSE(d.strongly_connected);
+  EXPECT_NE(d.to_string(b.build()).find("not strongly connected"), std::string::npos);
+}
+
+TEST(Diagnostics, MediaModelsAnalyzable) {
+  EXPECT_TRUE(diagnose_graph(make_h263_decoder(2).sdf()).analyzable());
+  EXPECT_TRUE(diagnose_graph(make_mp3_decoder(2).sdf()).analyzable());
+  EXPECT_TRUE(diagnose_graph(make_cd2dat_converter(2).sdf()).analyzable());
+}
+
+TEST(Diagnostics, EmptyGraph) {
+  const GraphDiagnostics d = diagnose_graph(Graph{});
+  EXPECT_TRUE(d.consistent);
+  EXPECT_TRUE(d.strongly_connected);
+  EXPECT_EQ(d.hsdf_actors, 0);
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,108 @@
+#include "src/sdf/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+TEST(Graph, AddActorAssignsDenseIds) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  EXPECT_EQ(a.value, 0u);
+  EXPECT_EQ(b.value, 1u);
+  EXPECT_EQ(g.num_actors(), 2u);
+  EXPECT_EQ(g.actor(a).name, "a");
+  EXPECT_EQ(g.actor(b).execution_time, 5);
+}
+
+TEST(Graph, AutoNamesEmptyActors) {
+  Graph g;
+  const ActorId a = g.add_actor("");
+  EXPECT_EQ(g.actor(a).name, "a0");
+}
+
+TEST(Graph, NegativeExecutionTimeThrows) {
+  Graph g;
+  EXPECT_THROW(g.add_actor("x", -1), std::invalid_argument);
+}
+
+TEST(Graph, AddChannelMaintainsAdjacency) {
+  Graph g;
+  const ActorId a = g.add_actor("a");
+  const ActorId b = g.add_actor("b");
+  const ChannelId c = g.add_channel(a, b, 2, 3, 4, "d");
+  EXPECT_EQ(g.num_channels(), 1u);
+  const Channel& ch = g.channel(c);
+  EXPECT_EQ(ch.src, a);
+  EXPECT_EQ(ch.dst, b);
+  EXPECT_EQ(ch.production_rate, 2);
+  EXPECT_EQ(ch.consumption_rate, 3);
+  EXPECT_EQ(ch.initial_tokens, 4);
+  ASSERT_EQ(g.actor(a).outputs.size(), 1u);
+  ASSERT_EQ(g.actor(b).inputs.size(), 1u);
+  EXPECT_EQ(g.actor(a).outputs[0], c);
+  EXPECT_EQ(g.actor(b).inputs[0], c);
+  EXPECT_TRUE(g.actor(a).inputs.empty());
+}
+
+TEST(Graph, ChannelValidation) {
+  Graph g;
+  const ActorId a = g.add_actor("a");
+  EXPECT_THROW(g.add_channel(a, ActorId{7}, 1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_channel(a, a, 0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_channel(a, a, 1, -2), std::invalid_argument);
+  EXPECT_THROW(g.add_channel(a, a, 1, 1, -1), std::invalid_argument);
+}
+
+TEST(Graph, SelfLoopAppearsInBothAdjacencyLists) {
+  Graph g;
+  const ActorId a = g.add_actor("a");
+  g.add_channel(a, a, 1, 1, 1);
+  EXPECT_TRUE(g.has_self_loop(a));
+  EXPECT_EQ(g.actor(a).inputs.size(), 1u);
+  EXPECT_EQ(g.actor(a).outputs.size(), 1u);
+}
+
+TEST(Graph, HasSelfLoopFalseForPlainEdges) {
+  Graph g;
+  const ActorId a = g.add_actor("a");
+  const ActorId b = g.add_actor("b");
+  g.add_channel(a, b, 1, 1);
+  EXPECT_FALSE(g.has_self_loop(a));
+  EXPECT_FALSE(g.has_self_loop(b));
+}
+
+TEST(Graph, FindActorByName) {
+  Graph g;
+  g.add_actor("x");
+  const ActorId y = g.add_actor("y");
+  EXPECT_EQ(g.find_actor("y"), std::optional<ActorId>(y));
+  EXPECT_FALSE(g.find_actor("z").has_value());
+}
+
+TEST(Graph, Setters) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ChannelId c = g.add_channel(a, a, 1, 1, 0);
+  g.set_execution_time(a, 9);
+  g.set_initial_tokens(c, 3);
+  EXPECT_EQ(g.actor(a).execution_time, 9);
+  EXPECT_EQ(g.channel(c).initial_tokens, 3);
+  EXPECT_THROW(g.set_execution_time(a, -1), std::invalid_argument);
+  EXPECT_THROW(g.set_initial_tokens(c, -1), std::invalid_argument);
+}
+
+TEST(Graph, IdEnumeration) {
+  Graph g;
+  g.add_actor("a");
+  g.add_actor("b");
+  const auto ids = g.actor_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].value, 0u);
+  EXPECT_EQ(ids[1].value, 1u);
+  EXPECT_TRUE(g.channel_ids().empty());
+}
+
+}  // namespace
+}  // namespace sdfmap

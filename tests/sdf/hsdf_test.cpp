@@ -1,0 +1,115 @@
+#include "src/sdf/hsdf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sdf/builder.h"
+#include "src/sdf/deadlock.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Hsdf, HomogeneousGraphIsUnchangedInSize) {
+  GraphBuilder b;
+  b.actor("a", 3).actor("b", 5);
+  b.channel("a", "b", 1, 1, 2).channel("b", "a", 1, 1, 1);
+  const HsdfConversion h = to_hsdf(b.build());
+  EXPECT_EQ(h.graph.num_actors(), 2u);
+  EXPECT_EQ(h.graph.num_channels(), 2u);
+  EXPECT_EQ(h.graph.channel(ChannelId{0}).initial_tokens, 2);
+  EXPECT_EQ(h.graph.actor(ActorId{0}).execution_time, 3);
+}
+
+TEST(Hsdf, ActorCountIsGammaSum) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 2);
+  b.channel("a", "b", 3, 2);        // γ = (2, 3)
+  b.channel("b", "a", 2, 3, 6);
+  const Graph& g = b.build();
+  const HsdfConversion h = to_hsdf(g);
+  EXPECT_EQ(h.graph.num_actors(), 5u);
+  // Copies are contiguous per original actor.
+  EXPECT_EQ(h.first_copy[0], 0u);
+  EXPECT_EQ(h.first_copy[1], 2u);
+  EXPECT_EQ(h.origin[3].actor, (ActorId{1}));
+  EXPECT_EQ(h.origin[3].firing, 1);
+}
+
+TEST(Hsdf, PaperH263Size) {
+  GraphBuilder b;
+  b.actor("vld", 10).actor("iq", 2).actor("idct", 2).actor("mc", 5);
+  b.channel("vld", "iq", 2376, 1).channel("iq", "idct", 1, 1);
+  b.channel("idct", "mc", 1, 2376).channel("mc", "vld", 1, 1, 2);
+  const HsdfConversion h = to_hsdf(b.build());
+  EXPECT_EQ(h.graph.num_actors(), 4754u);  // the paper's headline count
+}
+
+TEST(Hsdf, RatesAreAllOne) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 1);
+  b.channel("a", "b", 2, 3, 1).channel("b", "a", 3, 2, 5);
+  const HsdfConversion h = to_hsdf(b.build());
+  for (const Channel& c : h.graph.channels()) {
+    EXPECT_EQ(c.production_rate, 1);
+    EXPECT_EQ(c.consumption_rate, 1);
+    EXPECT_GE(c.initial_tokens, 0);
+  }
+}
+
+TEST(Hsdf, InconsistentThrows) {
+  GraphBuilder b;
+  b.actor("a").actor("b");
+  b.channel("a", "b", 2, 1).channel("b", "a", 1, 1);
+  EXPECT_THROW(to_hsdf(b.build()), std::invalid_argument);
+}
+
+TEST(Hsdf, ChainDependencies) {
+  // a -(2,1)-> b with no tokens: firing k of b depends on firing floor(k/2)
+  // of a, delay 0.
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 1);
+  b.channel("a", "b", 2, 1);
+  b.channel("b", "a", 1, 2, 4);  // feedback for boundedness, γ = (1, 2)
+  const Graph& g = b.build();
+  const HsdfConversion h = to_hsdf(g);
+  ASSERT_EQ(h.graph.num_actors(), 3u);
+  // Find the edges of the forward channel: a_0 -> b_0 and a_0 -> b_1, delay 0.
+  int forward_edges = 0;
+  for (const Channel& c : h.graph.channels()) {
+    if (h.origin[c.src.value].actor == ActorId{0} &&
+        h.origin[c.dst.value].actor == ActorId{1}) {
+      EXPECT_EQ(c.initial_tokens, 0);
+      ++forward_edges;
+    }
+  }
+  EXPECT_EQ(forward_edges, 2);
+}
+
+TEST(Hsdf, InitialTokensBecomeDelays) {
+  // Single actor self-loop with 2 tokens and rates 1: HSDF delay 2.
+  GraphBuilder b;
+  b.actor("a", 1);
+  b.channel("a", "a", 1, 1, 2);
+  const HsdfConversion h = to_hsdf(b.build());
+  ASSERT_EQ(h.graph.num_channels(), 1u);
+  EXPECT_EQ(h.graph.channel(ChannelId{0}).initial_tokens, 2);
+}
+
+TEST(Hsdf, DeadlockFreedomPreserved) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("b", 1);
+  b.channel("a", "b", 2, 3);
+  b.channel("b", "a", 3, 2, 6);
+  const Graph& g = b.build();
+  ASSERT_TRUE(is_deadlock_free(g));
+  EXPECT_TRUE(is_deadlock_free(to_hsdf(g).graph));
+
+  GraphBuilder dead;
+  dead.actor("a", 1).actor("b", 1);
+  dead.channel("a", "b", 2, 3);
+  dead.channel("b", "a", 3, 2, 2);  // not enough for a's first firing
+  ASSERT_FALSE(is_deadlock_free(dead.build()));
+  EXPECT_FALSE(is_deadlock_free(to_hsdf(dead.build()).graph));
+}
+
+}  // namespace
+}  // namespace sdfmap

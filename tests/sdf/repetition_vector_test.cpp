@@ -1,0 +1,130 @@
+#include "src/sdf/repetition_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/generator.h"
+#include "src/sdf/builder.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(RepetitionVector, HomogeneousGraphIsAllOnes) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1).channel("c", "a", 1, 1, 1);
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  EXPECT_EQ(*gamma, (RepetitionVector{1, 1, 1}));
+}
+
+TEST(RepetitionVector, MultiRateChain) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 2, 3).channel("b", "c", 1, 2);
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  // 2γa = 3γb, γb = 2γc -> γ = (3, 2, 1).
+  EXPECT_EQ(*gamma, (RepetitionVector{3, 2, 1}));
+}
+
+TEST(RepetitionVector, PaperH263Shape) {
+  // vld -(2376,1)-> iq -(1,1)-> idct -(1,2376)-> mc: γ = (1, 2376, 2376, 1).
+  GraphBuilder b;
+  b.actor("vld").actor("iq").actor("idct").actor("mc");
+  b.channel("vld", "iq", 2376, 1).channel("iq", "idct", 1, 1);
+  b.channel("idct", "mc", 1, 2376).channel("mc", "vld", 1, 1, 2);
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  EXPECT_EQ(*gamma, (RepetitionVector{1, 2376, 2376, 1}));
+  EXPECT_EQ(iteration_firings(*gamma), 4754);  // the paper's HSDFG size
+}
+
+TEST(RepetitionVector, InconsistentCycleDetected) {
+  GraphBuilder b;
+  b.actor("a").actor("b");
+  b.channel("a", "b", 2, 1);  // γa·2 = γb
+  b.channel("b", "a", 1, 1);  // γb = γa  -> contradiction
+  EXPECT_FALSE(compute_repetition_vector(b.build()).has_value());
+  EXPECT_FALSE(is_consistent(b.build()));
+}
+
+TEST(RepetitionVector, InconsistentParallelEdges) {
+  GraphBuilder b;
+  b.actor("a").actor("b");
+  b.channel("a", "b", 1, 1);
+  b.channel("a", "b", 2, 1);
+  EXPECT_FALSE(is_consistent(b.build()));
+}
+
+TEST(RepetitionVector, DisconnectedComponentsNormalizedIndependently) {
+  // Components scale independently, so the smallest vector minimizes each
+  // component on its own.
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c").actor("d");
+  b.channel("a", "b", 2, 1);  // component 1: (1, 2)
+  b.channel("c", "d", 1, 3);  // component 2: (3, 1)
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  EXPECT_EQ(*gamma, (RepetitionVector{1, 2, 3, 1}));
+}
+
+TEST(RepetitionVector, SelfLoopAnyRateMismatchInconsistent) {
+  GraphBuilder b;
+  b.actor("a");
+  b.channel("a", "a", 2, 1, 1);
+  EXPECT_FALSE(is_consistent(b.build()));
+}
+
+TEST(RepetitionVector, SelfLoopBalancedIsFine) {
+  GraphBuilder b;
+  b.actor("a");
+  b.channel("a", "a", 3, 3, 3);
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  EXPECT_EQ(*gamma, (RepetitionVector{1}));
+}
+
+TEST(RepetitionVector, EmptyGraph) {
+  const Graph g;
+  const auto gamma = compute_repetition_vector(g);
+  ASSERT_TRUE(gamma);
+  EXPECT_TRUE(gamma->empty());
+  EXPECT_EQ(iteration_firings(*gamma), 0);
+}
+
+TEST(RepetitionVector, ResultIsSmallest) {
+  GraphBuilder b;
+  b.actor("a").actor("b");
+  b.channel("a", "b", 4, 6);
+  const auto gamma = compute_repetition_vector(b.build());
+  ASSERT_TRUE(gamma);
+  EXPECT_EQ(*gamma, (RepetitionVector{3, 2}));
+}
+
+// Property sweep: generated applications are consistent by construction and
+// their repetition vector satisfies every balance equation.
+class RepetitionVectorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RepetitionVectorProperty, GeneratedGraphsBalance) {
+  Rng rng(GetParam());
+  GeneratorOptions options;
+  options.max_repetition = 4;
+  const ApplicationGraph app = generate_application(options, rng, "prop");
+  const auto gamma = compute_repetition_vector(app.sdf());
+  ASSERT_TRUE(gamma);
+  for (const Channel& c : app.sdf().channels()) {
+    EXPECT_EQ(c.production_rate * (*gamma)[c.src.value],
+              c.consumption_rate * (*gamma)[c.dst.value]);
+  }
+  // Smallest: gcd of all entries is 1.
+  std::int64_t g = 0;
+  for (const auto v : *gamma) g = std::gcd(g, v);
+  EXPECT_EQ(g, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepetitionVectorProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace sdfmap

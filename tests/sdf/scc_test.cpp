@@ -1,0 +1,82 @@
+#include "src/sdf/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(Scc, SingleRing) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1).channel("c", "a", 1, 1);
+  const SccResult scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.num_components(), 1u);
+  EXPECT_EQ(scc.members[0].size(), 3u);
+  EXPECT_TRUE(scc.is_cyclic(0, b.build()));
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "c", 1, 1);
+  const Graph& g = b.build();
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), 3u);
+  for (std::uint32_t comp = 0; comp < 3; ++comp) {
+    EXPECT_FALSE(scc.is_cyclic(comp, g));
+  }
+}
+
+TEST(Scc, SelfLoopSingletonIsCyclic) {
+  GraphBuilder b;
+  b.actor("a").self_loop("a");
+  const Graph& g = b.build();
+  const SccResult scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.num_components(), 1u);
+  EXPECT_TRUE(scc.is_cyclic(0, g));
+}
+
+TEST(Scc, TwoComponentsWithBridge) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c").actor("d");
+  b.channel("a", "b", 1, 1).channel("b", "a", 1, 1);  // SCC {a,b}
+  b.channel("b", "c", 1, 1);                          // bridge
+  b.channel("c", "d", 1, 1).channel("d", "c", 1, 1);  // SCC {c,d}
+  const Graph& g = b.build();
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), 2u);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+}
+
+TEST(Scc, ComponentIndicesConsistentWithMembers) {
+  GraphBuilder b;
+  b.actor("a").actor("b").actor("c");
+  b.channel("a", "b", 1, 1).channel("b", "a", 1, 1).channel("b", "c", 1, 1);
+  const SccResult scc = strongly_connected_components(b.build());
+  for (std::uint32_t comp = 0; comp < scc.num_components(); ++comp) {
+    for (const ActorId a : scc.members[comp]) {
+      EXPECT_EQ(scc.component[a.value], comp);
+    }
+  }
+}
+
+TEST(Scc, DeepChainNoStackOverflow) {
+  Graph g;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) g.add_actor("");
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_channel(ActorId{static_cast<std::uint32_t>(i)},
+                  ActorId{static_cast<std::uint32_t>(i + 1)}, 1, 1);
+  }
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components(), static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,171 @@
+#include "src/sdf/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/mcr.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/hsdf.h"
+#include "src/sdf/repetition_vector.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+Graph sample_ring() {
+  GraphBuilder b;
+  b.actor("a", 2).actor("x", 3).actor("c", 1);
+  b.channel("a", "x", 1, 1).channel("x", "c", 1, 1, 1).channel("c", "a", 1, 1, 1);
+  return b.take();
+}
+
+TEST(Transform, ReversePreservesStructureCounts) {
+  const Graph g = sample_ring();
+  const Graph r = reverse_graph(g);
+  EXPECT_EQ(r.num_actors(), g.num_actors());
+  EXPECT_EQ(r.num_channels(), g.num_channels());
+  const Channel& orig = g.channel(ChannelId{0});
+  const Channel& rev = r.channel(ChannelId{0});
+  EXPECT_EQ(rev.src, orig.dst);
+  EXPECT_EQ(rev.dst, orig.src);
+  EXPECT_EQ(rev.production_rate, orig.consumption_rate);
+  EXPECT_EQ(rev.initial_tokens, orig.initial_tokens);
+}
+
+TEST(Transform, ReversePreservesMaxCycleRatio) {
+  const Graph g = sample_ring();
+  const McrResult a = max_cycle_ratio(g);
+  const McrResult b = max_cycle_ratio(reverse_graph(g));
+  ASSERT_TRUE(a.is_finite());
+  ASSERT_TRUE(b.is_finite());
+  EXPECT_EQ(a.ratio, b.ratio);
+}
+
+TEST(Transform, ReverseIsInvolution) {
+  const Graph g = sample_ring();
+  const Graph rr = reverse_graph(reverse_graph(g));
+  for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+    EXPECT_EQ(rr.channel(ChannelId{c}).src, g.channel(ChannelId{c}).src);
+    EXPECT_EQ(rr.channel(ChannelId{c}).production_rate,
+              g.channel(ChannelId{c}).production_rate);
+  }
+}
+
+TEST(Transform, UnfoldValidation) {
+  EXPECT_THROW(unfold_hsdf(sample_ring(), 0), std::invalid_argument);
+  GraphBuilder multirate;
+  multirate.actor("a", 1).actor("x", 1);
+  multirate.channel("a", "x", 2, 1);
+  EXPECT_THROW(unfold_hsdf(multirate.build(), 2), std::invalid_argument);
+}
+
+TEST(Transform, UnfoldFactorOneIsIdentityInSize) {
+  const Graph g = sample_ring();
+  const Graph u = unfold_hsdf(g, 1);
+  EXPECT_EQ(u.num_actors(), g.num_actors());
+  EXPECT_EQ(u.num_channels(), g.num_channels());
+  EXPECT_EQ(max_cycle_ratio(u).ratio, max_cycle_ratio(g).ratio);
+}
+
+TEST(Transform, UnfoldDistributesDelays) {
+  // Self-loop with 1 token unfolded by 3: a#0->a#1, a#1->a#2 (delay 0) and
+  // a#2->a#0 (delay 1).
+  GraphBuilder b;
+  b.actor("a", 4).self_loop("a");
+  const Graph u = unfold_hsdf(b.build(), 3);
+  EXPECT_EQ(u.num_actors(), 3u);
+  std::int64_t total_delay = 0;
+  for (const Channel& c : u.channels()) total_delay += c.initial_tokens;
+  EXPECT_EQ(total_delay, 1);  // token count is conserved
+}
+
+TEST(Transform, UnfoldScalesPeriodByJ) {
+  const Graph g = sample_ring();
+  const McrResult base = max_cycle_ratio(g);
+  ASSERT_TRUE(base.is_finite());
+  for (const std::int64_t j : {2, 3, 5}) {
+    const Graph u = unfold_hsdf(g, j);
+    const McrResult unfolded = max_cycle_ratio(u);
+    ASSERT_TRUE(unfolded.is_finite()) << "J=" << j;
+    EXPECT_EQ(unfolded.ratio, base.ratio * Rational(j)) << "J=" << j;
+  }
+}
+
+TEST(Transform, UnfoldPreservesDeadlock) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 1, 1).channel("x", "a", 1, 1);  // token-free cycle
+  const Graph u = unfold_hsdf(b.build(), 2);
+  EXPECT_EQ(max_cycle_ratio(u).kind, McrResult::Kind::kDeadlock);
+}
+
+TEST(Transform, ScaleValidationAndStructure) {
+  EXPECT_THROW(scale_token_granularity(sample_ring(), 0), std::invalid_argument);
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 2, 3, 6);
+  const Graph s = scale_token_granularity(b.build(), 4);
+  EXPECT_EQ(s.channel(ChannelId{0}).production_rate, 8);
+  EXPECT_EQ(s.channel(ChannelId{0}).consumption_rate, 12);
+  EXPECT_EQ(s.channel(ChannelId{0}).initial_tokens, 24);
+}
+
+TEST(Transform, ScalePreservesRepetitionVector) {
+  GraphBuilder b;
+  b.actor("a", 1).actor("x", 1);
+  b.channel("a", "x", 2, 3);
+  b.channel("x", "a", 3, 2, 12);
+  const Graph g = b.build();
+  EXPECT_EQ(*compute_repetition_vector(g),
+            *compute_repetition_vector(scale_token_granularity(g, 5)));
+}
+
+class TransformProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformProperty, ScalePreservesSelfTimedPeriod) {
+  Rng rng(GetParam());
+  // Random strongly connected multi-rate ring with extra chords.
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 5));
+  std::vector<std::int64_t> gamma(n);
+  for (auto& v : gamma) v = rng.uniform(1, 3);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_actor("a" + std::to_string(i), rng.uniform(1, 9));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t dst = (i + 1) % n;
+    const std::int64_t lcm = std::lcm(gamma[i], gamma[dst]);
+    const std::int64_t p = lcm / gamma[i];
+    const std::int64_t q = lcm / gamma[dst];
+    g.add_channel(ActorId{static_cast<std::uint32_t>(i)},
+                  ActorId{static_cast<std::uint32_t>(dst)}, p, q,
+                  dst == 0 ? q * gamma[0] * rng.uniform(1, 2) : 0);
+  }
+  const SelfTimedResult base = self_timed_throughput(g);
+  ASSERT_FALSE(base.deadlocked());
+  const std::int64_t k = rng.uniform(2, 6);
+  const SelfTimedResult scaled = self_timed_throughput(scale_token_granularity(g, k));
+  ASSERT_FALSE(scaled.deadlocked());
+  EXPECT_EQ(scaled.iteration_period, base.iteration_period) << "k=" << k;
+}
+
+TEST_P(TransformProperty, UnfoldedHsdfPeriodScales) {
+  Rng rng(GetParam());
+  // Random multi-rate graph -> HSDF -> unfold; MCR must scale linearly.
+  GraphBuilder b;
+  b.actor("a", rng.uniform(1, 6)).actor("x", rng.uniform(1, 6));
+  b.channel("a", "x", 2, 1);
+  b.channel("x", "a", 1, 2, 2 * rng.uniform(1, 3));
+  const Graph hsdf = to_hsdf(b.build()).graph;
+  const McrResult base = max_cycle_ratio(hsdf);
+  ASSERT_TRUE(base.is_finite());
+  const std::int64_t j = rng.uniform(2, 4);
+  const McrResult unfolded = max_cycle_ratio(unfold_hsdf(hsdf, j));
+  ASSERT_TRUE(unfolded.is_finite());
+  EXPECT_EQ(unfolded.ratio, base.ratio * Rational(j));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,100 @@
+#include "src/support/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sdfmap {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSignIntoNumerator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, ComparisonTotalOrder) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(1, 2), Rational(2, 4));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, InverseOfZeroThrows) {
+  EXPECT_THROW(Rational(0).inverse(), std::domain_error);
+}
+
+TEST(Rational, Inverse) {
+  EXPECT_EQ(Rational(3, 7).inverse(), Rational(7, 3));
+  EXPECT_EQ(Rational(-3, 7).inverse(), Rational(-7, 3));
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(1, 2).to_string(), "1/2");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  std::ostringstream os;
+  os << Rational(-5, 10);
+  EXPECT_EQ(os.str(), "-1/2");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, AddKeepsIntermediatesSmall) {
+  // Would overflow with naive cross-multiplication of ~2^62 denominators.
+  const std::int64_t big = std::int64_t{1} << 62;
+  const Rational a(1, big);
+  const Rational b(1, big);
+  EXPECT_EQ(a + b, Rational(2, big));
+}
+
+TEST(Rational, MultiplyOverflowThrows) {
+  const std::int64_t big = (std::int64_t{1} << 62) - 1;  // odd-ish, no reduction
+  EXPECT_THROW(Rational(big, 1) * Rational(big, 1), std::overflow_error);
+}
+
+TEST(CheckedMath, DetectsOverflow) {
+  EXPECT_THROW(checked_mul(INT64_MAX, 2), std::overflow_error);
+  EXPECT_THROW(checked_add(INT64_MAX, 1), std::overflow_error);
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20), std::int64_t{1} << 40);
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(0, 5), 0);
+}
+
+TEST(CheckedMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+}
+
+}  // namespace
+}  // namespace sdfmap

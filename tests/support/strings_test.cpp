@@ -1,0 +1,52 @@
+#include "src/support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sdfmap {
+namespace {
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto fields = split("a  b c ", ' ');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  EXPECT_TRUE(split("", ',').empty());
+  EXPECT_TRUE(split(",,,", ',').empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\r\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, JoinStrings) {
+  const std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(join(v, ", "), "a, b, c");
+}
+
+TEST(Strings, JoinNumbers) {
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(join(v, "-"), "1-2-3");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_THROW(parse_int("4x"), std::invalid_argument);
+  EXPECT_THROW(parse_int(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdfmap
