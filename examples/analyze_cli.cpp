@@ -6,9 +6,14 @@
 //
 // Usage:
 //   analyze_cli <graph.sdf> [--sink=<actor>] [--storage-period=<num[/den]>]
-//               [--dot=<file>]
+//               [--deadline-ms=<n>] [--dot=<file>]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
+//
+// Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 analysis
+// failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
+// 6 cancelled, 70 internal error.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +23,7 @@
 #include "src/analysis/throughput.h"
 #include "src/appmodel/media.h"
 #include "src/io/dot.h"
+#include "src/io/report.h"
 #include "src/io/text_format.h"
 #include "src/sdf/deadlock.h"
 #include "src/sdf/diagnostics.h"
@@ -46,11 +52,7 @@ Rational parse_rational(const std::string& s) {
   return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-
+int run(const CliArgs& args) {
   Graph g;
   if (args.has("demo")) {
     g = demo_graph();
@@ -59,24 +61,31 @@ int main(int argc, char** argv) {
     std::ifstream file(args.positional().front());
     if (!file) {
       std::cerr << "error: cannot open '" << args.positional().front() << "'\n";
-      return 2;
+      return kCliUsageError;
     }
     g = read_graph(file);
   } else {
-    std::cerr << "usage: analyze_cli <graph.sdf> [--sink=x] [--storage-period=p]\n"
+    std::cerr << "usage: analyze_cli <graph.sdf> [--sink=x] [--storage-period=p]"
+              << " [--deadline-ms=n]\n"
               << "       analyze_cli --demo\n";
-    return 2;
+    return kCliUsageError;
+  }
+
+  ExecutionLimits limits;
+  const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    limits.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(deadline_ms));
   }
 
   const GraphDiagnostics diag = diagnose_graph(g);
   std::cout << diag.to_string(g);
-  if (!diag.consistent || !diag.deadlock_free) return 1;
+  if (!diag.consistent || !diag.deadlock_free) return kCliInvalidInput;
   const auto gamma = std::optional<RepetitionVector>(diag.repetition);
 
-  const ThroughputReport ss = compute_throughput(g, ThroughputEngine::kStateSpace);
+  const ThroughputReport ss = compute_throughput(g, ThroughputEngine::kStateSpace, limits);
   std::cout << "iteration period (state space): " << ss.iteration_period.to_string() << " ("
             << ss.problem_size << " states, " << ss.seconds << " s)\n";
-  const ThroughputReport mcr = compute_throughput(g, ThroughputEngine::kHsdfMcr);
+  const ThroughputReport mcr = compute_throughput(g, ThroughputEngine::kHsdfMcr, limits);
   std::cout << "iteration period (HSDFG + MCR): " << mcr.iteration_period.to_string() << " ("
             << mcr.problem_size << " HSDF actors, " << mcr.seconds << " s)\n";
 
@@ -91,7 +100,9 @@ int main(int argc, char** argv) {
 
   if (args.has("storage-period")) {
     const Rational target = parse_rational(args.get("storage-period", "0"));
-    const StorageResult storage = minimize_storage(g, target);
+    StorageOptions storage_options;
+    storage_options.limits = limits;
+    const StorageResult storage = minimize_storage(g, target, storage_options);
     if (!storage.success) {
       std::cout << "storage minimization failed: " << storage.failure_reason << "\n";
     } else {
@@ -99,6 +110,10 @@ int main(int argc, char** argv) {
                 << storage.total_tokens << " tokens (achieved period "
                 << storage.achieved_period.to_string() << ", " << storage.throughput_checks
                 << " checks)\n";
+      if (storage.degraded) {
+        std::cout << "  DEGRADED: search stopped early (" << storage.degradation_reason
+                  << "); the distribution is feasible but may not be minimal\n";
+      }
       for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
         if (storage.capacities[c] > 0) {
           std::cout << "  " << g.channel(ChannelId{c}).name << ": "
@@ -114,5 +129,19 @@ int main(int argc, char** argv) {
     write_dot(dot, g, "sdfg");
     std::cout << "wrote " << dot_path << "\n";
   }
-  return 0;
+  return kCliSuccess;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "analyze_cli: error: " << e.what() << "\n";
+    return cli_exit_code(e);
+  } catch (...) {
+    std::cerr << "analyze_cli: error: unknown exception\n";
+    return kCliInternalError;
+  }
 }

@@ -6,10 +6,16 @@
 //
 // Usage:
 //   flow_cli --app=<file> --platform=<file> [--c1=1 --c2=1 --c3=1]
+//            [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]
 //            [--dot=<prefix>] [--utilization] [--gantt[=<width>]]
 //            [--vcd=<file>]
 //   flow_cli --dump-examples [--dir=.]
+//
+// Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 allocation
+// failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
+// 6 cancelled, 70 internal error.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +24,7 @@
 #include "src/appmodel/paper_example.h"
 #include "src/io/app_format.h"
 #include "src/io/dot.h"
+#include "src/io/report.h"
 #include "src/io/trace.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
@@ -46,10 +53,7 @@ int dump_examples(const std::string& dir) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   if (args.has("dump-examples")) {
     return dump_examples(args.get("dir", "."));
   }
@@ -57,15 +61,16 @@ int main(int argc, char** argv) {
   const std::string platform_path = args.get("platform", "");
   if (app_path.empty() || platform_path.empty()) {
     std::cerr << "usage: flow_cli --app=<file> --platform=<file> [--c1 --c2 --c3]\n"
+              << "                [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]\n"
               << "       flow_cli --dump-examples\n";
-    return 2;
+    return kCliUsageError;
   }
 
   std::ifstream app_file(app_path);
   std::ifstream platform_file(platform_path);
   if (!app_file || !platform_file) {
     std::cerr << "error: cannot open input files\n";
-    return 2;
+    return kCliUsageError;
   }
 
   ApplicationGraph app = read_application(app_file);
@@ -74,16 +79,28 @@ int main(int argc, char** argv) {
   if (!problems.empty()) {
     std::cerr << "application model problems:\n";
     for (const auto& p : problems) std::cerr << "  - " << p << "\n";
-    return 1;
+    return kCliInvalidInput;
   }
 
   StrategyOptions options;
   options.weights = {args.get_double("c1", 1), args.get_double("c2", 1),
                      args.get_double("c3", 1)};
+  const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.slices.limits.budget =
+        AnalysisBudget::expiring_in(std::chrono::milliseconds(deadline_ms));
+  }
+  const std::int64_t per_check_ms = args.get_int("per-check-ms", 0);
+  if (per_check_ms > 0) {
+    options.slices.limits.budget.set_per_check_timeout(
+        std::chrono::milliseconds(per_check_ms));
+  }
+  options.degrade_to_conservative = !args.has("no-degrade");
   const StrategyResult r = allocate_resources(app, arch, options);
   if (!r.success) {
-    std::cout << "allocation FAILED in " << r.stage << ": " << r.failure_reason << "\n";
-    return 1;
+    std::cout << "allocation FAILED in " << r.stage << " ["
+              << failure_kind_name(r.failure_kind) << "]: " << r.failure_reason << "\n";
+    return cli_exit_code(r.failure_kind);
   }
 
   std::cout << "application '" << app.name() << "' allocated\n";
@@ -98,6 +115,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "  throughput checks: " << r.throughput_checks << ", time "
             << r.total_seconds() << " s\n";
+  if (r.diagnostics.degraded()) {
+    std::cout << "  DEGRADED: " << r.diagnostics.summary()
+              << " — degraded checks used the conservative bound, so the reported\n"
+              << "  throughput is a guaranteed lower bound, not the exact value\n";
+  }
 
   if (args.has("gantt") || args.has("vcd")) {
     const BindingAwareGraph bag = build_binding_aware_graph(app, arch, r.binding, r.slices);
@@ -148,5 +170,19 @@ int main(int argc, char** argv) {
     write_dot(bag_dot, bag.graph, app.name() + "_binding_aware");
     std::cout << "  wrote " << dot_prefix << "_{app,platform,binding_aware}.dot\n";
   }
-  return 0;
+  return kCliSuccess;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(CliArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "flow_cli: error: " << e.what() << "\n";
+    return cli_exit_code(e);
+  } catch (...) {
+    std::cerr << "flow_cli: error: unknown exception\n";
+    return kCliInternalError;
+  }
 }

@@ -27,8 +27,10 @@ ConstrainedResult conservative_throughput(const ApplicationGraph& app,
                                           const Architecture& arch, const Binding& binding,
                                           const std::vector<StaticOrderSchedule>& schedules,
                                           const std::vector<std::int64_t>& slices,
-                                          const ExecutionLimits& limits) {
-  const BindingAwareGraph bag = build_binding_aware_graph(app, arch, binding, slices);
+                                          const ExecutionLimits& limits,
+                                          const ConnectionModel& connection_model) {
+  const BindingAwareGraph bag =
+      build_binding_aware_graph(app, arch, binding, slices, connection_model);
   const Graph inflated = inflate_tdma_execution_times(bag, arch);
 
   const auto gamma = compute_repetition_vector(inflated);

@@ -30,6 +30,7 @@ namespace sdfmap {
 [[nodiscard]] ConstrainedResult conservative_throughput(
     const ApplicationGraph& app, const Architecture& arch, const Binding& binding,
     const std::vector<StaticOrderSchedule>& schedules,
-    const std::vector<std::int64_t>& slices, const ExecutionLimits& limits = {});
+    const std::vector<std::int64_t>& slices, const ExecutionLimits& limits = {},
+    const ConnectionModel& connection_model = {});
 
 }  // namespace sdfmap

@@ -53,7 +53,13 @@ class ConstrainedExecutor {
   ConstrainedExecutor(const Graph& g, const RepetitionVector& gamma,
                       const ConstrainedSpec& spec, SchedulingMode mode,
                       const ExecutionLimits& limits, const TraceObserver& observer)
-      : g_(g), gamma_(gamma), spec_(spec), mode_(mode), limits_(limits), observer_(observer) {
+      : g_(g),
+        gamma_(gamma),
+        spec_(spec),
+        mode_(mode),
+        limits_(limits),
+        observer_(observer),
+        budget_(limits.budget, "execute_constrained") {
     validate();
   }
 
@@ -113,8 +119,9 @@ class ConstrainedExecutor {
       tokens_[cid.value] += g_.channel(cid).production_rate;
       max_tokens_[cid.value] = std::max(max_tokens_[cid.value], tokens_[cid.value]);
       if (tokens_[cid.value] > limits_.max_tokens_per_channel) {
-        throw ThroughputError("execute_constrained: unbounded token accumulation on '" +
-                              g_.channel(cid).name + "'");
+        throw AnalysisError(AnalysisErrorKind::kTokenDivergence,
+                            "execute_constrained: unbounded token accumulation on '" +
+                                g_.channel(cid).name + "'");
       }
     }
   }
@@ -166,6 +173,7 @@ class ConstrainedExecutor {
   const SchedulingMode mode_;
   const ExecutionLimits& limits_;
   const TraceObserver& observer_;
+  BudgetGuard budget_;
 
   std::int64_t now_ = 0;
   std::vector<std::int64_t> tokens_;
@@ -300,8 +308,10 @@ ConstrainedResult ConstrainedExecutor::run() {
         }
       }
       if (instant_events > limits_.max_events_per_instant) {
-        throw ThroughputError("execute_constrained: zero-delay cycle at one instant");
+        throw AnalysisError(AnalysisErrorKind::kZeroDelayCycle,
+                            "execute_constrained: zero-delay cycle at one instant");
       }
+      budget_.check();
     }
     if (observer_ && (now_ == 0 || !event.ended.empty() || !event.started.empty())) {
       observer_(event);
@@ -350,11 +360,14 @@ ConstrainedResult ConstrainedExecutor::run() {
         }
       }
       if (seen.size() > limits_.max_states) {
-        throw ThroughputError("execute_constrained: state limit exceeded");
+        throw AnalysisError(AnalysisErrorKind::kStateLimit,
+                            "execute_constrained: state limit exceeded");
       }
     } else if (++steps > limits_.max_time_steps) {
-      throw ThroughputError("execute_constrained: step limit exceeded (livelock?)");
+      throw AnalysisError(AnalysisErrorKind::kStepLimit,
+                          "execute_constrained: step limit exceeded (livelock?)");
     }
+    budget_.check();
 
     // ---- Advance to the next completion event.
     std::int64_t next = kNeverCompletes;

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/support/budget.h"
+
+namespace sdfmap {
+
+/// Thrown when a throughput analysis cannot produce a result within its
+/// resource limits (unbounded token accumulation, state explosion, a
+/// zero-delay cycle executing infinitely within one instant, an expired
+/// deadline, or cooperative cancellation).
+class ThroughputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why an analysis gave up. kDeadlineExceeded/kCancelled come from the
+/// AnalysisBudget; the others from the count caps of ExecutionLimits.
+enum class AnalysisErrorKind {
+  kStateLimit,        ///< more states stored than max_states
+  kTokenDivergence,   ///< a channel exceeded max_tokens_per_channel
+  kZeroDelayCycle,    ///< more events in one instant than max_events_per_instant
+  kStepLimit,         ///< more time-advance steps than max_time_steps
+  kDeadlineExceeded,  ///< the budget's wall-clock deadline passed
+  kCancelled,         ///< the budget's CancellationToken was triggered
+  kUnknown,           ///< a legacy ThroughputError without a kind
+};
+
+[[nodiscard]] constexpr const char* analysis_error_kind_name(AnalysisErrorKind kind) {
+  switch (kind) {
+    case AnalysisErrorKind::kStateLimit: return "state-limit";
+    case AnalysisErrorKind::kTokenDivergence: return "token-divergence";
+    case AnalysisErrorKind::kZeroDelayCycle: return "zero-delay-cycle";
+    case AnalysisErrorKind::kStepLimit: return "step-limit";
+    case AnalysisErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+    case AnalysisErrorKind::kCancelled: return "cancelled";
+    case AnalysisErrorKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// Structured analysis failure. Derives from ThroughputError so existing
+/// catch sites keep working; new code can switch on kind() to distinguish
+/// budget exhaustion (retryable with a conservative fallback) from model
+/// pathologies (divergence, zero-delay cycles).
+class AnalysisError : public ThroughputError {
+ public:
+  AnalysisError(AnalysisErrorKind kind, const std::string& what)
+      : ThroughputError(what), kind_(kind) {}
+
+  [[nodiscard]] AnalysisErrorKind kind() const { return kind_; }
+
+  /// True when the analysis was stopped by its budget (deadline or
+  /// cancellation) rather than by a property of the graph.
+  [[nodiscard]] bool budget_exhausted() const {
+    return kind_ == AnalysisErrorKind::kDeadlineExceeded ||
+           kind_ == AnalysisErrorKind::kCancelled;
+  }
+
+ private:
+  AnalysisErrorKind kind_;
+};
+
+/// Cheap cooperative budget check for engine inner loops: `check()` costs an
+/// increment most of the time and samples the clock/flag once every `stride`
+/// calls, throwing AnalysisError(kDeadlineExceeded | kCancelled) on expiry.
+/// An unlimited budget degenerates to a no-op.
+class BudgetGuard {
+ public:
+  BudgetGuard(const AnalysisBudget& budget, const char* where, std::uint32_t stride = 64)
+      : budget_(budget), where_(where), stride_(budget.unlimited() ? 0 : stride) {}
+
+  void check() {
+    if (stride_ == 0) return;
+    if (++calls_ % stride_ == 0) check_now();
+  }
+
+  void check_now() const {
+    if (stride_ == 0) return;
+    switch (budget_.poll()) {
+      case AnalysisBudget::State::kOk:
+        return;
+      case AnalysisBudget::State::kDeadlineExceeded:
+        throw AnalysisError(AnalysisErrorKind::kDeadlineExceeded,
+                            std::string(where_) + ": analysis deadline exceeded");
+      case AnalysisBudget::State::kCancelled:
+        throw AnalysisError(AnalysisErrorKind::kCancelled,
+                            std::string(where_) + ": analysis cancelled");
+    }
+  }
+
+ private:
+  const AnalysisBudget& budget_;
+  const char* where_;
+  std::uint32_t stride_;
+  std::uint32_t calls_ = 0;
+};
+
+}  // namespace sdfmap

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/analysis/error.h"
 #include "src/sdf/cycles.h"
 #include "src/sdf/scc.h"
 
@@ -45,7 +46,8 @@ class HowardSolver {
   }
 
   /// Returns the maximum cycle ratio and a critical cycle of the component.
-  std::pair<Rational, std::vector<ChannelId>> solve() {
+  std::pair<Rational, std::vector<ChannelId>> solve(const AnalysisBudget& budget) {
+    BudgetGuard guard(budget, "max_cycle_ratio", 1);
     policy_.assign(n_, ChannelId{0});
     for (std::uint32_t i = 0; i < n_; ++i) {
       if (out_edges_[i].empty()) {
@@ -60,10 +62,12 @@ class HowardSolver {
     // improvements guarantee termination. The cap is a defensive backstop.
     const std::size_t cap = 16 + n_ * n_ * 4 + 4096;
     for (std::size_t iter = 0; iter < cap; ++iter) {
+      guard.check();
       evaluate_policy();
       if (!improve_policy()) return extract_critical_cycle();
     }
-    throw std::runtime_error("HowardSolver: policy iteration did not converge");
+    throw AnalysisError(AnalysisErrorKind::kStepLimit,
+                        "HowardSolver: policy iteration did not converge");
   }
 
  private:
@@ -200,7 +204,7 @@ class HowardSolver {
 
 }  // namespace
 
-McrResult max_cycle_ratio(const Graph& g) {
+McrResult max_cycle_ratio(const Graph& g, const AnalysisBudget& budget) {
   McrResult result;
   if (has_zero_token_cycle(g)) {
     result.kind = McrResult::Kind::kDeadlock;
@@ -212,7 +216,7 @@ McrResult max_cycle_ratio(const Graph& g) {
     if (!scc.is_cyclic(comp, g)) continue;
     any_cycle = true;
     HowardSolver solver(g, scc.members[comp]);
-    auto [ratio, cycle] = solver.solve();
+    auto [ratio, cycle] = solver.solve(budget);
     if (result.kind != McrResult::Kind::kFinite || ratio > result.ratio) {
       result.kind = McrResult::Kind::kFinite;
       result.ratio = ratio;
@@ -226,7 +230,8 @@ McrResult max_cycle_ratio(const Graph& g) {
 McrResult max_cycle_ratio_by_enumeration(const Graph& g, std::size_t max_cycles) {
   const CycleEnumeration enumeration = enumerate_simple_cycles(g, max_cycles);
   if (enumeration.truncated) {
-    throw std::runtime_error("max_cycle_ratio_by_enumeration: too many cycles");
+    throw AnalysisError(AnalysisErrorKind::kStateLimit,
+                        "max_cycle_ratio_by_enumeration: too many cycles");
   }
   McrResult result;
   if (enumeration.cycles.empty()) return result;  // kAcyclic

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/sdf/graph.h"
+#include "src/support/budget.h"
 #include "src/support/rational.h"
 
 namespace sdfmap {
@@ -38,12 +39,13 @@ struct McrResult {
 /// Maximum cycle ratio via Howard's policy iteration, run per strongly
 /// connected component (exact rational arithmetic). This is the fast path
 /// used by the HSDFG-based baseline flow; complexity is low-polynomial in
-/// practice.
-[[nodiscard]] McrResult max_cycle_ratio(const Graph& g);
+/// practice. The budget is polled once per policy-iteration round; on expiry
+/// an AnalysisError (kDeadlineExceeded/kCancelled) is thrown.
+[[nodiscard]] McrResult max_cycle_ratio(const Graph& g, const AnalysisBudget& budget = {});
 
 /// Oracle variant: enumerate simple cycles (Johnson) and take the maximum
 /// ratio directly. Exponential; only for small graphs and tests.
-/// Throws std::runtime_error if enumeration truncates at `max_cycles`.
+/// Throws AnalysisError(kStateLimit) if enumeration truncates at `max_cycles`.
 [[nodiscard]] McrResult max_cycle_ratio_by_enumeration(const Graph& g,
                                                        std::size_t max_cycles = 100000);
 

@@ -54,6 +54,7 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
                                       const ExecutionLimits& limits,
                                       const TraceObserver& observer) {
   const std::size_t num_actors = g.num_actors();
+  BudgetGuard budget(limits.budget, "self_timed_throughput");
   ExecState state;
   state.tokens.resize(g.num_channels());
   for (std::size_t i = 0; i < g.num_channels(); ++i) {
@@ -106,9 +107,10 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
           state.tokens[cid.value] += g.channel(cid).production_rate * ended;
           max_tokens[cid.value] = std::max(max_tokens[cid.value], state.tokens[cid.value]);
           if (state.tokens[cid.value] > limits.max_tokens_per_channel) {
-            throw ThroughputError(
+            throw AnalysisError(
+                AnalysisErrorKind::kTokenDivergence,
                 "self_timed_throughput: unbounded token accumulation on channel '" +
-                g.channel(cid).name + "'");
+                    g.channel(cid).name + "'");
           }
         }
         fire_count[a] += ended;
@@ -129,9 +131,11 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
         instant_events += static_cast<std::uint64_t>(started);
       }
       if (instant_events > limits.max_events_per_instant) {
-        throw ThroughputError(
+        throw AnalysisError(
+            AnalysisErrorKind::kZeroDelayCycle,
             "self_timed_throughput: zero-delay cycle (infinitely many events in one instant)");
       }
+      budget.check();
     }
     if (observer && (now == 0 || !event.ended.empty() || !event.started.empty())) {
       observer(event);
@@ -173,11 +177,14 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
       it->second.time = now;
       it->second.fires = fire_count;
       if (seen.size() > limits.max_states) {
-        throw ThroughputError("self_timed_throughput: state limit exceeded");
+        throw AnalysisError(AnalysisErrorKind::kStateLimit,
+                            "self_timed_throughput: state limit exceeded");
       }
     } else if (++steps > limits.max_time_steps) {
-      throw ThroughputError("self_timed_throughput: step limit exceeded (livelock?)");
+      throw AnalysisError(AnalysisErrorKind::kStepLimit,
+                          "self_timed_throughput: step limit exceeded (livelock?)");
     }
+    budget.check();
 
     // --- Advance time to the next completion.
     std::int64_t dt = std::numeric_limits<std::int64_t>::max();

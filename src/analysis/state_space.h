@@ -2,24 +2,19 @@
 
 #include <cstdint>
 #include <functional>
-#include <stdexcept>
 #include <vector>
 
+#include "src/analysis/error.h"
 #include "src/sdf/graph.h"
 #include "src/sdf/repetition_vector.h"
+#include "src/support/budget.h"
 #include "src/support/rational.h"
 
 namespace sdfmap {
 
-/// Thrown when a throughput analysis cannot produce a result within its
-/// resource limits (unbounded token accumulation, state explosion, or a
-/// zero-delay cycle executing infinitely within one instant).
-class ThroughputError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
 /// Tuning knobs and safety limits for the self-timed execution engines.
+/// Exceeding any count cap or the budget throws AnalysisError (see
+/// src/analysis/error.h) with the matching kind.
 struct ExecutionLimits {
   /// Abort when more than this many states have been stored.
   std::uint64_t max_states = 10'000'000;
@@ -33,6 +28,9 @@ struct ExecutionLimits {
   /// Abort after this many time-advance steps without finding a recurrent
   /// state (livelock guard; generously above any real exploration).
   std::uint64_t max_time_steps = 200'000'000;
+  /// Wall-clock deadline and cooperative cancellation, polled every few
+  /// engine steps. Default-constructed: unlimited.
+  AnalysisBudget budget;
 };
 
 /// One transition of the state space, reported to trace observers: at time

@@ -34,7 +34,9 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
     return result;
   }
 
-  // Period of a candidate distribution; Rational(0) encodes deadlock.
+  // Period of a candidate distribution; Rational(0) encodes deadlock. Budget
+  // exhaustion (deadline/cancel) propagates — the caller degrades to the best
+  // feasible distribution found so far; mere count-cap trips are infeasible.
   const auto period_of = [&](const std::vector<std::int64_t>& caps) {
     ++result.throughput_checks;
     const Graph bounded = with_capacities(g, caps);
@@ -43,12 +45,27 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
     try {
       const SelfTimedResult r = self_timed_throughput(bounded, *bounded_gamma, options.limits);
       return r.deadlocked() ? Rational(0) : r.iteration_period;
+    } catch (const AnalysisError& e) {
+      if (e.budget_exhausted()) throw;
+      return Rational(0);
     } catch (const ThroughputError&) {
       return Rational(0);
     }
   };
   const auto meets = [&](const Rational& period) {
     return !period.is_zero() && period <= target_period;
+  };
+
+  // Best distribution proven to meet the target so far — the degradation
+  // fallback when the budget expires mid-search.
+  std::vector<std::int64_t> best_feasible;
+  Rational best_period;
+  const auto feasible = [&](const std::vector<std::int64_t>& caps) {
+    const Rational period = period_of(caps);
+    if (!meets(period)) return false;
+    best_feasible = caps;
+    best_period = period;
+    return true;
   };
 
   // 1. Inherent bound: generous capacities (one full iteration of traffic
@@ -61,11 +78,18 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
         ch.initial_tokens + ch.production_rate * (*gamma)[ch.src.value] +
         ch.consumption_rate * (*gamma)[ch.dst.value];
   }
-  const Rational generous_period = period_of(generous);
-  if (!meets(generous_period)) {
-    result.failure_reason =
-        "target period unreachable even with one iteration of buffering (inherent "
-        "critical cycle or deadlock)";
+  try {
+    if (!feasible(generous)) {
+      result.failure_reason =
+          "target period unreachable even with one iteration of buffering (inherent "
+          "critical cycle or deadlock)";
+      return result;
+    }
+  } catch (const AnalysisError& e) {
+    // Budget expired before any distribution was proven feasible: nothing to
+    // degrade to — report a structured failure instead of throwing.
+    result.failure_reason = std::string("budget exhausted before feasibility was known: ") +
+                            e.what();
     return result;
   }
 
@@ -97,51 +121,59 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
     }
     return caps;
   };
-  std::int64_t lo = 0;
-  std::int64_t hi = t_max;
-  while (lo < hi) {
-    const std::int64_t mid = lo + (hi - lo) / 2;
-    if (meets(period_of(caps_at(mid)))) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
+  std::vector<std::int64_t> caps = generous;
+  try {
+    std::int64_t lo = 0;
+    std::int64_t hi = t_max;
+    while (lo < hi) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (feasible(caps_at(mid))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
     }
-  }
-  std::vector<std::int64_t> caps = caps_at(hi);
-  Rational period = period_of(caps);
+    caps = caps_at(hi);
+    (void)feasible(caps);
 
-  // 3. Shrink: per-channel binary search towards the lower bound (others
-  // fixed), iterated to a fixpoint, then a final single-token sweep that
-  // certifies local minimality.
-  for (int pass = 0; pass < options.max_rounds; ++pass) {
-    bool shrunk = false;
-    for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
-      const Channel& ch = g.channel(ChannelId{c});
-      if (ch.src == ch.dst || caps[c] <= lower[c]) continue;
-      std::int64_t clo = lower[c];
-      std::int64_t chi = caps[c];
-      while (clo < chi) {
-        const std::int64_t mid = clo + (chi - clo) / 2;
-        auto candidate = caps;
-        candidate[c] = mid;
-        if (meets(period_of(candidate))) {
-          chi = mid;
-        } else {
-          clo = mid + 1;
+    // 3. Shrink: per-channel binary search towards the lower bound (others
+    // fixed), iterated to a fixpoint, then a final single-token sweep that
+    // certifies local minimality.
+    for (int pass = 0; pass < options.max_rounds; ++pass) {
+      bool shrunk = false;
+      for (std::uint32_t c = 0; c < g.num_channels(); ++c) {
+        const Channel& ch = g.channel(ChannelId{c});
+        if (ch.src == ch.dst || caps[c] <= lower[c]) continue;
+        std::int64_t clo = lower[c];
+        std::int64_t chi = caps[c];
+        while (clo < chi) {
+          const std::int64_t mid = clo + (chi - clo) / 2;
+          auto candidate = caps;
+          candidate[c] = mid;
+          if (feasible(candidate)) {
+            chi = mid;
+          } else {
+            clo = mid + 1;
+          }
+        }
+        if (chi < caps[c]) {
+          caps[c] = chi;
+          shrunk = true;
         }
       }
-      if (chi < caps[c]) {
-        caps[c] = chi;
-        shrunk = true;
-      }
+      if (!shrunk) break;
     }
-    if (!shrunk) break;
+    (void)feasible(caps);
+  } catch (const AnalysisError& e) {
+    // Budget expired mid-search: the best feasible distribution seen so far
+    // is still a valid (if not minimal) answer — degrade instead of failing.
+    result.degraded = true;
+    result.degradation_reason = e.what();
   }
-  period = period_of(caps);
 
   result.success = true;
-  result.capacities = std::move(caps);
-  result.achieved_period = period;
+  result.capacities = best_feasible;
+  result.achieved_period = best_period;
   result.total_tokens =
       std::accumulate(result.capacities.begin(), result.capacities.end(), std::int64_t{0});
   return result;

@@ -35,6 +35,11 @@ struct StorageResult {
   /// Σ capacities (tokens) — the minimized quantity.
   std::int64_t total_tokens = 0;
   int throughput_checks = 0;
+  /// True when the search was cut short by the budget (deadline or
+  /// cancellation): `capacities` is then the best distribution proven
+  /// feasible so far — valid, just not locally minimal.
+  bool degraded = false;
+  std::string degradation_reason;
 };
 
 /// The capacity-constrained graph: every non-self-loop channel with

@@ -25,7 +25,7 @@ ThroughputReport compute_throughput(const Graph& g, ThroughputEngine engine,
     }
     case ThroughputEngine::kHsdfMcr: {
       const HsdfConversion hsdf = to_hsdf(g);
-      const McrResult mcr = max_cycle_ratio(hsdf.graph);
+      const McrResult mcr = max_cycle_ratio(hsdf.graph, limits.budget);
       report.problem_size = hsdf.graph.num_actors();
       switch (mcr.kind) {
         case McrResult::Kind::kDeadlock:

@@ -136,6 +136,7 @@ SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
   }
   const std::size_t n = g.num_actors();
   if (n == 0) return result;
+  BudgetGuard budget(limits.budget, "csdf_self_timed_throughput");
 
   std::vector<std::int64_t> tokens(g.num_channels());
   for (std::size_t c = 0; c < g.num_channels(); ++c) {
@@ -171,8 +172,9 @@ SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
           phase_produce(g, a, phase[a], tokens);
           for (const CsdfChannelId cid : g.actor(CsdfActorId{a}).outputs) {
             if (tokens[cid.value] > limits.max_tokens_per_channel) {
-              throw ThroughputError("csdf_self_timed_throughput: unbounded tokens on '" +
-                                    g.channel(cid).name + "'");
+              throw AnalysisError(AnalysisErrorKind::kTokenDivergence,
+                                  "csdf_self_timed_throughput: unbounded tokens on '" +
+                                      g.channel(cid).name + "'");
             }
           }
           phase[a] =
@@ -191,8 +193,10 @@ SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
         }
       }
       if (instant_events > limits.max_events_per_instant) {
-        throw ThroughputError("csdf_self_timed_throughput: zero-delay phase cycle");
+        throw AnalysisError(AnalysisErrorKind::kZeroDelayCycle,
+                            "csdf_self_timed_throughput: zero-delay phase cycle");
       }
+      budget.check();
     }
 
     // Recurrence, sampled at reference completions.
@@ -229,11 +233,14 @@ SelfTimedResult csdf_self_timed_throughput(const CsdfGraph& g,
       it->second.time = now;
       it->second.fires = fires;
       if (seen.size() > limits.max_states) {
-        throw ThroughputError("csdf_self_timed_throughput: state limit exceeded");
+        throw AnalysisError(AnalysisErrorKind::kStateLimit,
+                            "csdf_self_timed_throughput: state limit exceeded");
       }
     } else if (++steps > limits.max_time_steps) {
-      throw ThroughputError("csdf_self_timed_throughput: step limit exceeded");
+      throw AnalysisError(AnalysisErrorKind::kStepLimit,
+                          "csdf_self_timed_throughput: step limit exceeded");
     }
+    budget.check();
 
     // Advance to the next completion.
     std::int64_t dt = std::numeric_limits<std::int64_t>::max();

@@ -17,8 +17,8 @@ Rational parse_rational(std::string_view s) {
   return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
 }
 
-/// Shared line loop: calls `handle(fields)` per non-comment line and wraps
-/// errors with the line number.
+/// Shared line loop: calls `handle(fields, line_no)` per non-comment line and
+/// wraps errors with the line number.
 template <typename Handler>
 void parse_lines(std::istream& is, const char* what, Handler&& handle) {
   std::string line;
@@ -28,7 +28,7 @@ void parse_lines(std::istream& is, const char* what, Handler&& handle) {
     const std::string_view trimmed = trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     try {
-      handle(split(trimmed, ' '));
+      handle(split(trimmed, ' '), line_no);
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument(std::string(what) + ": line " + std::to_string(line_no) +
                                   ": " + e.what());
@@ -83,16 +83,19 @@ ApplicationGraph read_application(std::istream& is) {
   struct PendingRequirement {
     std::string actor;
     std::int64_t pt, tau, mu;
+    std::size_t line;
   };
   struct PendingEdge {
     std::string channel;
     EdgeRequirement req;
+    std::size_t line;
   };
   std::vector<PendingRequirement> requirements;
   std::vector<PendingEdge> edges;
   Rational constraint(0);
 
-  parse_lines(is, "read_application", [&](const std::vector<std::string>& f) {
+  parse_lines(is, "read_application", [&](const std::vector<std::string>& f,
+                                          std::size_t line_no) {
     if (f[0] == "application") {
       require_arity(f, 3, "application <name> <num_proc_types>");
       name = f[1];
@@ -109,12 +112,14 @@ ApplicationGraph read_application(std::istream& is) {
       g.add_channel(*src, *dst, parse_int(f[4]), parse_int(f[5]), parse_int(f[6]), f[1]);
     } else if (f[0] == "requirement") {
       require_arity(f, 5, "requirement <actor> <pt> <tau> <mu>");
-      requirements.push_back({f[1], parse_int(f[2]), parse_int(f[3]), parse_int(f[4])});
+      requirements.push_back(
+          {f[1], parse_int(f[2]), parse_int(f[3]), parse_int(f[4]), line_no});
     } else if (f[0] == "edge") {
       require_arity(f, 7, "edge <channel> <sz> <a_tile> <a_src> <a_dst> <beta>");
       edges.push_back({f[1],
                        {parse_int(f[2]), parse_int(f[3]), parse_int(f[4]), parse_int(f[5]),
-                        parse_int(f[6])}});
+                        parse_int(f[6])},
+                       line_no});
     } else if (f[0] == "constraint") {
       require_arity(f, 2, "constraint <num>/<den>");
       constraint = parse_rational(f[1]);
@@ -123,16 +128,19 @@ ApplicationGraph read_application(std::istream& is) {
     }
   });
 
-  if (!name) throw std::invalid_argument("read_application: missing 'application' header");
+  if (!name) {
+    throw std::invalid_argument("read_application: line 1: missing 'application' header");
+  }
   ApplicationGraph app(*name, std::move(g), proc_types);
   for (const auto& r : requirements) {
     const auto actor = app.sdf().find_actor(r.actor);
     if (!actor) {
-      throw std::invalid_argument("read_application: requirement for unknown actor '" +
-                                  r.actor + "'");
+      throw std::invalid_argument("read_application: line " + std::to_string(r.line) +
+                                  ": requirement for unknown actor '" + r.actor + "'");
     }
     if (r.pt < 0 || static_cast<std::size_t>(r.pt) >= proc_types) {
-      throw std::invalid_argument("read_application: processor type index out of range");
+      throw std::invalid_argument("read_application: line " + std::to_string(r.line) +
+                                  ": processor type index out of range");
     }
     app.set_requirement(*actor, ProcTypeId{static_cast<std::uint32_t>(r.pt)}, {r.tau, r.mu});
   }
@@ -146,8 +154,8 @@ ApplicationGraph read_application(std::istream& is) {
       }
     }
     if (!found) {
-      throw std::invalid_argument("read_application: edge for unknown channel '" + e.channel +
-                                  "'");
+      throw std::invalid_argument("read_application: line " + std::to_string(e.line) +
+                                  ": edge for unknown channel '" + e.channel + "'");
     }
   }
   app.set_throughput_constraint(constraint);
@@ -173,7 +181,7 @@ void write_architecture(std::ostream& os, const Architecture& arch, const std::s
 Architecture read_architecture(std::istream& is) {
   Architecture arch;
   bool seen_header = false;
-  parse_lines(is, "read_architecture", [&](const std::vector<std::string>& f) {
+  parse_lines(is, "read_architecture", [&](const std::vector<std::string>& f, std::size_t) {
     if (f[0] == "architecture") {
       require_arity(f, 2, "architecture <name>");
       seen_header = true;
@@ -207,7 +215,7 @@ Architecture read_architecture(std::istream& is) {
     }
   });
   if (!seen_header) {
-    throw std::invalid_argument("read_architecture: missing 'architecture' header");
+    throw std::invalid_argument("read_architecture: line 1: missing 'architecture' header");
   }
   return arch;
 }

@@ -1,6 +1,7 @@
 #include "src/io/report.h"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace sdfmap {
 
@@ -8,8 +9,11 @@ std::string format_strategy_result(const ApplicationGraph& app, const Architectu
                                    const StrategyResult& result) {
   std::ostringstream os;
   if (!result.success) {
-    os << "application '" << app.name() << "': FAILED in " << result.stage << " ("
-       << result.failure_reason << ")\n";
+    os << "application '" << app.name() << "': FAILED in " << result.stage << " ["
+       << failure_kind_name(result.failure_kind) << "] (" << result.failure_reason << ")\n";
+    if (result.diagnostics.total_checks() > 0) {
+      os << "  analysis: " << result.diagnostics.summary() << "\n";
+    }
     return os.str();
   }
   os << "application '" << app.name() << "': allocated\n";
@@ -31,6 +35,15 @@ std::string format_strategy_result(const ApplicationGraph& app, const Architectu
      << result.total_seconds() << " s (binding " << result.binding_seconds
      << " / scheduling " << result.scheduling_seconds << " / slices "
      << result.slice_seconds << ")\n";
+  if (result.diagnostics.degraded()) {
+    os << "  DEGRADED: " << result.diagnostics.summary()
+       << " — throughput is the conservative bound where degraded\n";
+    for (const DegradationEvent& e : result.diagnostics.events) {
+      os << "    check #" << e.check_index << " (" << e.stage << "): "
+         << (e.engine == CheckEngine::kConservative ? "conservative" : "infeasible")
+         << ", " << analysis_error_kind_name(e.reason) << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -50,7 +63,17 @@ std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
         }
       }
     } else {
-      os << "FAILED in " << r.stage << " (" << r.failure_reason << ")";
+      os << "FAILED in " << r.stage << " [" << failure_kind_name(r.failure_kind) << "] ("
+         << r.failure_reason << ")";
+    }
+    if (r.diagnostics.degraded()) os << " [degraded: " << r.diagnostics.summary() << "]";
+    os << "\n";
+  }
+  if (result.stop_reason != FailureKind::kNone) {
+    os << "stopped early [" << failure_kind_name(result.stop_reason) << "]";
+    if (!result.stop_detail.empty()) os << ": " << result.stop_detail;
+    if (!result.unattempted_indices.empty()) {
+      os << " (" << result.unattempted_indices.size() << " application(s) not attempted)";
     }
     os << "\n";
   }
@@ -59,8 +82,36 @@ std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
      << u.connections << ", bw_in " << u.bandwidth_in << ", bw_out " << u.bandwidth_out
      << "\n";
   os << "total " << result.total_seconds << " s, " << result.total_throughput_checks
-     << " throughput checks\n";
+     << " throughput checks";
+  if (result.diagnostics.degraded()) {
+    os << " — " << result.diagnostics.summary();
+  }
+  os << "\n";
   return os.str();
+}
+
+int cli_exit_code(const std::exception& e) {
+  if (const auto* analysis = dynamic_cast<const AnalysisError*>(&e)) {
+    switch (analysis->kind()) {
+      case AnalysisErrorKind::kDeadlineExceeded: return kCliDeadlineExceeded;
+      case AnalysisErrorKind::kCancelled: return kCliCancelled;
+      default: return kCliAnalysisLimit;
+    }
+  }
+  if (dynamic_cast<const ThroughputError*>(&e)) return kCliAnalysisLimit;
+  if (dynamic_cast<const std::invalid_argument*>(&e)) return kCliInvalidInput;
+  return kCliInternalError;
+}
+
+int cli_exit_code(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return kCliSuccess;
+    case FailureKind::kDeadlineExceeded: return kCliDeadlineExceeded;
+    case FailureKind::kCancelled: return kCliCancelled;
+    case FailureKind::kAnalysisLimit: return kCliAnalysisLimit;
+    case FailureKind::kInternalError: return kCliInternalError;
+    default: return kCliAllocationFailed;
+  }
 }
 
 }  // namespace sdfmap

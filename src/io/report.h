@@ -22,4 +22,23 @@ namespace sdfmap {
                                                   const Architecture& arch,
                                                   const MultiAppResult& result);
 
+/// Exit codes shared by the command-line tools, one per error family so
+/// scripts can branch on the cause without parsing stderr.
+enum CliExitCode : int {
+  kCliSuccess = 0,
+  kCliAllocationFailed = 1,  ///< strategy ran but found no valid allocation
+  kCliUsageError = 2,        ///< bad flags / unreadable files
+  kCliInvalidInput = 3,      ///< malformed or inconsistent input model
+  kCliAnalysisLimit = 4,     ///< a count cap (states/steps/tokens) was hit
+  kCliDeadlineExceeded = 5,  ///< an analysis deadline expired
+  kCliCancelled = 6,         ///< the run was cancelled
+  kCliInternalError = 70,    ///< unexpected exception
+};
+
+/// Maps a caught top-level exception to its CliExitCode (never kCliSuccess).
+[[nodiscard]] int cli_exit_code(const std::exception& e);
+
+/// Maps a structured strategy failure to its CliExitCode.
+[[nodiscard]] int cli_exit_code(FailureKind kind);
+
 }  // namespace sdfmap

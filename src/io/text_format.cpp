@@ -37,7 +37,11 @@ Graph read_graph(std::istream& is) {
     if (fields[0] == "actor") {
       if (fields.size() != 3) fail("'actor' needs: name execution_time");
       if (g.find_actor(fields[1])) fail("duplicate actor '" + fields[1] + "'");
-      g.add_actor(fields[1], parse_int(fields[2]));
+      try {
+        g.add_actor(fields[1], parse_int(fields[2]));
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
     } else if (fields[0] == "channel") {
       if (fields.size() != 7) fail("'channel' needs: name src dst p q tokens");
       const auto src = g.find_actor(fields[2]);

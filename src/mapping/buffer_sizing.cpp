@@ -1,5 +1,6 @@
 #include "src/mapping/buffer_sizing.h"
 
+#include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
@@ -39,21 +40,40 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
   // Working copy of the application whose Θ we mutate.
   ApplicationGraph work = app;
 
+  CheckContext ctx;
+  ctx.fault_hook = options.engine_fault_hook;
+  ctx.degrade_to_conservative = options.degrade_to_conservative;
+  // The conservative fallback keeps the count caps but not the (possibly
+  // already expired) budget.
+  ExecutionLimits fallback_limits = options.limits;
+  fallback_limits.budget = AnalysisBudget{};
+
   const auto throughput_of = [&](const ApplicationGraph& candidate) {
     ++result.throughput_checks;
-    try {
-      const BindingAwareGraph bag =
-          build_binding_aware_graph(candidate, arch, binding, slices);
-      const auto gamma = compute_repetition_vector(bag.graph);
-      if (!gamma) return Rational(0);
-      const ConstrainedResult run =
-          execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
-                              SchedulingMode::kStaticOrder, options.limits);
-      return run.base.throughput();
-    } catch (const std::invalid_argument&) {
-      // α below the channel's initial tokens: not a representable buffer.
-      return Rational(0);
-    }
+    return checked_throughput(
+        ctx, "buffers",
+        [&] {
+          try {
+            const BindingAwareGraph bag =
+                build_binding_aware_graph(candidate, arch, binding, slices);
+            const auto gamma = compute_repetition_vector(bag.graph);
+            if (!gamma) return Rational(0);
+            ExecutionLimits limits = options.limits;
+            limits.budget = options.limits.budget.for_one_check();
+            const ConstrainedResult run = execute_constrained(
+                bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
+                SchedulingMode::kStaticOrder, limits);
+            return run.base.throughput();
+          } catch (const std::invalid_argument&) {
+            // α below the channel's initial tokens: not a representable buffer.
+            return Rational(0);
+          }
+        },
+        [&] {
+          return conservative_throughput(candidate, arch, binding, schedules, slices,
+                                         fallback_limits)
+              .base.throughput();
+        });
   };
 
   const auto buffer_bits = [&](const ApplicationGraph& candidate) {
@@ -80,6 +100,7 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
   const Rational initial = throughput_of(work);
   if (initial < lambda) {
     result.failure_reason = "initial buffer sizes already violate the throughput constraint";
+    result.diagnostics = ctx.diagnostics;
     return result;
   }
   result.achieved_throughput = initial;
@@ -122,6 +143,7 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
   }
 
   result.success = true;
+  result.diagnostics = ctx.diagnostics;
   result.buffer_bits_after = buffer_bits(work);
   result.requirements.reserve(g.num_channels());
   for (const ChannelId c : g.channel_ids()) {

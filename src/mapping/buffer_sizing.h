@@ -5,6 +5,7 @@
 #include "src/analysis/state_space.h"
 #include "src/appmodel/application.h"
 #include "src/mapping/binding.h"
+#include "src/mapping/resilience.h"
 #include "src/mapping/schedule.h"
 #include "src/support/rational.h"
 
@@ -12,9 +13,15 @@ namespace sdfmap {
 
 /// Options for the buffer-minimization search.
 struct BufferSizingOptions {
+  /// Limits (and budget) of every constrained throughput check.
   ExecutionLimits limits;
   /// Safety cap on greedy descent rounds.
   int max_rounds = 256;
+  /// On budget/limit exhaustion of the exact engine, answer the check with
+  /// the conservative bound instead of aborting the descent.
+  bool degrade_to_conservative = true;
+  /// Test hook invoked before each throughput check (see resilience.h).
+  EngineFaultHook engine_fault_hook;
 };
 
 /// Outcome of minimize_buffers.
@@ -30,6 +37,8 @@ struct BufferSizingResult {
   std::int64_t buffer_bits_before = 0;
   std::int64_t buffer_bits_after = 0;
   int throughput_checks = 0;
+  /// Per-check engine/degradation accounting (see resilience.h).
+  StrategyDiagnostics diagnostics;
 };
 
 /// Minimizes the storage distribution of a bound and scheduled application —

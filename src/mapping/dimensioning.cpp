@@ -16,9 +16,19 @@ DimensioningResult dimension_platform(const std::vector<ApplicationGraph>& apps,
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     ++result.candidates_tried;
     MultiAppResult allocation = allocate_sequence(apps, candidates[i], opts);
+    result.diagnostics.merge(allocation.diagnostics);
     if (allocation.num_allocated == apps.size()) {
       result.success = true;
       result.chosen_candidate = i;
+      result.allocation = std::move(allocation);
+      return result;
+    }
+    // A deadline or cancellation is a property of the run, not of this
+    // candidate: larger platforms would hit it too, so stop the scan.
+    if (allocation.stop_reason == FailureKind::kDeadlineExceeded ||
+        allocation.stop_reason == FailureKind::kCancelled) {
+      result.stop_reason = allocation.stop_reason;
+      result.stop_detail = allocation.stop_detail;
       result.allocation = std::move(allocation);
       return result;
     }

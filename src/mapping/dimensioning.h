@@ -25,6 +25,13 @@ struct DimensioningResult {
   MultiAppResult allocation;
   /// Number of candidates evaluated (cost statistic).
   std::size_t candidates_tried = 0;
+  /// Why the scan stopped early: kDeadlineExceeded / kCancelled when the
+  /// shared sequence budget ran out mid-scan (remaining candidates were not
+  /// tried), kNone when the scan ran to a verdict.
+  FailureKind stop_reason = FailureKind::kNone;
+  std::string stop_detail;
+  /// Degradation accounting aggregated over every candidate tried.
+  StrategyDiagnostics diagnostics;
 };
 
 [[nodiscard]] DimensioningResult dimension_platform(

@@ -1,5 +1,6 @@
 #include "src/mapping/max_throughput.h"
 
+#include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binder.h"
 #include "src/mapping/binding_aware.h"
@@ -9,7 +10,8 @@
 namespace sdfmap {
 
 MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Architecture& arch,
-                                        const TileCostWeights& weights) {
+                                        const TileCostWeights& weights,
+                                        const ExecutionLimits& limits) {
   MaxThroughputResult result;
 
   const BindingResult bound = bind_actors(app, arch, weights);
@@ -40,14 +42,32 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
     result.failure_reason = "binding-aware graph is inconsistent";
     return result;
   }
-  const ConstrainedResult run =
-      execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, result.schedules),
-                          SchedulingMode::kStaticOrder);
-  if (run.base.deadlocked()) {
-    result.failure_reason = "bound application deadlocks";
+  CheckContext ctx;
+  const Rational thr = checked_throughput(
+      ctx, "max-throughput",
+      [&] {
+        ExecutionLimits per_check = limits;
+        per_check.budget = limits.budget.for_one_check();
+        const ConstrainedResult run = execute_constrained(
+            bag.graph, *gamma, make_constrained_spec(arch, bag, result.schedules),
+            SchedulingMode::kStaticOrder, per_check);
+        return run.base.throughput();
+      },
+      [&] {
+        ExecutionLimits fallback = limits;
+        fallback.budget = AnalysisBudget{};
+        return conservative_throughput(app, arch, result.binding, result.schedules,
+                                       result.slices, fallback)
+            .base.throughput();
+      });
+  result.diagnostics = ctx.diagnostics;
+  if (thr.is_zero()) {
+    result.failure_reason = ctx.diagnostics.degraded()
+                                ? "throughput analysis exhausted its budget"
+                                : "bound application deadlocks";
     return result;
   }
-  result.achieved_throughput = run.base.throughput();
+  result.achieved_throughput = thr;
   result.usage = compute_usage(app, arch, result.binding);
   for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
     result.usage[t].time_slice = result.slices[t];

@@ -20,14 +20,21 @@ struct MaxThroughputResult {
   /// The maximized throughput (iterations per time unit).
   Rational achieved_throughput;
   AllocationUsage usage;
+  /// Engine/degradation accounting of the final throughput analysis: when the
+  /// exact engine exhausts its budget, the reported throughput is the
+  /// conservative [4]-style bound and diagnostics.degraded() is true.
+  StrategyDiagnostics diagnostics;
 };
 
 /// Binds with the given Eqn.-2 weights (the binding machinery is shared with
 /// the paper's strategy), builds schedules, then allocates every tile's whole
 /// remaining wheel. The application's own throughput constraint is ignored —
-/// the result reports what the platform can deliver at most.
+/// the result reports what the platform can deliver at most. The limits carry
+/// the analysis budget; on exhaustion the throughput falls back to the
+/// conservative bound (an underestimate of the true maximum).
 [[nodiscard]] MaxThroughputResult maximize_throughput(const ApplicationGraph& app,
                                                       const Architecture& arch,
-                                                      const TileCostWeights& weights = {});
+                                                      const TileCostWeights& weights = {},
+                                                      const ExecutionLimits& limits = {});
 
 }  // namespace sdfmap

@@ -40,17 +40,73 @@ MultiAppResult allocate_sequence(const std::vector<ApplicationGraph>& apps,
     });
   }
 
-  for (const std::size_t index : order) {
-    StrategyResult result = allocate_resources(apps[index], pool.available(), options.strategy);
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point sequence_end =
+      options.sequence_deadline.count() > 0 ? Clock::now() + options.sequence_deadline
+                                            : Clock::time_point::max();
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t index = order[pos];
+
+    const auto stop_with = [&](FailureKind reason, const std::string& detail) {
+      out.stop_reason = reason;
+      out.stop_detail = detail;
+      for (std::size_t rest = pos; rest < order.size(); ++rest) {
+        out.unattempted_indices.push_back(order[rest]);
+      }
+    };
+    if (options.cancellation.cancel_requested()) {
+      stop_with(FailureKind::kCancelled, "sequence cancelled before application " +
+                                             std::to_string(index));
+      break;
+    }
+    if (Clock::now() >= sequence_end) {
+      stop_with(FailureKind::kDeadlineExceeded,
+                "sequence deadline expired before application " + std::to_string(index));
+      break;
+    }
+
+    // Tighten the per-allocation budget: the application's own deadline, the
+    // remaining sequence time, and any deadline the caller already set all
+    // apply; the earliest wins.
+    StrategyOptions strategy = options.strategy;
+    AnalysisBudget& budget = strategy.slices.limits.budget;
+    Clock::time_point app_end = sequence_end;
+    if (options.app_deadline.count() > 0) {
+      app_end = std::min(app_end, Clock::now() + options.app_deadline);
+    }
+    budget.set_deadline(std::min(budget.deadline(), app_end));
+    if (options.cancellation.cancellable()) budget.set_cancellation(options.cancellation);
+
+    StrategyResult result = allocate_resources(apps[index], pool.available(), strategy);
     out.total_seconds += result.total_seconds();
     out.total_throughput_checks += result.throughput_checks;
+    out.diagnostics.merge(result.diagnostics);
     const bool ok = result.success;
+    const FailureKind kind = result.failure_kind;
+    const std::string reason = result.failure_reason;
     if (ok) pool.commit(result.usage);
     out.results.push_back(std::move(result));
     out.attempted_indices.push_back(index);
     if (ok) {
       ++out.num_allocated;
-    } else if (options.failure_policy == FailurePolicy::kStopAtFirstFailure) {
+      continue;
+    }
+    if (kind == FailureKind::kCancelled) {
+      // Cancellation stops the loop regardless of the failure policy.
+      out.stop_reason = FailureKind::kCancelled;
+      out.stop_detail = reason;
+      for (std::size_t rest = pos + 1; rest < order.size(); ++rest) {
+        out.unattempted_indices.push_back(order[rest]);
+      }
+      break;
+    }
+    if (options.failure_policy == FailurePolicy::kStopAtFirstFailure) {
+      out.stop_reason = kind;
+      out.stop_detail = reason;
+      for (std::size_t rest = pos + 1; rest < order.size(); ++rest) {
+        out.unattempted_indices.push_back(order[rest]);
+      }
       break;
     }
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <vector>
 
 #include "src/appmodel/application.h"
@@ -29,6 +30,17 @@ struct MultiAppOptions {
   StrategyOptions strategy;
   FailurePolicy failure_policy = FailurePolicy::kStopAtFirstFailure;
   OrderingPolicy ordering = OrderingPolicy::kAsGiven;
+  /// Wall-clock budget of each single application's allocation (0 = none).
+  /// Tightens — never widens — any deadline already set on the strategy's
+  /// analysis budget.
+  std::chrono::milliseconds app_deadline{0};
+  /// Wall-clock budget of the whole sequence (0 = none). When it expires,
+  /// remaining applications are not attempted and stop_reason reports
+  /// kDeadlineExceeded.
+  std::chrono::milliseconds sequence_deadline{0};
+  /// Cooperative cancellation of the whole sequence; checked between and
+  /// inside allocations.
+  CancellationToken cancellation;
 };
 
 /// Result of allocating a sequence of applications onto one platform
@@ -47,6 +59,18 @@ struct MultiAppResult {
   ResourcePool::UtilizationReport utilization;
   double total_seconds = 0;
   long total_throughput_checks = 0;
+  /// Why the loop stopped before exhausting the sequence: kNone when every
+  /// application was attempted, otherwise the structured kind of the stopping
+  /// event (first failure under kStopAtFirstFailure, sequence deadline,
+  /// cancellation).
+  FailureKind stop_reason = FailureKind::kNone;
+  /// Free-text companion of stop_reason.
+  std::string stop_detail;
+  /// Indices (into the input sequence) of applications never attempted
+  /// because the loop stopped early.
+  std::vector<std::size_t> unattempted_indices;
+  /// Degradation accounting aggregated over every attempted allocation.
+  StrategyDiagnostics diagnostics;
 };
 
 /// Allocates applications in order, committing each successful allocation

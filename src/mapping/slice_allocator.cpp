@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
@@ -13,28 +14,47 @@ namespace sdfmap {
 namespace {
 
 /// Evaluates the constrained throughput (iterations per time unit; zero on
-/// deadlock) of the bound application under the given slice vector.
+/// deadlock) of the bound application under the given slice vector. Each
+/// evaluation runs under the budget's per-check deadline; on exhaustion it
+/// degrades to the conservative [4]-style bound via checked_throughput.
 class SliceEvaluator {
  public:
   SliceEvaluator(const ApplicationGraph& app, const Architecture& arch,
                  const Binding& binding, const std::vector<StaticOrderSchedule>& schedules,
                  const SliceAllocationOptions& options)
-      : app_(app), arch_(arch), binding_(binding), schedules_(schedules), options_(options) {}
-
-  Rational throughput(const std::vector<std::int64_t>& slices) {
-    ++checks_;
-    const BindingAwareGraph bag =
-        build_binding_aware_graph(app_, arch_, binding_, slices, options_.connection_model);
-    const auto gamma = compute_repetition_vector(bag.graph);
-    if (!gamma) return Rational(0);
-    const ConstrainedSpec spec = make_constrained_spec(arch_, bag, schedules_);
-    const ConstrainedResult run = execute_constrained(bag.graph, *gamma, spec,
-                                                      SchedulingMode::kStaticOrder,
-                                                      options_.limits);
-    return run.base.throughput();
+      : app_(app), arch_(arch), binding_(binding), schedules_(schedules), options_(options) {
+    ctx_.fault_hook = options.engine_fault_hook;
+    ctx_.degrade_to_conservative = options.degrade_to_conservative;
+    // The fallback must not inherit the (possibly already expired) budget;
+    // it keeps the count caps only.
+    fallback_limits_ = options.limits;
+    fallback_limits_.budget = AnalysisBudget{};
   }
 
-  [[nodiscard]] int checks() const { return checks_; }
+  Rational throughput(const std::vector<std::int64_t>& slices) {
+    return checked_throughput(
+        ctx_, "slices",
+        [&] {
+          const BindingAwareGraph bag = build_binding_aware_graph(
+              app_, arch_, binding_, slices, options_.connection_model);
+          const auto gamma = compute_repetition_vector(bag.graph);
+          if (!gamma) return Rational(0);
+          const ConstrainedSpec spec = make_constrained_spec(arch_, bag, schedules_);
+          ExecutionLimits limits = options_.limits;
+          limits.budget = options_.limits.budget.for_one_check();
+          const ConstrainedResult run = execute_constrained(
+              bag.graph, *gamma, spec, SchedulingMode::kStaticOrder, limits);
+          return run.base.throughput();
+        },
+        [&] {
+          return conservative_throughput(app_, arch_, binding_, schedules_, slices,
+                                         fallback_limits_, options_.connection_model)
+              .base.throughput();
+        });
+  }
+
+  [[nodiscard]] int checks() const { return ctx_.diagnostics.total_checks(); }
+  [[nodiscard]] const StrategyDiagnostics& diagnostics() const { return ctx_.diagnostics; }
 
  private:
   const ApplicationGraph& app_;
@@ -42,7 +62,8 @@ class SliceEvaluator {
   const Binding& binding_;
   const std::vector<StaticOrderSchedule>& schedules_;
   const SliceAllocationOptions& options_;
-  int checks_ = 0;
+  ExecutionLimits fallback_limits_;
+  CheckContext ctx_;
 };
 
 }  // namespace
@@ -100,6 +121,7 @@ SliceAllocationResult allocate_slices(const ApplicationGraph& app, const Archite
   if (best_thr < lambda) {
     result.failure_reason = "throughput constraint unreachable with entire remaining wheels";
     result.throughput_checks = evaluator.checks();
+    result.diagnostics = evaluator.diagnostics();
     return result;
   }
   const Rational band_upper = lambda * (Rational(1) + options.slack);
@@ -137,24 +159,29 @@ SliceAllocationResult allocate_slices(const ApplicationGraph& app, const Archite
                                       : 1;
         tlo = std::max<std::int64_t>(1, tlo);
         std::int64_t thi = best[t];
+        // Throughput of the accepted candidate (slice thi on tile t), recorded
+        // at admission so the result never needs a final re-evaluation.
+        Rational thr_at_thi = best_thr;
         while (tlo < thi) {
           const std::int64_t mid = tlo + (thi - tlo) / 2;
           auto candidate = best;
           candidate[t] = mid;
-          if (evaluator.throughput(candidate) >= lambda) {
+          const Rational thr = evaluator.throughput(candidate);
+          if (thr >= lambda) {
             thi = mid;
+            thr_at_thi = thr;
           } else {
             tlo = mid + 1;
           }
         }
         if (thi < best[t]) {
           best[t] = thi;
+          best_thr = thr_at_thi;
           reduced = true;
         }
       }
       if (!reduced) break;
     }
-    best_thr = evaluator.throughput(best);
   }
 
   result.success = true;
@@ -162,6 +189,7 @@ SliceAllocationResult allocate_slices(const ApplicationGraph& app, const Archite
   result.achieved_throughput = best_thr;
   result.achieved_period = best_thr.is_zero() ? Rational(0) : best_thr.inverse();
   result.throughput_checks = evaluator.checks();
+  result.diagnostics = evaluator.diagnostics();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "src/appmodel/application.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/binding.h"
+#include "src/mapping/resilience.h"
 #include "src/mapping/schedule.h"
 #include "src/platform/architecture.h"
 #include "src/support/rational.h"
@@ -23,9 +24,17 @@ struct SliceAllocationOptions {
   /// Passes of the per-tile refinement; one pass (each tile binary-searched
   /// once, others fixed) almost always reaches the fixpoint.
   int max_refinement_passes = 1;
+  /// Limits (and budget) of every constrained throughput check; the budget's
+  /// per_check_timeout caps each check individually.
   ExecutionLimits limits;
   /// Timing model for inter-tile transfers (Sec. 8.1).
   ConnectionModel connection_model;
+  /// On budget/limit exhaustion of the exact engine, answer the check with
+  /// the [4]-style conservative bound (never optimistic) instead of aborting
+  /// the search. Disable to propagate the AnalysisError instead.
+  bool degrade_to_conservative = true;
+  /// Test hook invoked before each throughput check (see resilience.h).
+  EngineFaultHook engine_fault_hook;
 };
 
 /// Outcome of the time-slice allocation.
@@ -40,6 +49,9 @@ struct SliceAllocationResult {
   /// Number of constrained throughput computations performed (the statistic
   /// reported in Secs. 10.2/10.3).
   int throughput_checks = 0;
+  /// Per-check engine/degradation accounting (which checks fell back to the
+  /// conservative bound and why).
+  StrategyDiagnostics diagnostics;
 };
 
 /// Allocates TDMA time slices (Sec. 9.3). A first binary search scales one

@@ -15,8 +15,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-StrategyResult allocate_resources(const ApplicationGraph& app, const Architecture& arch,
-                                  const StrategyOptions& options) {
+namespace {
+
+StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Architecture& arch,
+                                       const StrategyOptions& options) {
   StrategyResult result;
 
   // ---- Step 1: resource binding (Sec. 9.1).
@@ -26,6 +28,7 @@ StrategyResult allocate_resources(const ApplicationGraph& app, const Architectur
       bind_actors(app, arch, options.weights, options.binding_backtracking);
   if (!bound.success) {
     result.failure_reason = bound.failure_reason;
+    result.failure_kind = FailureKind::kBindingFailed;
     result.binding_seconds = seconds_since(t0);
     return result;
   }
@@ -42,6 +45,7 @@ StrategyResult allocate_resources(const ApplicationGraph& app, const Architectur
   result.scheduling_seconds = seconds_since(t0);
   if (!scheduled.success) {
     result.failure_reason = scheduled.failure_reason;
+    result.failure_kind = FailureKind::kSchedulingFailed;
     return result;
   }
   result.schedules = std::move(scheduled.schedules);
@@ -49,12 +53,19 @@ StrategyResult allocate_resources(const ApplicationGraph& app, const Architectur
   // ---- Step 3: TDMA time-slice allocation (Sec. 9.3).
   t0 = std::chrono::steady_clock::now();
   result.stage = "slices";
+  SliceAllocationOptions slice_options = options.slices;
+  slice_options.degrade_to_conservative = options.degrade_to_conservative;
+  if (!slice_options.engine_fault_hook) {
+    slice_options.engine_fault_hook = options.engine_fault_hook;
+  }
   SliceAllocationResult sliced =
-      allocate_slices(app, arch, result.binding, result.schedules, options.slices);
+      allocate_slices(app, arch, result.binding, result.schedules, slice_options);
   result.slice_seconds = seconds_since(t0);
   result.throughput_checks = sliced.throughput_checks;
+  result.diagnostics = sliced.diagnostics;
   if (!sliced.success) {
     result.failure_reason = sliced.failure_reason;
+    result.failure_kind = FailureKind::kSliceAllocationFailed;
     return result;
   }
   result.slices = std::move(sliced.slices);
@@ -67,6 +78,45 @@ StrategyResult allocate_resources(const ApplicationGraph& app, const Architectur
   }
   result.success = true;
   return result;
+}
+
+FailureKind failure_kind_of(const AnalysisError& e) {
+  switch (e.kind()) {
+    case AnalysisErrorKind::kDeadlineExceeded: return FailureKind::kDeadlineExceeded;
+    case AnalysisErrorKind::kCancelled: return FailureKind::kCancelled;
+    default: return FailureKind::kAnalysisLimit;
+  }
+}
+
+}  // namespace
+
+StrategyResult allocate_resources(const ApplicationGraph& app, const Architecture& arch,
+                                  const StrategyOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    return allocate_resources_impl(app, arch, options);
+  } catch (const AnalysisError& e) {
+    StrategyResult result;
+    result.stage = "analysis";
+    result.failure_reason = e.what();
+    result.failure_kind = failure_kind_of(e);
+    result.slice_seconds = seconds_since(t0);
+    return result;
+  } catch (const ThroughputError& e) {
+    StrategyResult result;
+    result.stage = "analysis";
+    result.failure_reason = e.what();
+    result.failure_kind = FailureKind::kAnalysisLimit;
+    result.slice_seconds = seconds_since(t0);
+    return result;
+  } catch (const std::exception& e) {
+    StrategyResult result;
+    result.stage = "internal";
+    result.failure_reason = e.what();
+    result.failure_kind = FailureKind::kInternalError;
+    result.slice_seconds = seconds_since(t0);
+    return result;
+  }
 }
 
 }  // namespace sdfmap

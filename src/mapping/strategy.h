@@ -13,6 +13,33 @@
 
 namespace sdfmap {
 
+/// Structured classification of a strategy failure; complements the free-text
+/// failure_reason so callers can branch without string matching.
+enum class FailureKind {
+  kNone,                   ///< no failure (success, or not yet run)
+  kBindingFailed,          ///< step 1 could not bind every actor
+  kSchedulingFailed,       ///< step 2 could not construct schedules
+  kSliceAllocationFailed,  ///< step 3 found the constraint unreachable
+  kDeadlineExceeded,       ///< an analysis budget deadline expired
+  kCancelled,              ///< the run's CancellationToken was tripped
+  kAnalysisLimit,          ///< a count cap (states/steps/tokens) was hit
+  kInternalError,          ///< unexpected exception, reported not rethrown
+};
+
+[[nodiscard]] constexpr const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kBindingFailed: return "binding-failed";
+    case FailureKind::kSchedulingFailed: return "scheduling-failed";
+    case FailureKind::kSliceAllocationFailed: return "slice-allocation-failed";
+    case FailureKind::kDeadlineExceeded: return "deadline-exceeded";
+    case FailureKind::kCancelled: return "cancelled";
+    case FailureKind::kAnalysisLimit: return "analysis-limit";
+    case FailureKind::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
 /// Options of the complete resource-allocation strategy (Sec. 9).
 struct StrategyOptions {
   /// Weights (c1, c2, c3) of the tile cost function.
@@ -22,14 +49,23 @@ struct StrategyOptions {
   /// Backtracking budget of the binding step (0 = the paper's pure greedy);
   /// see bind_actors.
   int binding_backtracking = 0;
-  /// Time-slice allocation settings (slack band, per-tile refinement).
+  /// Time-slice allocation settings (slack band, per-tile refinement); its
+  /// limits carry the analysis budget (deadline / cancellation / per-check
+  /// timeout) applied to every throughput check of the run.
   SliceAllocationOptions slices;
+  /// Degrade exhausted exact checks to the conservative bound (default)
+  /// instead of failing the run. Forwarded into the slice allocator.
+  bool degrade_to_conservative = true;
+  /// Fault-injection hook run before every throughput check (see
+  /// resilience.h). Forwarded into the slice allocator.
+  EngineFaultHook engine_fault_hook;
 };
 
 /// Complete result of the three-step strategy for one application.
 struct StrategyResult {
   bool success = false;
   std::string failure_reason;
+  FailureKind failure_kind = FailureKind::kNone;
   /// Which step failed or succeeded last: "binding", "scheduling", "slices".
   std::string stage;
 
@@ -48,6 +84,10 @@ struct StrategyResult {
   /// 16.1 on average over the benchmark, 8 for the H.263 decoder).
   int throughput_checks = 0;
 
+  /// Per-check engine/degradation accounting: which throughput checks were
+  /// answered exactly and which fell back to the conservative bound (and why).
+  StrategyDiagnostics diagnostics;
+
   /// Wall-clock seconds per step.
   double binding_seconds = 0;
   double scheduling_seconds = 0;
@@ -63,6 +103,12 @@ struct StrategyResult {
 /// allocation — and returns the allocation with its statistics. The
 /// architecture describes *available* resources only (Sec. 5); use
 /// ResourcePool to stack applications.
+///
+/// Never throws on analysis exhaustion: budget expiry, cancellation, count
+/// caps, and unexpected engine errors all come back as a structured failure
+/// (failure_kind + failure_reason) or — for individual checks when
+/// degrade_to_conservative is on — as a degraded-but-valid allocation whose
+/// diagnostics record each fallback.
 [[nodiscard]] StrategyResult allocate_resources(const ApplicationGraph& app,
                                                 const Architecture& arch,
                                                 const StrategyOptions& options = {});

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sdfmap {
+
+/// Cooperative cancellation handle. Copies share one flag: a producer keeps
+/// one copy and calls request_cancel(); analysis engines poll their copy
+/// between steps. Default-constructed tokens are inert (never cancelled) and
+/// cost nothing to poll.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token that can actually be cancelled (allocates the shared flag).
+  [[nodiscard]] static CancellationToken make() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  void request_cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancel_requested() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token can ever report cancellation.
+  [[nodiscard]] bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Wall-clock and cancellation budget of an analysis run, combined with the
+/// count caps already carried by ExecutionLimits (which embeds one of these).
+/// A default-constructed budget is unlimited and free to poll. The deadline
+/// is an absolute steady_clock instant so one budget can be shared by a whole
+/// allocation sweep; `per_check_timeout` additionally caps each individual
+/// throughput check (see for_one_check).
+class AnalysisBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  AnalysisBudget() = default;
+
+  /// Budget expiring `timeout` from now.
+  [[nodiscard]] static AnalysisBudget expiring_in(std::chrono::milliseconds timeout) {
+    AnalysisBudget b;
+    b.set_deadline(Clock::now() + timeout);
+    return b;
+  }
+
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+  void set_per_check_timeout(std::chrono::milliseconds timeout) { per_check_ = timeout; }
+  void set_cancellation(CancellationToken token) { token_ = std::move(token); }
+
+  [[nodiscard]] Clock::time_point deadline() const { return deadline_; }
+  [[nodiscard]] bool has_deadline() const { return deadline_ != Clock::time_point::max(); }
+  [[nodiscard]] std::chrono::milliseconds per_check_timeout() const { return per_check_; }
+  [[nodiscard]] const CancellationToken& cancellation() const { return token_; }
+
+  /// True when polling can never report exhaustion (engines then skip the
+  /// clock read entirely).
+  [[nodiscard]] bool unlimited() const { return !has_deadline() && !token_.cancellable(); }
+
+  enum class State { kOk, kDeadlineExceeded, kCancelled };
+
+  /// Reads the cancellation flag and — when a deadline is set — the clock.
+  [[nodiscard]] State poll() const {
+    if (token_.cancel_requested()) return State::kCancelled;
+    if (has_deadline() && Clock::now() >= deadline_) return State::kDeadlineExceeded;
+    return State::kOk;
+  }
+
+  /// The budget governing one throughput check: the whole-run deadline
+  /// tightened by `per_check_timeout` (measured from now). Cancellation is
+  /// shared with the parent budget.
+  [[nodiscard]] AnalysisBudget for_one_check() const {
+    AnalysisBudget b = *this;
+    if (per_check_.count() > 0) {
+      b.deadline_ = std::min(deadline_, Clock::now() + per_check_);
+      b.per_check_ = std::chrono::milliseconds{0};
+    }
+    return b;
+  }
+
+ private:
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::chrono::milliseconds per_check_{0};  // 0 = no per-check cap
+  CancellationToken token_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,274 @@
+// Fault-injection coverage of the graceful-degradation paths: an
+// EngineFaultHook aborts the exact engine at every possible check index and
+// the searches must still terminate without an uncaught exception, returning
+// either a valid (never optimistic) allocation or a structured failure.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "src/analysis/error.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/buffer_sizing.h"
+#include "src/mapping/multi_app.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+/// Throws a budget-exhaustion error at the given global check index.
+EngineFaultHook fault_at(int target, AnalysisErrorKind kind = AnalysisErrorKind::kDeadlineExceeded) {
+  return [target, kind](int index) {
+    if (index == target) throw AnalysisError(kind, "injected fault");
+  };
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  /// Check count of an uninjected reference run.
+  int baseline_checks() {
+    const StrategyResult r = allocate_resources(app_, arch_, {});
+    EXPECT_TRUE(r.success);
+    return r.throughput_checks;
+  }
+
+  void validate_usage(const StrategyResult& r) {
+    ASSERT_EQ(r.usage.size(), arch_.num_tiles());
+    for (std::uint32_t t = 0; t < arch_.num_tiles(); ++t) {
+      // ResourcePool admission rules 1-4: wheel, memory, connections, bandwidth.
+      EXPECT_TRUE(r.usage[t].fits(arch_.tile(TileId{t})))
+          << "usage violates tile " << t << " resources";
+    }
+  }
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(FaultInjectionTest, StrategySurvivesFaultAtEveryCheckIndex) {
+  const int n = baseline_checks();
+  ASSERT_GT(n, 0);
+  for (int k = 0; k < n; ++k) {
+    StrategyOptions options;
+    options.engine_fault_hook = fault_at(k);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << "fault at check " << k;
+    EXPECT_GT(r.diagnostics.total_checks(), 0) << "fault at check " << k;
+    if (r.success) {
+      // The degraded run may only admit allocations that still meet the
+      // constraint: the conservative bound under-approximates, so a success
+      // is trustworthy.
+      EXPECT_GE(r.achieved_throughput, app_.throughput_constraint())
+          << "fault at check " << k;
+      validate_usage(r);
+      EXPECT_TRUE(r.diagnostics.degraded()) << "fault at check " << k;
+      ASSERT_FALSE(r.diagnostics.events.empty());
+      EXPECT_EQ(r.diagnostics.events.front().reason, AnalysisErrorKind::kDeadlineExceeded);
+      EXPECT_EQ(r.diagnostics.events.front().check_index, k);
+    } else {
+      EXPECT_NE(r.failure_kind, FailureKind::kNone) << "fault at check " << k;
+      EXPECT_FALSE(r.failure_reason.empty());
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, EveryCountCapKindDegrades) {
+  for (const AnalysisErrorKind kind :
+       {AnalysisErrorKind::kStateLimit, AnalysisErrorKind::kTokenDivergence,
+        AnalysisErrorKind::kZeroDelayCycle, AnalysisErrorKind::kStepLimit,
+        AnalysisErrorKind::kDeadlineExceeded}) {
+    StrategyOptions options;
+    options.engine_fault_hook = fault_at(0, kind);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options))
+        << analysis_error_kind_name(kind);
+    EXPECT_GT(r.diagnostics.degraded_checks + r.diagnostics.infeasible_checks, 0)
+        << analysis_error_kind_name(kind);
+    ASSERT_FALSE(r.diagnostics.events.empty());
+    EXPECT_EQ(r.diagnostics.events.front().reason, kind);
+  }
+}
+
+TEST_F(FaultInjectionTest, CancellationNeverDegradesButFailsStructured) {
+  StrategyOptions options;
+  options.engine_fault_hook = fault_at(0, AnalysisErrorKind::kCancelled);
+  StrategyResult r;
+  ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure_kind, FailureKind::kCancelled);
+  EXPECT_EQ(r.diagnostics.degraded_checks, 0);
+}
+
+TEST_F(FaultInjectionTest, DegradationDisabledFailsStructuredNotThrowing) {
+  StrategyOptions options;
+  options.degrade_to_conservative = false;
+  options.engine_fault_hook = fault_at(0);
+  StrategyResult r;
+  ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failure_kind, FailureKind::kDeadlineExceeded);
+  EXPECT_EQ(r.stage, "analysis");
+}
+
+TEST_F(FaultInjectionTest, ExpiredDeadlineBudgetDegradesOrFailsStructured) {
+  StrategyOptions options;
+  options.slices.limits.budget.set_deadline(AnalysisBudget::Clock::now() -
+                                            std::chrono::milliseconds(1));
+  StrategyResult r;
+  ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options));
+  if (r.success) {
+    EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+    EXPECT_TRUE(r.diagnostics.degraded());
+    validate_usage(r);
+  } else {
+    EXPECT_TRUE(r.failure_kind == FailureKind::kDeadlineExceeded ||
+                r.failure_kind == FailureKind::kSliceAllocationFailed)
+        << failure_kind_name(r.failure_kind);
+  }
+}
+
+TEST_F(FaultInjectionTest, SequenceSurvivesFaultAtEveryCheckIndex) {
+  const std::vector<ApplicationGraph> apps{app_, app_};
+  MultiAppOptions reference;
+  reference.failure_policy = FailurePolicy::kSkipAndContinue;
+  const MultiAppResult base = allocate_sequence(apps, arch_, reference);
+  const int n = static_cast<int>(base.total_throughput_checks);
+  ASSERT_GT(n, 0);
+  // The check index restarts per application (each allocate_resources run has
+  // its own context), so inject per-application indices.
+  int max_per_app = 0;
+  for (const StrategyResult& r : base.results) {
+    max_per_app = std::max(max_per_app, r.throughput_checks);
+  }
+  for (int k = 0; k < max_per_app; ++k) {
+    MultiAppOptions options = reference;
+    options.strategy.engine_fault_hook = fault_at(k);
+    MultiAppResult r;
+    ASSERT_NO_THROW(r = allocate_sequence(apps, arch_, options)) << "fault at check " << k;
+    EXPECT_EQ(r.results.size(), apps.size());
+    for (std::size_t i = 0; i < r.results.size(); ++i) {
+      if (r.results[i].success) {
+        EXPECT_GE(r.results[i].achieved_throughput, apps[i].throughput_constraint());
+      } else {
+        EXPECT_NE(r.results[i].failure_kind, FailureKind::kNone);
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SequenceCancellationStopsTheLoop) {
+  const std::vector<ApplicationGraph> apps{app_, app_};
+  MultiAppOptions options;
+  options.failure_policy = FailurePolicy::kSkipAndContinue;
+  options.strategy.engine_fault_hook = fault_at(0, AnalysisErrorKind::kCancelled);
+  MultiAppResult r;
+  ASSERT_NO_THROW(r = allocate_sequence(apps, arch_, options));
+  EXPECT_EQ(r.num_allocated, 0u);
+  EXPECT_EQ(r.stop_reason, FailureKind::kCancelled);
+  // Only the first application was attempted; the second was skipped.
+  EXPECT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.unattempted_indices.size(), 1u);
+}
+
+TEST_F(FaultInjectionTest, SequencePreCancelledTokenAttemptsNothing) {
+  const std::vector<ApplicationGraph> apps{app_, app_};
+  MultiAppOptions options;
+  options.cancellation = CancellationToken::make();
+  options.cancellation.request_cancel();
+  MultiAppResult r;
+  ASSERT_NO_THROW(r = allocate_sequence(apps, arch_, options));
+  EXPECT_EQ(r.num_allocated, 0u);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.stop_reason, FailureKind::kCancelled);
+  EXPECT_EQ(r.unattempted_indices.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, SequenceExpiredDeadlineReportsStructuredStop) {
+  const std::vector<ApplicationGraph> apps{app_, app_};
+  MultiAppOptions options;
+  options.sequence_deadline = std::chrono::milliseconds(1);
+  // Burn the deadline before the loop looks at the clock.
+  const auto end = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+  MultiAppResult r;
+  ASSERT_NO_THROW(r = allocate_sequence(apps, arch_, options));
+  // Every attempted application ran under the expired budget: the loop either
+  // stopped up front or recorded structured failures, never threw.
+  if (r.stop_reason == FailureKind::kNone) {
+    EXPECT_EQ(r.results.size(), apps.size());
+  } else {
+    EXPECT_TRUE(r.stop_reason == FailureKind::kDeadlineExceeded ||
+                r.stop_reason == FailureKind::kSliceAllocationFailed)
+        << failure_kind_name(r.stop_reason);
+  }
+}
+
+TEST_F(FaultInjectionTest, BufferSizingSurvivesFaultAtEveryCheckIndex) {
+  const StrategyResult allocated = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(allocated.success);
+
+  BufferSizingOptions reference;
+  const BufferSizingResult base = minimize_buffers(app_, arch_, allocated.binding,
+                                                   allocated.schedules, allocated.slices,
+                                                   reference);
+  ASSERT_TRUE(base.success) << base.failure_reason;
+  const int n = base.throughput_checks;
+  ASSERT_GT(n, 0);
+
+  for (int k = 0; k < n; ++k) {
+    BufferSizingOptions options;
+    options.engine_fault_hook = fault_at(k);
+    BufferSizingResult r;
+    ASSERT_NO_THROW(r = minimize_buffers(app_, arch_, allocated.binding, allocated.schedules,
+                                         allocated.slices, options))
+        << "fault at check " << k;
+    if (r.success) {
+      // Degraded decrements were admitted by the conservative bound, so the
+      // final sizes still sustain the constraint.
+      EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+      EXPECT_LE(r.buffer_bits_after, r.buffer_bits_before);
+    } else {
+      EXPECT_FALSE(r.failure_reason.empty());
+    }
+    EXPECT_GT(r.diagnostics.total_checks(), 0);
+  }
+}
+
+TEST_F(FaultInjectionTest, BufferSizingSurvivesEscapingThroughputError) {
+  // Regression: the descent's try block used to catch only
+  // std::invalid_argument, so a ThroughputError from a divergent candidate
+  // killed the whole sweep instead of skipping the candidate.
+  const StrategyResult allocated = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(allocated.success);
+  BufferSizingOptions options;
+  int calls = 0;
+  options.engine_fault_hook = [&calls](int) {
+    ++calls;
+    throw AnalysisError(AnalysisErrorKind::kTokenDivergence, "injected divergence");
+  };
+  options.degrade_to_conservative = true;
+  BufferSizingResult r;
+  ASSERT_NO_THROW(r = minimize_buffers(app_, arch_, allocated.binding, allocated.schedules,
+                                       allocated.slices, options));
+  EXPECT_GT(calls, 0);
+  // Every check degraded; the run still terminated with a decision.
+  EXPECT_EQ(r.diagnostics.exact_checks, 0);
+}
+
+TEST_F(FaultInjectionTest, DiagnosticsSummaryMentionsDegradations) {
+  StrategyOptions options;
+  options.engine_fault_hook = fault_at(0);
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(r.diagnostics.degraded());
+  const std::string summary = r.diagnostics.summary();
+  EXPECT_NE(summary.find("checks"), std::string::npos);
+  EXPECT_NE(summary.find("deadline-exceeded"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,153 @@
+#include "src/support/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/analysis/error.h"
+
+namespace sdfmap {
+namespace {
+
+TEST(CancellationToken, DefaultTokenIsInert) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancel_requested());
+  token.request_cancel();  // no-op, must not crash
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancellationToken, MadeTokenSharesOneFlag) {
+  const CancellationToken token = CancellationToken::make();
+  const CancellationToken copy = token;
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(copy.cancel_requested());
+  token.request_cancel();
+  EXPECT_TRUE(copy.cancel_requested());
+}
+
+TEST(AnalysisBudget, DefaultIsUnlimited) {
+  const AnalysisBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_FALSE(budget.has_deadline());
+  EXPECT_EQ(budget.poll(), AnalysisBudget::State::kOk);
+}
+
+TEST(AnalysisBudget, ExpiredDeadlinePolls) {
+  AnalysisBudget budget;
+  budget.set_deadline(AnalysisBudget::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_FALSE(budget.unlimited());
+  EXPECT_EQ(budget.poll(), AnalysisBudget::State::kDeadlineExceeded);
+}
+
+TEST(AnalysisBudget, FutureDeadlinePollsOk) {
+  const AnalysisBudget budget = AnalysisBudget::expiring_in(std::chrono::hours(1));
+  EXPECT_TRUE(budget.has_deadline());
+  EXPECT_EQ(budget.poll(), AnalysisBudget::State::kOk);
+}
+
+TEST(AnalysisBudget, CancellationWinsOverDeadline) {
+  AnalysisBudget budget;
+  budget.set_deadline(AnalysisBudget::Clock::now() - std::chrono::milliseconds(1));
+  const CancellationToken token = CancellationToken::make();
+  budget.set_cancellation(token);
+  token.request_cancel();
+  EXPECT_EQ(budget.poll(), AnalysisBudget::State::kCancelled);
+}
+
+TEST(AnalysisBudget, ForOneCheckTightensTheDeadline) {
+  AnalysisBudget budget = AnalysisBudget::expiring_in(std::chrono::hours(1));
+  budget.set_per_check_timeout(std::chrono::milliseconds(1));
+  const AnalysisBudget check = budget.for_one_check();
+  EXPECT_LT(check.deadline(), budget.deadline());
+  // The per-check cap is consumed; deriving again keeps the tightened instant.
+  EXPECT_EQ(check.per_check_timeout().count(), 0);
+}
+
+TEST(AnalysisBudget, ForOneCheckWithoutPerCheckCapIsIdentity) {
+  const AnalysisBudget budget = AnalysisBudget::expiring_in(std::chrono::hours(1));
+  EXPECT_EQ(budget.for_one_check().deadline(), budget.deadline());
+}
+
+TEST(AnalysisBudget, ForOneCheckNeverWidensTheRunDeadline) {
+  AnalysisBudget budget;
+  budget.set_deadline(AnalysisBudget::Clock::now() - std::chrono::milliseconds(1));
+  budget.set_per_check_timeout(std::chrono::hours(1));
+  EXPECT_EQ(budget.for_one_check().poll(), AnalysisBudget::State::kDeadlineExceeded);
+}
+
+TEST(BudgetGuard, UnlimitedBudgetNeverThrows) {
+  const AnalysisBudget budget;
+  BudgetGuard guard(budget, "test", 1);
+  for (int i = 0; i < 1000; ++i) guard.check();
+  guard.check_now();
+}
+
+TEST(BudgetGuard, ExpiredDeadlineThrowsDeadlineExceeded) {
+  AnalysisBudget budget;
+  budget.set_deadline(AnalysisBudget::Clock::now() - std::chrono::milliseconds(1));
+  const BudgetGuard guard(budget, "test");
+  try {
+    guard.check_now();
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.kind(), AnalysisErrorKind::kDeadlineExceeded);
+    EXPECT_TRUE(e.budget_exhausted());
+    EXPECT_NE(std::string(e.what()).find("test"), std::string::npos);
+  }
+}
+
+TEST(BudgetGuard, CancelledTokenThrowsCancelled) {
+  AnalysisBudget budget;
+  const CancellationToken token = CancellationToken::make();
+  budget.set_cancellation(token);
+  token.request_cancel();
+  BudgetGuard guard(budget, "test", 4);
+  try {
+    for (int i = 0; i < 4; ++i) guard.check();
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.kind(), AnalysisErrorKind::kCancelled);
+    EXPECT_TRUE(e.budget_exhausted());
+  }
+}
+
+TEST(BudgetGuard, StridedCheckSamplesEveryStrideCalls) {
+  AnalysisBudget budget;
+  budget.set_deadline(AnalysisBudget::Clock::now() - std::chrono::milliseconds(1));
+  BudgetGuard guard(budget, "test", 8);
+  // The first 7 calls never sample the clock; the 8th must.
+  for (int i = 0; i < 7; ++i) EXPECT_NO_THROW(guard.check());
+  EXPECT_THROW(guard.check(), AnalysisError);
+}
+
+TEST(AnalysisErrorNames, AllKindsNamed) {
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kStateLimit), "state-limit");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kTokenDivergence),
+               "token-divergence");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kZeroDelayCycle),
+               "zero-delay-cycle");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kStepLimit), "step-limit");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kCancelled), "cancelled");
+  EXPECT_STREQ(analysis_error_kind_name(AnalysisErrorKind::kUnknown), "unknown");
+}
+
+TEST(AnalysisError, CountCapKindsAreNotBudgetExhaustion) {
+  EXPECT_FALSE(AnalysisError(AnalysisErrorKind::kStateLimit, "x").budget_exhausted());
+  EXPECT_FALSE(AnalysisError(AnalysisErrorKind::kTokenDivergence, "x").budget_exhausted());
+  EXPECT_FALSE(AnalysisError(AnalysisErrorKind::kZeroDelayCycle, "x").budget_exhausted());
+  EXPECT_FALSE(AnalysisError(AnalysisErrorKind::kStepLimit, "x").budget_exhausted());
+}
+
+TEST(AnalysisError, IsCatchableAsThroughputError) {
+  try {
+    throw AnalysisError(AnalysisErrorKind::kStateLimit, "state explosion");
+  } catch (const ThroughputError& e) {
+    EXPECT_NE(std::string(e.what()).find("state explosion"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap
