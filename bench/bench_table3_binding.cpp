@@ -8,11 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/appmodel/paper_example.h"
 #include "src/mapping/binder.h"
 #include "src/platform/mesh.h"
+#include "src/runtime/parallel.h"
+#include "src/support/cli.h"
 
 using namespace sdfmap;
 
@@ -34,10 +37,21 @@ std::string bind_row(const TileCostWeights& weights) {
 void print_report() {
   benchutil::heading("Tab. 3: binding of actors to tiles");
   std::cout << "  (c1,c2,c3)   a1 a2 a3\n";
-  benchutil::compare("(1,0,0)", bind_row({1, 0, 0}), "t1 t1 t2");
-  benchutil::compare("(0,1,0)", bind_row({0, 1, 0}), "t1 t2 t2");
-  benchutil::compare("(0,0,1)", bind_row({0, 0, 1}), "t1 t1 t1");
-  benchutil::compare("(1,1,1)", bind_row({1, 1, 1}), "t1 t1 t2");
+  // The four rows are independent bindings: compute them on the runtime pool
+  // (--jobs) and print in row order, so stdout never depends on scheduling.
+  struct Row {
+    TileCostWeights weights;
+    const char* paper;
+  };
+  const std::vector<Row> rows = {{{1, 0, 0}, "t1 t1 t2"},
+                                 {{0, 1, 0}, "t1 t2 t2"},
+                                 {{0, 0, 1}, "t1 t1 t1"},
+                                 {{1, 1, 1}, "t1 t1 t2"}};
+  const std::vector<std::string> bound = parallel_transform(
+      rows, [](const Row& row, std::size_t) { return bind_row(row.weights); });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    benchutil::compare(rows[i].weights.to_string(), bound[i], rows[i].paper);
+  }
   benchutil::note(
       "  (the (0,1,0) row depends on the exact Fig. 3 rates, which are only\n"
       "   partially legible in our source; see EXPERIMENTS.md)");
@@ -65,6 +79,8 @@ BENCHMARK(BM_RebalanceBinding);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  benchutil::configure_jobs(args);
   print_report();
   std::cout << "\n";
   benchmark::Initialize(&argc, argv);

@@ -8,6 +8,11 @@
 // ~5 s on a 2007-era P4 and 16.1 checks; our run-times are on modern
 // hardware, so only the check counts are comparable in magnitude).
 //
+// The 5 x 4 x 3 x 3 = 180 sequence allocations are independent, so they run
+// on the runtime's work-stealing pool (--jobs N, default all hardware
+// threads) and are reduced in the serial loop's order: stdout is
+// byte-identical for every jobs level, while timings go to stderr.
+//
 // Paper Tab. 4:
 //             set1   set2   set3   set4
 //   (1,0,0)  20.22   5.22   7.56  18.56
@@ -21,10 +26,12 @@
 #include <chrono>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/gen/benchmark_sets.h"
 #include "src/mapping/multi_app.h"
+#include "src/runtime/parallel.h"
 #include "src/support/cli.h"
 
 using namespace sdfmap;
@@ -57,38 +64,24 @@ struct CellResult {
   long total_checks = 0;
 };
 
-CellResult run_cell(const TileCostWeights& weights, BenchmarkSet set) {
-  CellResult cell;
+/// One of the 180 allocation runs, identified by its loop coordinates.
+struct Run {
+  int fn;
+  int set;
+  int seq;
+  int arch;
+};
+
+/// What a run contributes to its cell — everything print_report needs, so
+/// the MultiAppResult itself can be dropped task-side.
+struct RunOutcome {
+  std::size_t num_allocated = 0;
   double total_seconds = 0;
+  long total_throughput_checks = 0;
+  std::size_t num_results = 0;
+  long degraded_checks = 0;
   long total_checks = 0;
-  long total_apps = 0;
-  for (int seq = 0; seq < kSequences; ++seq) {
-    const auto apps = generate_sequence(set, kSequenceLength, kBaseSeed + seq);
-    for (int arch_variant = 0; arch_variant < kArchitectures; ++arch_variant) {
-      StrategyOptions options;
-      options.weights = weights;
-      if (g_per_check_deadline.count() > 0) {
-        options.slices.limits.budget.set_per_check_timeout(g_per_check_deadline);
-      }
-      const MultiAppResult r =
-          allocate_sequence(apps, make_benchmark_architecture(arch_variant), options);
-      cell.avg_bound += static_cast<double>(r.num_allocated);
-      total_seconds += r.total_seconds;
-      total_checks += r.total_throughput_checks;
-      total_apps += static_cast<long>(r.results.size());
-      cell.degraded_checks +=
-          r.diagnostics.degraded_checks + r.diagnostics.infeasible_checks;
-      cell.total_checks += r.diagnostics.total_checks();
-    }
-  }
-  const double runs = kSequences * kArchitectures;
-  cell.avg_bound /= runs;
-  if (total_apps > 0) {
-    cell.avg_seconds_per_app = total_seconds / static_cast<double>(total_apps);
-    cell.avg_checks_per_app = static_cast<double>(total_checks) / static_cast<double>(total_apps);
-  }
-  return cell;
-}
+};
 
 void print_report() {
   benchutil::heading("Tab. 4: average number of application graphs bound");
@@ -99,16 +92,88 @@ void print_report() {
     std::cout << "  per-check deadline: " << g_per_check_deadline.count()
               << " ms (exhausted checks degrade to the conservative bound)\n";
   }
-  std::cout << "  (c1,c2,c3)      set1          set2          set3          set4\n";
 
+  // The sequences are shared read-only by every cost function and
+  // architecture; generate them once up front (generation itself fans out
+  // per graph on the pool).
+  std::vector<std::vector<ApplicationGraph>> sequences;  // [set * kSequences + seq]
+  benchutil::time_section("generate 4 x 3 sequences", [&] {
+    for (int set = 0; set < 4; ++set) {
+      for (int seq = 0; seq < kSequences; ++seq) {
+        sequences.push_back(generate_sequence(static_cast<BenchmarkSet>(set + 1),
+                                              kSequenceLength, kBaseSeed + seq));
+      }
+    }
+  });
+
+  std::vector<Run> runs;
+  for (int fn = 0; fn < 5; ++fn) {
+    for (int set = 0; set < 4; ++set) {
+      for (int seq = 0; seq < kSequences; ++seq) {
+        for (int arch = 0; arch < kArchitectures; ++arch) {
+          runs.push_back(Run{fn, set, seq, arch});
+        }
+      }
+    }
+  }
+
+  ParallelStats region_stats;
+  std::vector<RunOutcome> outcomes;
+  benchutil::time_section("allocate 180 sequences", [&] {
+    outcomes = parallel_transform(
+        runs,
+        [&sequences](const Run& run, std::size_t) {
+          StrategyOptions options;
+          options.weights = kCostFunctions[run.fn];
+          if (g_per_check_deadline.count() > 0) {
+            options.slices.limits.budget.set_per_check_timeout(g_per_check_deadline);
+          }
+          const MultiAppResult r =
+              allocate_sequence(sequences[static_cast<std::size_t>(run.set * kSequences + run.seq)],
+                                make_benchmark_architecture(run.arch), options);
+          RunOutcome out;
+          out.num_allocated = r.num_allocated;
+          out.total_seconds = r.total_seconds;
+          out.total_throughput_checks = r.total_throughput_checks;
+          out.num_results = r.results.size();
+          out.degraded_checks =
+              r.diagnostics.degraded_checks + r.diagnostics.infeasible_checks;
+          out.total_checks = r.diagnostics.total_checks();
+          return out;
+        },
+        ParallelOptions{}, &region_stats);
+  });
+
+  // Reduce each cell over its (sequence, architecture) runs in the serial
+  // loop's order, so sums — including floating-point ones — match --jobs 1.
+  std::cout << "  (c1,c2,c3)      set1          set2          set3          set4\n";
   double seconds_sum = 0, checks_sum = 0;
   long degraded_sum = 0, check_total = 0;
   int cells = 0;
+  std::size_t next_run = 0;
   for (int fn = 0; fn < 5; ++fn) {
     std::cout << "  " << std::left << std::setw(12)
               << kCostFunctions[fn].to_string() << std::right;
     for (int set = 0; set < 4; ++set) {
-      const CellResult cell = run_cell(kCostFunctions[fn], static_cast<BenchmarkSet>(set + 1));
+      CellResult cell;
+      double total_seconds = 0;
+      long total_checks = 0;
+      long total_apps = 0;
+      for (int i = 0; i < kSequences * kArchitectures; ++i, ++next_run) {
+        const RunOutcome& out = outcomes[next_run];
+        cell.avg_bound += static_cast<double>(out.num_allocated);
+        total_seconds += out.total_seconds;
+        total_checks += out.total_throughput_checks;
+        total_apps += static_cast<long>(out.num_results);
+        cell.degraded_checks += out.degraded_checks;
+        cell.total_checks += out.total_checks;
+      }
+      cell.avg_bound /= kSequences * kArchitectures;
+      if (total_apps > 0) {
+        cell.avg_seconds_per_app = total_seconds / static_cast<double>(total_apps);
+        cell.avg_checks_per_app =
+            static_cast<double>(total_checks) / static_cast<double>(total_apps);
+      }
       std::cout << std::fixed << std::setprecision(2) << std::setw(7) << cell.avg_bound
                 << " (" << std::setw(5) << kPaperTable4[fn][set] << ")";
       seconds_sum += cell.avg_seconds_per_app;
@@ -127,12 +192,14 @@ void print_report() {
   }
 
   benchutil::heading("Sec. 10.2 statistics");
-  std::cout << std::fixed << std::setprecision(4);
-  std::cout << "  avg strategy run-time per application graph: " << seconds_sum / cells
-            << " s   (paper: ~5 s on a 3.4 GHz P4 with SDF3)\n";
-  std::cout << std::setprecision(1);
+  std::cout << std::fixed << std::setprecision(1);
   std::cout << "  avg throughput computations per allocation:  " << checks_sum / cells
             << "     (paper: 16.1)\n";
+  // Run-times are wall-clock and therefore never bit-stable: stderr only.
+  std::cerr << std::fixed << std::setprecision(4)
+            << "[time] avg strategy run-time per application graph: " << seconds_sum / cells
+            << " s (paper: ~5 s on a 3.4 GHz P4 with SDF3)\n";
+  benchutil::report_parallelism(region_stats);
 }
 
 void BM_AllocateOneApplication(benchmark::State& state) {
@@ -150,6 +217,7 @@ BENCHMARK(BM_AllocateOneApplication)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  benchutil::configure_jobs(args);
   g_per_check_deadline = std::chrono::milliseconds(args.get_int("deadline-ms", 0));
   print_report();
   std::cout << "\n";

@@ -18,10 +18,13 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/gen/benchmark_sets.h"
 #include "src/mapping/multi_app.h"
+#include "src/runtime/parallel.h"
+#include "src/support/cli.h"
 
 using namespace sdfmap;
 
@@ -39,40 +42,88 @@ struct Usage {
   double wheel = 0, memory = 0, conn = 0, bw_in = 0, bw_out = 0;
 };
 
-Usage measure(const TileCostWeights& weights) {
-  Usage usage;
-  for (int seq = 0; seq < kSequences; ++seq) {
-    const auto apps = generate_sequence(BenchmarkSet::kMixed, kSequenceLength, 1 + seq);
-    for (int arch = 0; arch < kArchitectures; ++arch) {
-      StrategyOptions options;
-      options.weights = weights;
-      const MultiAppResult r =
-          allocate_sequence(apps, make_benchmark_architecture(arch), options);
-      usage.bound += static_cast<double>(r.num_allocated);
-      usage.wheel += r.utilization.wheel;
-      usage.memory += r.utilization.memory;
-      usage.conn += r.utilization.connections;
-      usage.bw_in += r.utilization.bandwidth_in;
-      usage.bw_out += r.utilization.bandwidth_out;
+/// The 5 x 3 x 3 = 45 sequence allocations (sharing 3 generated sequences)
+/// run on the runtime pool; each cost function's Usage is reduced over its
+/// runs in the serial (sequence, architecture) order so stdout is
+/// byte-identical for every --jobs level.
+void measure_all(Usage (&usage)[5]) {
+  std::vector<std::vector<ApplicationGraph>> sequences;
+  benchutil::time_section("generate 3 mixed sequences", [&] {
+    for (int seq = 0; seq < kSequences; ++seq) {
+      sequences.push_back(
+          generate_sequence(BenchmarkSet::kMixed, kSequenceLength, 1 + seq));
+    }
+  });
+
+  struct Run {
+    int fn;
+    int seq;
+    int arch;
+  };
+  std::vector<Run> runs;
+  for (int fn = 0; fn < 5; ++fn) {
+    for (int seq = 0; seq < kSequences; ++seq) {
+      for (int arch = 0; arch < kArchitectures; ++arch) {
+        runs.push_back(Run{fn, seq, arch});
+      }
     }
   }
-  const double runs = kSequences * kArchitectures;
-  usage.bound /= runs;
-  usage.wheel /= runs;
-  usage.memory /= runs;
-  usage.conn /= runs;
-  usage.bw_in /= runs;
-  usage.bw_out /= runs;
-  return usage;
+
+  struct RunUsage {
+    std::size_t bound = 0;
+    double wheel = 0, memory = 0, conn = 0, bw_in = 0, bw_out = 0;
+  };
+  ParallelStats region_stats;
+  std::vector<RunUsage> outcomes;
+  benchutil::time_section("allocate 45 sequences", [&] {
+    outcomes = parallel_transform(
+        runs,
+        [&sequences](const Run& run, std::size_t) {
+          StrategyOptions options;
+          options.weights = kCostFunctions[run.fn];
+          const MultiAppResult r =
+              allocate_sequence(sequences[static_cast<std::size_t>(run.seq)],
+                                make_benchmark_architecture(run.arch), options);
+          RunUsage u;
+          u.bound = r.num_allocated;
+          u.wheel = r.utilization.wheel;
+          u.memory = r.utilization.memory;
+          u.conn = r.utilization.connections;
+          u.bw_in = r.utilization.bandwidth_in;
+          u.bw_out = r.utilization.bandwidth_out;
+          return u;
+        },
+        ParallelOptions{}, &region_stats);
+  });
+  benchutil::report_parallelism(region_stats);
+
+  const double num_runs = kSequences * kArchitectures;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    Usage& u = usage[runs[i].fn];
+    u.bound += static_cast<double>(outcomes[i].bound);
+    u.wheel += outcomes[i].wheel;
+    u.memory += outcomes[i].memory;
+    u.conn += outcomes[i].conn;
+    u.bw_in += outcomes[i].bw_in;
+    u.bw_out += outcomes[i].bw_out;
+  }
+  for (Usage& u : usage) {
+    u.bound /= num_runs;
+    u.wheel /= num_runs;
+    u.memory /= num_runs;
+    u.conn /= num_runs;
+    u.bw_in /= num_runs;
+    u.bw_out /= num_runs;
+  }
 }
 
 void print_report() {
   benchutil::heading("Tab. 5: resource efficiency for the mixed set (set 4)");
 
   Usage usage[5];
+  measure_all(usage);
   Usage max;
   for (int fn = 0; fn < 5; ++fn) {
-    usage[fn] = measure(kCostFunctions[fn]);
     max.wheel = std::max(max.wheel, usage[fn].wheel);
     max.memory = std::max(max.memory, usage[fn].memory);
     max.conn = std::max(max.conn, usage[fn].conn);
@@ -127,6 +178,8 @@ BENCHMARK(BM_AllocateSequenceMixed)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  benchutil::configure_jobs(args);
   print_report();
   std::cout << "\n";
   benchmark::Initialize(&argc, argv);

@@ -2,9 +2,14 @@
 
 // Small shared helpers for the paper-experiment benchmark binaries.
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <string>
+
+#include "src/runtime/parallel.h"
+#include "src/runtime/task_pool.h"
+#include "src/support/cli.h"
 
 namespace sdfmap::benchutil {
 
@@ -20,6 +25,50 @@ inline void compare(const std::string& label, const std::string& measured,
   std::cout << "  " << std::left << std::setw(44) << label << " measured " << std::setw(12)
             << measured << " paper " << std::setw(12) << paper
             << (measured == paper ? " [match]" : "") << "\n";
+}
+
+/// Steady-clock stopwatch for wall-time reporting.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `fn` and prints its elapsed wall time to **stderr** — stdout carries
+/// only the deterministic report, which must stay byte-identical for every
+/// --jobs level, while timings are run-dependent by nature.
+template <typename Fn>
+void time_section(const std::string& label, Fn&& fn) {
+  const Timer timer;
+  fn();
+  std::cerr << std::fixed << std::setprecision(2) << "[time] " << label << ": "
+            << timer.seconds() << " s\n";
+}
+
+/// Applies the --jobs/-j flag (default: all hardware threads) to the global
+/// runtime pool and announces the level on stderr.
+inline void configure_jobs(const CliArgs& args) {
+  const int jobs =
+      args.get_int("jobs", static_cast<int>(TaskPool::hardware_jobs()));
+  TaskPool::set_global_jobs(jobs > 0 ? static_cast<unsigned>(jobs) : 1);
+  std::cerr << "[jobs] running with --jobs " << TaskPool::global_jobs() << "\n";
+}
+
+/// Prints parallel-region accounting (per-task wall time vs region wall time,
+/// steal/queue counters of the global pool) to stderr.
+inline void report_parallelism(const ParallelStats& stats) {
+  std::cerr << "[parallel] " << stats.summary() << "\n";
+  const TaskPoolCounters c = TaskPool::global().counters();
+  std::cerr << "[pool] " << c.submitted << " tasks submitted, " << c.executed_local
+            << " run by their queue's owner, " << c.executed_stolen << " stolen\n";
 }
 
 }  // namespace sdfmap::benchutil

@@ -6,13 +6,14 @@
 //
 // Usage:
 //   analyze_cli <graph.sdf> [--sink=<actor>] [--storage-period=<num[/den]>]
-//               [--deadline-ms=<n>] [--dot=<file>]
+//               [--deadline-ms=<n>] [--dot=<file>] [--jobs=<n> | -j <n>]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
 //
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 analysis
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
 // 6 cancelled, 70 internal error.
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "src/sdf/deadlock.h"
 #include "src/sdf/diagnostics.h"
 #include "src/sdf/hsdf.h"
+#include "src/runtime/task_pool.h"
 #include "src/sdf/repetition_vector.h"
 #include "src/support/cli.h"
 #include "src/support/strings.h"
@@ -53,6 +55,8 @@ Rational parse_rational(const std::string& s) {
 }
 
 int run(const CliArgs& args) {
+  TaskPool::set_global_jobs(static_cast<unsigned>(std::max<std::int64_t>(
+      1, args.get_int("jobs", TaskPool::hardware_jobs()))));
   Graph g;
   if (args.has("demo")) {
     g = demo_graph();

@@ -8,13 +8,14 @@
 //   flow_cli --app=<file> --platform=<file> [--c1=1 --c2=1 --c3=1]
 //            [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]
 //            [--dot=<prefix>] [--utilization] [--gantt[=<width>]]
-//            [--vcd=<file>]
+//            [--vcd=<file>] [--jobs=<n> | -j <n>]
 //   flow_cli --dump-examples [--dir=.]
 //
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 allocation
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
 // 6 cancelled, 70 internal error.
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -30,6 +31,7 @@
 #include "src/mapping/list_scheduler.h"
 #include "src/mapping/strategy.h"
 #include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
 #include "src/sdf/repetition_vector.h"
 #include "src/support/cli.h"
 
@@ -54,6 +56,11 @@ int dump_examples(const std::string& dir) {
 }
 
 int run(const CliArgs& args) {
+  // Parallelism of the library's internal sweeps (buffer sizing candidates).
+  // The default is all hardware threads; the allocation and report are
+  // byte-identical for every level.
+  TaskPool::set_global_jobs(static_cast<unsigned>(std::max<std::int64_t>(
+      1, args.get_int("jobs", TaskPool::hardware_jobs()))));
   if (args.has("dump-examples")) {
     return dump_examples(args.get("dir", "."));
   }

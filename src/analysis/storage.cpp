@@ -179,4 +179,20 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
   return result;
 }
 
+std::vector<StorageResult> storage_pareto_sweep(const Graph& g,
+                                                const std::vector<Rational>& target_periods,
+                                                const StorageOptions& options,
+                                                ParallelStats* stats) {
+  if (target_periods.empty()) return {};
+  // Each point degrades structurally inside minimize_storage (it never throws
+  // on budget exhaustion), so the region needs no fan-out budget of its own:
+  // a default-budget group only aborts on a programming error in a task.
+  return parallel_transform(
+      target_periods,
+      [&g, &options](const Rational& target, std::size_t) {
+        return minimize_storage(g, target, options);
+      },
+      ParallelOptions{}, stats);
+}
+
 }  // namespace sdfmap

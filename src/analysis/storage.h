@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/analysis/state_space.h"
+#include "src/runtime/parallel.h"
 #include "src/sdf/graph.h"
 #include "src/support/rational.h"
 
@@ -62,5 +63,16 @@ struct StorageResult {
 /// exponential).
 [[nodiscard]] StorageResult minimize_storage(const Graph& g, const Rational& target_period,
                                              const StorageOptions& options = {});
+
+/// Runs minimize_storage once per target period and returns the results in
+/// target order — the throughput/storage Pareto sweep of [21]. Targets are
+/// independent, so the points are evaluated on the runtime's parallel pool
+/// (--jobs); results are reduced in input order and each point carries its
+/// own structured degradation state, so the sweep output is byte-identical
+/// for every jobs level. `stats`, when given, accumulates the region's
+/// parallel accounting.
+[[nodiscard]] std::vector<StorageResult> storage_pareto_sweep(
+    const Graph& g, const std::vector<Rational>& target_periods,
+    const StorageOptions& options = {}, ParallelStats* stats = nullptr);
 
 }  // namespace sdfmap

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/platform/mesh.h"
+#include "src/runtime/parallel.h"
 
 namespace sdfmap {
 
@@ -109,8 +110,10 @@ GeneratorOptions options_for_set(BenchmarkSet set) {
 std::vector<ApplicationGraph> generate_sequence(BenchmarkSet set, std::size_t count,
                                                 std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<ApplicationGraph> apps;
-  apps.reserve(count);
+  // Profile choices come from the base stream, in sequence order, so the mix
+  // of a mixed set depends only on the seed.
+  std::vector<GeneratorOptions> profiles;
+  profiles.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     GeneratorOptions options;
     if (set == BenchmarkSet::kMixed) {
@@ -142,10 +145,21 @@ std::vector<ApplicationGraph> generate_sequence(BenchmarkSet set, std::size_t co
     } else {
       options = options_for_set(set);
     }
-    apps.push_back(generate_application(
-        options, rng, benchmark_set_name(set) + "_" + std::to_string(i)));
+    profiles.push_back(options);
   }
-  return apps;
+
+  // Each graph draws from its own split stream, so generation parallelizes
+  // over the runtime pool (--jobs) and graph i is bit-identical for every
+  // jobs level and sequence length >= i. Tasks also pre-compute the lazily
+  // cached repetition vector: the graphs are about to be shared read-only
+  // across parallel allocation tasks.
+  return parallel_transform(profiles, [&](const GeneratorOptions& options, std::size_t i) {
+    Rng stream = rng.split(i);
+    ApplicationGraph app = generate_application(
+        options, stream, benchmark_set_name(set) + "_" + std::to_string(i));
+    (void)app.repetition_vector();
+    return app;
+  });
 }
 
 Architecture make_benchmark_architecture(int variant) {

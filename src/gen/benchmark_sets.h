@@ -24,7 +24,10 @@ enum class BenchmarkSet {
 [[nodiscard]] GeneratorOptions options_for_set(BenchmarkSet set);
 
 /// Generates one ordered sequence of `count` application graphs for `set`,
-/// deterministically from `seed` (the paper uses 3 sequences per set).
+/// deterministically from `seed` (the paper uses 3 sequences per set). Graph
+/// i draws from the split stream Rng(seed).split-style, so the sequence is
+/// bit-identical for every --jobs level (graphs generate in parallel) and
+/// graph i does not change when `count` grows.
 [[nodiscard]] std::vector<ApplicationGraph> generate_sequence(BenchmarkSet set,
                                                               std::size_t count,
                                                               std::uint64_t seed);

@@ -1,9 +1,13 @@
 #include "src/mapping/buffer_sizing.h"
 
+#include <optional>
+#include <vector>
+
 #include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
+#include "src/runtime/parallel.h"
 #include "src/sdf/repetition_vector.h"
 
 namespace sdfmap {
@@ -48,10 +52,13 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
   ExecutionLimits fallback_limits = options.limits;
   fallback_limits.budget = AnalysisBudget{};
 
-  const auto throughput_of = [&](const ApplicationGraph& candidate) {
-    ++result.throughput_checks;
+  // One throughput check against an explicit context and engine budget: the
+  // serial path passes `ctx` and the run budget, parallel rounds pass a
+  // per-candidate fork and the run budget rewired to the round's group token.
+  const auto check_candidate = [&](const ApplicationGraph& candidate, CheckContext& cctx,
+                                   const AnalysisBudget& engine_budget) {
     return checked_throughput(
-        ctx, "buffers",
+        cctx, "buffers",
         [&] {
           try {
             const BindingAwareGraph bag =
@@ -59,7 +66,7 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
             const auto gamma = compute_repetition_vector(bag.graph);
             if (!gamma) return Rational(0);
             ExecutionLimits limits = options.limits;
-            limits.budget = options.limits.budget.for_one_check();
+            limits.budget = engine_budget.for_one_check();
             const ConstrainedResult run = execute_constrained(
                 bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
                 SchedulingMode::kStaticOrder, limits);
@@ -74,6 +81,11 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
                                          fallback_limits)
               .base.throughput();
         });
+  };
+
+  const auto throughput_of = [&](const ApplicationGraph& candidate) {
+    ++result.throughput_checks;
+    return check_candidate(candidate, ctx, options.limits.budget);
   };
 
   const auto buffer_bits = [&](const ApplicationGraph& candidate) {
@@ -106,13 +118,21 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
   result.achieved_throughput = initial;
 
   // Steepest descent: per round, evaluate every single-token decrement and
-  // apply the feasible one freeing the most bits.
+  // apply the feasible one freeing the most bits. All candidates of a round
+  // are independent (each mutates its own copy of `work`), so they are
+  // evaluated as one parallel region; the winner is reduced by scanning the
+  // results in candidate order, which picks the same decrement as a serial
+  // scan for every --jobs level. Check counts are jobs-invariant because
+  // every candidate is always checked (the serial code's "cannot beat the
+  // current best" pruning would make the count depend on evaluation order).
+  struct Candidate {
+    ChannelId channel;
+    int which;
+    std::int64_t gain;
+    EdgeRequirement req;  // the decremented requirement
+  };
   for (int round = 0; round < options.max_rounds; ++round) {
-    std::int64_t best_gain = 0;
-    ChannelId best_channel{0};
-    int best_which = -1;
-    Rational best_throughput;
-
+    std::vector<Candidate> cands;
     for (const ChannelId c : g.channel_ids()) {
       const Channel& ch = g.channel(c);
       if (ch.src == ch.dst) continue;
@@ -121,25 +141,54 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
         EdgeRequirement req = work.edge_requirement(c);
         std::int64_t* alpha = active_alpha(req, placement, which);
         if (!alpha || *alpha <= 1) continue;  // α = 0 means unbuffered, keep >= 1
-        const std::int64_t gain = req.token_size;
-        if (gain <= best_gain) continue;  // cannot beat the current best
         --*alpha;
-        ApplicationGraph candidate = work;
-        candidate.set_edge_requirement(c, req);
-        const Rational thr = throughput_of(candidate);
-        if (thr >= lambda) {
-          best_gain = gain;
-          best_channel = c;
-          best_which = which;
-          best_throughput = thr;
-        }
+        cands.push_back(Candidate{c, which, req.token_size, req});
       }
     }
-    if (best_which < 0) break;  // no feasible decrement left
-    EdgeRequirement req = work.edge_requirement(best_channel);
-    --*active_alpha(req, edge_placement(g, best_channel, binding), best_which);
-    work.set_edge_requirement(best_channel, req);
-    result.achieved_throughput = best_throughput;
+    if (cands.empty()) break;
+
+    // Each candidate gets a forked context with a pre-assigned check index,
+    // so fault injection and diagnostics see the same global indices whatever
+    // the scheduling. The region budget carries only the caller's
+    // cancellation: an expired deadline must degrade each check through
+    // checked_throughput (conservative fallback), not skip tasks wholesale.
+    const int base_index = ctx.next_check_index;
+    std::vector<CheckContext> forks;
+    forks.reserve(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      forks.push_back(fork_check_context(ctx, base_index + static_cast<int>(i)));
+    }
+    ParallelOptions region;
+    region.budget.set_cancellation(options.limits.budget.cancellation());
+    TaskGroup group(region);
+    AnalysisBudget engine_budget = options.limits.budget;
+    engine_budget.set_cancellation(group.cancellation());
+    std::vector<std::optional<Rational>> throughputs(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      group.run([&, i] {
+        ApplicationGraph candidate = work;
+        candidate.set_edge_requirement(cands[i].channel, cands[i].req);
+        throughputs[i] = check_candidate(candidate, forks[i], engine_budget);
+      });
+    }
+    group.wait();
+    ctx.diagnostics.parallel.merge(group.stats());
+    join_check_contexts(ctx, forks);
+    result.throughput_checks += static_cast<int>(cands.size());
+
+    // Deterministic reduction in candidate order: most bits freed wins,
+    // earliest candidate breaks ties.
+    std::int64_t best_gain = 0;
+    int best = -1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].gain > best_gain && *throughputs[i] >= lambda) {
+        best_gain = cands[i].gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // no feasible decrement left
+    work.set_edge_requirement(cands[best].channel, cands[best].req);
+    result.achieved_throughput = *throughputs[best];
   }
 
   result.success = true;

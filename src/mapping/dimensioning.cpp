@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/runtime/parallel.h"
+
 namespace sdfmap {
 
 DimensioningResult dimension_platform(const std::vector<ApplicationGraph>& apps,
@@ -13,24 +15,50 @@ DimensioningResult dimension_platform(const std::vector<ApplicationGraph>& apps,
   MultiAppOptions opts = options;
   opts.failure_policy = FailurePolicy::kStopAtFirstFailure;
 
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    ++result.candidates_tried;
-    MultiAppResult allocation = allocate_sequence(apps, candidates[i], opts);
-    result.diagnostics.merge(allocation.diagnostics);
-    if (allocation.num_allocated == apps.size()) {
-      result.success = true;
-      result.chosen_candidate = i;
-      result.allocation = std::move(allocation);
-      return result;
-    }
-    // A deadline or cancellation is a property of the run, not of this
-    // candidate: larger platforms would hit it too, so stop the scan.
-    if (allocation.stop_reason == FailureKind::kDeadlineExceeded ||
-        allocation.stop_reason == FailureKind::kCancelled) {
-      result.stop_reason = allocation.stop_reason;
-      result.stop_detail = allocation.stop_detail;
-      result.allocation = std::move(allocation);
-      return result;
+  // The apps are shared read-only by every candidate allocation; force the
+  // lazily cached repetition vectors now so concurrent tasks never race on
+  // the first computation.
+  for (const ApplicationGraph& app : apps) (void)app.repetition_vector();
+
+  // Wave-parallel scan: evaluate `wave` candidates at a time and commit to
+  // the lowest-index success, exactly what a serial scan would have chosen —
+  // the extra higher-index results are speculative work, discarded when an
+  // earlier candidate wins. With --jobs 1 the wave width is 1 and this is the
+  // serial loop. candidates_tried and the merged diagnostics cover every
+  // candidate up to the decision point, so they can grow with the wave width
+  // (speculation is visible, not hidden); the chosen candidate never changes.
+  const std::size_t wave = std::max<std::size_t>(1, runtime_jobs());
+  for (std::size_t lo = 0; lo < candidates.size(); lo += wave) {
+    const std::size_t hi = std::min(candidates.size(), lo + wave);
+    std::vector<std::size_t> indices;
+    for (std::size_t i = lo; i < hi; ++i) indices.push_back(i);
+    std::vector<MultiAppResult> wave_results = parallel_transform(
+        indices,
+        [&apps, &candidates, &opts](std::size_t i, std::size_t) {
+          return allocate_sequence(apps, candidates[i], opts);
+        },
+        ParallelOptions{}, &result.diagnostics.parallel);
+
+    for (std::size_t w = 0; w < wave_results.size(); ++w) {
+      const std::size_t i = indices[w];
+      MultiAppResult& allocation = wave_results[w];
+      ++result.candidates_tried;
+      result.diagnostics.merge(allocation.diagnostics);
+      if (allocation.num_allocated == apps.size()) {
+        result.success = true;
+        result.chosen_candidate = i;
+        result.allocation = std::move(allocation);
+        return result;
+      }
+      // A deadline or cancellation is a property of the run, not of this
+      // candidate: larger platforms would hit it too, so stop the scan.
+      if (allocation.stop_reason == FailureKind::kDeadlineExceeded ||
+          allocation.stop_reason == FailureKind::kCancelled) {
+        result.stop_reason = allocation.stop_reason;
+        result.stop_detail = allocation.stop_detail;
+        result.allocation = std::move(allocation);
+        return result;
+      }
     }
   }
   return result;

@@ -5,6 +5,7 @@
 #include "src/mapping/binder.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
+#include "src/runtime/parallel.h"
 #include "src/sdf/repetition_vector.h"
 
 namespace sdfmap {
@@ -74,6 +75,32 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
   }
   result.success = true;
   return result;
+}
+
+WeightSweepResult maximize_throughput_over_weights(
+    const ApplicationGraph& app, const Architecture& arch,
+    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits) {
+  WeightSweepResult sweep;
+  if (weight_candidates.empty()) return sweep;
+  // The app is shared read-only by all candidates: force its lazily cached
+  // repetition vector before fanning out.
+  (void)app.repetition_vector();
+  sweep.candidates = parallel_transform(
+      weight_candidates,
+      [&app, &arch, &limits](const TileCostWeights& weights, std::size_t) {
+        return maximize_throughput(app, arch, weights, limits);
+      },
+      ParallelOptions{}, &sweep.parallel);
+  for (std::size_t i = 0; i < sweep.candidates.size(); ++i) {
+    const MaxThroughputResult& c = sweep.candidates[i];
+    if (!c.success) continue;
+    if (!sweep.any_success ||
+        c.achieved_throughput > sweep.candidates[sweep.best_index].achieved_throughput) {
+      sweep.best_index = i;
+      sweep.any_success = true;
+    }
+  }
+  return sweep;
 }
 
 }  // namespace sdfmap

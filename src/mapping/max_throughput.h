@@ -37,4 +37,26 @@ struct MaxThroughputResult {
                                                       const TileCostWeights& weights = {},
                                                       const ExecutionLimits& limits = {});
 
+/// Result of maximize_throughput_over_weights: every candidate's outcome (in
+/// input order) plus the index of the winner.
+struct WeightSweepResult {
+  /// One result per weight candidate, in the input order.
+  std::vector<MaxThroughputResult> candidates;
+  /// Index of the winning candidate (highest achieved throughput; lowest
+  /// index breaks ties). Meaningless when any_success is false.
+  std::size_t best_index = 0;
+  bool any_success = false;
+  /// Parallel-region accounting of the sweep.
+  ParallelStats parallel;
+};
+
+/// Runs maximize_throughput once per weight candidate — the Eqn.-2 weight
+/// exploration of Sec. 9's experiments — on the runtime's parallel pool
+/// (--jobs). Candidates are independent; results are reduced in input order,
+/// so the winner and every reported number are byte-identical for every jobs
+/// level.
+[[nodiscard]] WeightSweepResult maximize_throughput_over_weights(
+    const ApplicationGraph& app, const Architecture& arch,
+    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits = {});
+
 }  // namespace sdfmap

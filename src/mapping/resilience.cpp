@@ -1,5 +1,6 @@
 #include "src/mapping/resilience.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <sstream>
@@ -12,6 +13,22 @@ void StrategyDiagnostics::merge(const StrategyDiagnostics& other) {
   infeasible_checks += other.infeasible_checks;
   check_seconds += other.check_seconds;
   events.insert(events.end(), other.events.begin(), other.events.end());
+  parallel.merge(other.parallel);
+}
+
+CheckContext fork_check_context(const CheckContext& parent, int first_index) {
+  CheckContext fork;
+  fork.fault_hook = parent.fault_hook;
+  fork.degrade_to_conservative = parent.degrade_to_conservative;
+  fork.next_check_index = first_index;
+  return fork;
+}
+
+void join_check_contexts(CheckContext& parent, const std::vector<CheckContext>& forks) {
+  for (const CheckContext& fork : forks) {
+    parent.diagnostics.merge(fork.diagnostics);
+    parent.next_check_index = std::max(parent.next_check_index, fork.next_check_index);
+  }
 }
 
 std::string StrategyDiagnostics::summary() const {

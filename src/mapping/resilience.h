@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/analysis/error.h"
+#include "src/runtime/parallel.h"
 #include "src/support/rational.h"
 
 namespace sdfmap {
@@ -42,6 +43,7 @@ struct StrategyDiagnostics {
   int infeasible_checks = 0;  ///< no engine answered; counted as throughput 0
   double check_seconds = 0;   ///< wall-clock spent inside throughput checks
   std::vector<DegradationEvent> events;
+  ParallelStats parallel;     ///< parallel regions this run entered (empty when serial)
 
   [[nodiscard]] int total_checks() const {
     return exact_checks + degraded_checks + infeasible_checks;
@@ -57,6 +59,13 @@ struct StrategyDiagnostics {
 /// Shared state of one resilient check sequence (one strategy run, one buffer
 /// sweep, ...). The index is global across stages so a fault hook can target
 /// "the Nth check of the run" deterministically.
+///
+/// A CheckContext is NOT thread-safe; parallel sweeps give every task its own
+/// fork (fork_check_context) with a pre-assigned index range and join the
+/// forks back in submission order, which keeps check indices — and therefore
+/// fault injection and diagnostics — identical for every --jobs level. When a
+/// fault hook is used with jobs > 1 it may be invoked concurrently from
+/// several threads, so hooks that mutate captured state must synchronize.
 struct CheckContext {
   EngineFaultHook fault_hook;
   /// Fall back to the conservative bound on budget/limit exhaustion instead
@@ -65,6 +74,17 @@ struct CheckContext {
   StrategyDiagnostics diagnostics;
   int next_check_index = 0;
 };
+
+/// Forks `parent` for one parallel task: same hook and degradation policy,
+/// empty diagnostics, and check indices starting at `first_index` (callers
+/// pre-assign each task a contiguous range so indices don't depend on
+/// scheduling). The parent must outlive the fork.
+[[nodiscard]] CheckContext fork_check_context(const CheckContext& parent, int first_index);
+
+/// Joins forks back into `parent` in submission order: merges each fork's
+/// diagnostics and advances parent.next_check_index past the highest index
+/// any fork consumed.
+void join_check_contexts(CheckContext& parent, const std::vector<CheckContext>& forks);
 
 /// Runs one throughput check with graceful degradation: invokes the fault
 /// hook, then `exact`; if that throws ThroughputError (any kind except

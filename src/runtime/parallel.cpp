@@ -1,0 +1,234 @@
+#include "src/runtime/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "src/analysis/error.h"
+#include "src/runtime/task_pool.h"
+
+namespace sdfmap {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// True when the exception is a budget-cancellation AnalysisError — the
+/// signature of a fan-out victim rather than a root cause.
+bool is_cancellation(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const AnalysisError& a) {
+    return a.kind() == AnalysisErrorKind::kCancelled;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+void ParallelStats::merge(const ParallelStats& other) {
+  regions += other.regions;
+  tasks += other.tasks;
+  stolen_tasks += other.stolen_tasks;
+  task_seconds += other.task_seconds;
+  wall_seconds += other.wall_seconds;
+}
+
+std::string ParallelStats::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << regions << (regions == 1 ? " region, " : " regions, ") << tasks << " tasks ("
+     << stolen_tasks << " stolen), " << task_seconds << " s work in " << wall_seconds
+     << " s";
+  if (wall_seconds > 0) {
+    os << " (" << (task_seconds / wall_seconds) << "x)";
+  }
+  return os.str();
+}
+
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<std::exception_ptr> errors;  // indexed by submission order
+  std::size_t submitted = 0;
+  std::size_t remaining = 0;  // guarded by mutex
+  std::atomic<bool> failed{false};
+  CancellationToken cancel = CancellationToken::make();
+  std::thread::id owner = std::this_thread::get_id();
+  Clock::time_point started = Clock::now();
+
+  std::atomic<long> tasks{0};
+  std::atomic<long> stolen{0};
+  std::atomic<long long> task_nanos{0};
+};
+
+TaskGroup::TaskGroup(ParallelOptions options)
+    : state_(std::make_shared<State>()), options_(std::move(options)) {
+  jobs_ = options_.max_workers > 0
+              ? std::min(options_.max_workers, TaskPool::global_jobs())
+              : TaskPool::global_jobs();
+  if (jobs_ < 1) jobs_ = 1;
+}
+
+TaskGroup::~TaskGroup() {
+  if (waited_) return;
+  try {
+    wait();
+  } catch (...) {
+    // Destructor drain: the region failed and the caller is already
+    // unwinding; the first error was lost with the stack frame.
+  }
+}
+
+const CancellationToken& TaskGroup::cancellation() const { return state_->cancel; }
+
+AnalysisBudget TaskGroup::task_budget() const {
+  AnalysisBudget b = options_.budget;
+  b.set_cancellation(state_->cancel);
+  return b;
+}
+
+void TaskGroup::execute(std::size_t index, const std::function<void()>& task) const {
+  // By-value copy: once this task decrements `remaining` to zero the waiter
+  // may return and destroy the group, so the final notify_all must run on a
+  // State this frame keeps alive.
+  const std::shared_ptr<State> st = state_;
+  std::exception_ptr error;
+  // Skip tasks once the region is failing or its budget is gone: they fail
+  // structurally instead of running, which is what makes one exhausted check
+  // abort a whole sweep promptly.
+  AnalysisBudget::State budget_state = AnalysisBudget::State::kOk;
+  if (st->failed.load(std::memory_order_acquire) || st->cancel.cancel_requested()) {
+    budget_state = AnalysisBudget::State::kCancelled;
+  } else {
+    budget_state = options_.budget.poll();
+  }
+  if (budget_state != AnalysisBudget::State::kOk) {
+    const bool deadline = budget_state == AnalysisBudget::State::kDeadlineExceeded;
+    error = std::make_exception_ptr(AnalysisError(
+        deadline ? AnalysisErrorKind::kDeadlineExceeded : AnalysisErrorKind::kCancelled,
+        deadline ? "parallel region: deadline expired before task start"
+                 : "parallel region: cancelled before task start"));
+  } else {
+    const Clock::time_point t0 = Clock::now();
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    st->task_nanos.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count(),
+        std::memory_order_relaxed);
+  }
+  st->tasks.fetch_add(1, std::memory_order_relaxed);
+  if (std::this_thread::get_id() != st->owner) {
+    st->stolen.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(st->mutex);
+    if (error) {
+      st->errors[index] = error;
+      st->failed.store(true, std::memory_order_release);
+      st->cancel.request_cancel();
+    }
+    last = --st->remaining == 0;
+  }
+  if (last) st->done_cv.notify_all();
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    index = state_->submitted++;
+    state_->errors.emplace_back();
+    ++state_->remaining;
+  }
+  if (jobs_ <= 1) {
+    execute(index, task);
+    return;
+  }
+  // Capturing `this` is safe: wait()/~TaskGroup drain every task before the
+  // group goes away.
+  TaskPool::global().submit(
+      [this, index, task = std::move(task)] { execute(index, task); });
+}
+
+void TaskGroup::wait() {
+  if (waited_) return;
+  waited_ = true;
+  State& st = *state_;
+  if (jobs_ > 1) {
+    TaskPool& pool = TaskPool::global();
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        if (st.remaining == 0) break;
+      }
+      // Fan the region budget out to the group token so in-flight siblings
+      // polling task_budget() abort.
+      if (!st.cancel.cancel_requested() &&
+          options_.budget.poll() != AnalysisBudget::State::kOk) {
+        st.cancel.request_cancel();
+      }
+      if (pool.try_run_one()) continue;  // help instead of blocking
+      std::unique_lock<std::mutex> lock(st.mutex);
+      st.done_cv.wait_for(lock, std::chrono::microseconds(200),
+                          [&st] { return st.remaining == 0; });
+    }
+  }
+  stats_.regions = 1;
+  stats_.tasks = st.tasks.load(std::memory_order_relaxed);
+  stats_.stolen_tasks = st.stolen.load(std::memory_order_relaxed);
+  stats_.task_seconds =
+      static_cast<double>(st.task_nanos.load(std::memory_order_relaxed)) * 1e-9;
+  stats_.wall_seconds = seconds_since(st.started);
+
+  // Rethrow deterministically: the lowest-index real failure beats every
+  // cancellation (fan-out victims and skipped tasks), and among pure
+  // cancellations the lowest index wins.
+  std::exception_ptr first_cancel;
+  for (const std::exception_ptr& e : st.errors) {
+    if (!e) continue;
+    if (is_cancellation(e)) {
+      if (!first_cancel) first_cancel = e;
+      continue;
+    }
+    std::rethrow_exception(e);
+  }
+  if (first_cancel) std::rethrow_exception(first_cancel);
+}
+
+unsigned runtime_jobs() { return TaskPool::global_jobs(); }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options, ParallelStats* stats) {
+  if (begin >= end) return;
+  TaskGroup group(options);
+  const std::size_t count = end - begin;
+  if (chunk == 0) {
+    // A few chunks per participant keeps the tail balanced without drowning
+    // the queues in tiny tasks.
+    chunk = std::max<std::size_t>(1, count / (4 * group.concurrency()));
+  }
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    group.run([&body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  group.wait();
+  if (stats) stats->merge(group.stats());
+}
+
+}  // namespace sdfmap

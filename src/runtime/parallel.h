@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "src/support/budget.h"
+
+namespace sdfmap {
+
+/// Accounting of one or more parallel regions, merged into
+/// StrategyDiagnostics so the speedup of a parallelized sweep is observable
+/// (per-task wall time vs region wall time) rather than asserted.
+struct ParallelStats {
+  long regions = 0;       ///< parallel regions entered
+  long tasks = 0;         ///< tasks executed (including inline ones)
+  long stolen_tasks = 0;  ///< tasks executed by a thread other than the region owner
+  double task_seconds = 0;  ///< summed per-task wall time
+  double wall_seconds = 0;  ///< summed region wall time (task_seconds / wall_seconds ≈ speedup)
+
+  void merge(const ParallelStats& other);
+
+  /// "3 regions, 180 tasks (120 stolen), 41.2 s work in 10.9 s (3.8x)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Options of one parallel region.
+struct ParallelOptions {
+  /// Budget honored *between* tasks: an expired deadline or tripped
+  /// cancellation skips every task not yet started (they fail with a
+  /// structured AnalysisError) and is fanned out to in-flight siblings via
+  /// the group's cancellation token. Tasks that manage their own budget
+  /// (returning structured failures instead of throwing) should leave this
+  /// default — the region then never aborts on its own.
+  AnalysisBudget budget;
+  /// Caps this region's concurrency. 0 = the process-wide level
+  /// (TaskPool::global_jobs()); 1 = run inline on the calling thread in
+  /// submission order, exactly like a serial loop.
+  unsigned max_workers = 0;
+};
+
+/// Structured parallel region: submit tasks with run(), then wait(). Tasks
+/// may execute on the global TaskPool's workers or inline on the waiting
+/// thread (which helps instead of blocking, so nested regions cannot
+/// deadlock).
+///
+/// Error contract: the first failing task (lowest submission index, with
+/// budget-cancellation errors ranked after real failures so the root cause
+/// wins over fan-out victims) has its exception rethrown from wait(). When a
+/// task fails, the group's cancellation token is tripped: in-flight siblings
+/// polling it (wire task_budget() into their analysis budgets) abort
+/// promptly, and tasks not yet started are skipped with a structured
+/// AnalysisError instead of running.
+///
+/// Determinism contract: wait() returns only after every submitted task has
+/// run (or been skipped), and result reduction is the caller's: collect
+/// per-task outputs by submission index (see parallel_transform) so the
+/// reduced result is byte-identical for every worker count.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ParallelOptions options = {});
+  /// Drains outstanding tasks (swallowing their errors) if wait() was never
+  /// reached — tasks capture references into the caller's frame.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Token tripped when a sibling fails or the region budget exhausts. Wire
+  /// it into per-task analysis budgets so in-flight engines abort promptly.
+  [[nodiscard]] const CancellationToken& cancellation() const;
+
+  /// The region budget with its cancellation replaced by the group token —
+  /// the budget a task should hand to its analysis engines.
+  [[nodiscard]] AnalysisBudget task_budget() const;
+
+  /// Effective concurrency of this region (>= 1). 1 means run() executes
+  /// tasks inline.
+  [[nodiscard]] unsigned concurrency() const { return jobs_; }
+
+  void run(std::function<void()> task);
+
+  /// Blocks (helping the pool) until every task finished, then rethrows the
+  /// first failure. Safe to call once; stats() is valid afterwards.
+  void wait();
+
+  /// Valid after wait(): exactly one region, with per-task wall times.
+  [[nodiscard]] const ParallelStats& stats() const { return stats_; }
+
+ private:
+  struct State;
+  void execute(std::size_t index, const std::function<void()>& task) const;
+
+  std::shared_ptr<State> state_;
+  ParallelOptions options_;
+  ParallelStats stats_;
+  unsigned jobs_ = 1;
+  bool waited_ = false;
+};
+
+/// The effective process-wide parallel width (TaskPool::global_jobs()).
+[[nodiscard]] unsigned runtime_jobs();
+
+/// Runs body(i) for every i in [begin, end), chunked, honoring the options'
+/// budget and the global worker count. Iterations must be independent;
+/// exceptions follow the TaskGroup contract. `chunk` = 0 picks a chunk size
+/// targeting a few chunks per worker.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options = {}, ParallelStats* stats = nullptr);
+
+/// Applies fn(item, index) to every item and returns the results **in input
+/// order**, whatever the worker count — the deterministic-reduction primitive
+/// every parallel sweep in sdfmap is built on. fn must be safe to invoke
+/// concurrently from several threads. On a task failure, wait()'s rethrow
+/// propagates and all results are discarded.
+template <typename T, typename Fn>
+auto parallel_transform(const std::vector<T>& items, Fn&& fn,
+                        const ParallelOptions& options = {},
+                        ParallelStats* stats = nullptr) {
+  using R = std::invoke_result_t<Fn&, const T&, std::size_t>;
+  static_assert(!std::is_void_v<R>, "parallel_transform: fn must return a value");
+  std::vector<std::optional<R>> slots(items.size());
+  TaskGroup group(options);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    group.run([&slots, &items, &fn, i] { slots[i].emplace(fn(items[i], i)); });
+  }
+  group.wait();
+  if (stats) stats->merge(group.stats());
+  std::vector<R> results;
+  results.reserve(items.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdfmap {
+
+/// Scheduling counters of a TaskPool, exposed so benchmarks can report how
+/// work moved between threads (see docs/RUNTIME.md).
+struct TaskPoolCounters {
+  std::uint64_t submitted = 0;       ///< tasks pushed into the pool
+  std::uint64_t executed_local = 0;  ///< popped by the worker owning the deque
+  std::uint64_t executed_stolen = 0; ///< taken from another thread's deque
+};
+
+/// Work-stealing thread pool behind the structured-concurrency helpers in
+/// runtime/parallel.h. Each worker owns a deque: it pushes and pops work at
+/// the hot end (LIFO, cache-friendly) and idle threads steal from the cold
+/// end (FIFO) of a victim's deque. Deques are guarded by small per-worker
+/// mutexes rather than a lock-free chase-lev deque: every task routed through
+/// this pool is a full throughput analysis or graph generation (micro- to
+/// milliseconds), so queue transfer cost is noise — see docs/RUNTIME.md for
+/// the measurement.
+///
+/// Worker threads are started lazily on the first submit. Threads that wait
+/// for a task group never block in the pool; they help execute pending tasks
+/// (try_run_one), which keeps nested parallel regions deadlock-free.
+class TaskPool {
+ public:
+  /// A pool with `workers` threads (started lazily). workers may be 0: the
+  /// pool then never runs anything and callers execute inline.
+  explicit TaskPool(unsigned workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return num_workers_; }
+
+  /// Enqueues one task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Runs one pending task on the calling thread if any is queued. Returns
+  /// false when every deque was empty. This is how threads waiting on a
+  /// TaskGroup contribute instead of blocking.
+  bool try_run_one();
+
+  [[nodiscard]] TaskPoolCounters counters() const;
+
+  /// Process-wide pool serving the runtime_jobs() concurrency level. Created
+  /// on first use with runtime_jobs() - 1 workers (the thread entering a
+  /// parallel region is the extra participant).
+  static TaskPool& global();
+
+  /// Sets the process-wide concurrency level (>= 1; 1 = run everything
+  /// inline, no threads). Must not be called while a parallel region is in
+  /// flight; an existing global pool of a different width is torn down and
+  /// rebuilt lazily. Binaries expose this as --jobs.
+  static void set_global_jobs(unsigned jobs);
+
+  /// The process-wide concurrency level. Defaults to the SDFMAP_JOBS
+  /// environment variable when set and valid, else 1 (serial): parallelism
+  /// is opt-in per process so that library embedders keep single-threaded
+  /// semantics unless they ask otherwise.
+  static unsigned global_jobs();
+
+  /// max(1, std::thread::hardware_concurrency()) — the default for --jobs.
+  static unsigned hardware_jobs();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void ensure_started();
+  void worker_loop(unsigned self);
+  bool take_task(unsigned self, std::function<void()>& out);
+
+  unsigned num_workers_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex start_mutex_;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> submit_cursor_{0};
+  std::atomic<std::uint64_t> steal_cursor_{0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_local_{0};
+  std::atomic<std::uint64_t> executed_stolen_{0};
+};
+
+}  // namespace sdfmap

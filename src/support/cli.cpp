@@ -16,6 +16,10 @@ CliArgs::CliArgs(int argc, char** argv) {
       } else {
         flags_[arg.substr(2)] = "true";
       }
+    } else if (starts_with(arg, "-j") && arg != "-j") {
+      flags_["jobs"] = arg.substr(2);  // -jN
+    } else if (arg == "-j" && i + 1 < argc && !starts_with(argv[i + 1], "-")) {
+      flags_["jobs"] = argv[++i];  // -j N
     } else {
       positional_.push_back(std::move(arg));
     }

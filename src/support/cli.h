@@ -11,7 +11,9 @@ namespace sdfmap {
 ///
 /// Accepts flags of the form `--name=value` or `--name value`; anything else
 /// is collected as a positional argument. Unknown flags are kept (benchmark
-/// binaries forward google-benchmark's own flags).
+/// binaries forward google-benchmark's own flags). The single short flag
+/// `-j N` / `-jN` is recognized as an alias of `--jobs` (runtime parallelism
+/// is exposed uniformly across all binaries).
 class CliArgs {
  public:
   CliArgs(int argc, char** argv);

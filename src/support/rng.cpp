@@ -59,6 +59,19 @@ std::size_t Rng::index(std::size_t size) {
   return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(size) - 1));
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  Rng child(stream_id);
+  // Chain every state word and the stream id through splitmix64. Seeding the
+  // child from stream_id alone would collide with Rng(stream_id); folding the
+  // parent state in decorrelates children of different parents too.
+  std::uint64_t x = stream_id ^ 0x6a09e667f3bcc909ULL;  // sqrt(2) fraction
+  for (int i = 0; i < 4; ++i) {
+    x ^= s_[i];
+    child.s_[i] = splitmix64(x);
+  }
+  return child;
+}
+
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   double total = 0;
   for (double w : weights) {

@@ -45,6 +45,14 @@ class Rng {
   /// at least one positive).
   std::size_t weighted_index(const std::vector<double>& weights);
 
+  /// Derives an independent child stream from this generator's current state
+  /// and `stream_id` without advancing this generator: the 256-bit state and
+  /// the stream id are chained through splitmix64, so children of distinct
+  /// ids are unrelated to each other and to the parent. Parallel sweeps give
+  /// item i the stream split(i), which makes generation bit-reproducible and
+  /// independent of scheduling order (see docs/RUNTIME.md).
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
  private:
   std::uint64_t s_[4];
 };

@@ -1,0 +1,147 @@
+// Determinism across --jobs: every parallelized sweep must produce results
+// byte-identical to its serial loop for jobs in {1, 2, 8}. These tests pin
+// the tentpole contract of the runtime — parallelism changes wall-clock time
+// and nothing else.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/state_space.h"
+#include "src/analysis/storage.h"
+#include "src/appmodel/paper_example.h"
+#include "src/gen/benchmark_sets.h"
+#include "src/io/app_format.h"
+#include "src/io/report.h"
+#include "src/mapping/buffer_sizing.h"
+#include "src/mapping/multi_app.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
+#include "src/sdf/builder.h"
+
+namespace sdfmap {
+namespace {
+
+constexpr unsigned kJobsLevels[] = {1, 2, 8};
+
+/// Replaces wall-clock values ("0.0126 s") in a report with a placeholder:
+/// timings are the one part of any output that legitimately varies run to
+/// run, with or without parallelism.
+std::string scrub_timings(const std::string& report) {
+  static const std::regex kSeconds("[0-9]+(\\.[0-9]+)?(e-?[0-9]+)? s");
+  static const std::regex kStageSeconds("(binding|scheduling|slices) [0-9.e+-]+");
+  return std::regex_replace(std::regex_replace(report, kSeconds, "<time> s"),
+                            kStageSeconds, "$1 <time>");
+}
+
+/// Runs `make_result` (returning a string fingerprint) at each jobs level and
+/// expects all fingerprints to match the serial one.
+template <typename Fn>
+void expect_jobs_invariant(const char* what, Fn&& make_result) {
+  std::string serial;
+  for (const unsigned jobs : kJobsLevels) {
+    TaskPool::set_global_jobs(jobs);
+    const std::string got = make_result();
+    if (jobs == 1) {
+      serial = got;
+      ASSERT_FALSE(serial.empty()) << what;
+    } else {
+      EXPECT_EQ(got, serial) << what << " differs between --jobs 1 and --jobs " << jobs;
+    }
+  }
+  TaskPool::set_global_jobs(1);
+}
+
+Graph storage_demo_graph() {
+  GraphBuilder b;
+  b.actor("src", 2).actor("dsp", 6).actor("snk", 3);
+  b.channel("src", "dsp", 2, 3).channel("dsp", "snk", 3, 2);
+  b.channel("snk", "src", 2, 2, 8);
+  return b.take();
+}
+
+TEST(RuntimeDeterminism, GeneratedSequencesAreJobsInvariant) {
+  expect_jobs_invariant("generate_sequence(kMixed, 12, seed 7)", [] {
+    std::ostringstream os;
+    for (const ApplicationGraph& app :
+         generate_sequence(BenchmarkSet::kMixed, 12, 7)) {
+      write_application(os, app);
+    }
+    return os.str();
+  });
+}
+
+TEST(RuntimeDeterminism, StorageParetoSweepIsJobsInvariant) {
+  const Graph g = storage_demo_graph();
+  const SelfTimedResult unbound = self_timed_throughput(g);
+  ASSERT_FALSE(unbound.deadlocked());
+  std::vector<Rational> targets;
+  for (int i = 0; i < 8; ++i) {
+    targets.push_back(unbound.iteration_period * Rational(10 + i * 5, 10));
+  }
+  expect_jobs_invariant("storage_pareto_sweep", [&] {
+    std::ostringstream os;
+    for (const StorageResult& r : storage_pareto_sweep(g, targets)) {
+      os << r.success << " " << r.total_tokens << " " << r.achieved_period.to_string()
+         << " " << r.throughput_checks << ";";
+      for (const std::int64_t c : r.capacities) os << " " << c;
+      os << "\n";
+    }
+    return os.str();
+  });
+}
+
+TEST(RuntimeDeterminism, BufferMinimizationIsJobsInvariant) {
+  // The paper's running example, allocated once; the buffer-sizing descent is
+  // then re-run per jobs level against the same binding/schedules/slices.
+  const ApplicationGraph app = make_paper_example_application();
+  const Architecture arch = make_example_platform();
+  TaskPool::set_global_jobs(1);
+  const StrategyResult alloc = allocate_resources(app, arch);
+  ASSERT_TRUE(alloc.success) << alloc.failure_reason;
+  expect_jobs_invariant("minimize_buffers", [&] {
+    const BufferSizingResult r =
+        minimize_buffers(app, arch, alloc.binding, alloc.schedules, alloc.slices);
+    std::ostringstream os;
+    os << r.success << " " << r.buffer_bits_before << " -> " << r.buffer_bits_after
+       << " checks " << r.throughput_checks << " (" << r.diagnostics.exact_checks
+       << " exact, " << r.diagnostics.degraded_checks << " degraded) throughput "
+       << r.achieved_throughput.to_string() << "\n";
+    for (const EdgeRequirement& req : r.requirements) {
+      os << req.alpha_tile << "/" << req.alpha_src << "/" << req.alpha_dst << "\n";
+    }
+    return os.str();
+  });
+}
+
+TEST(RuntimeDeterminism, AllocationReportIsJobsInvariant) {
+  const ApplicationGraph app = make_paper_example_application();
+  const Architecture arch = make_example_platform();
+  expect_jobs_invariant("allocate_resources report", [&] {
+    const StrategyResult r = allocate_resources(app, arch);
+    return scrub_timings(format_strategy_result(app, arch, r)) +
+           "\nchecks=" + std::to_string(r.throughput_checks);
+  });
+}
+
+TEST(RuntimeDeterminism, MultiAppReportIsJobsInvariant) {
+  // A small Table-4 style run: sequence allocation end-to-end, report and
+  // check counts identical at every jobs level.
+  TaskPool::set_global_jobs(1);
+  const std::vector<ApplicationGraph> apps =
+      generate_sequence(BenchmarkSet::kMixed, 6, 11);
+  const Architecture arch = make_benchmark_architecture(0);
+  expect_jobs_invariant("allocate_sequence report", [&] {
+    const MultiAppResult r = allocate_sequence(apps, arch);
+    return scrub_timings(format_multi_app_result(apps, arch, r)) +
+           "\nchecks=" + std::to_string(r.total_throughput_checks) +
+           " allocated=" + std::to_string(r.num_allocated);
+  });
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,228 @@
+// Tests of the structured-concurrency layer (src/runtime/parallel.h): ordered
+// results, the exception contract, budget/cancellation fan-out, and nested
+// regions. Several tests raise the process-wide jobs level; each restores it,
+// and a fixture guards against leakage between tests.
+
+#include "src/runtime/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/error.h"
+#include "src/runtime/task_pool.h"
+
+namespace sdfmap {
+namespace {
+
+/// Runs every test at a known serial baseline and restores it afterwards.
+class RuntimeParallel : public ::testing::Test {
+ protected:
+  void SetUp() override { TaskPool::set_global_jobs(1); }
+  void TearDown() override { TaskPool::set_global_jobs(1); }
+};
+
+TEST_F(RuntimeParallel, ParallelForCoversExactlyTheRange) {
+  std::vector<int> hits(97, 0);
+  parallel_for(3, 97, 0, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 3 && i < 97) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST_F(RuntimeParallel, ParallelTransformReturnsResultsInInputOrder) {
+  TaskPool::set_global_jobs(4);
+  std::vector<int> items(128);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> squares =
+      parallel_transform(items, [](const int& v, std::size_t) { return v * v; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(squares[i], items[i] * items[i]);
+  }
+}
+
+TEST_F(RuntimeParallel, StatsCountTasksAndRegions) {
+  std::vector<int> items(10, 1);
+  ParallelStats stats;
+  (void)parallel_transform(items, [](const int& v, std::size_t) { return v; },
+                           ParallelOptions{}, &stats);
+  EXPECT_EQ(stats.regions, 1);
+  EXPECT_EQ(stats.tasks, 10);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+}
+
+TEST_F(RuntimeParallel, SerialExceptionContractIsLowestIndex) {
+  // At jobs 1 tasks run inline in submission order: the first thrower wins
+  // and every later task is skipped via the tripped group token.
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  group.run([&] { ++ran; });
+  group.run([] { throw std::runtime_error("boom1"); });
+  group.run([] { throw std::runtime_error("boom2"); });
+  group.run([&] { ++ran; });  // skipped: region already failed
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom1");
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(RuntimeParallel, ParallelSingleFailurePropagatesItsError) {
+  TaskPool::set_global_jobs(4);
+  std::vector<int> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  try {
+    (void)parallel_transform(items, [](const int& v, std::size_t) {
+      if (v == 5) throw std::runtime_error("boom5");
+      return v;
+    });
+    FAIL() << "transform must rethrow the task failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom5");
+  }
+}
+
+TEST_F(RuntimeParallel, FailureFansCancellationOutToInFlightSiblings) {
+  TaskPool::set_global_jobs(4);
+  TaskGroup group;
+  const CancellationToken token = group.cancellation();
+  // The thrower trips the token; the pollers run until they observe it. If
+  // fan-out broke, the pollers would spin until the test times out.
+  group.run([] { throw std::runtime_error("root cause"); });
+  std::atomic<int> released{0};
+  for (int i = 0; i < 3; ++i) {
+    group.run([&, token] {
+      while (!token.cancel_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++released;
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "root cause");
+  }
+  // Pollers either observed the cancellation and finished, or were skipped
+  // before starting — both count as released-or-skipped, never hung.
+  EXPECT_LE(released.load(), 3);
+}
+
+TEST_F(RuntimeParallel, ExpiredDeadlineSkipsEveryTask) {
+  ParallelOptions options;
+  options.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(0));
+  std::atomic<int> ran{0};
+  TaskGroup group(options);
+  for (int i = 0; i < 4; ++i) group.run([&] { ++ran; });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow the deadline error";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.kind(), AnalysisErrorKind::kDeadlineExceeded);
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST_F(RuntimeParallel, DeadlineAbortsMidSweep) {
+  // Tasks consume the budget as the sweep runs: early tasks execute, the
+  // remainder is skipped with a structured error — never a crash or hang.
+  ParallelOptions options;
+  options.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(40));
+  std::atomic<int> ran{0};
+  TaskGroup group(options);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&] {
+      ++ran;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow the deadline error";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.kind(), AnalysisErrorKind::kDeadlineExceeded);
+  }
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), 64);
+}
+
+TEST_F(RuntimeParallel, CancellationBeforeStartFailsStructurally) {
+  TaskGroup group;
+  group.cancellation().request_cancel();
+  std::atomic<int> ran{0};
+  group.run([&] { ++ran; });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow the cancellation";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.kind(), AnalysisErrorKind::kCancelled);
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST_F(RuntimeParallel, TaskBudgetCarriesTheGroupToken) {
+  ParallelOptions options;
+  options.budget.set_per_check_timeout(std::chrono::milliseconds(7));
+  TaskGroup group(options);
+  const AnalysisBudget budget = group.task_budget();
+  EXPECT_EQ(budget.per_check_timeout(), std::chrono::milliseconds(7));
+  EXPECT_FALSE(budget.cancellation().cancel_requested());
+  group.cancellation().request_cancel();
+  EXPECT_TRUE(budget.cancellation().cancel_requested());
+}
+
+TEST_F(RuntimeParallel, NestedParallelForDoesNotDeadlock) {
+  // Outer tasks open inner regions on the same global pool; waiting threads
+  // help instead of blocking, so this terminates at any jobs level.
+  TaskPool::set_global_jobs(4);
+  std::atomic<int> count{0};
+  parallel_for(0, 8, 1, [&](std::size_t) {
+    parallel_for(0, 8, 1, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST_F(RuntimeParallel, MaxWorkersOneRunsInlineInSubmissionOrder) {
+  TaskPool::set_global_jobs(8);
+  ParallelOptions options;
+  options.max_workers = 1;
+  std::vector<int> order;
+  std::vector<int> items{0, 1, 2, 3, 4, 5};
+  (void)parallel_transform(items,
+                           [&order](const int& v, std::size_t) {
+                             order.push_back(v);  // safe: inline, one thread
+                             return v;
+                           },
+                           options);
+  EXPECT_EQ(order, items);
+}
+
+TEST_F(RuntimeParallel, MergeAccumulatesStats) {
+  ParallelStats a, b;
+  a.regions = 1;
+  a.tasks = 10;
+  a.task_seconds = 1.5;
+  b.regions = 2;
+  b.tasks = 5;
+  b.stolen_tasks = 3;
+  b.wall_seconds = 0.5;
+  a.merge(b);
+  EXPECT_EQ(a.regions, 3);
+  EXPECT_EQ(a.tasks, 15);
+  EXPECT_EQ(a.stolen_tasks, 3);
+  EXPECT_DOUBLE_EQ(a.task_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.5);
+  EXPECT_FALSE(a.summary().empty());
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,83 @@
+// Unit tests of the work-stealing TaskPool (src/runtime/task_pool.h): lazy
+// start, submission/execution accounting, the zero-worker contract, and the
+// process-wide jobs knob.
+
+#include "src/runtime/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace sdfmap {
+namespace {
+
+TEST(RuntimeTaskPool, ConstructAndDestructWithoutSubmitting) {
+  // Threads start lazily; a never-used pool must tear down instantly.
+  TaskPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  EXPECT_EQ(pool.counters().submitted, 0u);
+}
+
+TEST(RuntimeTaskPool, ZeroWorkerPoolRejectsSubmit) {
+  TaskPool pool(0);
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(RuntimeTaskPool, TryRunOneOnEmptyPoolReturnsFalse) {
+  TaskPool pool(2);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(RuntimeTaskPool, ExecutesEverySubmittedTask) {
+  TaskPool pool(2);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The submitter helps; workers drain the rest. Bounded wait, not a sleep.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load(std::memory_order_relaxed) < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (!pool.try_run_one()) std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+  const TaskPoolCounters c = pool.counters();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(c.executed_local + c.executed_stolen, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(RuntimeTaskPool, DestructorDrainsPendingTasks) {
+  // Submitted-but-unfinished work must complete before the pool dies: the
+  // tasks reference `done` on this frame.
+  std::atomic<int> done{0};
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(RuntimeTaskPool, GlobalJobsRoundTripsAndClamps) {
+  const unsigned before = TaskPool::global_jobs();
+  TaskPool::set_global_jobs(3);
+  EXPECT_EQ(TaskPool::global_jobs(), 3u);
+  EXPECT_EQ(TaskPool::global().workers(), 2u);  // caller is the extra participant
+  TaskPool::set_global_jobs(0);                 // clamps to the serial minimum
+  EXPECT_EQ(TaskPool::global_jobs(), 1u);
+  EXPECT_EQ(TaskPool::global().workers(), 0u);
+  TaskPool::set_global_jobs(before);
+}
+
+TEST(RuntimeTaskPool, HardwareJobsIsAtLeastOne) {
+  EXPECT_GE(TaskPool::hardware_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace sdfmap
