@@ -7,15 +7,23 @@
 // Usage:
 //   analyze_cli <graph.sdf> [--sink=<actor>] [--storage-period=<num[/den]>]
 //               [--deadline-ms=<n>] [--dot=<file>] [--jobs=<n> | -j <n>]
+//               [--lint] [--lint-level=info|warning|error]
+//   analyze_cli lint <file...> [--format=text|sarif|json] [--lint-level=...]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
+//
+// The `lint` subcommand runs the rule packs (docs/LINT.md) over any mix of
+// .sdf / .sdfapp / .sdfarch / .sdfmapping files and reports with severity-
+// mapped exit codes; `--lint` on the analysis path runs the graph pack before
+// the analyses and aborts with the lint exit code when it finds errors.
 //
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 analysis
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
-// 6 cancelled, 70 internal error.
+// 6 cancelled, 7 lint errors, 8 lint warnings/infos only, 70 internal error.
 
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <sstream>
 
@@ -25,7 +33,9 @@
 #include "src/appmodel/media.h"
 #include "src/io/dot.h"
 #include "src/io/report.h"
+#include "src/io/sarif.h"
 #include "src/io/text_format.h"
+#include "src/lint/driver.h"
 #include "src/sdf/deadlock.h"
 #include "src/sdf/diagnostics.h"
 #include "src/sdf/hsdf.h"
@@ -54,9 +64,63 @@ Rational parse_rational(const std::string& s) {
   return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
 }
 
+bool parse_lint_level(const std::string& level, Severity& out) {
+  if (level == "info") out = Severity::kInfo;
+  else if (level == "warning") out = Severity::kWarning;
+  else if (level == "error") out = Severity::kError;
+  else return false;
+  return true;
+}
+
+/// `analyze_cli lint <file...>`: lint each file, report in the requested
+/// format, and exit 0 (clean) / 8 (warnings or infos only) / 7 (errors).
+int run_lint_subcommand(const CliArgs& args) {
+  const std::vector<std::string> files(args.positional().begin() + 1,
+                                       args.positional().end());
+  if (files.empty()) {
+    std::cerr << "usage: analyze_cli lint <file...> [--format=text|sarif|json]"
+              << " [--lint-level=info|warning|error]\n"
+              << "files: .sdf, .sdfapp, .sdfarch, .sdfmapping\n"
+              << "exit codes: 0 clean, 7 lint errors, 8 warnings/infos only, 2 usage\n";
+    return kCliUsageError;
+  }
+  LintOptions options;
+  if (!parse_lint_level(args.get("lint-level", "info"), options.min_severity)) {
+    std::cerr << "error: --lint-level must be info, warning or error\n";
+    return kCliUsageError;
+  }
+  const std::string format = args.get("format", "text");
+  if (format != "text" && format != "sarif" && format != "json") {
+    std::cerr << "error: --format must be text, sarif or json\n";
+    return kCliUsageError;
+  }
+  LintResult all;
+  for (const std::string& file : files) {
+    LintResult r = lint_file(file, options);
+    all.diagnostics.insert(all.diagnostics.end(),
+                           std::make_move_iterator(r.diagnostics.begin()),
+                           std::make_move_iterator(r.diagnostics.end()));
+  }
+  std::stable_sort(all.diagnostics.begin(), all.diagnostics.end(), diagnostic_order_less);
+  if (format == "sarif") {
+    write_sarif(std::cout, all.diagnostics);
+  } else if (format == "json") {
+    write_diagnostics_json(std::cout, all.diagnostics);
+  } else {
+    std::cout << render_diagnostics_text(all.diagnostics);
+    std::cout << count_severity(all.diagnostics, Severity::kError) << " error(s), "
+              << count_severity(all.diagnostics, Severity::kWarning) << " warning(s), "
+              << count_severity(all.diagnostics, Severity::kInfo) << " info(s)\n";
+  }
+  return cli_exit_code(all);
+}
+
 int run(const CliArgs& args) {
   TaskPool::set_global_jobs(static_cast<unsigned>(std::max<std::int64_t>(
       1, args.get_int("jobs", TaskPool::hardware_jobs()))));
+  if (!args.positional().empty() && args.positional().front() == "lint") {
+    return run_lint_subcommand(args);
+  }
   Graph g;
   if (args.has("demo")) {
     g = demo_graph();
@@ -70,9 +134,25 @@ int run(const CliArgs& args) {
     g = read_graph(file);
   } else {
     std::cerr << "usage: analyze_cli <graph.sdf> [--sink=x] [--storage-period=p]"
-              << " [--deadline-ms=n]\n"
-              << "       analyze_cli --demo\n";
+              << " [--deadline-ms=n] [--lint] [--lint-level=l]\n"
+              << "       analyze_cli lint <file...> [--format=text|sarif|json]"
+              << " [--lint-level=l]\n"
+              << "       analyze_cli --demo\n"
+              << "lint exit codes: 0 clean, 7 errors, 8 warnings/infos only\n";
     return kCliUsageError;
+  }
+
+  if (args.has("lint")) {
+    LintOptions lint_options;
+    if (!parse_lint_level(args.get("lint-level", "info"), lint_options.min_severity)) {
+      std::cerr << "error: --lint-level must be info, warning or error\n";
+      return kCliUsageError;
+    }
+    LintInput input;
+    input.graph = &g;
+    const LintResult lint = run_lint(input, lint_options);
+    std::cout << render_diagnostics_text(lint.diagnostics);
+    if (lint.has_errors()) return kCliLintError;
   }
 
   ExecutionLimits limits;

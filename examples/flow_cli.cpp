@@ -9,15 +9,22 @@
 //            [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]
 //            [--dot=<prefix>] [--utilization] [--gantt[=<width>]]
 //            [--vcd=<file>] [--jobs=<n> | -j <n>]
+//   flow_cli --app=<file> --platform=<file> --lint [--lint-level=l]
 //   flow_cli --dump-examples [--dir=.]
+//
+// --lint runs the rule packs (docs/LINT.md) over both inputs and exits with
+// the severity-mapped lint code instead of running the strategy. The strategy
+// itself always starts with a mandatory graph+platform lint gate, so a model
+// with lint errors fails in stage "lint" before any engine runs.
 //
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 allocation
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
-// 6 cancelled, 70 internal error.
+// 6 cancelled, 7 lint errors, 8 lint warnings/infos only, 70 internal error.
 
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <sstream>
 
@@ -27,6 +34,7 @@
 #include "src/io/dot.h"
 #include "src/io/report.h"
 #include "src/io/trace.h"
+#include "src/lint/driver.h"
 #include "src/mapping/binding_aware.h"
 #include "src/mapping/list_scheduler.h"
 #include "src/mapping/strategy.h"
@@ -69,8 +77,31 @@ int run(const CliArgs& args) {
   if (app_path.empty() || platform_path.empty()) {
     std::cerr << "usage: flow_cli --app=<file> --platform=<file> [--c1 --c2 --c3]\n"
               << "                [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]\n"
-              << "       flow_cli --dump-examples\n";
+              << "                [--lint] [--lint-level=info|warning|error]\n"
+              << "       flow_cli --dump-examples\n"
+              << "lint exit codes: 0 clean, 7 errors, 8 warnings/infos only\n";
     return kCliUsageError;
+  }
+
+  if (args.has("lint")) {
+    LintOptions lint_options;
+    const std::string level = args.get("lint-level", "info");
+    if (level == "warning") lint_options.min_severity = Severity::kWarning;
+    else if (level == "error") lint_options.min_severity = Severity::kError;
+    else if (level != "info") {
+      std::cerr << "error: --lint-level must be info, warning or error\n";
+      return kCliUsageError;
+    }
+    LintResult all = lint_file(app_path, lint_options);
+    LintResult platform = lint_file(platform_path, lint_options);
+    all.diagnostics.insert(all.diagnostics.end(),
+                           std::make_move_iterator(platform.diagnostics.begin()),
+                           std::make_move_iterator(platform.diagnostics.end()));
+    std::cout << render_diagnostics_text(all.diagnostics);
+    std::cout << count_severity(all.diagnostics, Severity::kError) << " error(s), "
+              << count_severity(all.diagnostics, Severity::kWarning) << " warning(s), "
+              << count_severity(all.diagnostics, Severity::kInfo) << " info(s)\n";
+    return cli_exit_code(all);
   }
 
   std::ifstream app_file(app_path);

@@ -1,0 +1,58 @@
+# Runs `analyze_cli lint <file>` over every file in the lint corpus and
+# byte-compares stdout against the checked-in .expected goldens, verifying the
+# documented exit-code contract (0 clean / 7 errors / 8 warnings-or-infos) at
+# the same time. Invoked by ctest as
+#
+#   cmake -DANALYZE_CLI=<binary> -DCORPUS_DIR=<dir> -P run_lint_corpus.cmake
+#
+# The working directory is CORPUS_DIR so diagnostics name files exactly as the
+# goldens were recorded (bare file names, mapping references resolvable).
+
+if(NOT DEFINED ANALYZE_CLI OR NOT DEFINED CORPUS_DIR)
+  message(FATAL_ERROR "usage: cmake -DANALYZE_CLI=... -DCORPUS_DIR=... -P run_lint_corpus.cmake")
+endif()
+
+file(GLOB inputs RELATIVE "${CORPUS_DIR}"
+     "${CORPUS_DIR}/*.sdf" "${CORPUS_DIR}/*.sdfapp"
+     "${CORPUS_DIR}/*.sdfarch" "${CORPUS_DIR}/*.sdfmapping")
+list(SORT inputs)
+list(LENGTH inputs count)
+if(count LESS 18)
+  message(FATAL_ERROR "lint corpus unexpectedly small: ${count} files")
+endif()
+
+set(failures 0)
+foreach(input IN LISTS inputs)
+  execute_process(
+    COMMAND "${ANALYZE_CLI}" lint "${input}"
+    WORKING_DIRECTORY "${CORPUS_DIR}"
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE code)
+
+  file(READ "${CORPUS_DIR}/${input}.expected" expected)
+  if(NOT actual STREQUAL expected)
+    message(SEND_ERROR "golden mismatch for ${input}:\n--- expected ---\n${expected}\n--- actual ---\n${actual}")
+    math(EXPR failures "${failures} + 1")
+  endif()
+
+  # Derive the contractual exit code from the golden's summary line.
+  if(NOT expected MATCHES "([0-9]+) error\\(s\\), ([0-9]+) warning\\(s\\), ([0-9]+) info\\(s\\)\n$")
+    message(FATAL_ERROR "golden for ${input} has no summary line")
+  endif()
+  if(CMAKE_MATCH_1 GREATER 0)
+    set(want 7)
+  elseif(CMAKE_MATCH_2 GREATER 0 OR CMAKE_MATCH_3 GREATER 0)
+    set(want 8)
+  else()
+    set(want 0)
+  endif()
+  if(NOT code EQUAL want)
+    message(SEND_ERROR "exit code mismatch for ${input}: got ${code}, want ${want}")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} lint corpus failure(s)")
+endif()
+message(STATUS "lint corpus: ${count} files matched their goldens")

@@ -3,7 +3,7 @@
 #include <istream>
 #include <optional>
 #include <ostream>
-#include <stdexcept>
+#include <string>
 
 #include "src/support/strings.h"
 
@@ -11,35 +11,63 @@ namespace sdfmap {
 
 namespace {
 
-Rational parse_rational(std::string_view s) {
-  const auto slash = s.find('/');
-  if (slash == std::string_view::npos) return Rational(parse_int(s));
-  return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
+[[noreturn]] void fail_at(const char* reader, SourceSpan span, const std::string& what) {
+  std::string msg = std::string(reader) + ": line " + std::to_string(span.line);
+  if (span.col > 0) msg += ", col " + std::to_string(span.col);
+  msg += ": " + what;
+  throw ParseError(msg, span);
 }
 
-/// Shared line loop: calls `handle(fields, line_no)` per non-comment line and
-/// wraps errors with the line number.
+SourceSpan span_of(std::size_t line, const FieldToken& field) {
+  return SourceSpan{line, field.column, field.length()};
+}
+
+std::int64_t parse_int_field(const char* reader, std::size_t line, const FieldToken& field) {
+  try {
+    return parse_int(field.text);
+  } catch (const std::invalid_argument& e) {
+    fail_at(reader, span_of(line, field), e.what());
+  }
+}
+
+Rational parse_rational_field(const char* reader, std::size_t line, const FieldToken& field) {
+  const std::string_view s = field.text;
+  const auto slash = s.find('/');
+  try {
+    if (slash == std::string_view::npos) return Rational(parse_int(s));
+    return Rational(parse_int(s.substr(0, slash)), parse_int(s.substr(slash + 1)));
+  } catch (const std::invalid_argument& e) {
+    fail_at(reader, span_of(line, field), e.what());
+  }
+}
+
+/// Shared line loop: calls `handle(fields, line_no)` for every non-comment
+/// line with column-accurate field tokens, and wraps any plain
+/// std::invalid_argument escaping the handler with the line number (handlers
+/// raise ParseError themselves when they know the exact column).
 template <typename Handler>
-void parse_lines(std::istream& is, const char* what, Handler&& handle) {
+void parse_lines(std::istream& is, const char* reader, Handler&& handle) {
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    const std::string_view trimmed = trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    const std::vector<FieldToken> fields = split_columns(line, ' ');
+    if (fields.empty() || fields[0].text.front() == '#') continue;
     try {
-      handle(split(trimmed, ' '), line_no);
+      handle(fields, line_no);
+    } catch (const ParseError&) {
+      throw;
     } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument(std::string(what) + ": line " + std::to_string(line_no) +
-                                  ": " + e.what());
+      fail_at(reader, SourceSpan{line_no, fields[0].column, fields[0].length()}, e.what());
     }
   }
 }
 
-void require_arity(const std::vector<std::string>& fields, std::size_t min_size,
-                   const char* usage) {
+void require_arity(const char* reader, std::size_t line, const std::vector<FieldToken>& fields,
+                   std::size_t min_size, const char* usage) {
   if (fields.size() < min_size) {
-    throw std::invalid_argument(std::string("expected: ") + usage);
+    fail_at(reader, span_of(line, fields[0]), std::string("expected: ") + usage);
   }
 }
 
@@ -74,73 +102,94 @@ void write_application(std::ostream& os, const ApplicationGraph& app) {
   os << "constraint " << app.throughput_constraint().to_string() << "\n";
 }
 
-ApplicationGraph read_application(std::istream& is) {
+ApplicationGraph read_application(std::istream& is, ApplicationProvenance* provenance) {
+  constexpr const char* kReader = "read_application";
   // The header must precede everything else; the graph is assembled first and
-  // requirements/edges resolved against it by name.
+  // requirements/edges resolved against it by name. Pending entries keep the
+  // span of the *name field* so deferred resolution errors still point at the
+  // exact token, not just the line.
   std::optional<std::string> name;
   std::size_t proc_types = 0;
   Graph g;
   struct PendingRequirement {
     std::string actor;
     std::int64_t pt, tau, mu;
-    std::size_t line;
+    SourceSpan actor_span, pt_span;
   };
   struct PendingEdge {
     std::string channel;
     EdgeRequirement req;
-    std::size_t line;
+    SourceSpan channel_span;
   };
   std::vector<PendingRequirement> requirements;
   std::vector<PendingEdge> edges;
   Rational constraint(0);
 
-  parse_lines(is, "read_application", [&](const std::vector<std::string>& f,
-                                          std::size_t line_no) {
-    if (f[0] == "application") {
-      require_arity(f, 3, "application <name> <num_proc_types>");
-      name = f[1];
-      proc_types = static_cast<std::size_t>(parse_int(f[2]));
-    } else if (f[0] == "actor") {
-      require_arity(f, 2, "actor <name>");
-      if (g.find_actor(f[1])) throw std::invalid_argument("duplicate actor '" + f[1] + "'");
-      g.add_actor(f[1]);
-    } else if (f[0] == "channel") {
-      require_arity(f, 7, "channel <name> <src> <dst> <p> <q> <tokens>");
-      const auto src = g.find_actor(f[2]);
-      const auto dst = g.find_actor(f[3]);
-      if (!src || !dst) throw std::invalid_argument("unknown actor in channel '" + f[1] + "'");
-      g.add_channel(*src, *dst, parse_int(f[4]), parse_int(f[5]), parse_int(f[6]), f[1]);
-    } else if (f[0] == "requirement") {
-      require_arity(f, 5, "requirement <actor> <pt> <tau> <mu>");
-      requirements.push_back(
-          {f[1], parse_int(f[2]), parse_int(f[3]), parse_int(f[4]), line_no});
-    } else if (f[0] == "edge") {
-      require_arity(f, 7, "edge <channel> <sz> <a_tile> <a_src> <a_dst> <beta>");
-      edges.push_back({f[1],
-                       {parse_int(f[2]), parse_int(f[3]), parse_int(f[4]), parse_int(f[5]),
-                        parse_int(f[6])},
-                       line_no});
-    } else if (f[0] == "constraint") {
-      require_arity(f, 2, "constraint <num>/<den>");
-      constraint = parse_rational(f[1]);
+  parse_lines(is, kReader, [&](const std::vector<FieldToken>& f, std::size_t line_no) {
+    if (f[0].text == "application") {
+      require_arity(kReader, line_no, f, 3, "application <name> <num_proc_types>");
+      name = f[1].text;
+      proc_types = static_cast<std::size_t>(parse_int_field(kReader, line_no, f[2]));
+      if (provenance) provenance->header = span_of(line_no, f[1]);
+    } else if (f[0].text == "actor") {
+      require_arity(kReader, line_no, f, 2, "actor <name>");
+      if (g.find_actor(f[1].text)) {
+        fail_at(kReader, span_of(line_no, f[1]), "duplicate actor '" + f[1].text + "'");
+      }
+      g.add_actor(f[1].text);
+      if (provenance) provenance->actors.push_back(span_of(line_no, f[1]));
+    } else if (f[0].text == "channel") {
+      require_arity(kReader, line_no, f, 7, "channel <name> <src> <dst> <p> <q> <tokens>");
+      const auto src = g.find_actor(f[2].text);
+      const auto dst = g.find_actor(f[3].text);
+      if (!src) fail_at(kReader, span_of(line_no, f[2]), "unknown actor '" + f[2].text + "'");
+      if (!dst) fail_at(kReader, span_of(line_no, f[3]), "unknown actor '" + f[3].text + "'");
+      try {
+        g.add_channel(*src, *dst, parse_int_field(kReader, line_no, f[4]),
+                      parse_int_field(kReader, line_no, f[5]),
+                      parse_int_field(kReader, line_no, f[6]), f[1].text);
+      } catch (const ParseError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        fail_at(kReader, span_of(line_no, f[1]), e.what());
+      }
+      if (provenance) provenance->channels.push_back(span_of(line_no, f[1]));
+    } else if (f[0].text == "requirement") {
+      require_arity(kReader, line_no, f, 5, "requirement <actor> <pt> <tau> <mu>");
+      requirements.push_back({f[1].text, parse_int_field(kReader, line_no, f[2]),
+                              parse_int_field(kReader, line_no, f[3]),
+                              parse_int_field(kReader, line_no, f[4]),
+                              span_of(line_no, f[1]), span_of(line_no, f[2])});
+    } else if (f[0].text == "edge") {
+      require_arity(kReader, line_no, f, 7, "edge <channel> <sz> <a_tile> <a_src> <a_dst> <beta>");
+      edges.push_back({f[1].text,
+                       {parse_int_field(kReader, line_no, f[2]),
+                        parse_int_field(kReader, line_no, f[3]),
+                        parse_int_field(kReader, line_no, f[4]),
+                        parse_int_field(kReader, line_no, f[5]),
+                        parse_int_field(kReader, line_no, f[6])},
+                       span_of(line_no, f[1])});
+    } else if (f[0].text == "constraint") {
+      require_arity(kReader, line_no, f, 2, "constraint <num>/<den>");
+      constraint = parse_rational_field(kReader, line_no, f[1]);
+      if (provenance) provenance->constraint = span_of(line_no, f[1]);
     } else {
-      throw std::invalid_argument("unknown directive '" + f[0] + "'");
+      fail_at(kReader, span_of(line_no, f[0]), "unknown directive '" + f[0].text + "'");
     }
   });
 
   if (!name) {
-    throw std::invalid_argument("read_application: line 1: missing 'application' header");
+    fail_at(kReader, SourceSpan{1, 0, 0}, "missing 'application' header");
   }
   ApplicationGraph app(*name, std::move(g), proc_types);
+  if (provenance) provenance->edges.resize(app.sdf().num_channels());
   for (const auto& r : requirements) {
     const auto actor = app.sdf().find_actor(r.actor);
     if (!actor) {
-      throw std::invalid_argument("read_application: line " + std::to_string(r.line) +
-                                  ": requirement for unknown actor '" + r.actor + "'");
+      fail_at(kReader, r.actor_span, "requirement for unknown actor '" + r.actor + "'");
     }
     if (r.pt < 0 || static_cast<std::size_t>(r.pt) >= proc_types) {
-      throw std::invalid_argument("read_application: line " + std::to_string(r.line) +
-                                  ": processor type index out of range");
+      fail_at(kReader, r.pt_span, "processor type index out of range");
     }
     app.set_requirement(*actor, ProcTypeId{static_cast<std::uint32_t>(r.pt)}, {r.tau, r.mu});
   }
@@ -149,18 +198,20 @@ ApplicationGraph read_application(std::istream& is) {
     for (std::uint32_t c = 0; c < app.sdf().num_channels(); ++c) {
       if (app.sdf().channel(ChannelId{c}).name == e.channel) {
         app.set_edge_requirement(ChannelId{c}, e.req);
+        if (provenance) provenance->edges[c] = e.channel_span;
         found = true;
         break;
       }
     }
     if (!found) {
-      throw std::invalid_argument("read_application: line " + std::to_string(e.line) +
-                                  ": edge for unknown channel '" + e.channel + "'");
+      fail_at(kReader, e.channel_span, "edge for unknown channel '" + e.channel + "'");
     }
   }
   app.set_throughput_constraint(constraint);
   return app;
 }
+
+ApplicationGraph read_application(std::istream& is) { return read_application(is, nullptr); }
 
 void write_architecture(std::ostream& os, const Architecture& arch, const std::string& name) {
   os << "architecture " << name << "\n";
@@ -178,46 +229,66 @@ void write_architecture(std::ostream& os, const Architecture& arch, const std::s
   }
 }
 
-Architecture read_architecture(std::istream& is) {
+Architecture read_architecture(std::istream& is, ArchitectureProvenance* provenance) {
+  constexpr const char* kReader = "read_architecture";
   Architecture arch;
   bool seen_header = false;
-  parse_lines(is, "read_architecture", [&](const std::vector<std::string>& f, std::size_t) {
-    if (f[0] == "architecture") {
-      require_arity(f, 2, "architecture <name>");
+  parse_lines(is, kReader, [&](const std::vector<FieldToken>& f, std::size_t line_no) {
+    if (f[0].text == "architecture") {
+      require_arity(kReader, line_no, f, 2, "architecture <name>");
       seen_header = true;
-    } else if (f[0] == "proctype") {
-      require_arity(f, 2, "proctype <name>");
-      arch.add_proc_type(f[1]);
-    } else if (f[0] == "tile") {
-      require_arity(f, 8, "tile <name> <proctype> <wheel> <mem> <conn> <bw_in> <bw_out>");
-      const auto pt = arch.find_proc_type(f[2]);
-      if (!pt) throw std::invalid_argument("unknown processor type '" + f[2] + "'");
-      Tile t;
-      t.name = f[1];
-      t.proc_type = *pt;
-      t.wheel_size = parse_int(f[3]);
-      t.memory = parse_int(f[4]);
-      t.max_connections = parse_int(f[5]);
-      t.bandwidth_in = parse_int(f[6]);
-      t.bandwidth_out = parse_int(f[7]);
-      t.occupied_wheel = f.size() > 8 ? parse_int(f[8]) : 0;
-      arch.add_tile(std::move(t));
-    } else if (f[0] == "connection") {
-      require_arity(f, 5, "connection <name> <src> <dst> <latency>");
-      const auto src = arch.find_tile(f[2]);
-      const auto dst = arch.find_tile(f[3]);
-      if (!src || !dst) {
-        throw std::invalid_argument("unknown tile in connection '" + f[1] + "'");
+      if (provenance) provenance->header = span_of(line_no, f[1]);
+    } else if (f[0].text == "proctype") {
+      require_arity(kReader, line_no, f, 2, "proctype <name>");
+      arch.add_proc_type(f[1].text);
+      if (provenance) provenance->proc_types.push_back(span_of(line_no, f[1]));
+    } else if (f[0].text == "tile") {
+      require_arity(kReader, line_no, f, 8,
+                    "tile <name> <proctype> <wheel> <mem> <conn> <bw_in> <bw_out>");
+      const auto pt = arch.find_proc_type(f[2].text);
+      if (!pt) {
+        fail_at(kReader, span_of(line_no, f[2]),
+                "unknown processor type '" + f[2].text + "'");
       }
-      arch.add_connection(*src, *dst, parse_int(f[4]), f[1]);
+      Tile t;
+      t.name = f[1].text;
+      t.proc_type = *pt;
+      t.wheel_size = parse_int_field(kReader, line_no, f[3]);
+      t.memory = parse_int_field(kReader, line_no, f[4]);
+      t.max_connections = parse_int_field(kReader, line_no, f[5]);
+      t.bandwidth_in = parse_int_field(kReader, line_no, f[6]);
+      t.bandwidth_out = parse_int_field(kReader, line_no, f[7]);
+      t.occupied_wheel = f.size() > 8 ? parse_int_field(kReader, line_no, f[8]) : 0;
+      try {
+        arch.add_tile(std::move(t));
+      } catch (const std::invalid_argument& e) {
+        fail_at(kReader, span_of(line_no, f[1]), e.what());
+      }
+      if (provenance) provenance->tiles.push_back(span_of(line_no, f[1]));
+    } else if (f[0].text == "connection") {
+      require_arity(kReader, line_no, f, 5, "connection <name> <src> <dst> <latency>");
+      const auto src = arch.find_tile(f[2].text);
+      const auto dst = arch.find_tile(f[3].text);
+      if (!src) fail_at(kReader, span_of(line_no, f[2]), "unknown tile '" + f[2].text + "'");
+      if (!dst) fail_at(kReader, span_of(line_no, f[3]), "unknown tile '" + f[3].text + "'");
+      try {
+        arch.add_connection(*src, *dst, parse_int_field(kReader, line_no, f[4]), f[1].text);
+      } catch (const ParseError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        fail_at(kReader, span_of(line_no, f[1]), e.what());
+      }
+      if (provenance) provenance->connections.push_back(span_of(line_no, f[1]));
     } else {
-      throw std::invalid_argument("unknown directive '" + f[0] + "'");
+      fail_at(kReader, span_of(line_no, f[0]), "unknown directive '" + f[0].text + "'");
     }
   });
   if (!seen_header) {
-    throw std::invalid_argument("read_architecture: line 1: missing 'architecture' header");
+    fail_at(kReader, SourceSpan{1, 0, 0}, "missing 'architecture' header");
   }
   return arch;
 }
+
+Architecture read_architecture(std::istream& is) { return read_architecture(is, nullptr); }
 
 }  // namespace sdfmap

@@ -3,6 +3,7 @@
 #include <iosfwd>
 
 #include "src/appmodel/application.h"
+#include "src/lint/provenance.h"
 #include "src/platform/architecture.h"
 
 namespace sdfmap {
@@ -30,15 +31,22 @@ namespace sdfmap {
 
 void write_application(std::ostream& os, const ApplicationGraph& app);
 
-/// Parses an application file. Throws std::invalid_argument with a line
-/// number on malformed input.
+/// Parses an application file. Throws ParseError (a std::invalid_argument
+/// carrying a SourceSpan) with the exact 1-based line and column of the
+/// offending token — including for entries resolved after the line loop
+/// (requirements / edges referencing names declared elsewhere). A non-null
+/// `provenance` receives per-entity source spans for lint diagnostics.
+[[nodiscard]] ApplicationGraph read_application(std::istream& is,
+                                                ApplicationProvenance* provenance);
 [[nodiscard]] ApplicationGraph read_application(std::istream& is);
 
 void write_architecture(std::ostream& os, const Architecture& arch,
                         const std::string& name = "platform");
 
-/// Parses an architecture file. Throws std::invalid_argument with a line
-/// number on malformed input.
+/// Parses an architecture file; same error and provenance guarantees as
+/// read_application.
+[[nodiscard]] Architecture read_architecture(std::istream& is,
+                                             ArchitectureProvenance* provenance);
 [[nodiscard]] Architecture read_architecture(std::istream& is);
 
 }  // namespace sdfmap

@@ -1,0 +1,186 @@
+#include "src/io/mapping_format.h"
+
+#include <istream>
+#include <ostream>
+
+#include "src/support/strings.h"
+
+namespace sdfmap {
+
+namespace {
+
+constexpr const char* kReader = "read_mapping";
+
+[[noreturn]] void fail_at(std::size_t line, const FieldToken& field, const std::string& what) {
+  throw ParseError(std::string(kReader) + ": line " + std::to_string(line) + ", col " +
+                       std::to_string(field.column) + ": " + what,
+                   SourceSpan{line, field.column, field.length()});
+}
+
+std::int64_t parse_int_field(std::size_t line, const FieldToken& field) {
+  try {
+    return parse_int(field.text);
+  } catch (const std::invalid_argument& e) {
+    fail_at(line, field, e.what());
+  }
+}
+
+SourceSpan span_of(std::size_t line, const FieldToken& field) {
+  return SourceSpan{line, field.column, field.length()};
+}
+
+Diagnostic unresolved(const std::string& file, SourceSpan span, std::string message) {
+  Diagnostic d;
+  d.code = "SDF200";
+  d.severity = Severity::kError;
+  d.message = std::move(message);
+  d.file = file;
+  d.span = span;
+  return d;
+}
+
+}  // namespace
+
+MappingSpec read_mapping(std::istream& is) {
+  MappingSpec spec;
+  bool seen_header = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    const std::vector<FieldToken> f = split_columns(line, ' ');
+    if (f.empty() || f[0].text.front() == '#') continue;
+    if (f[0].text == "mapping") {
+      if (f.size() != 3) {
+        fail_at(line_no, f[0], "expected: mapping <application-file> <platform-file>");
+      }
+      spec.application_file = f[1].text;
+      spec.platform_file = f[2].text;
+      spec.header = span_of(line_no, f[0]);
+      seen_header = true;
+    } else if (f[0].text == "bind") {
+      if (f.size() != 3) fail_at(line_no, f[0], "expected: bind <actor> <tile>");
+      spec.binds.push_back(
+          {f[1].text, f[2].text, span_of(line_no, f[1]), span_of(line_no, f[2])});
+    } else if (f[0].text == "slice") {
+      if (f.size() != 3) fail_at(line_no, f[0], "expected: slice <tile> <omega>");
+      spec.slices.push_back(
+          {f[1].text, parse_int_field(line_no, f[2]), span_of(line_no, f[1])});
+    } else if (f[0].text == "order") {
+      if (f.size() < 3) {
+        fail_at(line_no, f[0], "expected: order <tile> <loop_start> <actor>...");
+      }
+      MappingSpec::Order order;
+      order.tile = f[1].text;
+      order.loop_start = parse_int_field(line_no, f[2]);
+      order.tile_span = span_of(line_no, f[1]);
+      for (std::size_t i = 3; i < f.size(); ++i) {
+        order.actors.push_back(f[i].text);
+        order.actor_spans.push_back(span_of(line_no, f[i]));
+      }
+      spec.orders.push_back(std::move(order));
+    } else {
+      fail_at(line_no, f[0], "unknown directive '" + f[0].text + "'");
+    }
+  }
+  if (!seen_header) {
+    throw ParseError(std::string(kReader) + ": line 1: missing 'mapping' header",
+                     SourceSpan{1, 0, 0});
+  }
+  return spec;
+}
+
+ResolvedMapping resolve_mapping(const MappingSpec& spec, const ApplicationGraph& app,
+                                const Architecture& arch, const std::string& file) {
+  const Graph& g = app.sdf();
+  ResolvedMapping out;
+  out.binding = Binding(g.num_actors());
+  out.schedules.assign(arch.num_tiles(), {});
+  out.slices.assign(arch.num_tiles(), 0);
+  out.spans.file = file;
+  out.spans.actor_bind.assign(g.num_actors(), {});
+  out.spans.tile_slice.assign(arch.num_tiles(), {});
+  out.spans.tile_order.assign(arch.num_tiles(), {});
+
+  for (const auto& b : spec.binds) {
+    const auto actor = g.find_actor(b.actor);
+    const auto tile = arch.find_tile(b.tile);
+    if (!actor) {
+      out.diagnostics.push_back(
+          unresolved(file, b.actor_span, "bind references unknown actor '" + b.actor + "'"));
+      continue;
+    }
+    if (!tile) {
+      out.diagnostics.push_back(
+          unresolved(file, b.tile_span, "bind references unknown tile '" + b.tile + "'"));
+      continue;
+    }
+    out.binding.bind(*actor, *tile);
+    out.spans.actor_bind[actor->value] = b.actor_span;
+  }
+  for (const auto& s : spec.slices) {
+    const auto tile = arch.find_tile(s.tile);
+    if (!tile) {
+      out.diagnostics.push_back(
+          unresolved(file, s.tile_span, "slice references unknown tile '" + s.tile + "'"));
+      continue;
+    }
+    out.slices[tile->value] = s.omega;
+    out.spans.tile_slice[tile->value] = s.tile_span;
+  }
+  for (const auto& o : spec.orders) {
+    const auto tile = arch.find_tile(o.tile);
+    if (!tile) {
+      out.diagnostics.push_back(
+          unresolved(file, o.tile_span, "order references unknown tile '" + o.tile + "'"));
+      continue;
+    }
+    StaticOrderSchedule schedule;
+    bool ok = true;
+    for (std::size_t i = 0; i < o.actors.size(); ++i) {
+      const auto actor = g.find_actor(o.actors[i]);
+      if (!actor) {
+        out.diagnostics.push_back(unresolved(
+            file, o.actor_spans[i], "order references unknown actor '" + o.actors[i] + "'"));
+        ok = false;
+        continue;
+      }
+      schedule.firings.push_back(*actor);
+    }
+    if (!ok) continue;
+    schedule.loop_start =
+        o.loop_start < 0 ? 0 : static_cast<std::size_t>(o.loop_start);
+    out.schedules[tile->value] = std::move(schedule);
+    out.spans.tile_order[tile->value] = o.tile_span;
+  }
+  return out;
+}
+
+void write_mapping(std::ostream& os, const ApplicationGraph& app, const Architecture& arch,
+                   const Binding& binding,
+                   const std::vector<StaticOrderSchedule>& schedules,
+                   const std::vector<std::int64_t>& slices,
+                   const std::string& application_file, const std::string& platform_file) {
+  const Graph& g = app.sdf();
+  os << "mapping " << application_file << " " << platform_file << "\n";
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    if (const auto tile = binding.tile_of(ActorId{a})) {
+      os << "bind " << g.actor(ActorId{a}).name << " " << arch.tile(*tile).name << "\n";
+    }
+  }
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    if (t < slices.size() && slices[t] > 0) {
+      os << "slice " << arch.tile(TileId{t}).name << " " << slices[t] << "\n";
+    }
+  }
+  for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+    if (t < schedules.size() && !schedules[t].empty()) {
+      os << "order " << arch.tile(TileId{t}).name << " " << schedules[t].loop_start;
+      for (const ActorId a : schedules[t].firings) os << " " << g.actor(a).name;
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace sdfmap

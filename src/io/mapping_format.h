@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/lint/diagnostic.h"
+#include "src/lint/provenance.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/schedule.h"
+#include "src/platform/architecture.h"
+
+namespace sdfmap {
+
+/// Text format for a (possibly partial) resource allocation — the third
+/// artifact kind next to graphs and architectures, so mappings can be linted
+/// and exchanged as files:
+///
+///   mapping <application-file> <platform-file>
+///   bind <actor> <tile>
+///   slice <tile> <omega>
+///   order <tile> <loop_start> <actor>...
+///
+/// '#' starts a comment; blank lines are ignored. `bind` assigns an actor to
+/// a tile, `slice` gives a tile its TDMA wheel slice, and `order` states the
+/// tile's static-order schedule (transient prefix up to loop_start, periodic
+/// part after it). Entities are referenced by name; resolution against the
+/// loaded application and platform happens in resolve_mapping so unknown
+/// names become SDF200 lint diagnostics instead of hard errors.
+
+/// Raw, name-based content of a mapping file, with the span of every
+/// referenced name preserved for diagnostics.
+struct MappingSpec {
+  std::string application_file;  ///< from the 'mapping' header
+  std::string platform_file;     ///< from the 'mapping' header
+  SourceSpan header;
+
+  struct Bind {
+    std::string actor, tile;
+    SourceSpan actor_span, tile_span;
+  };
+  struct Slice {
+    std::string tile;
+    std::int64_t omega = 0;
+    SourceSpan tile_span;
+  };
+  struct Order {
+    std::string tile;
+    std::int64_t loop_start = 0;
+    std::vector<std::string> actors;
+    SourceSpan tile_span;
+    std::vector<SourceSpan> actor_spans;
+  };
+  std::vector<Bind> binds;
+  std::vector<Slice> slices;
+  std::vector<Order> orders;
+};
+
+/// Parses a mapping file. Throws ParseError with the exact line and column on
+/// malformed input (bad arity, non-integer fields, unknown directive);
+/// name-resolution problems are deliberately deferred to resolve_mapping.
+[[nodiscard]] MappingSpec read_mapping(std::istream& is);
+
+/// A mapping spec resolved against an application and a platform. Unresolved
+/// names do not abort resolution: each produces one SDF200 diagnostic and the
+/// entry is skipped, so the lint mapping pack can still inspect the rest.
+struct ResolvedMapping {
+  Binding binding{0};
+  std::vector<StaticOrderSchedule> schedules;  ///< per tile
+  std::vector<std::int64_t> slices;            ///< omega per tile (0 = none)
+  MappingSpans spans;
+  std::vector<Diagnostic> diagnostics;  ///< SDF200 mapping-unresolved-name
+};
+
+/// Resolves actor/tile names. `file` is the display name stamped onto the
+/// spans and diagnostics.
+[[nodiscard]] ResolvedMapping resolve_mapping(const MappingSpec& spec,
+                                              const ApplicationGraph& app,
+                                              const Architecture& arch,
+                                              const std::string& file = "");
+
+/// Writes a mapping that round-trips through read_mapping + resolve_mapping.
+void write_mapping(std::ostream& os, const ApplicationGraph& app, const Architecture& arch,
+                   const Binding& binding,
+                   const std::vector<StaticOrderSchedule>& schedules,
+                   const std::vector<std::int64_t>& slices,
+                   const std::string& application_file, const std::string& platform_file);
+
+}  // namespace sdfmap

@@ -11,6 +11,9 @@ std::string format_strategy_result(const ApplicationGraph& app, const Architectu
   if (!result.success) {
     os << "application '" << app.name() << "': FAILED in " << result.stage << " ["
        << failure_kind_name(result.failure_kind) << "] (" << result.failure_reason << ")\n";
+    if (result.failure_kind == FailureKind::kLintRejected) {
+      os << render_diagnostics_text(result.diagnostics.lint);
+    }
     if (result.diagnostics.total_checks() > 0) {
       os << "  analysis: " << result.diagnostics.summary() << "\n";
     }
@@ -106,12 +109,19 @@ int cli_exit_code(const std::exception& e) {
 int cli_exit_code(FailureKind kind) {
   switch (kind) {
     case FailureKind::kNone: return kCliSuccess;
+    case FailureKind::kLintRejected: return kCliLintError;
     case FailureKind::kDeadlineExceeded: return kCliDeadlineExceeded;
     case FailureKind::kCancelled: return kCliCancelled;
     case FailureKind::kAnalysisLimit: return kCliAnalysisLimit;
     case FailureKind::kInternalError: return kCliInternalError;
     default: return kCliAllocationFailed;
   }
+}
+
+int cli_exit_code(const LintResult& result) {
+  if (result.has_errors()) return kCliLintError;
+  if (!result.clean()) return kCliLintWarnings;
+  return kCliSuccess;
 }
 
 }  // namespace sdfmap

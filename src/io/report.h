@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/appmodel/application.h"
+#include "src/lint/lint.h"
 #include "src/mapping/multi_app.h"
 #include "src/mapping/strategy.h"
 
@@ -32,6 +33,8 @@ enum CliExitCode : int {
   kCliAnalysisLimit = 4,     ///< a count cap (states/steps/tokens) was hit
   kCliDeadlineExceeded = 5,  ///< an analysis deadline expired
   kCliCancelled = 6,         ///< the run was cancelled
+  kCliLintError = 7,         ///< lint found at least one error
+  kCliLintWarnings = 8,      ///< lint found warnings (or infos) but no error
   kCliInternalError = 70,    ///< unexpected exception
 };
 
@@ -40,5 +43,11 @@ enum CliExitCode : int {
 
 /// Maps a structured strategy failure to its CliExitCode.
 [[nodiscard]] int cli_exit_code(FailureKind kind);
+
+/// Maps a lint outcome to its CliExitCode: any error -> kCliLintError (7),
+/// only warnings/infos -> kCliLintWarnings (8), clean -> kCliSuccess (0).
+/// Distinct codes let scripts fail builds on errors while merely logging
+/// warning-only runs.
+[[nodiscard]] int cli_exit_code(const LintResult& result);
 
 }  // namespace sdfmap

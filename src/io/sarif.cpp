@@ -1,0 +1,165 @@
+#include "src/io/sarif.h"
+
+#include <ostream>
+
+#include "src/lint/rule.h"
+
+namespace sdfmap {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "note";
+  }
+  return "none";
+}
+
+/// "file:line:col" region object; omitted entirely for unknown spans.
+void write_region(std::ostream& os, const SourceSpan& span, const char* indent) {
+  os << indent << "\"region\": {\n"
+     << indent << "  \"startLine\": " << span.line;
+  if (span.col > 0) {
+    os << ",\n" << indent << "  \"startColumn\": " << span.col;
+    if (span.len > 0) {
+      os << ",\n" << indent << "  \"endColumn\": " << (span.col + span.len);
+    }
+  }
+  os << "\n" << indent << "}";
+}
+
+void write_location(std::ostream& os, const std::string& file, const SourceSpan& span,
+                    const char* indent) {
+  const std::string in(indent);
+  os << indent << "{\n"
+     << indent << "  \"physicalLocation\": {\n"
+     << indent << "    \"artifactLocation\": { \"uri\": \"" << json_escape(file) << "\" }";
+  if (span.valid()) {
+    os << ",\n";
+    write_region(os, span, (in + "    ").c_str());
+    os << "\n";
+  } else {
+    os << "\n";
+  }
+  os << indent << "  }\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_sarif(std::ostream& os, const std::vector<Diagnostic>& diagnostics) {
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"sdfmap-lint\",\n"
+     << "          \"informationUri\": \"docs/LINT.md\",\n"
+     << "          \"rules\": [\n";
+  const std::vector<Rule>& rules = lint_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(r.code) << "\",\n"
+       << "              \"name\": \"" << json_escape(r.name) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \"" << json_escape(r.summary)
+       << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \""
+       << sarif_level(r.severity) << "\" }\n"
+       << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    std::string text = d.message;
+    if (!d.fix_hint.empty()) text += " (fix: " + d.fix_hint + ")";
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(d.code) << "\",\n"
+       << "          \"level\": \"" << sarif_level(d.severity) << "\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(text) << "\" }";
+    if (!d.file.empty() || d.span.valid()) {
+      os << ",\n          \"locations\": [\n";
+      write_location(os, d.file, d.span, "            ");
+      os << "\n          ]";
+    }
+    if (!d.notes.empty()) {
+      os << ",\n          \"relatedLocations\": [\n";
+      for (std::size_t n = 0; n < d.notes.size(); ++n) {
+        const DiagnosticNote& note = d.notes[n];
+        os << "            {\n"
+           << "              \"message\": { \"text\": \"" << json_escape(note.message)
+           << "\" }";
+        if (note.span.valid()) {
+          os << ",\n"
+             << "              \"physicalLocation\": {\n"
+             << "                \"artifactLocation\": { \"uri\": \"" << json_escape(d.file)
+             << "\" },\n";
+          write_region(os, note.span, "                ");
+          os << "\n              }";
+        }
+        os << "\n            }" << (n + 1 < d.notes.size() ? "," : "") << "\n";
+      }
+      os << "          ]";
+    }
+    os << "\n        }" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+void write_diagnostics_json(std::ostream& os, const std::vector<Diagnostic>& diagnostics) {
+  os << "[\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << "  {\n"
+       << "    \"code\": \"" << json_escape(d.code) << "\",\n"
+       << "    \"severity\": \"" << severity_name(d.severity) << "\",\n"
+       << "    \"message\": \"" << json_escape(d.message) << "\",\n"
+       << "    \"file\": \"" << json_escape(d.file) << "\",\n"
+       << "    \"line\": " << d.span.line << ",\n"
+       << "    \"col\": " << d.span.col << ",\n"
+       << "    \"len\": " << d.span.len << ",\n"
+       << "    \"notes\": [";
+    for (std::size_t n = 0; n < d.notes.size(); ++n) {
+      os << (n == 0 ? "" : ", ") << "\"" << json_escape(d.notes[n].message) << "\"";
+    }
+    os << "],\n"
+       << "    \"fix_hint\": \"" << json_escape(d.fix_hint) << "\"\n"
+       << "  }" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace sdfmap

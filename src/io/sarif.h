@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/diagnostic.h"
+
+namespace sdfmap {
+
+/// Machine-readable exports of lint diagnostics.
+///
+/// write_sarif emits a SARIF 2.1.0 log with a single run: the tool driver
+/// carries the full rule catalog (id, name, short description, default
+/// level), and every diagnostic becomes one result with ruleId, level,
+/// message and — when the span is known — a physicalLocation region with
+/// startLine/startColumn/endColumn. Notes become relatedLocations and the
+/// fix-it hint is appended to the message. Output is pretty-printed with
+/// 2-space indent and deterministic: same diagnostics in, same bytes out.
+///
+/// write_diagnostics_json emits a plain JSON array mirroring the Diagnostic
+/// struct 1:1 for scripts that do not speak SARIF.
+
+void write_sarif(std::ostream& os, const std::vector<Diagnostic>& diagnostics);
+
+void write_diagnostics_json(std::ostream& os, const std::vector<Diagnostic>& diagnostics);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes are not
+/// added). Handles backslash, quote and control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace sdfmap

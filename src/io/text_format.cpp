@@ -2,12 +2,30 @@
 
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
 
 #include "src/support/strings.h"
 
 namespace sdfmap {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line, const FieldToken& field, const std::string& what) {
+  const SourceSpan span{line, field.column, field.length()};
+  throw ParseError("read_graph: line " + std::to_string(line) + ", col " +
+                       std::to_string(field.column) + ": " + what,
+                   span);
+}
+
+std::int64_t parse_int_field(std::size_t line, const FieldToken& field) {
+  try {
+    return parse_int(field.text);
+  } catch (const std::invalid_argument& e) {
+    fail_at(line, field, e.what());
+  }
+}
+
+}  // namespace
 
 void write_graph(std::ostream& os, const Graph& g) {
   os << "# sdfmap graph: " << g.num_actors() << " actors, " << g.num_channels()
@@ -22,43 +40,58 @@ void write_graph(std::ostream& os, const Graph& g) {
   }
 }
 
-Graph read_graph(std::istream& is) {
+Graph read_graph(std::istream& is, GraphProvenance* provenance) {
   Graph g;
   std::string line;
   std::size_t line_no = 0;
-  const auto fail = [&line_no](const std::string& what) {
-    throw std::invalid_argument("read_graph: line " + std::to_string(line_no) + ": " + what);
-  };
   while (std::getline(is, line)) {
     ++line_no;
-    const std::string_view trimmed = trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
-    const std::vector<std::string> fields = split(trimmed, ' ');
-    if (fields[0] == "actor") {
-      if (fields.size() != 3) fail("'actor' needs: name execution_time");
-      if (g.find_actor(fields[1])) fail("duplicate actor '" + fields[1] + "'");
-      try {
-        g.add_actor(fields[1], parse_int(fields[2]));
-      } catch (const std::invalid_argument& e) {
-        fail(e.what());
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    const std::vector<FieldToken> fields = split_columns(line, ' ');
+    if (fields.empty() || fields[0].text.front() == '#') continue;
+    const auto span_of = [line_no](const FieldToken& f) {
+      return SourceSpan{line_no, f.column, f.length()};
+    };
+    if (fields[0].text == "actor") {
+      if (fields.size() != 3) {
+        fail_at(line_no, fields[0], "'actor' needs: name execution_time");
       }
-    } else if (fields[0] == "channel") {
-      if (fields.size() != 7) fail("'channel' needs: name src dst p q tokens");
-      const auto src = g.find_actor(fields[2]);
-      const auto dst = g.find_actor(fields[3]);
-      if (!src) fail("unknown actor '" + fields[2] + "'");
-      if (!dst) fail("unknown actor '" + fields[3] + "'");
-      try {
-        g.add_channel(*src, *dst, parse_int(fields[4]), parse_int(fields[5]),
-                      parse_int(fields[6]), fields[1]);
-      } catch (const std::invalid_argument& e) {
-        fail(e.what());
+      if (g.find_actor(fields[1].text)) {
+        fail_at(line_no, fields[1], "duplicate actor '" + fields[1].text + "'");
       }
+      try {
+        g.add_actor(fields[1].text, parse_int_field(line_no, fields[2]));
+      } catch (const ParseError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        fail_at(line_no, fields[2], e.what());
+      }
+      if (provenance) provenance->actors.push_back(span_of(fields[1]));
+    } else if (fields[0].text == "channel") {
+      if (fields.size() != 7) {
+        fail_at(line_no, fields[0], "'channel' needs: name src dst p q tokens");
+      }
+      const auto src = g.find_actor(fields[2].text);
+      const auto dst = g.find_actor(fields[3].text);
+      if (!src) fail_at(line_no, fields[2], "unknown actor '" + fields[2].text + "'");
+      if (!dst) fail_at(line_no, fields[3], "unknown actor '" + fields[3].text + "'");
+      try {
+        g.add_channel(*src, *dst, parse_int_field(line_no, fields[4]),
+                      parse_int_field(line_no, fields[5]),
+                      parse_int_field(line_no, fields[6]), fields[1].text);
+      } catch (const ParseError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        fail_at(line_no, fields[1], e.what());
+      }
+      if (provenance) provenance->channels.push_back(span_of(fields[1]));
     } else {
-      fail("unknown directive '" + fields[0] + "'");
+      fail_at(line_no, fields[0], "unknown directive '" + fields[0].text + "'");
     }
   }
   return g;
 }
+
+Graph read_graph(std::istream& is) { return read_graph(is, nullptr); }
 
 }  // namespace sdfmap

@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 
+#include "src/lint/provenance.h"
 #include "src/sdf/graph.h"
 
 namespace sdfmap {
@@ -15,9 +16,15 @@ namespace sdfmap {
 /// Actors are referenced by name; the format round-trips through read_graph.
 void write_graph(std::ostream& os, const Graph& g);
 
-/// Parses the sdfmap text format. Throws std::invalid_argument with a line
-/// number on malformed input (unknown directive, bad arity, undefined actor,
-/// non-positive rates).
+/// Parses the sdfmap text format. Throws ParseError (a std::invalid_argument
+/// carrying a SourceSpan) on malformed input — unknown directive, bad arity,
+/// undefined actor, non-positive rates — with the exact 1-based line *and*
+/// column of the offending token in both the span and the message.
+///
+/// When `provenance` is non-null it receives one SourceSpan per actor and
+/// channel (the span of the defining directive's name field), enabling
+/// compiler-grade diagnostics from the lint rule packs (src/lint/).
+[[nodiscard]] Graph read_graph(std::istream& is, GraphProvenance* provenance);
 [[nodiscard]] Graph read_graph(std::istream& is);
 
 }  // namespace sdfmap

@@ -1,0 +1,51 @@
+#include "src/lint/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sdfmap {
+
+bool diagnostic_order_less(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.file, a.span.line, a.span.col, a.code, a.message) <
+         std::tie(b.file, b.span.line, b.span.col, b.code, b.message);
+}
+
+Severity max_severity(const std::vector<Diagnostic>& diagnostics) {
+  Severity worst = Severity::kInfo;
+  for (const Diagnostic& d : diagnostics) worst = std::max(worst, d.severity);
+  return worst;
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& diagnostics, Severity severity) {
+  return static_cast<std::size_t>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::string render_diagnostics_text(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!d.file.empty()) {
+      out += d.file;
+      if (d.span.valid()) out += ":" + d.span.to_string();
+      out += ": ";
+    } else if (d.span.valid()) {
+      out += d.span.to_string() + ": ";
+    }
+    out += severity_name(d.severity);
+    out += ": ";
+    out += d.code;
+    out += ": ";
+    out += d.message;
+    out += "\n";
+    for (const DiagnosticNote& note : d.notes) {
+      out += "  note: " + note.message;
+      if (note.span.valid()) out += " [" + note.span.to_string() + "]";
+      out += "\n";
+    }
+    if (!d.fix_hint.empty()) out += "  fix-it: " + d.fix_hint + "\n";
+  }
+  return out;
+}
+
+}  // namespace sdfmap

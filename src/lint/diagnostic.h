@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lint/source_span.h"
+
+namespace sdfmap {
+
+/// Severity ladder of a lint diagnostic, ordered so comparisons work
+/// (kError > kWarning > kInfo).
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] constexpr const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// Secondary message attached to a Diagnostic (a witness step, the first
+/// occurrence of a duplicated name, ...).
+struct DiagnosticNote {
+  std::string message;
+  SourceSpan span;
+};
+
+/// One lint finding with a stable machine-readable code (SDF001...), a
+/// severity, an optional source location, a note chain and an optional
+/// fix-it hint. The full catalog lives in docs/LINT.md; codes are append-only
+/// so scripts and suppressions never break across releases.
+struct Diagnostic {
+  std::string code;      ///< stable, e.g. "SDF001"
+  Severity severity = Severity::kError;
+  std::string message;   ///< one-line human-readable statement
+  std::string file;      ///< artifact the span refers to; empty = in-memory model
+  SourceSpan span;
+  std::vector<DiagnosticNote> notes;
+  std::string fix_hint;  ///< optional actionable suggestion ("add ...")
+};
+
+/// Deterministic reporting order: by file, then span (line, col), then code,
+/// then message. Used by the lint engine so output is byte-identical for
+/// every --jobs level.
+[[nodiscard]] bool diagnostic_order_less(const Diagnostic& a, const Diagnostic& b);
+
+/// Highest severity present; kInfo for an empty list.
+[[nodiscard]] Severity max_severity(const std::vector<Diagnostic>& diagnostics);
+
+/// Number of diagnostics at exactly `severity`.
+[[nodiscard]] std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                                         Severity severity);
+
+/// Compiler-style text rendering, one block per diagnostic:
+///
+///   graph.sdf:4:9: error: SDF006: self-loop on 'a' has no initial tokens
+///     note: a self-loop without tokens can never fire
+///     fix-it: give channel 'd2' at least 1 initial token
+///
+/// Diagnostics without a file/span drop the location prefix.
+[[nodiscard]] std::string render_diagnostics_text(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace sdfmap

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "src/lint/lint.h"
+
+namespace sdfmap {
+
+/// File-level lint entry point shared by the CLIs: dispatches on the file
+/// extension, parses with provenance, and runs the matching rule packs.
+///
+///   .sdf        -> read_graph, graph pack
+///   .sdfapp     -> read_application, graph pack
+///   .sdfarch    -> read_architecture, platform pack
+///   .sdfmapping -> read_mapping (+ the application and platform files named
+///                  in its header, resolved relative to the mapping file's
+///                  directory), all three packs
+///
+/// Parse failures do not throw: every ParseError becomes one SDF000
+/// diagnostic carrying the parser's exact line/column, so a lint run over a
+/// corpus of broken files still yields a report per file. Unreadable files
+/// and unknown extensions throw std::invalid_argument (usage errors, not
+/// model defects).
+[[nodiscard]] LintResult lint_file(const std::string& path, const LintOptions& options = {});
+
+/// True when lint_file knows how to handle `path`'s extension.
+[[nodiscard]] bool lintable_extension(const std::string& path);
+
+}  // namespace sdfmap

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "src/lint/rule.h"
+
+namespace sdfmap {
+
+/// Options of one lint run.
+struct LintOptions {
+  /// Packs to run; a pack also needs its inputs present in the LintInput
+  /// (graph / platform / binding) to produce anything.
+  bool graph_pack = true;
+  bool platform_pack = true;
+  bool mapping_pack = true;
+  /// Diagnostics below this severity are dropped from the result.
+  Severity min_severity = Severity::kInfo;
+  /// Additional caller-supplied rules, run after the built-in registry.
+  std::vector<Rule> extra_rules;
+};
+
+/// Outcome of a lint run: diagnostics in deterministic order (file, span,
+/// code — byte-identical for every --jobs level).
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool has_errors() const {
+    return count_severity(diagnostics, Severity::kError) > 0;
+  }
+  [[nodiscard]] bool has_warnings() const {
+    return count_severity(diagnostics, Severity::kWarning) > 0;
+  }
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+
+  /// True when some diagnostic carries `code`.
+  [[nodiscard]] bool has_code(std::string_view code) const;
+
+  /// First diagnostic with `code`, or nullptr.
+  [[nodiscard]] const Diagnostic* find_code(std::string_view code) const;
+};
+
+/// Runs the enabled rule packs over the input. Rules execute in parallel on
+/// the global TaskPool when jobs > 1; results are reduced in registry order
+/// and sorted with diagnostic_order_less, so the output is deterministic.
+/// Every diagnostic is stamped with its rule's code and severity and with the
+/// file name of the artifact the rule inspected.
+[[nodiscard]] LintResult run_lint(const LintInput& input, const LintOptions& options = {});
+
+/// Convenience: graph pack only.
+[[nodiscard]] LintResult lint_graph(const Graph& g, const GraphProvenance* prov = nullptr);
+
+/// Convenience: platform pack only.
+[[nodiscard]] LintResult lint_platform(const Architecture& arch,
+                                       const ArchitectureProvenance* prov = nullptr);
+
+}  // namespace sdfmap

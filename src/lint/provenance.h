@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lint/source_span.h"
+
+namespace sdfmap {
+
+/// Line/col provenance of a parsed SDFG: one span per actor / channel,
+/// indexed by ActorId::value / ChannelId::value (the span of the defining
+/// directive's name field). Filled by read_graph when a provenance out-param
+/// is passed; entities created through the C++ API have invalid spans.
+struct GraphProvenance {
+  std::string file;  ///< display name used in diagnostics; may be empty
+  std::vector<SourceSpan> actors;
+  std::vector<SourceSpan> channels;
+};
+
+/// Provenance of a parsed application file (read_application).
+struct ApplicationProvenance {
+  std::string file;
+  SourceSpan header;      ///< the 'application' directive
+  SourceSpan constraint;  ///< the 'constraint' directive
+  std::vector<SourceSpan> actors;    ///< by ActorId
+  std::vector<SourceSpan> channels;  ///< by ChannelId ('channel' directives)
+  std::vector<SourceSpan> edges;     ///< by ChannelId ('edge' directives; may be invalid)
+};
+
+/// Provenance of a parsed architecture file (read_architecture).
+struct ArchitectureProvenance {
+  std::string file;
+  SourceSpan header;  ///< the 'architecture' directive
+  std::vector<SourceSpan> proc_types;   ///< by ProcTypeId
+  std::vector<SourceSpan> tiles;        ///< by TileId
+  std::vector<SourceSpan> connections;  ///< by ConnectionId
+};
+
+/// Provenance of a resolved mapping (read_mapping + resolve_mapping),
+/// re-indexed by the entities the mapping rule pack inspects.
+struct MappingSpans {
+  std::string file;
+  std::vector<SourceSpan> actor_bind;  ///< by ActorId: span of the 'bind' line
+  std::vector<SourceSpan> tile_slice;  ///< by TileId: span of the 'slice' line
+  std::vector<SourceSpan> tile_order;  ///< by TileId: span of the 'order' line
+};
+
+}  // namespace sdfmap

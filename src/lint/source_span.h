@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sdfmap {
+
+/// Location of a model entity or problem in a parsed text file: 1-based line
+/// and column plus the length of the offending token. line == 0 means the
+/// span is unknown (e.g. the entity was built through the C++ API). The
+/// parsers in src/io attach a SourceSpan to every entity they create and to
+/// every error they raise (docs/FILE_FORMATS.md, "Source spans").
+struct SourceSpan {
+  std::size_t line = 0;  ///< 1-based; 0 = unknown
+  std::size_t col = 0;   ///< 1-based byte column; 0 = whole line
+  std::size_t len = 0;   ///< token length in bytes; 0 = unspecified
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+
+  /// "12:7" (or "12" when the column is unknown); empty for invalid spans.
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return {};
+    std::string out = std::to_string(line);
+    if (col > 0) out += ":" + std::to_string(col);
+    return out;
+  }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.col == b.col && a.len == b.len;
+  }
+};
+
+/// Parse failure carrying the exact line/col of the offending token, so
+/// front ends can render compiler-grade messages. Derives from
+/// std::invalid_argument: existing catch sites keep working and what()
+/// already embeds "line L, col C".
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(const std::string& what, SourceSpan span)
+      : std::invalid_argument(what), span_(span) {}
+
+  [[nodiscard]] const SourceSpan& span() const { return span_; }
+
+ private:
+  SourceSpan span_;
+};
+
+}  // namespace sdfmap

@@ -14,6 +14,7 @@ void StrategyDiagnostics::merge(const StrategyDiagnostics& other) {
   check_seconds += other.check_seconds;
   events.insert(events.end(), other.events.begin(), other.events.end());
   parallel.merge(other.parallel);
+  lint.insert(lint.end(), other.lint.begin(), other.lint.end());
 }
 
 CheckContext fork_check_context(const CheckContext& parent, int first_index) {
@@ -46,6 +47,10 @@ std::string StrategyDiagnostics::summary() const {
   }
   if (infeasible_checks > 0) os << ", " << infeasible_checks << " infeasible";
   os << ")";
+  if (!lint.empty()) {
+    os << ", " << lint.size() << " lint finding" << (lint.size() == 1 ? "" : "s") << " ("
+       << count_severity(lint, Severity::kError) << " errors)";
+  }
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/analysis/error.h"
+#include "src/lint/diagnostic.h"
 #include "src/runtime/parallel.h"
 #include "src/support/rational.h"
 
@@ -44,6 +45,10 @@ struct StrategyDiagnostics {
   double check_seconds = 0;   ///< wall-clock spent inside throughput checks
   std::vector<DegradationEvent> events;
   ParallelStats parallel;     ///< parallel regions this run entered (empty when serial)
+  /// Findings of the strategy's mandatory lint pre-pass (graph + platform
+  /// packs). Errors here mean the run was rejected before any engine started;
+  /// warnings ride along on successful runs.
+  std::vector<Diagnostic> lint;
 
   [[nodiscard]] int total_checks() const {
     return exact_checks + degraded_checks + infeasible_checks;

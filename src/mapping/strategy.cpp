@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/lint/lint.h"
 #include "src/mapping/binder.h"
 #include "src/mapping/list_scheduler.h"
 
@@ -20,6 +21,32 @@ namespace {
 StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Architecture& arch,
                                        const StrategyOptions& options) {
   StrategyResult result;
+
+  // ---- Step 0: mandatory lint gate. No engine runs on a rejected model.
+  result.stage = "lint";
+  LintInput lint_input;
+  lint_input.app = &app;
+  lint_input.platform = &arch;
+  LintOptions lint_options;
+  lint_options.mapping_pack = false;  // no binding exists yet
+  const LintResult lint = run_lint(lint_input, lint_options);
+  result.diagnostics.lint = lint.diagnostics;
+  if (lint.has_errors()) {
+    const Diagnostic* first = nullptr;
+    for (const Diagnostic& d : lint.diagnostics) {
+      if (d.severity == Severity::kError) {
+        first = &d;
+        break;
+      }
+    }
+    const std::size_t errors = count_severity(lint.diagnostics, Severity::kError);
+    result.failure_reason = "model rejected by lint: " + first->code + ": " + first->message;
+    if (errors > 1) {
+      result.failure_reason += " (+" + std::to_string(errors - 1) + " more)";
+    }
+    result.failure_kind = FailureKind::kLintRejected;
+    return result;
+  }
 
   // ---- Step 1: resource binding (Sec. 9.1).
   auto t0 = std::chrono::steady_clock::now();
@@ -62,7 +89,9 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
       allocate_slices(app, arch, result.binding, result.schedules, slice_options);
   result.slice_seconds = seconds_since(t0);
   result.throughput_checks = sliced.throughput_checks;
+  std::vector<Diagnostic> lint_findings = std::move(result.diagnostics.lint);
   result.diagnostics = sliced.diagnostics;
+  result.diagnostics.lint = std::move(lint_findings);
   if (!sliced.success) {
     result.failure_reason = sliced.failure_reason;
     result.failure_kind = FailureKind::kSliceAllocationFailed;

@@ -17,6 +17,7 @@ namespace sdfmap {
 /// failure_reason so callers can branch without string matching.
 enum class FailureKind {
   kNone,                   ///< no failure (success, or not yet run)
+  kLintRejected,           ///< the lint pre-pass found errors; no engine ran
   kBindingFailed,          ///< step 1 could not bind every actor
   kSchedulingFailed,       ///< step 2 could not construct schedules
   kSliceAllocationFailed,  ///< step 3 found the constraint unreachable
@@ -29,6 +30,7 @@ enum class FailureKind {
 [[nodiscard]] constexpr const char* failure_kind_name(FailureKind kind) {
   switch (kind) {
     case FailureKind::kNone: return "none";
+    case FailureKind::kLintRejected: return "lint-rejected";
     case FailureKind::kBindingFailed: return "binding-failed";
     case FailureKind::kSchedulingFailed: return "scheduling-failed";
     case FailureKind::kSliceAllocationFailed: return "slice-allocation-failed";
@@ -66,7 +68,8 @@ struct StrategyResult {
   bool success = false;
   std::string failure_reason;
   FailureKind failure_kind = FailureKind::kNone;
-  /// Which step failed or succeeded last: "binding", "scheduling", "slices".
+  /// Which step failed or succeeded last: "lint", "binding", "scheduling",
+  /// "slices".
   std::string stage;
 
   Binding binding{0};
@@ -103,6 +106,12 @@ struct StrategyResult {
 /// allocation — and returns the allocation with its statistics. The
 /// architecture describes *available* resources only (Sec. 5); use
 /// ResourcePool to stack applications.
+///
+/// A mandatory lint pre-pass (graph + platform rule packs, src/lint/) gates
+/// the three steps: when it reports any error the strategy returns
+/// kLintRejected from stage "lint" without running a single engine. All lint
+/// findings — including warnings on accepted models — are recorded in
+/// StrategyResult::diagnostics.lint.
 ///
 /// Never throws on analysis exhaustion: budget expiry, cancellation, count
 /// caps, and unexpected engine errors all come back as a structured failure

@@ -1,25 +1,30 @@
 #include "src/sdf/diagnostics.h"
 
-#include "src/sdf/deadlock.h"
-#include "src/sdf/scc.h"
+#include "src/lint/lint.h"
+#include "src/support/strings.h"
 
 namespace sdfmap {
 
 GraphDiagnostics diagnose_graph(const Graph& g) {
+  // Shim: the checks are owned by the lint graph pack; this just projects the
+  // SDF001/SDF002/SDF003 diagnostics back onto the legacy flags.
   GraphDiagnostics d;
-  const auto gamma = compute_repetition_vector(g);
-  d.consistent = gamma.has_value();
+  const LintResult lint = lint_graph(g);
+  d.consistent = !lint.has_code("SDF001");
   if (!d.consistent) {
-    if (const auto witness = find_inconsistency_witness(g)) {
-      d.inconsistency_witness = format_inconsistency_witness(g, *witness);
+    if (const Diagnostic* diag = lint.find_code("SDF001");
+        diag != nullptr && !diag->notes.empty()) {
+      constexpr std::string_view kPrefix = "conflicting walk: ";
+      const std::string& note = diag->notes.front().message;
+      d.inconsistency_witness =
+          starts_with(note, kPrefix) ? note.substr(kPrefix.size()) : note;
     }
     return d;
   }
-  d.repetition = *gamma;
+  d.repetition = *compute_repetition_vector(g);
   d.hsdf_actors = iteration_firings(d.repetition);
-  d.deadlock_free = is_deadlock_free(g, d.repetition);
-  d.strongly_connected =
-      g.num_actors() == 0 || strongly_connected_components(g).num_components() == 1;
+  d.deadlock_free = !lint.has_code("SDF002");
+  d.strongly_connected = !lint.has_code("SDF003");
   return d;
 }
 

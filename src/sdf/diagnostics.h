@@ -8,6 +8,13 @@
 
 namespace sdfmap {
 
+/// DEPRECATED: this header predates the lint subsystem and is kept as a thin
+/// compatibility shim. The checks now live in the lint graph rule pack
+/// (src/lint/, codes SDF001-SDF003) and diagnose_graph is implemented on top
+/// of it; new code should call lint_graph / run_lint and inspect diagnostic
+/// codes directly — that surface also yields spans, notes, fix-it hints and
+/// the structural-hygiene rules this struct never exposed.
+///
 /// One-stop static health report for an SDFG, aggregating the checks Sec. 3
 /// requires before any throughput analysis is meaningful: consistency (with
 /// a human-readable witness when violated), deadlock freedom, strong

@@ -17,6 +17,20 @@ std::vector<std::string> split(std::string_view s, char sep) {
   return out;
 }
 
+std::vector<FieldToken> split_columns(std::string_view line, char sep) {
+  std::vector<FieldToken> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t end = line.find(sep, start);
+    if (end == std::string_view::npos) end = line.size();
+    if (end > start) {
+      out.push_back({std::string(line.substr(start, end - start)), start + 1});
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
 std::string_view trim(std::string_view s) {
   const auto is_space = [](char c) {
     return c == ' ' || c == '\t' || c == '\r' || c == '\n';

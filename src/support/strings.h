@@ -32,6 +32,21 @@ std::string join(const Container& items, std::string_view sep) {
 /// True when `s` starts with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// One whitespace-separated token of a line together with its position — the
+/// column-accurate variant of split() used by the text-format parsers so
+/// errors and source spans can point at the exact field.
+struct FieldToken {
+  std::string text;
+  std::size_t column = 0;  ///< 1-based byte column of the token in the line
+
+  [[nodiscard]] std::size_t length() const { return text.size(); }
+};
+
+/// Splits `line` on `sep` (dropping empty fields, like split()) and records
+/// each field's 1-based starting column in the *original* line — leading
+/// separators count, so columns survive indentation and repeated separators.
+std::vector<FieldToken> split_columns(std::string_view line, char sep);
+
 /// Parses a non-negative integer; throws std::invalid_argument on junk.
 std::int64_t parse_int(std::string_view s);
 

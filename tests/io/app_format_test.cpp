@@ -102,10 +102,27 @@ TEST(AppFormat, RationalConstraintParsing) {
 TEST(AppFormat, ErrorsCarryLineNumbers) {
   std::istringstream is("application a 1\nbogus\n");
   try {
-    read_application(is);
+    (void)read_application(is);
     FAIL() << "expected throw";
-  } catch (const std::invalid_argument& e) {
+  } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_EQ(e.span().line, 2u);
+    EXPECT_EQ(e.span().col, 1u);
+  }
+}
+
+TEST(AppFormat, DeferredResolutionErrorsKeepColumns) {
+  // 'requirement' lines are resolved after the whole file is read; the error
+  // must still point at the unknown actor's exact line and column.
+  std::istringstream is("application a 1\nactor x\nrequirement ghost 0 1 1\n");
+  try {
+    (void)read_application(is);
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3, col 13"), std::string::npos);
+    EXPECT_EQ(e.span().line, 3u);
+    EXPECT_EQ(e.span().col, 13u);
+    EXPECT_EQ(e.span().len, 5u);
   }
 }
 

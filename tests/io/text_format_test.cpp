@@ -38,10 +38,27 @@ TEST(TextFormat, SkipsCommentsAndBlankLines) {
 TEST(TextFormat, ErrorsCarryLineNumbers) {
   std::istringstream is("actor a 1\nbogus x\n");
   try {
-    read_graph(is);
+    (void)read_graph(is);
     FAIL() << "expected throw";
-  } catch (const std::invalid_argument& e) {
+  } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_EQ(e.span().line, 2u);
+    EXPECT_EQ(e.span().col, 1u);
+    EXPECT_EQ(e.span().len, 5u);
+  }
+}
+
+TEST(TextFormat, ErrorsCarryExactColumns) {
+  // The bad token is mid-line: the span must point at it, not at column 1.
+  std::istringstream is("actor a 1\nchannel d a nope 1 1 0\n");
+  try {
+    (void)read_graph(is);
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2, col 13"), std::string::npos);
+    EXPECT_EQ(e.span().line, 2u);
+    EXPECT_EQ(e.span().col, 13u);
+    EXPECT_EQ(e.span().len, 4u);
   }
 }
 

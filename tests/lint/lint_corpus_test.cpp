@@ -1,0 +1,121 @@
+// Golden-file tests: every corpus file must lint to exactly the bytes in its
+// .expected sibling — the same text `analyze_cli lint <file>` prints. The
+// goldens pin codes, spans, severities, ordering and the summary line, so any
+// drift in a rule or in the renderer shows up as a diff.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/io/report.h"
+#include "src/lint/driver.h"
+
+#ifndef SDFMAP_LINT_CORPUS_DIR
+#error "SDFMAP_LINT_CORPUS_DIR must point at tests/lint/corpus"
+#endif
+
+namespace sdfmap {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs the test body with the corpus directory as working directory so the
+/// linted files (and the files a mapping references) go by bare names,
+/// exactly as the goldens were recorded.
+class LintCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = fs::current_path();
+    fs::current_path(SDFMAP_LINT_CORPUS_DIR);
+  }
+  void TearDown() override { fs::current_path(previous_); }
+
+ private:
+  fs::path previous_;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "missing " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Reproduces the `analyze_cli lint` text output for one file.
+std::string lint_to_text(const LintResult& result) {
+  std::ostringstream os;
+  os << render_diagnostics_text(result.diagnostics);
+  os << count_severity(result.diagnostics, Severity::kError) << " error(s), "
+     << count_severity(result.diagnostics, Severity::kWarning) << " warning(s), "
+     << count_severity(result.diagnostics, Severity::kInfo) << " info(s)\n";
+  return os.str();
+}
+
+TEST_F(LintCorpusTest, EveryInputHasAGolden) {
+  std::size_t inputs = 0;
+  for (const auto& entry : fs::directory_iterator(".")) {
+    const std::string name = entry.path().filename().string();
+    if (!lintable_extension(name)) continue;
+    ++inputs;
+    EXPECT_TRUE(fs::exists(name + ".expected")) << "no golden for " << name;
+  }
+  EXPECT_GE(inputs, 18u) << "corpus unexpectedly small";
+}
+
+TEST_F(LintCorpusTest, OutputMatchesGoldenByteForByte) {
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(".")) {
+    const std::string name = entry.path().filename().string();
+    if (!lintable_extension(name)) continue;
+    if (!fs::exists(name + ".expected")) continue;
+    const LintResult result = lint_file(name);
+    EXPECT_EQ(lint_to_text(result), read_file(name + ".expected"))
+        << "golden mismatch for " << name;
+    ++checked;
+  }
+  EXPECT_GE(checked, 18u);
+}
+
+TEST_F(LintCorpusTest, ExitCodesFollowTheSeverityLadder) {
+  const struct {
+    const char* file;
+    int expected;
+  } cases[] = {
+      {"clean.sdf", kCliSuccess},
+      {"example_app.sdfapp", kCliSuccess},
+      {"good.sdfmapping", kCliSuccess},
+      {"disconnected.sdf", kCliLintWarnings},
+      {"oneway_platform.sdfarch", kCliLintWarnings},
+      {"deadlock.sdf", kCliLintError},
+      {"bad_parse.sdf", kCliLintError},
+      {"bad.sdfmapping", kCliLintError},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(cli_exit_code(lint_file(c.file)), c.expected) << c.file;
+  }
+}
+
+TEST_F(LintCorpusTest, ParseErrorsKeepExactColumnsThroughTheDriver) {
+  // bad_continuation.sdfapp fails while resolving a requirement *after* the
+  // line loop; the diagnostic must still point at line 5, column 13.
+  const LintResult r = lint_file("bad_continuation.sdfapp");
+  const Diagnostic* d = r.find_code("SDF000");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->span.line, 5);
+  EXPECT_EQ(d->span.col, 13);
+  EXPECT_EQ(d->span.len, 5);
+  EXPECT_EQ(d->message, "requirement for unknown actor 'ghost'");
+}
+
+TEST_F(LintCorpusTest, SeverityFilterAppliesToGoldenInputs) {
+  LintOptions errors_only;
+  errors_only.min_severity = Severity::kError;
+  EXPECT_TRUE(lint_file("disconnected.sdf", errors_only).clean());
+  EXPECT_FALSE(lint_file("deadlock.sdf", errors_only).clean());
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,260 @@
+// Unit tests of the three rule packs (docs/LINT.md) against models built
+// through the normal APIs; the golden corpus in tests/lint/corpus/ covers the
+// same codes end-to-end through the file front ends.
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/lint/lint.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+Graph two_actor_cycle(std::int64_t tokens) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, tokens, "d1");
+  g.add_channel(b, a, 1, 1, 0, "d2");
+  return g;
+}
+
+TEST(LintRulesTest, CatalogIsStableAndUnique) {
+  const std::vector<Rule>& rules = lint_rules();
+  ASSERT_FALSE(rules.empty());
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1].code, rules[i].code) << "catalog must stay sorted";
+  }
+  // Front-end codes are registered for SARIF metadata even without a check.
+  const Rule* parse = find_rule("SDF000");
+  ASSERT_NE(parse, nullptr);
+  EXPECT_FALSE(parse->check);
+  const Rule* unresolved = find_rule("SDF200");
+  ASSERT_NE(unresolved, nullptr);
+  EXPECT_FALSE(unresolved->check);
+  // Defensive rules exist for invariants the builders already enforce.
+  ASSERT_NE(find_rule("SDF007"), nullptr);
+  EXPECT_EQ(find_rule("SDF007")->severity, Severity::kError);
+  ASSERT_NE(find_rule("SDF102"), nullptr);
+  EXPECT_EQ(find_rule("SDF102")->pack, RulePack::kPlatform);
+  EXPECT_EQ(find_rule("nope"), nullptr);
+}
+
+TEST(LintRulesTest, CleanGraphHasNoFindings) {
+  const LintResult r = lint_graph(two_actor_cycle(1));
+  EXPECT_TRUE(r.clean()) << render_diagnostics_text(r.diagnostics);
+}
+
+TEST(LintRulesTest, InconsistentGraphGetsWitnessNote) {
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 1, 0, "d1");
+  g.add_channel(b, a, 1, 1, 1, "d2");
+  const LintResult r = lint_graph(g);
+  const Diagnostic* d = r.find_code("SDF001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  ASSERT_FALSE(d->notes.empty());
+  EXPECT_NE(d->notes.front().message.find("conflicting walk"), std::string::npos);
+  // Deadlock is not reported without a repetition vector.
+  EXPECT_FALSE(r.has_code("SDF002"));
+}
+
+TEST(LintRulesTest, DeadlockedGraphIsFlagged) {
+  const LintResult r = lint_graph(two_actor_cycle(0));
+  EXPECT_TRUE(r.has_code("SDF002"));
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(LintRulesTest, PipelineWithoutFeedbackIsWarningOnly) {
+  Graph g;
+  const ActorId a = g.add_actor("src", 1);
+  const ActorId b = g.add_actor("snk", 1);
+  g.add_channel(a, b, 1, 1, 0, "d");
+  const LintResult r = lint_graph(g);
+  EXPECT_TRUE(r.has_code("SDF003"));
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(r.has_warnings());
+}
+
+TEST(LintRulesTest, DanglingActorAndDuplicateNames) {
+  Graph g = two_actor_cycle(1);
+  g.add_actor("lone", 1);
+  g.add_actor("lone", 1);
+  const LintResult r = lint_graph(g);
+  EXPECT_TRUE(r.has_code("SDF004"));
+  const Diagnostic* dup = r.find_code("SDF005");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_NE(dup->message.find("duplicate actor name 'lone'"), std::string::npos);
+  ASSERT_FALSE(dup->notes.empty());
+  EXPECT_EQ(dup->notes.front().message, "first declared here");
+}
+
+TEST(LintRulesTest, TokenFreeSelfLoopCanNeverFire) {
+  Graph g = two_actor_cycle(1);
+  g.add_channel(ActorId{0}, ActorId{0}, 1, 2, 1, "loop");
+  const LintResult r = lint_graph(g);
+  const Diagnostic* d = r.find_code("SDF006");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->fix_hint.find("at least 2"), std::string::npos);
+}
+
+TEST(LintRulesTest, OverflowRiskSuppressesDeadlockSimulation) {
+  // gamma = (1, 65536, 65536^2): the liveness simulation would need >2^31
+  // firings, so SDF008 must fire and SDF002 must stay silent instead of
+  // running forever.
+  Graph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  const ActorId c = g.add_actor("c", 1);
+  g.add_channel(a, b, 65536, 1, 0, "d1");
+  g.add_channel(b, c, 65536, 1, 0, "d2");
+  g.add_channel(c, a, 1, std::int64_t{1} << 32, 0, "d3");
+  const LintResult r = lint_graph(g);
+  EXPECT_TRUE(r.has_code("SDF008"));
+  EXPECT_FALSE(r.has_code("SDF002"));
+}
+
+TEST(LintRulesTest, PlatformPackFindsCapacityAndTopologyProblems) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("p");
+  arch.add_tile({"t0", p, 0, 100, 1, 10, 10, 0});    // zero wheel
+  arch.add_tile({"t1", p, 10, 0, 1, 10, 10, 0});     // zero memory
+  arch.add_tile({"t1", p, 10, 100, 1, 10, 10, 0});   // duplicate name
+  const LintResult r = lint_platform(arch);
+  EXPECT_EQ(count_severity(r.diagnostics, Severity::kError), 3u);
+  EXPECT_TRUE(r.has_code("SDF101"));
+  EXPECT_TRUE(r.has_code("SDF104"));
+  EXPECT_TRUE(r.has_code("SDF103")) << "no connections: tiles are unreachable";
+}
+
+TEST(LintRulesTest, SingleTilePlatformNeedsNoConnections) {
+  Architecture arch;
+  const ProcTypeId p = arch.add_proc_type("p");
+  arch.add_tile({"t0", p, 10, 100, 1, 10, 10, 0});
+  EXPECT_TRUE(lint_platform(arch).clean());
+}
+
+class MappingRulesTest : public ::testing::Test {
+ protected:
+  MappingRulesTest()
+      : app_(make_paper_example_application()),
+        arch_(make_example_platform()),
+        binding_(app_.sdf().num_actors()) {
+    binding_.bind(ActorId{0}, TileId{0});
+    binding_.bind(ActorId{1}, TileId{0});
+    binding_.bind(ActorId{2}, TileId{1});
+    schedules_.resize(arch_.num_tiles());
+    schedules_[0].firings = {ActorId{0}, ActorId{1}};
+    schedules_[1].firings = {ActorId{2}};
+    slices_ = {5, 5};
+  }
+
+  LintResult lint() const {
+    LintInput in;
+    in.app = &app_;
+    in.platform = &arch_;
+    in.binding = &binding_;
+    in.schedules = &schedules_;
+    in.slices = &slices_;
+    return run_lint(in);
+  }
+
+  ApplicationGraph app_;
+  Architecture arch_;
+  Binding binding_;
+  std::vector<StaticOrderSchedule> schedules_;
+  std::vector<std::int64_t> slices_;
+};
+
+TEST_F(MappingRulesTest, ValidPaperAllocationIsClean) {
+  const LintResult r = lint();
+  EXPECT_TRUE(r.clean()) << render_diagnostics_text(r.diagnostics);
+}
+
+TEST_F(MappingRulesTest, UnboundActorIsAWarning) {
+  binding_ = Binding(app_.sdf().num_actors());
+  binding_.bind(ActorId{0}, TileId{0});
+  schedules_[0].firings = {ActorId{0}};
+  schedules_[1].firings.clear();
+  const LintResult r = lint();
+  EXPECT_EQ(count_severity(r.diagnostics, Severity::kWarning), 2u);
+  EXPECT_TRUE(r.has_code("SDF206"));
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST_F(MappingRulesTest, ScheduleMismatchesAreErrors) {
+  schedules_[0].firings = {ActorId{0}, ActorId{2}};  // a3 is bound to t2
+  const LintResult r = lint();
+  const Diagnostic* stray = r.find_code("SDF203");
+  ASSERT_NE(stray, nullptr);
+  // Both directions: a3 fired but not bound here, a2 bound but never fired.
+  EXPECT_EQ(count_severity(r.diagnostics, Severity::kError), 2u);
+}
+
+TEST_F(MappingRulesTest, LoopStartBeyondScheduleIsAnError) {
+  schedules_[1].loop_start = 5;
+  const LintResult r = lint();
+  ASSERT_TRUE(r.has_code("SDF203"));
+  EXPECT_NE(r.find_code("SDF203")->message.find("loop start"), std::string::npos);
+}
+
+TEST_F(MappingRulesTest, SliceBeyondFreeWheelIsAnError) {
+  slices_[0] = arch_.tile(TileId{0}).wheel_size + 1;
+  EXPECT_TRUE(lint().has_code("SDF204"));
+}
+
+TEST_F(MappingRulesTest, UsedTileWithoutSliceIsAnError) {
+  slices_[1] = 0;
+  const LintResult r = lint();
+  ASSERT_TRUE(r.has_code("SDF204"));
+  EXPECT_NE(r.find_code("SDF204")->message.find("no time slice"), std::string::npos);
+}
+
+TEST_F(MappingRulesTest, MissingConnectionIsDetected) {
+  // d3 (a3 -> a1) crosses from t2 back to t1; a platform without the return
+  // connection cannot carry it.
+  Architecture oneway;
+  const ProcTypeId p1 = oneway.add_proc_type("p1");
+  const ProcTypeId p2 = oneway.add_proc_type("p2");
+  oneway.add_tile({"t1", p1, 10, 700, 5, 100, 100, 0});
+  oneway.add_tile({"t2", p2, 10, 500, 7, 100, 100, 0});
+  oneway.add_connection(TileId{0}, TileId{1}, 1, "c1");
+  arch_ = std::move(oneway);
+  const LintResult r = lint();
+  const Diagnostic* d = r.find_code("SDF202");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'d3'"), std::string::npos);
+}
+
+TEST_F(MappingRulesTest, RequirementViolationOnOversubscribedTile) {
+  // Shrink t1's memory below what a1+a2 plus the channel buffers need.
+  Architecture small;
+  const ProcTypeId p1 = small.add_proc_type("p1");
+  const ProcTypeId p2 = small.add_proc_type("p2");
+  small.add_tile({"t1", p1, 10, 16, 5, 100, 100, 0});
+  small.add_tile({"t2", p2, 10, 500, 7, 100, 100, 0});
+  small.add_connection(TileId{0}, TileId{1}, 1, "c1");
+  small.add_connection(TileId{1}, TileId{0}, 1, "c2");
+  arch_ = std::move(small);
+  const LintResult r = lint();
+  EXPECT_TRUE(r.has_code("SDF201"));
+}
+
+TEST_F(MappingRulesTest, MappingPackCanBeDisabled) {
+  slices_[0] = 99;  // would be SDF204
+  LintInput in;
+  in.app = &app_;
+  in.platform = &arch_;
+  in.binding = &binding_;
+  in.schedules = &schedules_;
+  in.slices = &slices_;
+  LintOptions options;
+  options.mapping_pack = false;
+  EXPECT_TRUE(run_lint(in, options).clean());
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,135 @@
+// SARIF 2.1.0 / plain-JSON emission: shape, escaping, determinism. There is
+// no JSON parser in the toolchain, so well-formedness is checked with a small
+// structural scanner (balanced braces/brackets outside strings).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/io/sarif.h"
+#include "src/lint/driver.h"
+
+#ifndef SDFMAP_LINT_CORPUS_DIR
+#error "SDFMAP_LINT_CORPUS_DIR must point at tests/lint/corpus"
+#endif
+
+namespace sdfmap {
+namespace {
+
+/// Structural JSON check: every brace/bracket outside string literals is
+/// balanced and the document is a single object/array.
+void expect_balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      else ASSERT_NE(c, '\n') << "raw newline inside a JSON string";
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']': ASSERT_GT(depth, 0); --depth; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+std::vector<Diagnostic> sample_diagnostics() {
+  Diagnostic error;
+  error.code = "SDF001";
+  error.severity = Severity::kError;
+  error.message = "graph is \"inconsistent\"\nno schedule";  // needs escaping
+  error.file = "dir\\graph.sdf";
+  error.span = {4, 9, 2};
+  error.notes.push_back({"conflicting walk", {5, 1, 3}});
+  error.fix_hint = "adjust the rates";
+  Diagnostic warning;
+  warning.code = "SDF003";
+  warning.severity = Severity::kWarning;
+  warning.message = "not strongly connected";
+  Diagnostic info;
+  info.code = "SDF000";
+  info.severity = Severity::kInfo;
+  info.message = std::string("control char: ") + '\x01';
+  return {error, warning, info};
+}
+
+TEST(SarifTest, EscapesJsonMetacharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(SarifTest, LogHasToolRulesAndResults) {
+  std::ostringstream os;
+  write_sarif(os, sample_diagnostics());
+  const std::string log = os.str();
+  expect_balanced_json(log);
+  EXPECT_NE(log.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("\"name\": \"sdfmap-lint\""), std::string::npos);
+  // The driver carries the whole rule catalog, including codes not present
+  // in the results.
+  EXPECT_NE(log.find("\"id\": \"SDF205\""), std::string::npos);
+  EXPECT_NE(log.find("\"ruleId\": \"SDF001\""), std::string::npos);
+  EXPECT_NE(log.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(log.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(log.find("\"level\": \"note\""), std::string::npos);
+  EXPECT_NE(log.find("\"startLine\": 4"), std::string::npos);
+  EXPECT_NE(log.find("\"startColumn\": 9"), std::string::npos);
+  EXPECT_NE(log.find("\"endColumn\": 11"), std::string::npos);
+  EXPECT_NE(log.find("relatedLocations"), std::string::npos);
+  EXPECT_NE(log.find("(fix: adjust the rates)"), std::string::npos);
+  EXPECT_NE(log.find("dir\\\\graph.sdf"), std::string::npos);
+}
+
+TEST(SarifTest, EmissionIsDeterministic) {
+  std::ostringstream a;
+  std::ostringstream b;
+  write_sarif(a, sample_diagnostics());
+  write_sarif(b, sample_diagnostics());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SarifTest, EmptyRunIsStillValid) {
+  std::ostringstream os;
+  write_sarif(os, {});
+  expect_balanced_json(os.str());
+  EXPECT_NE(os.str().find("\"results\""), std::string::npos);
+}
+
+TEST(SarifTest, PlainJsonMirrorsTheDiagnostics) {
+  std::ostringstream os;
+  write_diagnostics_json(os, sample_diagnostics());
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"code\": \"SDF001\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"col\": 9"), std::string::npos);
+}
+
+TEST(SarifTest, RealCorpusFileProducesWellFormedSarif) {
+  const LintResult r =
+      lint_file(std::string(SDFMAP_LINT_CORPUS_DIR) + "/bad.sdfmapping");
+  ASSERT_TRUE(r.has_errors());
+  std::ostringstream os;
+  write_sarif(os, r.diagnostics);
+  expect_balanced_json(os.str());
+  EXPECT_NE(os.str().find("\"ruleId\": \"SDF200\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap

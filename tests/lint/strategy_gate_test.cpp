@@ -1,0 +1,90 @@
+// The allocation strategy must lint-gate its inputs: a model the graph or
+// platform pack rejects fails in stage "lint" with FailureKind::kLintRejected
+// and the findings in diagnostics.lint — and no analysis engine ever runs
+// (proven through engine_fault_hook plus the throughput-check counter).
+
+#include <gtest/gtest.h>
+
+#include "src/appmodel/paper_example.h"
+#include "src/io/report.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+/// The paper example with the tokens of d3 removed: consistent, but one
+/// iteration can never complete (SDF002).
+ApplicationGraph deadlocked_app() {
+  ApplicationGraph app = make_paper_example_application();
+  app.sdf().set_initial_tokens(ChannelId{2}, 0);
+  return app;
+}
+
+TEST(StrategyGateTest, LintRejectedModelNeverReachesAnEngine) {
+  const ApplicationGraph app = deadlocked_app();
+  const Architecture arch = make_example_platform();
+  int engine_faults = 0;
+  StrategyOptions options;
+  options.engine_fault_hook = [&engine_faults](int) { ++engine_faults; };
+  const StrategyResult r = allocate_resources(app, arch, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "lint");
+  EXPECT_EQ(r.failure_kind, FailureKind::kLintRejected);
+  EXPECT_NE(r.failure_reason.find("SDF002"), std::string::npos);
+  ASSERT_FALSE(r.diagnostics.lint.empty());
+  EXPECT_EQ(r.diagnostics.lint.front().code, "SDF002");
+  EXPECT_EQ(r.throughput_checks, 0);
+  EXPECT_EQ(engine_faults, 0) << "an engine ran on a lint-rejected model";
+  EXPECT_EQ(cli_exit_code(r.failure_kind), kCliLintError);
+}
+
+TEST(StrategyGateTest, BrokenPlatformIsRejectedToo) {
+  const ApplicationGraph app = make_paper_example_application();
+  Architecture arch;
+  const ProcTypeId p1 = arch.add_proc_type("p1");
+  const ProcTypeId p2 = arch.add_proc_type("p2");
+  arch.add_tile({"t1", p1, 0, 700, 5, 100, 100, 0});  // zero-size wheel
+  arch.add_tile({"t2", p2, 10, 500, 7, 100, 100, 0});
+  arch.add_connection(TileId{0}, TileId{1}, 1, "c1");
+  arch.add_connection(TileId{1}, TileId{0}, 1, "c2");
+  const StrategyResult r = allocate_resources(app, arch);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "lint");
+  EXPECT_EQ(r.failure_kind, FailureKind::kLintRejected);
+  EXPECT_NE(r.failure_reason.find("SDF101"), std::string::npos);
+}
+
+TEST(StrategyGateTest, WarningsDoNotRejectAndAreRecorded) {
+  // A platform whose second tile has no return path: SDF103 is a warning, so
+  // the strategy must still run — but the finding lands in diagnostics.lint.
+  const ApplicationGraph app = make_paper_example_application();
+  Architecture arch = make_example_platform();
+  arch.add_tile({"t3", ProcTypeId{0}, 10, 700, 5, 100, 100, 0});
+  const StrategyResult r = allocate_resources(app, arch);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  ASSERT_FALSE(r.diagnostics.lint.empty());
+  EXPECT_EQ(r.diagnostics.lint.front().code, "SDF103");
+  EXPECT_NE(r.diagnostics.summary().find("lint finding"), std::string::npos);
+}
+
+TEST(StrategyGateTest, CleanModelPassesTheGateUntouched) {
+  const ApplicationGraph app = make_paper_example_application();
+  const Architecture arch = make_example_platform();
+  const StrategyResult r = allocate_resources(app, arch);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.diagnostics.lint.empty());
+  EXPECT_EQ(r.failure_kind, FailureKind::kNone);
+}
+
+TEST(StrategyGateTest, LintFailureRendersInTheStandardReport) {
+  const ApplicationGraph app = deadlocked_app();
+  const Architecture arch = make_example_platform();
+  const StrategyResult r = allocate_resources(app, arch);
+  const std::string report = format_strategy_result(app, arch, r);
+  EXPECT_NE(report.find("FAILED in lint [lint-rejected]"), std::string::npos);
+  EXPECT_NE(report.find("SDF002"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdfmap
