@@ -37,6 +37,10 @@ constexpr int kArchitectures = 3;
 const TileCostWeights kCostFunctions[] = {
     {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {0, 1, 2}};
 
+/// Shared throughput-check cache of the whole sweep (--cache/--no-cache,
+/// default on); stdout is byte-identical either way, stats go to stderr.
+std::shared_ptr<ThroughputCache> g_cache;
+
 struct Usage {
   double bound = 0;
   double wheel = 0, memory = 0, conn = 0, bw_in = 0, bw_out = 0;
@@ -81,6 +85,7 @@ void measure_all(Usage (&usage)[5]) {
         [&sequences](const Run& run, std::size_t) {
           StrategyOptions options;
           options.weights = kCostFunctions[run.fn];
+          options.cache = g_cache;
           const MultiAppResult r =
               allocate_sequence(sequences[static_cast<std::size_t>(run.seq)],
                                 make_benchmark_architecture(run.arch), options);
@@ -96,6 +101,7 @@ void measure_all(Usage (&usage)[5]) {
         ParallelOptions{}, &region_stats);
   });
   benchutil::report_parallelism(region_stats);
+  benchutil::report_cache(g_cache);
 
   const double num_runs = kSequences * kArchitectures;
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -180,6 +186,7 @@ BENCHMARK(BM_AllocateSequenceMixed)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   benchutil::configure_jobs(args);
+  g_cache = benchutil::configure_cache(args);
   print_report();
   std::cout << "\n";
   benchmark::Initialize(&argc, argv);

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "src/analysis/cache.h"
 #include "src/runtime/parallel.h"
 #include "src/runtime/task_pool.h"
 #include "src/support/cli.h"
@@ -69,6 +71,27 @@ inline void report_parallelism(const ParallelStats& stats) {
   const TaskPoolCounters c = TaskPool::global().counters();
   std::cerr << "[pool] " << c.submitted << " tasks submitted, " << c.executed_local
             << " run by their queue's owner, " << c.executed_stolen << " stolen\n";
+}
+
+/// Builds the benchmark's shared throughput-check cache from --cache /
+/// --no-cache and the SDFMAP_CACHE env (flags win; default on). Returns null
+/// when disabled; announces the choice on stderr. The report on stdout is
+/// byte-identical either way — only run time and the stderr statistics move.
+inline std::shared_ptr<ThroughputCache> configure_cache(const CliArgs& args) {
+  const bool enabled = args.has("cache")      ? true
+                       : args.has("no-cache") ? false
+                                              : cache_enabled_from_env(true);
+  std::cerr << "[cache] throughput-check cache " << (enabled ? "on" : "off") << "\n";
+  return enabled ? std::make_shared<ThroughputCache>() : nullptr;
+}
+
+/// Prints a shared cache's lifetime totals to **stderr**: hit/miss counts of
+/// a cache raced by parallel runs are timing-dependent, so they must never
+/// reach the byte-stable stdout report.
+inline void report_cache(const std::shared_ptr<ThroughputCache>& cache) {
+  if (!cache) return;
+  std::cerr << "[cache] " << cache->stats().summary() << ", " << cache->size()
+            << " resident entries\n";
 }
 
 }  // namespace sdfmap::benchutil

@@ -8,6 +8,9 @@
 //   analyze_cli <graph.sdf> [--sink=<actor>] [--storage-period=<num[/den]>]
 //               [--deadline-ms=<n>] [--dot=<file>] [--jobs=<n> | -j <n>]
 //               [--lint] [--lint-level=info|warning|error]
+//               [--cache | --no-cache]   # throughput-check memoization
+//                                        # (default on; SDFMAP_CACHE=0|1;
+//                                        #  stats go to stderr only)
 //   analyze_cli lint <file...> [--format=text|sarif|json] [--lint-level=...]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
 //
@@ -27,6 +30,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/latency.h"
 #include "src/analysis/storage.h"
 #include "src/analysis/throughput.h"
@@ -161,6 +165,14 @@ int run(const CliArgs& args) {
     limits.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(deadline_ms));
   }
 
+  // Memoization of repeated throughput checks (the storage search below).
+  // Flags beat SDFMAP_CACHE beats the default (on). Results are identical
+  // either way; only the cache statistics differ, and they go to stderr.
+  const bool cache_on = args.has("cache")      ? true
+                        : args.has("no-cache") ? false
+                                               : cache_enabled_from_env(true);
+  const auto cache = cache_on ? std::make_shared<ThroughputCache>() : nullptr;
+
   const GraphDiagnostics diag = diagnose_graph(g);
   std::cout << diag.to_string(g);
   if (!diag.consistent || !diag.deadlock_free) return kCliInvalidInput;
@@ -186,7 +198,9 @@ int run(const CliArgs& args) {
     const Rational target = parse_rational(args.get("storage-period", "0"));
     StorageOptions storage_options;
     storage_options.limits = limits;
+    storage_options.cache = cache;
     const StorageResult storage = minimize_storage(g, target, storage_options);
+    if (cache) std::cerr << "throughput cache: " << storage.cache.summary() << "\n";
     if (!storage.success) {
       std::cout << "storage minimization failed: " << storage.failure_reason << "\n";
     } else {

@@ -9,6 +9,10 @@
 //            [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]
 //            [--dot=<prefix>] [--utilization] [--gantt[=<width>]]
 //            [--vcd=<file>] [--jobs=<n> | -j <n>]
+//            [--cache | --no-cache]   # throughput-check memoization (default
+//                                     # on; SDFMAP_CACHE=0|1; the allocation
+//                                     # is identical either way — cache stats
+//                                     # go to stderr only)
 //   flow_cli --app=<file> --platform=<file> --lint [--lint-level=l]
 //   flow_cli --dump-examples [--dir=.]
 //
@@ -28,6 +32,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/metrics.h"
 #include "src/appmodel/paper_example.h"
 #include "src/io/app_format.h"
@@ -134,7 +139,14 @@ int run(const CliArgs& args) {
         std::chrono::milliseconds(per_check_ms));
   }
   options.degrade_to_conservative = !args.has("no-degrade");
+  const bool cache_on = args.has("cache")      ? true
+                        : args.has("no-cache") ? false
+                                               : cache_enabled_from_env(true);
+  if (cache_on) options.cache = std::make_shared<ThroughputCache>();
   const StrategyResult r = allocate_resources(app, arch, options);
+  if (options.cache) {
+    std::cerr << "throughput cache: " << r.diagnostics.cache.summary() << "\n";
+  }
   if (!r.success) {
     std::cout << "allocation FAILED in " << r.stage << " ["
               << failure_kind_name(r.failure_kind) << "]: " << r.failure_reason << "\n";

@@ -1,0 +1,212 @@
+#include "src/analysis/cache.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace sdfmap {
+
+namespace {
+
+/// Leading tag words keep the two fingerprint families disjoint even if their
+/// payloads ever coincide.
+constexpr std::int64_t kSelfTimedTag = 0x53454c46'54494d45;    // "SELFTIME"
+constexpr std::int64_t kConstrainedTag = 0x434f4e53'54524e44;  // "CONSTRND"
+
+/// Graph structure + timing + the verdict-affecting count caps. Every
+/// variable-length section is preceded by its length, so no two distinct
+/// configurations share an encoding.
+void encode_graph_and_limits(const Graph& g, const ExecutionLimits& limits,
+                             std::vector<std::int64_t>& words) {
+  words.push_back(static_cast<std::int64_t>(g.num_actors()));
+  words.push_back(static_cast<std::int64_t>(g.num_channels()));
+  for (const Actor& a : g.actors()) words.push_back(a.execution_time);
+  for (const Channel& c : g.channels()) {
+    words.push_back(c.src.value);
+    words.push_back(c.dst.value);
+    words.push_back(c.production_rate);
+    words.push_back(c.consumption_rate);
+    words.push_back(c.initial_tokens);
+  }
+  // The wall-clock budget is excluded on purpose: a completed result is valid
+  // under any deadline, and aborted checks are never inserted.
+  words.push_back(static_cast<std::int64_t>(limits.max_states));
+  words.push_back(limits.max_tokens_per_channel);
+  words.push_back(static_cast<std::int64_t>(limits.max_events_per_instant));
+  words.push_back(static_cast<std::int64_t>(limits.max_time_steps));
+}
+
+}  // namespace
+
+std::string CacheStats::summary() const {
+  std::ostringstream os;
+  os << hits << "/" << lookups() << " hits (";
+  os.precision(1);
+  os << std::fixed << hit_rate() * 100.0 << "%), " << inserts << " inserts, " << evictions
+     << " evictions";
+  return os.str();
+}
+
+struct ThroughputCache::Shard {
+  mutable std::mutex mutex;
+  StateMap<ConstrainedResult> map;
+};
+
+ThroughputCache::ThroughputCache(std::size_t max_entries)
+    : shards_(new Shard[kShards]),
+      max_per_shard_(max_entries / kShards > 0 ? max_entries / kShards : 1) {}
+
+ThroughputCache::~ThroughputCache() = default;
+
+ThroughputCache::Shard& ThroughputCache::shard_for(const StateKey& key) const {
+  // Top bits of the key hash: the map uses the low bits for buckets, so the
+  // shard index stays decorrelated from intra-shard placement.
+  const std::size_t h = StateKeyHash{}(key);
+  return shards_[(h >> 60) & (kShards - 1)];
+}
+
+std::optional<ConstrainedResult> ThroughputCache::lookup(const StateKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::size_t ThroughputCache::insert(const StateKey& key, ConstrainedResult value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.find(key) != shard.map.end()) return 0;  // racing miss: first writer won
+  std::size_t evicted = 0;
+  if (shard.map.size() >= max_per_shard_) {
+    // Capacity bound: drop an arbitrary resident. Which entry goes only moves
+    // future hit rates, never results, so no ordering bookkeeping is kept.
+    shard.map.erase(shard.map.begin());
+    evicted = 1;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.map.emplace(key, std::move(value));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return evicted;
+}
+
+std::size_t ThroughputCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+void ThroughputCache::clear() {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].map.clear();
+  }
+}
+
+CacheStats ThroughputCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+StateKey self_timed_cache_key(const Graph& g, const ExecutionLimits& limits) {
+  StateKey key;
+  key.words.reserve(7 + g.num_actors() + g.num_channels() * 5);
+  key.words.push_back(kSelfTimedTag);
+  encode_graph_and_limits(g, limits, key.words);
+  return key;
+}
+
+StateKey constrained_cache_key(const Graph& g, const ConstrainedSpec& spec,
+                               SchedulingMode mode, const ExecutionLimits& limits) {
+  StateKey key;
+  std::size_t schedule_words = 0;
+  for (const TdmaTileSpec& tile : spec.tiles) schedule_words += tile.schedule.size();
+  key.words.reserve(9 + g.num_actors() + g.num_channels() * 5 + spec.actor_tile.size() +
+                    spec.tiles.size() * 5 + schedule_words);
+  key.words.push_back(kConstrainedTag);
+  encode_graph_and_limits(g, limits, key.words);
+  key.words.push_back(mode == SchedulingMode::kStaticOrder ? 0 : 1);
+  for (const std::int32_t t : spec.actor_tile) key.words.push_back(t);
+  key.words.push_back(static_cast<std::int64_t>(spec.tiles.size()));
+  for (const TdmaTileSpec& tile : spec.tiles) {
+    key.words.push_back(tile.wheel_size);
+    key.words.push_back(tile.slice);
+    key.words.push_back(tile.slice_offset);
+    key.words.push_back(static_cast<std::int64_t>(tile.schedule.loop_start));
+    key.words.push_back(static_cast<std::int64_t>(tile.schedule.size()));
+    for (const ActorId a : tile.schedule.firings) key.words.push_back(a.value);
+  }
+  return key;
+}
+
+ConstrainedResult cached_execute_constrained(ThroughputCache* cache, CacheStats* stats,
+                                             const Graph& g, const RepetitionVector& gamma,
+                                             const ConstrainedSpec& spec, SchedulingMode mode,
+                                             const ExecutionLimits& limits,
+                                             const TraceObserver& observer) {
+  if (!cache || observer) {
+    // Observed runs bypass the cache: a cached result carries no transitions
+    // to replay into the observer.
+    return execute_constrained(g, gamma, spec, mode, limits, observer);
+  }
+  const StateKey key = constrained_cache_key(g, spec, mode, limits);
+  if (auto found = cache->lookup(key)) {
+    if (stats) ++stats->hits;
+    return std::move(*found);
+  }
+  if (stats) ++stats->misses;
+  // Any engine error (deadline, cancellation, count cap) throws through here
+  // before the insert: an aborted check leaves the cache untouched.
+  ConstrainedResult result = execute_constrained(g, gamma, spec, mode, limits, observer);
+  const std::size_t evicted = cache->insert(key, result);
+  if (stats) {
+    ++stats->inserts;
+    stats->evictions += static_cast<long>(evicted);
+  }
+  return result;
+}
+
+SelfTimedResult cached_self_timed_throughput(ThroughputCache* cache, CacheStats* stats,
+                                             const Graph& g, const RepetitionVector& gamma,
+                                             const ExecutionLimits& limits,
+                                             const TraceObserver& observer) {
+  if (!cache || observer) return self_timed_throughput(g, gamma, limits, observer);
+  const StateKey key = self_timed_cache_key(g, limits);
+  if (auto found = cache->lookup(key)) {
+    if (stats) ++stats->hits;
+    return std::move(found->base);
+  }
+  if (stats) ++stats->misses;
+  ConstrainedResult entry;
+  entry.base = self_timed_throughput(g, gamma, limits, observer);
+  SelfTimedResult result = entry.base;
+  const std::size_t evicted = cache->insert(key, std::move(entry));
+  if (stats) {
+    ++stats->inserts;
+    stats->evictions += static_cast<long>(evicted);
+  }
+  return result;
+}
+
+bool cache_enabled_from_env(bool fallback) {
+  const char* value = std::getenv("SDFMAP_CACHE");
+  if (!value) return fallback;
+  const std::string_view v(value);
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  return fallback;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/analysis/constrained.h"
+#include "src/analysis/state_hash.h"
+#include "src/analysis/state_space.h"
+#include "src/sdf/graph.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+/// Hit/miss/insert/evict counters of one throughput-check cache, or of one
+/// consumer's view of a shared cache (StrategyDiagnostics carries a per-run
+/// CacheStats). Counters are plain integers: per-run instances are filled by
+/// a single check sequence; cross-thread aggregation goes through merge() in
+/// the runtime's deterministic fork/join order.
+///
+/// Hit/miss counts of a cache *shared across parallel runs* depend on task
+/// timing (two racing misses both compute), so cache statistics are reported
+/// on stderr only — stdout must stay byte-identical for every --jobs level.
+struct CacheStats {
+  long hits = 0;
+  long misses = 0;
+  long inserts = 0;
+  long evictions = 0;
+
+  [[nodiscard]] long lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() > 0 ? static_cast<double>(hits) / static_cast<double>(lookups()) : 0.0;
+  }
+
+  void merge(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    inserts += other.inserts;
+    evictions += other.evictions;
+  }
+
+  /// e.g. "12/34 hits (35.3%), 22 inserts, 0 evictions".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Thread-safe, content-keyed memoization cache for binding-aware throughput
+/// checks (see docs/PERF.md). Keys are canonical fingerprints of everything
+/// that determines a check's verdict — graph structure, execution times,
+/// actor-tile binding, TDMA wheels/slices/offsets, static orders, scheduling
+/// mode, and the verdict-affecting execution limits — built by the
+/// *_cache_key functions below. Values are complete engine results, so a hit
+/// is indistinguishable from a fresh run: the engines are pure functions of
+/// the key, which keeps stdout byte-identical at every --jobs level whether
+/// the cache is on, off, shared, or racing.
+///
+/// The table is split into kShards sub-maps, each guarded by its own mutex
+/// and addressed by the top bits of the key hash, so concurrent checks from
+/// the work-stealing TaskPool rarely contend on one lock. When a shard
+/// reaches its capacity bound an arbitrary resident entry is evicted
+/// (eviction affects only future hit rates, never results).
+class ThroughputCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  explicit ThroughputCache(std::size_t max_entries = kDefaultMaxEntries);
+  ~ThroughputCache();
+
+  ThroughputCache(const ThroughputCache&) = delete;
+  ThroughputCache& operator=(const ThroughputCache&) = delete;
+
+  /// Returns the cached result for `key`, counting a hit or miss.
+  [[nodiscard]] std::optional<ConstrainedResult> lookup(const StateKey& key) const;
+
+  /// Stores `value` under `key` (first writer wins on a race). Returns the
+  /// number of entries evicted to make room (0 or 1).
+  std::size_t insert(const StateKey& key, ConstrainedResult value);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Lifetime totals over all users of this cache instance.
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard;
+
+  Shard& shard_for(const StateKey& key) const;
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t max_per_shard_;
+  mutable std::atomic<long> hits_{0};
+  mutable std::atomic<long> misses_{0};
+  std::atomic<long> inserts_{0};
+  std::atomic<long> evictions_{0};
+};
+
+/// Canonical fingerprint of a plain self-timed throughput check: graph
+/// structure (rates, initial tokens, channel endpoints), execution times, and
+/// the count caps of `limits`. Actor/channel names and the wall-clock budget
+/// are deliberately excluded — names never change a verdict, and a completed
+/// result is valid under any deadline (an aborted check is never inserted).
+[[nodiscard]] StateKey self_timed_cache_key(const Graph& g, const ExecutionLimits& limits);
+
+/// Canonical fingerprint of a schedule/TDMA-constrained check: the self-timed
+/// fingerprint plus scheduling mode, per-actor tile assignment, and per-tile
+/// wheel size, slice, slice offset and static-order schedule.
+[[nodiscard]] StateKey constrained_cache_key(const Graph& g, const ConstrainedSpec& spec,
+                                             SchedulingMode mode,
+                                             const ExecutionLimits& limits);
+
+/// execute_constrained with memoization. With a null `cache` — or when an
+/// `observer` is installed, since cached results carry no transition trace —
+/// this is exactly execute_constrained. Otherwise the fingerprint is looked
+/// up first; on a miss the engine runs and its result is inserted. Engine
+/// errors (budget expiry, cancellation, count caps) propagate *before* the
+/// insert, so an aborted check can never poison the cache. `stats`, when
+/// non-null, receives this call's hit/miss/insert/evict accounting.
+[[nodiscard]] ConstrainedResult cached_execute_constrained(
+    ThroughputCache* cache, CacheStats* stats, const Graph& g, const RepetitionVector& gamma,
+    const ConstrainedSpec& spec, SchedulingMode mode, const ExecutionLimits& limits = {},
+    const TraceObserver& observer = {});
+
+/// self_timed_throughput with memoization; same contract as
+/// cached_execute_constrained (results are stored with empty schedules).
+[[nodiscard]] SelfTimedResult cached_self_timed_throughput(
+    ThroughputCache* cache, CacheStats* stats, const Graph& g, const RepetitionVector& gamma,
+    const ExecutionLimits& limits = {}, const TraceObserver& observer = {});
+
+/// Reads the SDFMAP_CACHE environment variable: "1"/"on"/"true"/"yes" =>
+/// true, "0"/"off"/"false"/"no" => false, unset or unrecognized => fallback.
+/// CLI --cache/--no-cache flags override this.
+[[nodiscard]] bool cache_enabled_from_env(bool fallback);
+
+}  // namespace sdfmap

@@ -1,5 +1,6 @@
 #include "src/analysis/conservative.h"
 
+#include "src/analysis/cache.h"
 #include "src/mapping/list_scheduler.h"
 #include "src/sdf/repetition_vector.h"
 
@@ -28,7 +29,8 @@ ConstrainedResult conservative_throughput(const ApplicationGraph& app,
                                           const std::vector<StaticOrderSchedule>& schedules,
                                           const std::vector<std::int64_t>& slices,
                                           const ExecutionLimits& limits,
-                                          const ConnectionModel& connection_model) {
+                                          const ConnectionModel& connection_model,
+                                          ThroughputCache* cache, CacheStats* stats) {
   const BindingAwareGraph bag =
       build_binding_aware_graph(app, arch, binding, slices, connection_model);
   const Graph inflated = inflate_tdma_execution_times(bag, arch);
@@ -40,7 +42,8 @@ ConstrainedResult conservative_throughput(const ApplicationGraph& app,
   for (TdmaTileSpec& tile : spec.tiles) {
     tile.slice = tile.wheel_size;  // no gating: the inflation models the TDMA loss
   }
-  return execute_constrained(inflated, *gamma, spec, SchedulingMode::kStaticOrder, limits);
+  return cached_execute_constrained(cache, stats, inflated, *gamma, spec,
+                                    SchedulingMode::kStaticOrder, limits);
 }
 
 }  // namespace sdfmap

@@ -22,15 +22,23 @@ namespace sdfmap {
 [[nodiscard]] Graph inflate_tdma_execution_times(const BindingAwareGraph& bag,
                                                  const Architecture& arch);
 
+class ThroughputCache;
+struct CacheStats;
+
 /// Throughput of the bound application under the conservative model:
 /// inflated execution times, the same static-order schedules, but *no* wheel
 /// gating (every tile behaves as if its whole wheel were reserved). Always a
 /// lower bound on (at most equal to) the gated analysis of Sec. 8.2, which
 /// is the accuracy gap the paper exploits to allocate smaller slices.
+///
+/// When a memoization `cache` is given, the inflated-graph run is served
+/// through it (the inflated configuration has its own fingerprint, so exact
+/// and conservative answers never collide); `stats` collects the accounting.
 [[nodiscard]] ConstrainedResult conservative_throughput(
     const ApplicationGraph& app, const Architecture& arch, const Binding& binding,
     const std::vector<StaticOrderSchedule>& schedules,
     const std::vector<std::int64_t>& slices, const ExecutionLimits& limits = {},
-    const ConnectionModel& connection_model = {});
+    const ConnectionModel& connection_model = {}, ThroughputCache* cache = nullptr,
+    CacheStats* stats = nullptr);
 
 }  // namespace sdfmap

@@ -145,9 +145,12 @@ class ConstrainedExecutor {
     }
   }
 
-  StateKey make_key() const {
-    StateKey key;
-    key.words.reserve(tokens_.size() + spec_.tiles.size() * 4 + g_.num_actors());
+  /// Serializes the extended state into a caller-owned key, reusing its word
+  /// storage (see ExecState::encode_key in state_space.cpp: on a map hit the
+  /// buffer survives, so steady-state sampling allocates nothing).
+  void encode_key(StateKey& key) const {
+    key.words.clear();
+    key.words.reserve(tokens_.size() + spec_.tiles.size() * 6 + g_.num_actors());
     key.words.insert(key.words.end(), tokens_.begin(), tokens_.end());
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
       const TileState& ts = tiles_[t];
@@ -164,7 +167,6 @@ class ConstrainedExecutor {
       if (spec_.actor_tile[a] != kUnscheduled) continue;
       unscheduled_remaining_[a].encode(key.words);
     }
-    return key;
   }
 
   const Graph& g_;
@@ -222,10 +224,23 @@ ConstrainedResult ConstrainedExecutor::run() {
   std::int64_t sampled_ref_fires = -1;
   std::uint64_t steps = 0;
 
+  // Pre-size the sampled-state map from the repetition vector (≈ γ(ref)
+  // samples per iteration, capped) and keep one scratch key plus one
+  // TransitionEvent across the whole run: without an observer the event's
+  // vectors are never touched, with one their capacity is reused.
+  seen.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      std::min<std::uint64_t>(4096, limits_.max_states),
+      static_cast<std::uint64_t>(gamma_[ref]) * 4 + 16)));
+  StateKey scratch;
+  TransitionEvent event;
+
   while (true) {
     // ---- Fixpoint at the current instant.
-    TransitionEvent event;
-    event.time = now_;
+    if (observer_) {
+      event.time = now_;
+      event.ended.clear();
+      event.started.clear();
+    }
     std::uint64_t instant_events = 0;
     bool changed = true;
     while (changed) {
@@ -320,7 +335,10 @@ ConstrainedResult ConstrainedExecutor::run() {
     // ---- Recurrence detection, sampled at reference-actor completions.
     if (fire_count_[ref] != sampled_ref_fires) {
       sampled_ref_fires = fire_count_[ref];
-      const auto [it, inserted] = seen.try_emplace(make_key());
+      encode_key(scratch);
+      // try_emplace leaves `scratch` untouched when the key already exists
+      // (recurrence hit) and moves its buffer into the map otherwise.
+      const auto [it, inserted] = seen.try_emplace(std::move(scratch));
       if (!inserted) {
         const Snapshot& prev = it->second;
         const std::int64_t span = now_ - prev.time;

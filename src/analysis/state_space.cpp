@@ -17,12 +17,15 @@ struct ExecState {
   std::vector<std::int64_t> tokens;
   std::vector<RemainingMultiset> remaining;  // per actor
 
-  StateKey key() const {
-    StateKey k;
+  /// Serializes into a caller-owned key, reusing its word storage: on a map
+  /// hit the buffer survives intact, so steady-state sampling allocates
+  /// nothing (re-serializing into a fresh StateKey per sample was the
+  /// engine's hottest allocation site).
+  void encode_key(StateKey& k) const {
+    k.words.clear();
     k.words.reserve(tokens.size() + remaining.size() * 3);
     k.words.insert(k.words.end(), tokens.begin(), tokens.end());
     for (const auto& r : remaining) r.encode(k.words);
-    return k;
   }
 };
 
@@ -90,11 +93,28 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
   std::int64_t sampled_ref_fires = -1;
   std::uint64_t steps = 0;
 
+  // Sampling at reference completions stores roughly γ(ref) states per
+  // iteration; pre-size the map for a few iterations (capped — exploration
+  // may close long before the estimate) to skip the early rehash ladder.
+  seen.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      std::min<std::uint64_t>(4096, limits.max_states),
+      static_cast<std::uint64_t>(gamma[ref]) * 4 + 16)));
+
+  // Scratch key reused across samples (see ExecState::encode_key) and one
+  // TransitionEvent reused across instants: with no observer installed its
+  // vectors are never touched, so the per-transition cost of tracing support
+  // is zero; with an observer, clear() keeps their capacity.
+  StateKey scratch;
+  TransitionEvent event;
+
   while (true) {
     // --- Fixpoint at the current instant: end finished firings, start all
     // enabled firings, repeat until stable (zero-time firings cascade).
-    TransitionEvent event;
-    event.time = now;
+    if (observer) {
+      event.time = now;
+      event.ended.clear();
+      event.started.clear();
+    }
     std::uint64_t instant_events = 0;
     bool changed = true;
     while (changed) {
@@ -144,7 +164,10 @@ SelfTimedResult self_timed_throughput(const Graph& g, const RepetitionVector& ga
     // --- Recurrence detection, sampled at reference-actor completions.
     if (fire_count[ref] != sampled_ref_fires) {
       sampled_ref_fires = fire_count[ref];
-      const auto [it, inserted] = seen.try_emplace(state.key());
+      state.encode_key(scratch);
+      // try_emplace leaves `scratch` untouched when the key already exists
+      // (recurrence hit) and moves its buffer into the map otherwise.
+      const auto [it, inserted] = seen.try_emplace(std::move(scratch));
       if (!inserted) {
         const Snapshot& prev = it->second;
         const std::int64_t span = now - prev.time;

@@ -43,7 +43,8 @@ StorageResult minimize_storage(const Graph& g, const Rational& target_period,
     const auto bounded_gamma = compute_repetition_vector(bounded);
     if (!bounded_gamma) return Rational(0);
     try {
-      const SelfTimedResult r = self_timed_throughput(bounded, *bounded_gamma, options.limits);
+      const SelfTimedResult r = cached_self_timed_throughput(
+          options.cache.get(), &result.cache, bounded, *bounded_gamma, options.limits);
       return r.deadlocked() ? Rational(0) : r.iteration_period;
     } catch (const AnalysisError& e) {
       if (e.budget_exhausted()) throw;

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/state_space.h"
 #include "src/runtime/parallel.h"
 #include "src/sdf/graph.h"
@@ -22,6 +24,10 @@ struct StorageOptions {
   ExecutionLimits limits;
   /// Cap on greedy growth/shrink rounds.
   int max_rounds = 1024;
+  /// Optional shared memoization cache for the self-timed checks
+  /// (src/analysis/cache.h): Pareto sweeps re-evaluate many capacity
+  /// distributions across neighbouring target periods. Null = no caching.
+  std::shared_ptr<ThroughputCache> cache;
 };
 
 /// Result of minimize_storage.
@@ -41,6 +47,8 @@ struct StorageResult {
   /// feasible so far — valid, just not locally minimal.
   bool degraded = false;
   std::string degradation_reason;
+  /// Cache accounting of this search's checks (all zero without a cache).
+  CacheStats cache;
 };
 
 /// The capacity-constrained graph: every non-self-loop channel with

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binding_aware.h"
@@ -67,9 +68,10 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
             if (!gamma) return Rational(0);
             ExecutionLimits limits = options.limits;
             limits.budget = engine_budget.for_one_check();
-            const ConstrainedResult run = execute_constrained(
-                bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
-                SchedulingMode::kStaticOrder, limits);
+            const ConstrainedResult run = cached_execute_constrained(
+                options.cache.get(), &cctx.diagnostics.cache, bag.graph, *gamma,
+                make_constrained_spec(arch, bag, schedules), SchedulingMode::kStaticOrder,
+                limits);
             return run.base.throughput();
           } catch (const std::invalid_argument&) {
             // α below the channel's initial tokens: not a representable buffer.
@@ -78,7 +80,8 @@ BufferSizingResult minimize_buffers(const ApplicationGraph& app, const Architect
         },
         [&] {
           return conservative_throughput(candidate, arch, binding, schedules, slices,
-                                         fallback_limits)
+                                         fallback_limits, ConnectionModel{},
+                                         options.cache.get(), &cctx.diagnostics.cache)
               .base.throughput();
         });
   };

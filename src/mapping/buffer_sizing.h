@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/analysis/state_space.h"
@@ -22,6 +23,10 @@ struct BufferSizingOptions {
   bool degrade_to_conservative = true;
   /// Test hook invoked before each throughput check (see resilience.h).
   EngineFaultHook engine_fault_hook;
+  /// Optional shared throughput-check memoization cache (src/analysis/cache.h):
+  /// candidate rounds re-evaluate many identical (graph, binding, slices, α)
+  /// configurations across descent steps. Null = no caching.
+  std::shared_ptr<ThroughputCache> cache;
 };
 
 /// Outcome of minimize_buffers.

@@ -34,6 +34,9 @@ struct DimensioningResult {
   StrategyDiagnostics diagnostics;
 };
 
+/// A cache on options.strategy.cache is shared across every candidate
+/// platform tried: checks only depend on the tiles an application actually
+/// uses, so identical sub-allocations recur between neighbouring candidates.
 [[nodiscard]] DimensioningResult dimension_platform(
     const std::vector<ApplicationGraph>& apps, const std::vector<Architecture>& candidates,
     const MultiAppOptions& options = {});

@@ -1,5 +1,6 @@
 #include "src/mapping/list_scheduler.h"
 
+#include "src/analysis/cache.h"
 #include "src/sdf/repetition_vector.h"
 
 namespace sdfmap {
@@ -20,7 +21,8 @@ ConstrainedSpec make_constrained_spec(const Architecture& arch, const BindingAwa
 ListSchedulingResult construct_schedules(const ApplicationGraph& app, const Architecture& arch,
                                          const Binding& binding,
                                          const ExecutionLimits& limits,
-                                         const ConnectionModel& model) {
+                                         const ConnectionModel& model, ThroughputCache* cache,
+                                         CacheStats* stats) {
   ListSchedulingResult result;
   result.binding_aware =
       build_binding_aware_graph(app, arch, binding, half_wheel_slices(arch), model);
@@ -32,8 +34,9 @@ ListSchedulingResult construct_schedules(const ApplicationGraph& app, const Arch
   }
 
   const ConstrainedSpec spec = make_constrained_spec(arch, result.binding_aware);
-  const ConstrainedResult run = execute_constrained(result.binding_aware.graph, *gamma, spec,
-                                                    SchedulingMode::kListScheduling, limits);
+  const ConstrainedResult run =
+      cached_execute_constrained(cache, stats, result.binding_aware.graph, *gamma, spec,
+                                 SchedulingMode::kListScheduling, limits);
   result.states_explored = run.base.states_stored;
   if (run.base.deadlocked()) {
     result.failure_reason = "binding-aware graph deadlocks under list scheduling";

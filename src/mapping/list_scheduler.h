@@ -10,6 +10,9 @@
 
 namespace sdfmap {
 
+class ThroughputCache;
+struct CacheStats;
+
 /// Outcome of the static-order schedule construction (Sec. 9.2).
 struct ListSchedulingResult {
   bool success = false;
@@ -28,11 +31,17 @@ struct ListSchedulingResult {
 /// when the processor idles; execution stops at a recurrent state, and each
 /// tile's recorded firing order — split into transient and periodic part at
 /// the recurrent state — is reduced (e.g. a1(a2a1)^8* to (a1a2)*).
+///
+/// `cache`/`stats` optionally memoize the list-scheduling run (the cached
+/// ConstrainedResult carries the recorded schedules, so a hit reproduces the
+/// exact same orders); see src/analysis/cache.h.
 [[nodiscard]] ListSchedulingResult construct_schedules(const ApplicationGraph& app,
                                                        const Architecture& arch,
                                                        const Binding& binding,
                                                        const ExecutionLimits& limits = {},
-                                                       const ConnectionModel& model = {});
+                                                       const ConnectionModel& model = {},
+                                                       ThroughputCache* cache = nullptr,
+                                                       CacheStats* stats = nullptr);
 
 /// Builds the ConstrainedSpec (tile wheels/slices + per-actor tile indices)
 /// for a binding-aware graph; `schedules` may be empty (list mode) or one per

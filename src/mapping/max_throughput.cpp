@@ -1,5 +1,6 @@
 #include "src/mapping/max_throughput.h"
 
+#include "src/analysis/cache.h"
 #include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binder.h"
@@ -12,8 +13,12 @@ namespace sdfmap {
 
 MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Architecture& arch,
                                         const TileCostWeights& weights,
-                                        const ExecutionLimits& limits) {
+                                        const ExecutionLimits& limits,
+                                        const std::shared_ptr<ThroughputCache>& cache) {
   MaxThroughputResult result;
+  // Accumulated locally: `result.diagnostics` is overwritten wholesale from
+  // the check context below, which would drop the scheduling stage's counts.
+  CacheStats cache_stats;
 
   const BindingResult bound = bind_actors(app, arch, weights);
   if (!bound.success) {
@@ -22,9 +27,11 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
   }
   result.binding = rebalance_binding(app, arch, weights, bound.binding);
 
-  const ListSchedulingResult sched = construct_schedules(app, arch, result.binding);
+  const ListSchedulingResult sched =
+      construct_schedules(app, arch, result.binding, {}, {}, cache.get(), &cache_stats);
   if (!sched.success) {
     result.failure_reason = sched.failure_reason;
+    result.diagnostics.cache = cache_stats;
     return result;
   }
   result.schedules = sched.schedules;
@@ -41,6 +48,7 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
   const auto gamma = compute_repetition_vector(bag.graph);
   if (!gamma) {
     result.failure_reason = "binding-aware graph is inconsistent";
+    result.diagnostics.cache = cache_stats;
     return result;
   }
   CheckContext ctx;
@@ -49,8 +57,9 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
       [&] {
         ExecutionLimits per_check = limits;
         per_check.budget = limits.budget.for_one_check();
-        const ConstrainedResult run = execute_constrained(
-            bag.graph, *gamma, make_constrained_spec(arch, bag, result.schedules),
+        const ConstrainedResult run = cached_execute_constrained(
+            cache.get(), &cache_stats, bag.graph, *gamma,
+            make_constrained_spec(arch, bag, result.schedules),
             SchedulingMode::kStaticOrder, per_check);
         return run.base.throughput();
       },
@@ -58,10 +67,12 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
         ExecutionLimits fallback = limits;
         fallback.budget = AnalysisBudget{};
         return conservative_throughput(app, arch, result.binding, result.schedules,
-                                       result.slices, fallback)
+                                       result.slices, fallback, ConnectionModel{},
+                                       cache.get(), &cache_stats)
             .base.throughput();
       });
   result.diagnostics = ctx.diagnostics;
+  result.diagnostics.cache.merge(cache_stats);
   if (thr.is_zero()) {
     result.failure_reason = ctx.diagnostics.degraded()
                                 ? "throughput analysis exhausted its budget"
@@ -79,7 +90,8 @@ MaxThroughputResult maximize_throughput(const ApplicationGraph& app, const Archi
 
 WeightSweepResult maximize_throughput_over_weights(
     const ApplicationGraph& app, const Architecture& arch,
-    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits) {
+    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits,
+    const std::shared_ptr<ThroughputCache>& cache) {
   WeightSweepResult sweep;
   if (weight_candidates.empty()) return sweep;
   // The app is shared read-only by all candidates: force its lazily cached
@@ -87,8 +99,8 @@ WeightSweepResult maximize_throughput_over_weights(
   (void)app.repetition_vector();
   sweep.candidates = parallel_transform(
       weight_candidates,
-      [&app, &arch, &limits](const TileCostWeights& weights, std::size_t) {
-        return maximize_throughput(app, arch, weights, limits);
+      [&app, &arch, &limits, &cache](const TileCostWeights& weights, std::size_t) {
+        return maximize_throughput(app, arch, weights, limits, cache);
       },
       ParallelOptions{}, &sweep.parallel);
   for (std::size_t i = 0; i < sweep.candidates.size(); ++i) {

@@ -31,11 +31,13 @@ struct MaxThroughputResult {
 /// remaining wheel. The application's own throughput constraint is ignored —
 /// the result reports what the platform can deliver at most. The limits carry
 /// the analysis budget; on exhaustion the throughput falls back to the
-/// conservative bound (an underestimate of the true maximum).
-[[nodiscard]] MaxThroughputResult maximize_throughput(const ApplicationGraph& app,
-                                                      const Architecture& arch,
-                                                      const TileCostWeights& weights = {},
-                                                      const ExecutionLimits& limits = {});
+/// conservative bound (an underestimate of the true maximum). A shared
+/// `cache` memoizes the scheduling and throughput checks (src/analysis/
+/// cache.h) — weight sweeps repeat many identical bindings.
+[[nodiscard]] MaxThroughputResult maximize_throughput(
+    const ApplicationGraph& app, const Architecture& arch,
+    const TileCostWeights& weights = {}, const ExecutionLimits& limits = {},
+    const std::shared_ptr<ThroughputCache>& cache = {});
 
 /// Result of maximize_throughput_over_weights: every candidate's outcome (in
 /// input order) plus the index of the winner.
@@ -54,9 +56,11 @@ struct WeightSweepResult {
 /// exploration of Sec. 9's experiments — on the runtime's parallel pool
 /// (--jobs). Candidates are independent; results are reduced in input order,
 /// so the winner and every reported number are byte-identical for every jobs
-/// level.
+/// level. The shared `cache` (thread-safe) deduplicates checks across
+/// candidates that bind identically.
 [[nodiscard]] WeightSweepResult maximize_throughput_over_weights(
     const ApplicationGraph& app, const Architecture& arch,
-    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits = {});
+    const std::vector<TileCostWeights>& weight_candidates, const ExecutionLimits& limits = {},
+    const std::shared_ptr<ThroughputCache>& cache = {});
 
 }  // namespace sdfmap

@@ -27,6 +27,10 @@ enum class OrderingPolicy {
 
 /// Options of the multi-application allocation loop.
 struct MultiAppOptions {
+  /// Per-application strategy settings. A cache set on strategy.cache is
+  /// shared by every allocation of the sequence — applications drawn from the
+  /// same benchmark family repeat many identical throughput checks — and its
+  /// per-run counts aggregate into MultiAppResult::diagnostics.cache.
   StrategyOptions strategy;
   FailurePolicy failure_policy = FailurePolicy::kStopAtFirstFailure;
   OrderingPolicy ordering = OrderingPolicy::kAsGiven;

@@ -14,6 +14,7 @@ void StrategyDiagnostics::merge(const StrategyDiagnostics& other) {
   check_seconds += other.check_seconds;
   events.insert(events.end(), other.events.begin(), other.events.end());
   parallel.merge(other.parallel);
+  cache.merge(other.cache);
   lint.insert(lint.end(), other.lint.begin(), other.lint.end());
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/error.h"
 #include "src/lint/diagnostic.h"
 #include "src/runtime/parallel.h"
@@ -45,6 +46,11 @@ struct StrategyDiagnostics {
   double check_seconds = 0;   ///< wall-clock spent inside throughput checks
   std::vector<DegradationEvent> events;
   ParallelStats parallel;     ///< parallel regions this run entered (empty when serial)
+  /// Throughput-cache accounting of this run (all zero without a cache; see
+  /// StrategyOptions::cache). Excluded from summary(): hit counts of a cache
+  /// shared across parallel runs are timing-dependent, so they are reported
+  /// on stderr only — never on the byte-stable stdout path.
+  CacheStats cache;
   /// Findings of the strategy's mandatory lint pre-pass (graph + platform
   /// packs). Errors here mean the run was rejected before any engine started;
   /// warnings ride along on successful runs.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/conservative.h"
 #include "src/analysis/constrained.h"
 #include "src/mapping/binding_aware.h"
@@ -42,13 +43,16 @@ class SliceEvaluator {
           const ConstrainedSpec spec = make_constrained_spec(arch_, bag, schedules_);
           ExecutionLimits limits = options_.limits;
           limits.budget = options_.limits.budget.for_one_check();
-          const ConstrainedResult run = execute_constrained(
-              bag.graph, *gamma, spec, SchedulingMode::kStaticOrder, limits);
+          const ConstrainedResult run =
+              cached_execute_constrained(options_.cache.get(), &ctx_.diagnostics.cache,
+                                         bag.graph, *gamma, spec,
+                                         SchedulingMode::kStaticOrder, limits);
           return run.base.throughput();
         },
         [&] {
           return conservative_throughput(app_, arch_, binding_, schedules_, slices,
-                                         fallback_limits_, options_.connection_model)
+                                         fallback_limits_, options_.connection_model,
+                                         options_.cache.get(), &ctx_.diagnostics.cache)
               .base.throughput();
         });
   }

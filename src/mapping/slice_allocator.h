@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct SliceAllocationOptions {
   bool degrade_to_conservative = true;
   /// Test hook invoked before each throughput check (see resilience.h).
   EngineFaultHook engine_fault_hook;
+  /// Optional shared memoization cache consulted before every constrained
+  /// throughput check (src/analysis/cache.h, docs/PERF.md). Null = no
+  /// caching. Results are pure functions of the cached fingerprint, so
+  /// allocations are identical with the cache on or off; accounting lands in
+  /// StrategyDiagnostics::cache.
+  std::shared_ptr<ThroughputCache> cache;
 };
 
 /// Outcome of the time-slice allocation.

@@ -67,9 +67,12 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
   // ---- Step 2: static-order schedules (Sec. 9.2).
   t0 = std::chrono::steady_clock::now();
   result.stage = "scheduling";
+  CacheStats scheduling_cache_stats;
   ListSchedulingResult scheduled = construct_schedules(
-      app, arch, result.binding, options.slices.limits, options.slices.connection_model);
+      app, arch, result.binding, options.slices.limits, options.slices.connection_model,
+      options.cache.get(), &scheduling_cache_stats);
   result.scheduling_seconds = seconds_since(t0);
+  result.diagnostics.cache = scheduling_cache_stats;
   if (!scheduled.success) {
     result.failure_reason = scheduled.failure_reason;
     result.failure_kind = FailureKind::kSchedulingFailed;
@@ -82,6 +85,7 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
   result.stage = "slices";
   SliceAllocationOptions slice_options = options.slices;
   slice_options.degrade_to_conservative = options.degrade_to_conservative;
+  slice_options.cache = options.cache;
   if (!slice_options.engine_fault_hook) {
     slice_options.engine_fault_hook = options.engine_fault_hook;
   }
@@ -89,9 +93,12 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
       allocate_slices(app, arch, result.binding, result.schedules, slice_options);
   result.slice_seconds = seconds_since(t0);
   result.throughput_checks = sliced.throughput_checks;
+  // The wholesale diagnostics overwrite would drop the lint findings and the
+  // scheduling stage's cache counts; carry both across.
   std::vector<Diagnostic> lint_findings = std::move(result.diagnostics.lint);
   result.diagnostics = sliced.diagnostics;
   result.diagnostics.lint = std::move(lint_findings);
+  result.diagnostics.cache.merge(scheduling_cache_stats);
   if (!sliced.success) {
     result.failure_reason = sliced.failure_reason;
     result.failure_kind = FailureKind::kSliceAllocationFailed;

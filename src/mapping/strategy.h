@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,14 @@ struct StrategyOptions {
   /// Fault-injection hook run before every throughput check (see
   /// resilience.h). Forwarded into the slice allocator.
   EngineFaultHook engine_fault_hook;
+  /// Optional throughput-check memoization cache (src/analysis/cache.h),
+  /// consulted by the scheduling and slice-allocation stages. Share one
+  /// instance across runs — e.g. every run of a Table-4 sweep, or every
+  /// application of a use-case — to deduplicate identical checks; the cache
+  /// is thread-safe and the allocation is byte-identical with or without it
+  /// (results are pure functions of the cached fingerprint). Accounting lands
+  /// in StrategyResult::diagnostics.cache. Null = no caching.
+  std::shared_ptr<ThroughputCache> cache;
 };
 
 /// Complete result of the three-step strategy for one application.

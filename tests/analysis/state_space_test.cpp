@@ -117,6 +117,31 @@ TEST(StateSpace, ObserverSeesTransitions) {
   EXPECT_TRUE(saw_end);
 }
 
+TEST(StateSpace, ObserverDoesNotChangeTheResult) {
+  // The engine skips TransitionEvent construction entirely when no observer
+  // is installed (hot-path fast path); both modes must explore the same
+  // space and report identical result fields.
+  GraphBuilder b;
+  b.actor("a", 3).actor("x", 2).actor("y", 4);
+  b.channel("a", "x", 2, 1).channel("x", "y", 1, 3).channel("y", "a", 3, 2, 6);
+  const Graph& g = b.build();
+
+  const SelfTimedResult plain = self_timed_throughput(g);
+  std::size_t events = 0;
+  const SelfTimedResult observed = self_timed_throughput(
+      g, ExecutionLimits{}, [&events](const TransitionEvent&) { ++events; });
+
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(observed.status, plain.status);
+  EXPECT_EQ(observed.iteration_period, plain.iteration_period);
+  EXPECT_EQ(observed.states_stored, plain.states_stored);
+  EXPECT_EQ(observed.cycle_start_time, plain.cycle_start_time);
+  EXPECT_EQ(observed.cycle_end_time, plain.cycle_end_time);
+  EXPECT_EQ(observed.cycle_firings, plain.cycle_firings);
+  EXPECT_EQ(observed.period_firings, plain.period_firings);
+  EXPECT_EQ(observed.max_tokens, plain.max_tokens);
+}
+
 TEST(StateSpace, ActorThroughputScalesWithGamma) {
   GraphBuilder b;
   b.actor("a", 4).actor("b", 3);
