@@ -10,6 +10,9 @@
 //   3. Table-4-style allocation sweep at --jobs 1/2/8 with the cache off and
 //      on: asserts that the deterministic report is byte-identical across all
 //      six configurations and that the cache-on runs actually hit.
+//   4. Warm start: the sweep runs twice against a persistent cache store
+//      (docs/CACHE.md), asserting the run-2 hit rate strictly exceeds run-1
+//      (run 2 warm-starts from run 1's records) with byte-identical reports.
 //
 // stdout carries only deterministic verdicts (PASS/FAIL lines); every timing
 // and cache statistic goes to stderr and into the machine-readable JSON file
@@ -17,14 +20,21 @@
 //
 // Usage:
 //   bench_perf_statespace [--quick] [--out=<file>] [--cache | --no-cache]
+//                         [--cache-dir=<dir>]
 //
 // --quick shrinks every section for CI smoke runs. --no-cache only drops the
 // cache-on half of the sweep (section 3 then checks determinism across the
-// three cache-off configurations). Exit code: 0 success, 1 assertion failed.
+// three cache-off configurations) and the warm-start section. --cache-dir
+// (or SDFMAP_CACHE_DIR) backs section 3's cache-on runs with a persistent
+// store, so a repeated invocation warm-starts across processes; the
+// warm-start section uses a dedicated subdirectory it clears first, keeping
+// its cold-then-warm verdict deterministic. Exit code: 0 success, 1
+// assertion failed.
 
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +42,8 @@
 #include "bench/bench_util.h"
 #include "src/analysis/cache.h"
 #include "src/analysis/constrained.h"
+#include "src/analysis/persistent_cache.h"
+#include "src/support/file_io.h"
 #include "src/analysis/state_hash.h"
 #include "src/analysis/state_space.h"
 #include "src/appmodel/media.h"
@@ -218,13 +230,16 @@ struct SweepOutcome {
 /// (1,0,0), (0,2,4) like (0,1,2) — the redundancy real weight explorations
 /// carry, which is precisely what the shared cache collapses.
 SweepOutcome run_sweep_once(const std::vector<std::vector<ApplicationGraph>>& sequences,
-                            const Architecture& arch, SweepConfig config) {
+                            const Architecture& arch, SweepConfig config,
+                            const std::string& cache_dir = "") {
   static const TileCostWeights kCostFunctions[] = {
       {1, 0, 0}, {2, 0, 0}, {0, 1, 2}, {0, 2, 4}, {1, 1, 1}};
   SweepOutcome out;
   out.config = config;
   TaskPool::set_global_jobs(config.jobs);
-  const auto cache = config.cache ? std::make_shared<ThroughputCache>() : nullptr;
+  // Non-empty cache_dir backs the cache with a persistent store (opened
+  // here, flushed and released when `cache` goes out of scope).
+  const auto cache = config.cache ? make_persistent_throughput_cache(cache_dir) : nullptr;
 
   struct Run {
     int fn;
@@ -267,7 +282,7 @@ SweepOutcome run_sweep_once(const std::vector<std::vector<ApplicationGraph>>& se
   return out;
 }
 
-std::vector<SweepOutcome> run_sweep(bool quick, bool with_cache) {
+std::vector<std::vector<ApplicationGraph>> make_sweep_sequences(bool quick) {
   const std::size_t length = quick ? 6 : 16;
   const int num_sequences = quick ? 1 : 2;
   std::vector<std::vector<ApplicationGraph>> sequences;
@@ -275,23 +290,64 @@ std::vector<SweepOutcome> run_sweep(bool quick, bool with_cache) {
     sequences.push_back(generate_sequence(BenchmarkSet::kMixed, length,
                                           1 + static_cast<std::uint64_t>(seq)));
   }
+  return sequences;
+}
+
+std::vector<SweepOutcome> run_sweep(bool quick, bool with_cache,
+                                    const std::string& cache_dir) {
+  const auto sequences = make_sweep_sequences(quick);
   const Architecture arch = make_benchmark_architecture(0);
 
   std::vector<SweepOutcome> outcomes;
   for (const unsigned jobs : {1u, 2u, 8u}) {
     outcomes.push_back(run_sweep_once(sequences, arch, SweepConfig{jobs, false}));
     if (with_cache) {
-      outcomes.push_back(run_sweep_once(sequences, arch, SweepConfig{jobs, true}));
+      outcomes.push_back(run_sweep_once(sequences, arch, SweepConfig{jobs, true}, cache_dir));
     }
   }
   return outcomes;
 }
 
 // ---------------------------------------------------------------------------
+// Section 4: warm start across persistent-store generations.
+
+struct WarmStartResult {
+  SweepOutcome cold;  // run 1: fresh store
+  SweepOutcome warm;  // run 2: same store, warm-started from run 1's records
+  bool identical = false;
+  bool improved = false;  // warm hit rate strictly exceeds the cold one
+};
+
+/// Clears any previous store at `dir` so the cold-then-warm verdict is
+/// deterministic no matter how often the harness ran before.
+void clear_store(const std::string& dir) {
+  FileIo io;
+  try {
+    for (const std::string& name : io.list_files(dir)) io.remove_file(dir + "/" + name);
+  } catch (const IoError&) {
+    // Missing directory: nothing to clear.
+  }
+}
+
+WarmStartResult run_warm_start(bool quick, const std::string& dir) {
+  const auto sequences = make_sweep_sequences(quick);
+  const Architecture arch = make_benchmark_architecture(0);
+  clear_store(dir);
+  WarmStartResult r;
+  r.cold = run_sweep_once(sequences, arch, SweepConfig{2u, true}, dir);
+  r.warm = run_sweep_once(sequences, arch, SweepConfig{2u, true}, dir);
+  r.identical = r.cold.report == r.warm.report;
+  r.improved = r.warm.stats.hit_rate() > r.cold.stats.hit_rate();
+  std::cerr << "[warm] run 1 (cold): " << r.cold.stats.summary() << "\n";
+  std::cerr << "[warm] run 2 (warm): " << r.warm.stats.summary() << "\n";
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 
 void write_json(const std::string& path, bool quick, const HashBenchResult& hash,
                 const EngineBenchResult& engine, const std::vector<SweepOutcome>& sweep,
-                bool determinism_ok, bool cache_hit_ok) {
+                bool determinism_ok, bool cache_hit_ok, const WarmStartResult* warm) {
   std::ofstream os(path);
   os << "{\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
@@ -314,6 +370,15 @@ void write_json(const std::string& path, bool quick, const HashBenchResult& hash
        << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
+  if (warm) {
+    os << "  \"warm_start\": {\"cold_hits\": " << warm->cold.stats.hits
+       << ", \"cold_lookups\": " << warm->cold.stats.lookups()
+       << ", \"warm_hits\": " << warm->warm.stats.hits
+       << ", \"warm_lookups\": " << warm->warm.stats.lookups()
+       << ", \"warm_disk_hits\": " << warm->warm.stats.disk_hits
+       << ", \"identical\": " << (warm->identical ? "true" : "false")
+       << ", \"improved\": " << (warm->improved ? "true" : "false") << "},\n";
+  }
   os << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false") << ",\n";
   os << "  \"cache_hit_ok\": " << (cache_hit_ok ? "true" : "false") << "\n";
   os << "}\n";
@@ -328,12 +393,22 @@ int main(int argc, char** argv) {
                           : args.has("cache")  ? true
                                                : cache_enabled_from_env(true);
   const std::string out_path = args.get("out", "BENCH_statespace.json");
+  const std::string cache_dir = args.get("cache-dir", cache_dir_from_env());
 
   benchutil::heading("state-space performance harness" + std::string(quick ? " (quick)" : ""));
 
   const HashBenchResult hash = run_hash_bench(quick);
   const EngineBenchResult engine = run_engine_bench(quick);
-  const std::vector<SweepOutcome> sweep = run_sweep(quick, with_cache);
+  const std::vector<SweepOutcome> sweep = run_sweep(quick, with_cache, cache_dir);
+  // The warm-start store lives in its own cleared-first location so the
+  // cold-then-warm comparison stays deterministic even under a shared
+  // --cache-dir (which section 3 uses as-is for cross-process warm starts).
+  std::optional<WarmStartResult> warm;
+  if (with_cache) {
+    const std::string warm_dir =
+        (cache_dir.empty() ? out_path + ".cache" : cache_dir) + "/warm-start";
+    warm = run_warm_start(quick, warm_dir);
+  }
 
   // Deterministic verdicts only on stdout: the workload reports must be
   // byte-identical across every (jobs, cache) configuration, and every
@@ -353,8 +428,15 @@ int main(int argc, char** argv) {
     std::cout << "cache hits in every cache-on configuration: "
               << (cache_hit_ok ? "PASS" : "FAIL") << "\n";
   }
+  bool warm_ok = true;
+  if (warm) {
+    warm_ok = warm->identical && warm->improved;
+    std::cout << "warm start: run-2 hit rate strictly exceeds run-1, identical report: "
+              << (warm_ok ? "PASS" : "FAIL") << "\n";
+  }
 
-  write_json(out_path, quick, hash, engine, sweep, determinism_ok, cache_hit_ok);
+  write_json(out_path, quick, hash, engine, sweep, determinism_ok, cache_hit_ok,
+             warm ? &*warm : nullptr);
   std::cerr << "[out] wrote " << out_path << "\n";
-  return determinism_ok && cache_hit_ok ? 0 : 1;
+  return determinism_ok && cache_hit_ok && warm_ok ? 0 : 1;
 }

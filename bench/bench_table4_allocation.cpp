@@ -45,8 +45,10 @@ std::chrono::milliseconds g_per_check_deadline{0};
 
 /// Shared throughput-check cache of the whole sweep (--cache/--no-cache,
 /// default on): the 180 runs repeat many identical bindings across cost
-/// functions and sequences. Null when disabled. The stdout report is
-/// byte-identical either way; hit statistics go to stderr.
+/// functions and sequences. With --cache-dir/SDFMAP_CACHE_DIR the cache is
+/// backed by a persistent store, so a repeated sweep warm-starts from the
+/// previous run's checks (docs/CACHE.md). Null when disabled. The stdout
+/// report is byte-identical either way; hit statistics go to stderr.
 std::shared_ptr<ThroughputCache> g_cache;
 
 constexpr std::size_t kSequenceLength = 48;

@@ -38,7 +38,9 @@ const TileCostWeights kCostFunctions[] = {
     {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {0, 1, 2}};
 
 /// Shared throughput-check cache of the whole sweep (--cache/--no-cache,
-/// default on); stdout is byte-identical either way, stats go to stderr.
+/// default on); --cache-dir/SDFMAP_CACHE_DIR backs it with a persistent
+/// store so repeated sweeps warm-start (docs/CACHE.md). stdout is
+/// byte-identical either way, stats go to stderr.
 std::shared_ptr<ThroughputCache> g_cache;
 
 struct Usage {

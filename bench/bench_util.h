@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/analysis/cache.h"
+#include "src/analysis/persistent_cache.h"
 #include "src/runtime/parallel.h"
 #include "src/runtime/task_pool.h"
 #include "src/support/cli.h"
@@ -74,24 +75,39 @@ inline void report_parallelism(const ParallelStats& stats) {
 }
 
 /// Builds the benchmark's shared throughput-check cache from --cache /
-/// --no-cache and the SDFMAP_CACHE env (flags win; default on). Returns null
+/// --no-cache and the SDFMAP_CACHE env (flags win; default on), plus the
+/// persistent store requested by --cache-dir / SDFMAP_CACHE_DIR so repeated
+/// sweeps warm-start from each other's runs (docs/CACHE.md). Returns null
 /// when disabled; announces the choice on stderr. The report on stdout is
-/// byte-identical either way — only run time and the stderr statistics move.
+/// byte-identical either way — only run time and the stderr statistics move,
+/// and any disk problem degrades the cache to its in-memory tier.
 inline std::shared_ptr<ThroughputCache> configure_cache(const CliArgs& args) {
   const bool enabled = args.has("cache")      ? true
                        : args.has("no-cache") ? false
                                               : cache_enabled_from_env(true);
-  std::cerr << "[cache] throughput-check cache " << (enabled ? "on" : "off") << "\n";
-  return enabled ? std::make_shared<ThroughputCache>() : nullptr;
+  const std::string dir = enabled ? args.get("cache-dir", cache_dir_from_env()) : "";
+  std::cerr << "[cache] throughput-check cache " << (enabled ? "on" : "off");
+  if (!dir.empty()) std::cerr << ", persistent store at " << dir;
+  std::cerr << "\n";
+  return enabled ? make_persistent_throughput_cache(dir) : nullptr;
 }
 
-/// Prints a shared cache's lifetime totals to **stderr**: hit/miss counts of
-/// a cache raced by parallel runs are timing-dependent, so they must never
-/// reach the byte-stable stdout report.
+/// Prints a shared cache's lifetime totals — memory and disk tiers — to
+/// **stderr**: hit/miss counts of a cache raced by parallel runs are
+/// timing-dependent, so they must never reach the byte-stable stdout report.
+/// Also flushes the persistent store and prints its recovery/degradation
+/// events.
 inline void report_cache(const std::shared_ptr<ThroughputCache>& cache) {
   if (!cache) return;
+  cache->flush_persistent();
   std::cerr << "[cache] " << cache->stats().summary() << ", " << cache->size()
             << " resident entries\n";
+  if (const std::shared_ptr<PersistentCache> disk = cache->persistent()) {
+    for (const DiskCacheEvent& event : disk->events()) {
+      std::cerr << "[cache] disk " << disk_event_kind_name(event.kind) << ": "
+                << event.detail << "\n";
+    }
+  }
 }
 
 }  // namespace sdfmap::benchutil

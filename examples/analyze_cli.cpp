@@ -11,6 +11,10 @@
 //               [--cache | --no-cache]   # throughput-check memoization
 //                                        # (default on; SDFMAP_CACHE=0|1;
 //                                        #  stats go to stderr only)
+//               [--cache-dir=<dir>]      # persistent store (SDFMAP_CACHE_DIR,
+//                                        # docs/CACHE.md); repeated analyses
+//                                        # warm-start; disk faults degrade to
+//                                        # the in-memory tier
 //   analyze_cli lint <file...> [--format=text|sarif|json] [--lint-level=...]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
 //
@@ -32,6 +36,7 @@
 
 #include "src/analysis/cache.h"
 #include "src/analysis/latency.h"
+#include "src/analysis/persistent_cache.h"
 #include "src/analysis/storage.h"
 #include "src/analysis/throughput.h"
 #include "src/appmodel/media.h"
@@ -171,7 +176,9 @@ int run(const CliArgs& args) {
   const bool cache_on = args.has("cache")      ? true
                         : args.has("no-cache") ? false
                                                : cache_enabled_from_env(true);
-  const auto cache = cache_on ? std::make_shared<ThroughputCache>() : nullptr;
+  const auto cache =
+      cache_on ? make_persistent_throughput_cache(args.get("cache-dir", cache_dir_from_env()))
+               : nullptr;
 
   const GraphDiagnostics diag = diagnose_graph(g);
   std::cout << diag.to_string(g);
@@ -200,7 +207,16 @@ int run(const CliArgs& args) {
     storage_options.limits = limits;
     storage_options.cache = cache;
     const StorageResult storage = minimize_storage(g, target, storage_options);
-    if (cache) std::cerr << "throughput cache: " << storage.cache.summary() << "\n";
+    if (cache) {
+      cache->flush_persistent();
+      std::cerr << "throughput cache: " << cache->stats().summary() << "\n";
+      if (const auto disk = cache->persistent()) {
+        for (const DiskCacheEvent& event : disk->events()) {
+          std::cerr << "throughput cache disk " << disk_event_kind_name(event.kind) << ": "
+                    << event.detail << "\n";
+        }
+      }
+    }
     if (!storage.success) {
       std::cout << "storage minimization failed: " << storage.failure_reason << "\n";
     } else {

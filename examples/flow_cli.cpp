@@ -13,6 +13,11 @@
 //                                     # on; SDFMAP_CACHE=0|1; the allocation
 //                                     # is identical either way — cache stats
 //                                     # go to stderr only)
+//            [--cache-dir=<dir>]      # persistent throughput-check store
+//                                     # (SDFMAP_CACHE_DIR; docs/CACHE.md):
+//                                     # repeated runs warm-start from it; any
+//                                     # disk problem degrades to the
+//                                     # in-memory tier, never fails the run
 //   flow_cli --app=<file> --platform=<file> --lint [--lint-level=l]
 //   flow_cli --dump-examples [--dir=.]
 //
@@ -34,6 +39,7 @@
 
 #include "src/analysis/cache.h"
 #include "src/analysis/metrics.h"
+#include "src/analysis/persistent_cache.h"
 #include "src/appmodel/paper_example.h"
 #include "src/io/app_format.h"
 #include "src/io/dot.h"
@@ -142,10 +148,21 @@ int run(const CliArgs& args) {
   const bool cache_on = args.has("cache")      ? true
                         : args.has("no-cache") ? false
                                                : cache_enabled_from_env(true);
-  if (cache_on) options.cache = std::make_shared<ThroughputCache>();
+  if (cache_on) {
+    // Flags beat SDFMAP_CACHE_DIR; a persistent store makes repeated runs
+    // warm-start from each other's checks (docs/CACHE.md).
+    options.cache =
+        make_persistent_throughput_cache(args.get("cache-dir", cache_dir_from_env()));
+  }
   const StrategyResult r = allocate_resources(app, arch, options);
   if (options.cache) {
-    std::cerr << "throughput cache: " << r.diagnostics.cache.summary() << "\n";
+    std::cerr << "throughput cache: " << options.cache->stats().summary() << "\n";
+    if (const auto disk = options.cache->persistent()) {
+      for (const DiskCacheEvent& event : disk->events()) {
+        std::cerr << "throughput cache disk " << disk_event_kind_name(event.kind) << ": "
+                  << event.detail << "\n";
+      }
+    }
   }
   if (!r.success) {
     std::cout << "allocation FAILED in " << r.stage << " ["

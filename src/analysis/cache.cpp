@@ -5,6 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "src/analysis/persistent_cache.h"
+
 namespace sdfmap {
 
 namespace {
@@ -45,12 +47,25 @@ std::string CacheStats::summary() const {
   os.precision(1);
   os << std::fixed << hit_rate() * 100.0 << "%), " << inserts << " inserts, " << evictions
      << " evictions";
+  if (disk_attached) {
+    os << "; disk: " << memory_hits() << " memory + " << disk_hits << " disk hits, "
+       << disk_recovered << " recovered, " << disk_discarded << " discarded, "
+       << disk_evictions << " evicted, " << disk_appends << " appended";
+    if (disk_io_errors > 0) os << ", " << disk_io_errors << " I/O errors";
+    if (disk_degraded) os << " [degraded to memory-only]";
+  }
   return os.str();
 }
 
 struct ThroughputCache::Shard {
+  /// One resident result; from_disk marks records recovered from the
+  /// attached persistent store (drives the memory-vs-disk hit breakout).
+  struct Entry {
+    ConstrainedResult result;
+    bool from_disk = false;
+  };
   mutable std::mutex mutex;
-  StateMap<ConstrainedResult> map;
+  StateMap<Entry> map;
 };
 
 ThroughputCache::ThroughputCache(std::size_t max_entries)
@@ -66,7 +81,9 @@ ThroughputCache::Shard& ThroughputCache::shard_for(const StateKey& key) const {
   return shards_[(h >> 60) & (kShards - 1)];
 }
 
-std::optional<ConstrainedResult> ThroughputCache::lookup(const StateKey& key) const {
+std::optional<ConstrainedResult> ThroughputCache::lookup(const StateKey& key,
+                                                         bool* from_disk) const {
+  if (from_disk) *from_disk = false;
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
@@ -75,24 +92,51 @@ std::optional<ConstrainedResult> ThroughputCache::lookup(const StateKey& key) co
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (it->second.from_disk) {
+    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (from_disk) *from_disk = true;
+  }
+  return it->second.result;
 }
 
 std::size_t ThroughputCache::insert(const StateKey& key, ConstrainedResult value) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.find(key) != shard.map.end()) return 0;  // racing miss: first writer won
   std::size_t evicted = 0;
-  if (shard.map.size() >= max_per_shard_) {
-    // Capacity bound: drop an arbitrary resident. Which entry goes only moves
-    // future hit rates, never results, so no ordering bookkeeping is kept.
-    shard.map.erase(shard.map.begin());
-    evicted = 1;
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.find(key) != shard.map.end()) return 0;  // racing miss: first writer won
+    if (shard.map.size() >= max_per_shard_) {
+      // Capacity bound: drop an arbitrary resident. Which entry goes only
+      // moves future hit rates, never results, so no ordering bookkeeping is
+      // kept.
+      shard.map.erase(shard.map.begin());
+      evicted = 1;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key, Shard::Entry{value, false});
+    inserts_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.map.emplace(key, std::move(value));
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  // Outside the shard lock: appends serialize on the store's own mutex, and
+  // a disk failure there degrades the tier without touching this shard.
+  if (disk_) disk_->append(key, value);
   return evicted;
+}
+
+void ThroughputCache::attach_persistent(std::shared_ptr<PersistentCache> disk) {
+  if (!disk || disk_) return;
+  for (auto& [key, value] : disk->open_and_recover()) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.size() >= max_per_shard_) continue;  // memory bound beats warm-start
+    shard.map.emplace(std::move(key), Shard::Entry{std::move(value), true});
+  }
+  disk_ = std::move(disk);
+}
+
+std::shared_ptr<PersistentCache> ThroughputCache::persistent() const { return disk_; }
+
+void ThroughputCache::flush_persistent() {
+  if (disk_) disk_->flush();
 }
 
 std::size_t ThroughputCache::size() const {
@@ -117,6 +161,17 @@ CacheStats ThroughputCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  if (disk_) {
+    const PersistentCacheStats d = disk_->stats();
+    s.disk_attached = true;
+    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    s.disk_recovered = d.recovered_records;
+    s.disk_discarded = d.discarded_records;
+    s.disk_evictions = d.evicted_records;
+    s.disk_appends = d.appended_records;
+    s.disk_io_errors = d.io_errors;
+    s.disk_degraded = d.degraded;
+  }
   return s;
 }
 
@@ -161,9 +216,14 @@ ConstrainedResult cached_execute_constrained(ThroughputCache* cache, CacheStats*
     // to replay into the observer.
     return execute_constrained(g, gamma, spec, mode, limits, observer);
   }
+  if (stats && cache->persistent()) stats->disk_attached = true;
   const StateKey key = constrained_cache_key(g, spec, mode, limits);
-  if (auto found = cache->lookup(key)) {
-    if (stats) ++stats->hits;
+  bool from_disk = false;
+  if (auto found = cache->lookup(key, &from_disk)) {
+    if (stats) {
+      ++stats->hits;
+      if (from_disk) ++stats->disk_hits;
+    }
     return std::move(*found);
   }
   if (stats) ++stats->misses;
@@ -183,9 +243,14 @@ SelfTimedResult cached_self_timed_throughput(ThroughputCache* cache, CacheStats*
                                              const ExecutionLimits& limits,
                                              const TraceObserver& observer) {
   if (!cache || observer) return self_timed_throughput(g, gamma, limits, observer);
+  if (stats && cache->persistent()) stats->disk_attached = true;
   const StateKey key = self_timed_cache_key(g, limits);
-  if (auto found = cache->lookup(key)) {
-    if (stats) ++stats->hits;
+  bool from_disk = false;
+  if (auto found = cache->lookup(key, &from_disk)) {
+    if (stats) {
+      ++stats->hits;
+      if (from_disk) ++stats->disk_hits;
+    }
     return std::move(found->base);
   }
   if (stats) ++stats->misses;

@@ -15,6 +15,8 @@
 
 namespace sdfmap {
 
+class PersistentCache;
+
 /// Hit/miss/insert/evict counters of one throughput-check cache, or of one
 /// consumer's view of a shared cache (StrategyDiagnostics carries a per-run
 /// CacheStats). Counters are plain integers: per-run instances are filled by
@@ -30,7 +32,20 @@ struct CacheStats {
   long inserts = 0;
   long evictions = 0;
 
+  // On-disk tier breakout (all zero unless a PersistentCache is attached, see
+  // src/analysis/persistent_cache.h). disk_hits counts the subset of `hits`
+  // answered by records recovered from disk; memory_hits() is the rest.
+  long disk_hits = 0;
+  long disk_recovered = 0;   ///< records salvaged from the store at open
+  long disk_discarded = 0;   ///< corrupt records quarantined at open
+  long disk_evictions = 0;   ///< records dropped by the size bound
+  long disk_appends = 0;     ///< records written to the store
+  long disk_io_errors = 0;   ///< file-system failures absorbed
+  bool disk_attached = false;
+  bool disk_degraded = false;  ///< disk tier disabled after an I/O failure
+
   [[nodiscard]] long lookups() const { return hits + misses; }
+  [[nodiscard]] long memory_hits() const { return hits - disk_hits; }
   [[nodiscard]] double hit_rate() const {
     return lookups() > 0 ? static_cast<double>(hits) / static_cast<double>(lookups()) : 0.0;
   }
@@ -40,9 +55,19 @@ struct CacheStats {
     misses += other.misses;
     inserts += other.inserts;
     evictions += other.evictions;
+    disk_hits += other.disk_hits;
+    disk_recovered += other.disk_recovered;
+    disk_discarded += other.disk_discarded;
+    disk_evictions += other.disk_evictions;
+    disk_appends += other.disk_appends;
+    disk_io_errors += other.disk_io_errors;
+    disk_attached = disk_attached || other.disk_attached;
+    disk_degraded = disk_degraded || other.disk_degraded;
   }
 
-  /// e.g. "12/34 hits (35.3%), 22 inserts, 0 evictions".
+  /// e.g. "12/34 hits (35.3%), 22 inserts, 0 evictions"; with a disk tier
+  /// attached, a "; disk: ..." breakout (memory vs disk hits, recovered /
+  /// discarded / evicted record counts) is appended.
   [[nodiscard]] std::string summary() const;
 };
 
@@ -71,17 +96,35 @@ class ThroughputCache {
   ThroughputCache(const ThroughputCache&) = delete;
   ThroughputCache& operator=(const ThroughputCache&) = delete;
 
-  /// Returns the cached result for `key`, counting a hit or miss.
-  [[nodiscard]] std::optional<ConstrainedResult> lookup(const StateKey& key) const;
+  /// Returns the cached result for `key`, counting a hit or miss. When
+  /// `from_disk` is non-null it receives whether the hit was answered by a
+  /// record recovered from the attached on-disk tier (false on a miss).
+  [[nodiscard]] std::optional<ConstrainedResult> lookup(const StateKey& key,
+                                                        bool* from_disk = nullptr) const;
 
-  /// Stores `value` under `key` (first writer wins on a race). Returns the
-  /// number of entries evicted to make room (0 or 1).
+  /// Stores `value` under `key` (first writer wins on a race) and, when an
+  /// on-disk tier is attached and writable, appends the record to it. Returns
+  /// the number of entries evicted to make room (0 or 1).
   std::size_t insert(const StateKey& key, ConstrainedResult value);
+
+  /// Attaches an on-disk tier: recovers every salvageable record of the store
+  /// into the memory shards (tagged as disk-origin for the hit breakout) and
+  /// forwards every later insert as an append. Never throws — any disk
+  /// problem degrades to the memory tier with a DiskCacheEvent. At most one
+  /// tier can be attached; later calls are ignored.
+  void attach_persistent(std::shared_ptr<PersistentCache> disk);
+
+  /// The attached on-disk tier, or null.
+  [[nodiscard]] std::shared_ptr<PersistentCache> persistent() const;
+
+  /// fsyncs the on-disk tier's buffered appends (no-op without one).
+  void flush_persistent();
 
   [[nodiscard]] std::size_t size() const;
   void clear();
 
-  /// Lifetime totals over all users of this cache instance.
+  /// Lifetime totals over all users of this cache instance, including the
+  /// attached on-disk tier's recovery/append/eviction accounting.
   [[nodiscard]] CacheStats stats() const;
 
  private:
@@ -92,8 +135,10 @@ class ThroughputCache {
 
   std::unique_ptr<Shard[]> shards_;
   std::size_t max_per_shard_;
+  std::shared_ptr<PersistentCache> disk_;
   mutable std::atomic<long> hits_{0};
   mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> disk_hits_{0};
   std::atomic<long> inserts_{0};
   std::atomic<long> evictions_{0};
 };

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdfmap {
+
+/// Which primitive an I/O call is about to perform. Reported to IoFaultHook
+/// (with the call's global index) and carried by IoError for diagnostics.
+enum class IoOp {
+  kOpen,
+  kRead,
+  kWrite,
+  kFsync,
+  kClose,
+  kRename,
+  kUnlink,
+  kMkdir,
+  kLock,
+  kList,
+  kStat,
+};
+
+[[nodiscard]] constexpr const char* io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen: return "open";
+    case IoOp::kRead: return "read";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kClose: return "close";
+    case IoOp::kRename: return "rename";
+    case IoOp::kUnlink: return "unlink";
+    case IoOp::kMkdir: return "mkdir";
+    case IoOp::kLock: return "lock";
+    case IoOp::kList: return "list";
+    case IoOp::kStat: return "stat";
+  }
+  return "?";
+}
+
+/// A failed (or injected-to-fail) file-system primitive. Thrown by every
+/// FileIo operation; the persistent cache catches it at its boundary and
+/// degrades to the in-memory tier — IoError never escapes into an analysis.
+class IoError : public std::runtime_error {
+ public:
+  IoError(IoOp op, std::string path, int error_number, const std::string& detail);
+
+  [[nodiscard]] IoOp op() const { return op_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int error_number() const { return error_; }
+
+ private:
+  IoOp op_;
+  std::string path_;
+  int error_;
+};
+
+/// What an injected fault does to the I/O call it targets.
+struct IoFaultDecision {
+  enum class Kind {
+    kProceed,     ///< no fault: perform the call normally
+    kFail,        ///< do nothing; throw IoError with `error`
+    kShortWrite,  ///< (writes only) persist `short_bytes`, then throw IoError
+    kCrash,       ///< simulate process death: this and every later call fails
+  };
+  Kind kind = Kind::kProceed;
+  int error = 5;  // EIO
+  std::size_t short_bytes = 0;
+
+  static IoFaultDecision proceed() { return {}; }
+  static IoFaultDecision fail(int error_number = 5) {
+    IoFaultDecision d;
+    d.kind = Kind::kFail;
+    d.error = error_number;
+    return d;
+  }
+  static IoFaultDecision short_write(std::size_t bytes) {
+    IoFaultDecision d;
+    d.kind = Kind::kShortWrite;
+    d.short_bytes = bytes;
+    return d;
+  }
+  static IoFaultDecision crash() {
+    IoFaultDecision d;
+    d.kind = Kind::kCrash;
+    return d;
+  }
+};
+
+/// Test hook consulted before every file-system primitive of one FileIo
+/// context, with the (0-based) global call index, the operation, and the
+/// target path — the I/O twin of resilience.h's EngineFaultHook. Fault
+/// injection sweeps run a workload once to count calls, then re-run it
+/// failing index 0, 1, 2, ... to prove every path degrades gracefully.
+/// May be invoked concurrently when the cache is raced; hooks that mutate
+/// captured state must synchronize.
+using IoFaultHook = std::function<IoFaultDecision(int call_index, IoOp op,
+                                                  const std::string& path)>;
+
+/// Thin RAII + fault-injection shim over the POSIX file primitives the
+/// persistent cache needs: whole-file reads, append streams, fsync,
+/// atomic-rename replacement, advisory locks, and directory listing. Every
+/// primitive consults the fault hook first and reports failure by throwing
+/// IoError; after a kCrash decision the context latches and all further calls
+/// fail, modeling a process that died mid-sequence.
+class FileIo {
+ public:
+  FileIo() = default;
+  explicit FileIo(IoFaultHook hook) : hook_(std::move(hook)) {}
+
+  FileIo(const FileIo&) = delete;
+  FileIo& operator=(const FileIo&) = delete;
+
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+  /// Number of fault-hook consultations so far (= I/O calls attempted).
+  [[nodiscard]] int calls() const { return next_index_.load(); }
+
+  /// Creates `dir` (and parents). Existing directories are not an error.
+  void make_dirs(const std::string& dir);
+
+  /// Whole-file read; std::nullopt when the file does not exist.
+  [[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+  /// Size in bytes, or std::nullopt when the file does not exist.
+  [[nodiscard]] std::optional<std::int64_t> file_size(const std::string& path);
+
+  /// Sorted names of regular files directly inside `dir`.
+  [[nodiscard]] std::vector<std::string> list_files(const std::string& dir);
+
+  /// Deletes `path`; missing files are not an error.
+  void remove_file(const std::string& path);
+
+  /// Crash-safe whole-file replacement: write `path`.tmp, fsync it, rename
+  /// over `path`, fsync the parent directory. Readers see either the old or
+  /// the new content, never a mix.
+  void atomic_write_file(const std::string& path, std::string_view bytes);
+
+  /// Append-only output stream (O_APPEND | O_CREAT). One append() call issues
+  /// one write(); a torn append therefore corrupts at most the record being
+  /// written, which recovery salvages around.
+  class Appender {
+   public:
+    ~Appender();
+    Appender(const Appender&) = delete;
+    Appender& operator=(const Appender&) = delete;
+
+    void append(std::string_view bytes);
+    void sync();
+
+   private:
+    friend class FileIo;
+    Appender(FileIo* io, int fd, std::string path);
+    FileIo* io_;
+    int fd_;
+    std::string path_;
+  };
+
+  [[nodiscard]] std::unique_ptr<Appender> open_append(const std::string& path);
+
+  /// Held advisory exclusive lock (flock); released on destruction.
+  class Lock {
+   public:
+    ~Lock();
+    Lock(Lock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Lock& operator=(Lock&& other) noexcept {
+      std::swap(fd_, other.fd_);
+      return *this;
+    }
+    Lock(const Lock&) = delete;
+    Lock& operator=(const Lock&) = delete;
+
+   private:
+    friend class FileIo;
+    explicit Lock(int fd) : fd_(fd) {}
+    int fd_;
+  };
+
+  /// Non-blocking advisory exclusive lock on `path` (created if missing).
+  /// std::nullopt when another holder — in this process or any other — has
+  /// it. Throws IoError only for real failures (e.g. the lock file cannot be
+  /// created).
+  [[nodiscard]] std::optional<Lock> try_lock_exclusive(const std::string& path);
+
+ private:
+  friend class Appender;
+
+  /// Consults the hook; throws for kFail/kCrash (and after a latched crash).
+  /// Returns the decision so writes can honor kShortWrite.
+  IoFaultDecision enter(IoOp op, const std::string& path);
+
+  IoFaultHook hook_;
+  std::atomic<int> next_index_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,162 @@
+// Strategy-level guarantees of the persistent cache tier: allocations are
+// byte-identical with no cache, a cold on-disk cache, and a warm one; warm
+// runs actually serve disk hits; and any injected I/O fault — EIO or a
+// simulated crash at every call index — degrades to the in-memory tier while
+// the allocation stays byte-identical (docs/CACHE.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/analysis/persistent_cache.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/support/file_io.h"
+
+namespace sdfmap {
+namespace {
+
+std::string make_temp_dir() {
+  std::string templ = ::testing::TempDir() + "sdfmap_pstrat_XXXXXX";
+  const char* dir = ::mkdtemp(templ.data());
+  EXPECT_NE(dir, nullptr);
+  return templ;
+}
+
+/// Everything observable about one allocation (mirrors cache_strategy_test):
+/// wall-clock fields and cache statistics excluded.
+std::string fingerprint(const StrategyResult& r, std::uint32_t num_actors) {
+  std::ostringstream out;
+  out << r.success << '|' << r.stage << '|' << failure_kind_name(r.failure_kind) << '|'
+      << r.achieved_throughput.to_string() << '|' << r.throughput_checks << '|';
+  for (std::uint32_t a = 0; a < num_actors; ++a) {
+    const auto tile = r.binding.tile_of(ActorId{a});
+    out << (tile ? static_cast<std::int64_t>(tile->value) : -1) << ',';
+  }
+  out << '|';
+  for (const std::int64_t s : r.slices) out << s << ',';
+  out << '|';
+  for (const StaticOrderSchedule& sched : r.schedules) {
+    for (const ActorId a : sched.firings) out << a.value << '.';
+    out << '@' << sched.loop_start << ';';
+  }
+  return out.str();
+}
+
+class PersistentStrategyTest : public ::testing::Test {
+ protected:
+  PersistentStrategyTest()
+      : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  std::string fp(const StrategyResult& r) const {
+    return fingerprint(r, app_.sdf().num_actors());
+  }
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(PersistentStrategyTest, ColdWarmAndNoCacheAllocationsIdentical) {
+  const StrategyResult baseline = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(baseline.success) << baseline.failure_reason;
+
+  const std::string dir = make_temp_dir() + "/store";
+  StrategyOptions with_dir;
+  with_dir.cache_dir = dir;
+  const StrategyResult cold = allocate_resources(app_, arch_, with_dir);
+  EXPECT_EQ(fp(cold), fp(baseline));
+  EXPECT_TRUE(cold.diagnostics.cache.disk_attached);
+  EXPECT_GT(cold.diagnostics.cache.inserts, 0);
+
+  const StrategyResult warm = allocate_resources(app_, arch_, with_dir);
+  EXPECT_EQ(fp(warm), fp(baseline));
+  EXPECT_TRUE(warm.diagnostics.cache.disk_attached);
+  // Every check of the deterministic repeat was salvaged from the store.
+  EXPECT_GT(warm.diagnostics.cache.disk_hits, 0);
+  EXPECT_EQ(warm.diagnostics.cache.misses, 0);
+}
+
+TEST_F(PersistentStrategyTest, ExplicitCacheBeatsCacheDirButGainsAStore) {
+  // When both `cache` and `cache_dir` are set, the provided cache is kept and
+  // a store is attached to it.
+  const std::string dir = make_temp_dir() + "/store";
+  StrategyOptions options;
+  options.cache = std::make_shared<ThroughputCache>();
+  options.cache_dir = dir;
+  const StrategyResult first = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(first.success);
+  ASSERT_NE(options.cache->persistent(), nullptr);
+  EXPECT_EQ(options.cache->persistent()->dir(), dir);
+  EXPECT_GT(options.cache->persistent()->stats().appended_records, 0);
+}
+
+TEST_F(PersistentStrategyTest, EveryInjectedFaultKeepsAllocationIdentical) {
+  const StrategyResult baseline = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(baseline.success);
+  const std::string expected = fp(baseline);
+
+  // Warm a store once, then count the I/O calls of a clean warm run.
+  const std::string dir = make_temp_dir() + "/store";
+  {
+    StrategyOptions options;
+    options.cache_dir = dir;
+    ASSERT_TRUE(allocate_resources(app_, arch_, options).success);
+  }
+  int total_calls = 0;
+  {
+    PersistentCacheOptions base;
+    base.fault_hook = [&total_calls](int index, IoOp, const std::string&) {
+      total_calls = index + 1;
+      return IoFaultDecision::proceed();
+    };
+    StrategyOptions options;
+    options.cache = make_persistent_throughput_cache(dir, base);
+    const StrategyResult clean = allocate_resources(app_, arch_, options);
+    EXPECT_EQ(fp(clean), expected);
+  }
+  ASSERT_GT(total_calls, 3);
+
+  for (const bool crash : {false, true}) {
+    for (int fault_at = 0; fault_at < total_calls; ++fault_at) {
+      PersistentCacheOptions base;
+      base.fault_hook = [crash, fault_at](int index, IoOp, const std::string&) {
+        if (index != fault_at) return IoFaultDecision::proceed();
+        return crash ? IoFaultDecision::crash() : IoFaultDecision::fail(EIO);
+      };
+      StrategyOptions options;
+      options.cache = make_persistent_throughput_cache(dir, base);
+      const StrategyResult r = allocate_resources(app_, arch_, options);
+      EXPECT_EQ(fp(r), expected)
+          << (crash ? "crash" : "EIO") << " at I/O call " << fault_at;
+      // The fault is visible as a structured diagnostic, never as a failure.
+      const auto disk = options.cache->persistent();
+      ASSERT_NE(disk, nullptr);
+      EXPECT_TRUE(disk->stats().degraded)
+          << (crash ? "crash" : "EIO") << " at I/O call " << fault_at;
+      EXPECT_GE(disk->stats().io_errors, 1);
+    }
+  }
+
+  // The battered store still warm-starts a clean run bit-exactly.
+  StrategyOptions options;
+  options.cache_dir = dir;
+  const StrategyResult after = allocate_resources(app_, arch_, options);
+  EXPECT_EQ(fp(after), expected);
+}
+
+TEST_F(PersistentStrategyTest, UnwritableCacheDirDegradesSilently) {
+  // A cache_dir that cannot be created must never fail the allocation.
+  const StrategyResult baseline = allocate_resources(app_, arch_, {});
+  StrategyOptions options;
+  options.cache_dir = "/proc/sdfmap-definitely-not-writable/store";
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  EXPECT_EQ(fp(r), fp(baseline));
+}
+
+}  // namespace
+}  // namespace sdfmap

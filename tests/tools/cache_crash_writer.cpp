@@ -1,0 +1,99 @@
+// Helper binary for tests/integration/cache_crash_test.cpp: opens a
+// persistent cache store and appends synthetic records forever (or until
+// `count` records), deliberately splitting every record across several small
+// write() calls so a SIGKILL from the parent test lands mid-append with high
+// probability and leaves a torn record for recovery to salvage around.
+//
+// Records are self-describing: key i is {kKeyTag, seed, i, i ^ seed} and its
+// value is derived from (seed, i) alone, so the surviving parent can verify
+// every salvaged record bit-exactly without any side channel.
+//
+// Usage: cache_crash_writer <dir> <seed> <count>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/analysis/persistent_cache.h"
+#include "src/support/file_io.h"
+
+using namespace sdfmap;
+
+namespace {
+
+constexpr std::int64_t kKeyTag = 0x5344434154455354;  // "SDCATEST"
+
+StateKey synthetic_key(std::int64_t seed, std::int64_t i) {
+  StateKey key;
+  key.words = {kKeyTag, seed, i, i ^ seed};
+  return key;
+}
+
+ConstrainedResult synthetic_value(std::int64_t seed, std::int64_t i) {
+  ConstrainedResult v;
+  v.base.status = SelfTimedResult::Status::kPeriodic;
+  v.base.iteration_period = Rational(seed + i + 1, i + 2);
+  v.base.states_stored = static_cast<std::uint64_t>(seed * 1000 + i);
+  v.base.cycle_start_time = i;
+  v.base.cycle_end_time = seed + 2 * i;
+  v.base.cycle_firings = i % 7 + 1;
+  v.base.period_firings = {i, seed, i + seed};
+  v.base.max_tokens = {i % 5, i % 3 + 1};
+  StaticOrderSchedule s;
+  s.firings = {ActorId{static_cast<std::uint32_t>(i % 4)},
+               ActorId{static_cast<std::uint32_t>((i + 1) % 4)}};
+  s.loop_start = static_cast<std::size_t>(i % 2);
+  v.schedules = {s};
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: cache_crash_writer <dir> <seed> <count>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const std::int64_t seed = std::atoll(argv[2]);
+  const std::int64_t count = std::atoll(argv[3]);
+
+  // Initialize the store (superblock + lock) through the real open path,
+  // then release it so the raw chunked appends below own the files.
+  {
+    PersistentCacheOptions options;
+    options.dir = dir;
+    PersistentCache cache(options);
+    (void)cache.open_and_recover();
+    if (!cache.writable()) {
+      std::cerr << "cache_crash_writer: store not writable\n";
+      return 3;
+    }
+  }
+
+  try {
+    FileIo io;
+    // All records go to one segment: recovery scans every shard's file
+    // whole, so placement does not matter, and a single file guarantees the
+    // torn record is the scanned tail.
+    auto appender = io.open_append(dir + "/seg-0.dat");
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::string record =
+          PersistentCache::encode_record(synthetic_key(seed, i), synthetic_value(seed, i));
+      // Split each record into small chunks with pauses between them, so the
+      // parent's SIGKILL tears the append mid-record.
+      const std::size_t chunk = 7 + static_cast<std::size_t>((seed + i) % 9);
+      for (std::size_t pos = 0; pos < record.size(); pos += chunk) {
+        appender->append(std::string_view(record).substr(pos, chunk));
+        ::usleep(50);
+      }
+    }
+  } catch (const IoError& e) {
+    std::cerr << "cache_crash_writer: " << e.what() << "\n";
+    return 4;
+  }
+  return 0;
+}
