@@ -26,6 +26,10 @@
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 analysis
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
 // 6 cancelled, 7 lint errors, 8 lint warnings/infos only, 70 internal error.
+//
+// SIGINT/SIGTERM trip the run's cancellation token: the analyses unwind
+// cooperatively, the persistent cache is flushed on the way out, and the
+// process exits 6 (cancelled).
 
 #include <algorithm>
 #include <chrono>
@@ -51,6 +55,7 @@
 #include "src/runtime/task_pool.h"
 #include "src/sdf/repetition_vector.h"
 #include "src/support/cli.h"
+#include "src/support/signals.h"
 #include "src/support/strings.h"
 
 using namespace sdfmap;
@@ -169,6 +174,9 @@ int run(const CliArgs& args) {
   if (deadline_ms > 0) {
     limits.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(deadline_ms));
   }
+  // Ctrl-C / TERM cancel the analyses cooperatively (exit 6); the cache
+  // flush below still runs on the unwind path.
+  limits.budget.set_cancellation(install_cancellation_signal_handlers());
 
   // Memoization of repeated throughput checks (the storage search below).
   // Flags beat SDFMAP_CACHE beats the default (on). Results are identical
@@ -185,12 +193,11 @@ int run(const CliArgs& args) {
   if (!diag.consistent || !diag.deadlock_free) return kCliInvalidInput;
   const auto gamma = std::optional<RepetitionVector>(diag.repetition);
 
+  // Rendered via the shared report helper so this CLI and the sdfmapd
+  // throughput handler print byte-identical engine-comparison lines.
   const ThroughputReport ss = compute_throughput(g, ThroughputEngine::kStateSpace, limits);
-  std::cout << "iteration period (state space): " << ss.iteration_period.to_string() << " ("
-            << ss.problem_size << " states, " << ss.seconds << " s)\n";
   const ThroughputReport mcr = compute_throughput(g, ThroughputEngine::kHsdfMcr, limits);
-  std::cout << "iteration period (HSDFG + MCR): " << mcr.iteration_period.to_string() << " ("
-            << mcr.problem_size << " HSDF actors, " << mcr.seconds << " s)\n";
+  std::cout << format_throughput_report(ss, mcr);
 
   const std::string sink_name = args.get("sink", g.actor(ActorId{0}).name);
   if (const auto sink = g.find_actor(sink_name)) {

@@ -29,6 +29,10 @@
 // Exit codes (see CliExitCode in src/io/report.h): 0 success, 1 allocation
 // failed, 2 usage, 3 invalid input, 4 analysis limit, 5 deadline exceeded,
 // 6 cancelled, 7 lint errors, 8 lint warnings/infos only, 70 internal error.
+//
+// SIGINT/SIGTERM trip the run's cancellation token: the strategy unwinds
+// cooperatively (never mid-write), the persistent cache is flushed on the
+// way out, and the process exits 6 (cancelled).
 
 #include <algorithm>
 #include <chrono>
@@ -53,6 +57,7 @@
 #include "src/runtime/task_pool.h"
 #include "src/sdf/repetition_vector.h"
 #include "src/support/cli.h"
+#include "src/support/signals.h"
 
 using namespace sdfmap;
 
@@ -144,6 +149,9 @@ int run(const CliArgs& args) {
     options.slices.limits.budget.set_per_check_timeout(
         std::chrono::milliseconds(per_check_ms));
   }
+  // Ctrl-C / TERM cancel the run cooperatively (exit 6) instead of killing
+  // the process mid-write; the cache flush below still runs.
+  options.slices.limits.budget.set_cancellation(install_cancellation_signal_handlers());
   options.degrade_to_conservative = !args.has("no-degrade");
   const bool cache_on = args.has("cache")      ? true
                         : args.has("no-cache") ? false
@@ -156,6 +164,7 @@ int run(const CliArgs& args) {
   }
   const StrategyResult r = allocate_resources(app, arch, options);
   if (options.cache) {
+    options.cache->flush_persistent();
     std::cerr << "throughput cache: " << options.cache->stats().summary() << "\n";
     if (const auto disk = options.cache->persistent()) {
       for (const DiskCacheEvent& event : disk->events()) {
@@ -164,29 +173,10 @@ int run(const CliArgs& args) {
       }
     }
   }
-  if (!r.success) {
-    std::cout << "allocation FAILED in " << r.stage << " ["
-              << failure_kind_name(r.failure_kind) << "]: " << r.failure_reason << "\n";
-    return cli_exit_code(r.failure_kind);
-  }
-
-  std::cout << "application '" << app.name() << "' allocated\n";
-  std::cout << "  throughput " << r.achieved_throughput.to_string() << " iterations/time"
-            << " (constraint " << app.throughput_constraint().to_string() << ")\n";
-  for (const TileId t : arch.tile_ids()) {
-    const auto actors = r.binding.actors_on(t);
-    if (actors.empty()) continue;
-    std::cout << "  " << arch.tile(t).name << ": slice " << r.slices[t.value] << "/"
-              << arch.tile(t).wheel_size << ", schedule "
-              << r.schedules[t.value].to_string(app.sdf()) << "\n";
-  }
-  std::cout << "  throughput checks: " << r.throughput_checks << ", time "
-            << r.total_seconds() << " s\n";
-  if (r.diagnostics.degraded()) {
-    std::cout << "  DEGRADED: " << r.diagnostics.summary()
-              << " — degraded checks used the conservative bound, so the reported\n"
-              << "  throughput is a guaranteed lower bound, not the exact value\n";
-  }
+  // The shared renderer keeps this CLI, the examples and the sdfmapd
+  // allocate handler byte-identical for the same inputs.
+  std::cout << format_strategy_result(app, arch, r);
+  if (!r.success) return cli_exit_code(r.failure_kind);
 
   if (args.has("gantt") || args.has("vcd")) {
     const BindingAwareGraph bag = build_binding_aware_graph(app, arch, r.binding, r.slices);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/analysis/persistent_cache.h"
+#include "src/support/env.h"
 
 namespace sdfmap {
 
@@ -266,12 +267,9 @@ SelfTimedResult cached_self_timed_throughput(ThroughputCache* cache, CacheStats*
 }
 
 bool cache_enabled_from_env(bool fallback) {
-  const char* value = std::getenv("SDFMAP_CACHE");
-  if (!value) return fallback;
-  const std::string_view v(value);
-  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
-  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
-  return fallback;
+  const ParsedEnvBool parsed = parse_env_cache(std::getenv("SDFMAP_CACHE"), fallback);
+  warn_env_once(parsed.diagnostic);
+  return parsed.value;
 }
 
 }  // namespace sdfmap

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/support/env.h"
+
 namespace sdfmap {
 
 namespace {
@@ -474,9 +476,9 @@ std::vector<DiskCacheEvent> PersistentCache::events() const {
 }
 
 std::string cache_dir_from_env(const std::string& fallback) {
-  const char* value = std::getenv("SDFMAP_CACHE_DIR");
-  if (!value || *value == '\0') return fallback;
-  return value;
+  const ParsedEnvDir parsed = parse_env_cache_dir(std::getenv("SDFMAP_CACHE_DIR"), fallback);
+  warn_env_once(parsed.diagnostic);
+  return parsed.dir;
 }
 
 std::shared_ptr<ThroughputCache> make_persistent_throughput_cache(const std::string& dir,

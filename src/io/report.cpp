@@ -93,6 +93,16 @@ std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
   return os.str();
 }
 
+std::string format_throughput_report(const ThroughputReport& state_space,
+                                     const ThroughputReport& mcr) {
+  std::ostringstream os;
+  os << "iteration period (state space): " << state_space.iteration_period.to_string()
+     << " (" << state_space.problem_size << " states, " << state_space.seconds << " s)\n";
+  os << "iteration period (HSDFG + MCR): " << mcr.iteration_period.to_string() << " ("
+     << mcr.problem_size << " HSDF actors, " << mcr.seconds << " s)\n";
+  return os.str();
+}
+
 int cli_exit_code(const std::exception& e) {
   if (const auto* analysis = dynamic_cast<const AnalysisError*>(&e)) {
     switch (analysis->kind()) {

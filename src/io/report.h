@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/analysis/throughput.h"
 #include "src/appmodel/application.h"
 #include "src/lint/lint.h"
 #include "src/mapping/multi_app.h"
@@ -22,6 +23,12 @@ namespace sdfmap {
 [[nodiscard]] std::string format_multi_app_result(const std::vector<ApplicationGraph>& apps,
                                                   const Architecture& arch,
                                                   const MultiAppResult& result);
+
+/// The two engine-comparison throughput lines (state space vs HSDFG+MCR),
+/// shared by analyze_cli and the sdfmapd throughput handler so both surfaces
+/// print byte-identical reports for the same graph.
+[[nodiscard]] std::string format_throughput_report(const ThroughputReport& state_space,
+                                                   const ThroughputReport& mcr);
 
 /// Exit codes shared by the command-line tools, one per error family so
 /// scripts can branch on the cause without parsing stderr.

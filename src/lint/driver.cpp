@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "src/io/app_format.h"
 #include "src/io/mapping_format.h"
@@ -71,6 +72,68 @@ LintResult parse_failure(const std::string& file, const ParseError& e,
 bool lintable_extension(const std::string& path) {
   const std::string ext = extension_of(path);
   return ext == ".sdf" || ext == ".sdfapp" || ext == ".sdfarch" || ext == ".sdfmapping";
+}
+
+bool lintable_text_extension(const std::string& path) {
+  const std::string ext = extension_of(path);
+  return ext == ".sdf" || ext == ".sdfapp" || ext == ".sdfarch";
+}
+
+LintResult lint_text(const std::string& path_hint, const std::string& text,
+                     const LintOptions& options) {
+  const std::string ext = extension_of(path_hint);
+  const std::string& name = path_hint;  // diagnostics show the hint as given
+
+  if (ext == ".sdf") {
+    std::istringstream stream(text);
+    GraphProvenance prov;
+    prov.file = name;
+    std::optional<Graph> g;
+    try {
+      g = read_graph(stream, &prov);
+    } catch (const ParseError& e) {
+      return parse_failure(name, e, options);
+    }
+    LintInput input;
+    input.graph = &*g;
+    input.graph_provenance = &prov;
+    return run_lint(input, options);
+  }
+
+  if (ext == ".sdfapp") {
+    std::istringstream stream(text);
+    ApplicationProvenance prov;
+    prov.file = name;
+    std::optional<ApplicationGraph> app;
+    try {
+      app = read_application(stream, &prov);
+    } catch (const ParseError& e) {
+      return parse_failure(name, e, options);
+    }
+    LintInput input;
+    input.app = &*app;
+    input.app_provenance = &prov;
+    return run_lint(input, options);
+  }
+
+  if (ext == ".sdfarch") {
+    std::istringstream stream(text);
+    ArchitectureProvenance prov;
+    prov.file = name;
+    std::optional<Architecture> arch;
+    try {
+      arch = read_architecture(stream, &prov);
+    } catch (const ParseError& e) {
+      return parse_failure(name, e, options);
+    }
+    LintInput input;
+    input.platform = &*arch;
+    input.platform_provenance = &prov;
+    return run_lint(input, options);
+  }
+
+  throw std::invalid_argument("lint: unsupported extension on '" + path_hint +
+                              "' for in-memory lint (expected .sdf, .sdfapp or .sdfarch)");
 }
 
 LintResult lint_file(const std::string& path, const LintOptions& options) {

@@ -26,4 +26,17 @@ namespace sdfmap {
 /// True when lint_file knows how to handle `path`'s extension.
 [[nodiscard]] bool lintable_extension(const std::string& path);
 
+/// In-memory variant for callers that hold the document text instead of a
+/// file (the sdfmapd lint handler): `path_hint`'s extension selects the rule
+/// pack exactly like lint_file and appears as the file in every diagnostic.
+/// Supports .sdf / .sdfapp / .sdfarch only — .sdfmapping references sibling
+/// files on disk, which a text-only caller cannot resolve; passing one (or
+/// any unknown extension) throws std::invalid_argument.
+[[nodiscard]] LintResult lint_text(const std::string& path_hint, const std::string& text,
+                                   const LintOptions& options = {});
+
+/// True when lint_text can handle `path_hint`'s extension (the lintable
+/// extensions minus .sdfmapping).
+[[nodiscard]] bool lintable_text_extension(const std::string& path);
+
 }  // namespace sdfmap

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/support/env.h"
+
 namespace sdfmap {
 
 namespace {
@@ -25,12 +27,9 @@ GlobalPoolState& global_state() {
 }
 
 unsigned jobs_from_environment() {
-  const char* env = std::getenv("SDFMAP_JOBS");
-  if (!env || *env == '\0') return 1;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value < 1) return 1;
-  return static_cast<unsigned>(value);
+  const ParsedEnvJobs parsed = parse_env_jobs(std::getenv("SDFMAP_JOBS"), 1);
+  warn_env_once(parsed.diagnostic);
+  return parsed.jobs;
 }
 
 }  // namespace

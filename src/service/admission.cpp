@@ -1,0 +1,95 @@
+#include "src/service/admission.h"
+
+#include <utility>
+#include <vector>
+
+namespace sdfmap {
+
+AdmissionQueue::PushResult AdmissionQueue::try_push(AdmittedJob job) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (draining_) return PushResult::kDraining;
+    if (jobs_.size() >= max_depth_) {
+      ++stats_.shed_queue_full;
+      return PushResult::kQueueFull;
+    }
+    jobs_.push_back(std::move(job));
+    ++stats_.admitted;
+    stats_.depth = jobs_.size();
+    stats_.max_depth = std::max(stats_.max_depth, stats_.depth);
+  }
+  cv_.notify_one();
+  return PushResult::kAdmitted;
+}
+
+std::optional<AdmittedJob> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return !jobs_.empty() || draining_; });
+    if (jobs_.empty()) return std::nullopt;  // draining and drained
+    AdmittedJob job = std::move(jobs_.front());
+    jobs_.pop_front();
+    stats_.depth = jobs_.size();
+    // Shed stale work at dequeue: a request whose deadline expired while it
+    // waited would only burn a worker on a result the client no longer wants.
+    const bool expired = job.deadline != AnalysisBudget::Clock::time_point::max() &&
+                         AnalysisBudget::Clock::now() >= job.deadline;
+    const bool cancelled = job.cancel.cancel_requested();
+    if (expired || cancelled) {
+      if (expired) {
+        ++stats_.shed_deadline;
+      } else {
+        ++stats_.cancelled;
+      }
+      lock.unlock();
+      if (job.shed) job.shed(expired ? ShedReason::kDeadline : ShedReason::kCancelled);
+      lock.lock();
+      continue;
+    }
+    ++stats_.running;
+    return job;
+  }
+}
+
+void AdmissionQueue::drain() {
+  std::vector<AdmittedJob> rejected;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!draining_) {
+      draining_ = true;
+      while (!jobs_.empty()) {
+        rejected.push_back(std::move(jobs_.front()));
+        jobs_.pop_front();
+        ++stats_.shed_draining;
+      }
+      stats_.depth = 0;
+    }
+  }
+  cv_.notify_all();
+  for (AdmittedJob& job : rejected) {
+    if (job.shed) job.shed(ShedReason::kDraining);
+  }
+}
+
+bool AdmissionQueue::draining() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return draining_;
+}
+
+void AdmissionQueue::note_completed() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.completed;
+  if (stats_.running > 0) --stats_.running;
+}
+
+std::size_t AdmissionQueue::running_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_.running;
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace sdfmap

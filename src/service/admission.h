@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/support/budget.h"
+
+namespace sdfmap {
+
+/// Why an admitted job was shed instead of run.
+enum class ShedReason {
+  kDeadline,   ///< request deadline expired while queued
+  kCancelled,  ///< cancellation token tripped while queued
+  kDraining,   ///< server drain rejected the queued backlog
+};
+
+/// One admitted unit of work: an opaque closure plus the control surface the
+/// server needs — the cancellation token tripped on client disconnect /
+/// kCancel, and the absolute deadline checked again at dequeue (a request
+/// whose deadline expired while queued is shed, not run).
+struct AdmittedJob {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  CancellationToken cancel;
+  AnalysisBudget::Clock::time_point deadline = AnalysisBudget::Clock::time_point::max();
+  /// Runs the request and sends its response frames.
+  std::function<void()> run;
+  /// Sends the typed error when the job is shed after admission (deadline
+  /// expired in queue, or the server started draining).
+  std::function<void(ShedReason reason)> shed;
+};
+
+/// Counters of one AdmissionQueue (exposed fleet-wide via kMetrics).
+struct AdmissionStats {
+  long admitted = 0;         ///< try_push accepted
+  long shed_queue_full = 0;  ///< try_push rejected: bounded queue at capacity
+  long shed_deadline = 0;    ///< dequeued past the request deadline
+  long shed_draining = 0;    ///< queued work rejected by the drain
+  long completed = 0;        ///< run() returned
+  long cancelled = 0;        ///< popped with the cancel token already tripped
+  std::size_t depth = 0;     ///< current queue length
+  std::size_t max_depth = 0; ///< high-water mark
+  std::size_t running = 0;   ///< jobs handed to a worker and not yet completed
+};
+
+/// Bounded MPMC admission queue: sessions push, workers pop. The bound is the
+/// overload-shedding contract of the daemon — when the queue is full the
+/// request is rejected immediately with a typed, retryable error instead of
+/// growing an unbounded backlog (ROADMAP: "admission control reuses PR 1
+/// budgets"). drain() rejects everything still queued and wakes all workers;
+/// pop() then returns nullopt so worker threads can exit.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  /// Admits `job` unless the queue is full or draining. On admission the job
+  /// will be handed to exactly one pop() caller; on rejection the caller is
+  /// responsible for the error response (the job's shed() is NOT called —
+  /// rejection happens before admission).
+  enum class PushResult { kAdmitted, kQueueFull, kDraining };
+  PushResult try_push(AdmittedJob job);
+
+  /// Blocks until a job is available or drain() was called and the queue is
+  /// empty (then std::nullopt). Jobs whose deadline already passed or whose
+  /// token is already cancelled are shed internally (their shed() runs on
+  /// this thread) and the wait continues.
+  std::optional<AdmittedJob> pop();
+
+  /// Rejects every queued job via its shed() and causes current and future
+  /// pop() calls to return std::nullopt once empty. Idempotent.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+  /// Marks one popped job finished (pairs with every non-nullopt pop()).
+  void note_completed();
+  /// Jobs handed to workers whose note_completed has not run yet. The
+  /// increment happens inside pop() under the queue lock, so a drain that
+  /// observes running_count() == 0 after drain() cannot miss an in-flight job.
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] AdmissionStats stats() const;
+
+ private:
+  const std::size_t max_depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<AdmittedJob> jobs_;
+  bool draining_ = false;
+  AdmissionStats stats_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,248 @@
+#include "src/service/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/io/report.h"
+
+namespace sdfmap {
+
+namespace {
+
+constexpr std::size_t kRecvChunkBytes = 64 << 10;
+
+/// splitmix64 step — the jitter stream needs no statistical quality, only
+/// determinism under a fixed seed.
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int service_error_exit_code(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kNone: return kCliSuccess;
+    case ServiceErrorCode::kProtocol:
+    case ServiceErrorCode::kVersionSkew:
+    case ServiceErrorCode::kUnknownType:
+    case ServiceErrorCode::kMalformedPayload: return 76;  // EX_PROTOCOL
+    case ServiceErrorCode::kShed:
+    case ServiceErrorCode::kDraining: return 75;  // EX_TEMPFAIL
+    case ServiceErrorCode::kDeadlineExceeded: return kCliDeadlineExceeded;
+    case ServiceErrorCode::kCancelled: return kCliCancelled;
+    case ServiceErrorCode::kInvalidInput: return kCliInvalidInput;
+    case ServiceErrorCode::kAllocationFailed: return kCliAllocationFailed;
+    case ServiceErrorCode::kLintError: return kCliLintError;
+    case ServiceErrorCode::kUnsupported: return kCliUsageError;
+    case ServiceErrorCode::kInternal: return kCliInternalError;
+    case ServiceErrorCode::kAnalysisLimit: return kCliAnalysisLimit;
+  }
+  return kCliInternalError;
+}
+
+int ServiceOutcome::exit_code() const {
+  if (ok) return result.exit_code;
+  if (transport_failed) return 75;  // EX_TEMPFAIL: server unreachable/mid-air
+  return service_error_exit_code(error.code);
+}
+
+ServiceClient::ServiceClient(ClientOptions options)
+    : options_(std::move(options)),
+      io_(options_.socket_fault_hook),
+      jitter_state_(options_.jitter_seed) {}
+
+void ServiceClient::sleep_ms(std::int64_t delay_ms) {
+  if (delay_ms <= 0) return;
+  if (options_.sleep_fn) {
+    options_.sleep_fn(delay_ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
+ServiceOutcome ServiceClient::allocate(const AllocateRequest& request) {
+  return this->request(FrameType::kAllocate, encode_allocate_request(request));
+}
+
+ServiceOutcome ServiceClient::throughput(const ThroughputRequest& request) {
+  return this->request(FrameType::kThroughput, encode_throughput_request(request));
+}
+
+ServiceOutcome ServiceClient::lint(const LintRequest& request) {
+  return this->request(FrameType::kLint, encode_lint_request(request));
+}
+
+ServiceOutcome ServiceClient::metrics() {
+  return this->request(FrameType::kMetrics, std::string());
+}
+
+ServiceOutcome ServiceClient::request(FrameType type, const std::string& payload) {
+  ServiceOutcome outcome;
+  std::string transport_detail = "no attempt made";
+  bool last_attempt_was_transport = true;
+  const int attempts = std::max(1, options_.attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff with deterministic jitter in
+      // [delay/2, delay]: a herd of shed clients spreads out instead of
+      // re-converging on the same instant.
+      std::int64_t delay = options_.backoff_initial_ms;
+      for (int i = 1; i < attempt && delay < options_.backoff_max_ms; ++i) delay *= 2;
+      delay = std::min(delay, options_.backoff_max_ms);
+      if (delay > 1) {
+        std::lock_guard<std::mutex> guard(jitter_mutex_);
+        delay = delay / 2 +
+                static_cast<std::int64_t>(splitmix64_next(jitter_state_) %
+                                          static_cast<std::uint64_t>(delay / 2 + 1));
+      }
+      sleep_ms(delay);
+    }
+    outcome = ServiceOutcome{};
+    outcome.attempts_used = attempt + 1;
+    const std::uint64_t request_id = next_request_id_.fetch_add(1);
+    const AttemptStatus status =
+        attempt_once(type, payload, request_id, outcome, transport_detail);
+    last_attempt_was_transport = status == AttemptStatus::kTransport;
+    if (status == AttemptStatus::kResponded) {
+      if (outcome.ok || !outcome.error.retryable()) return outcome;
+      continue;  // typed retryable (shed/draining): back off and re-send
+    }
+  }
+  if (!outcome.ok && last_attempt_was_transport) {
+    // The decisive attempt died at the transport layer without a typed
+    // response (retries may earlier have seen typed retryable errors).
+    outcome.transport_failed = true;
+    outcome.error.code = ServiceErrorCode::kInternal;
+    outcome.error.detail = "transport failure after " + std::to_string(attempts) +
+                           " attempt(s): " + transport_detail;
+  }
+  return outcome;
+}
+
+ServiceClient::AttemptStatus ServiceClient::attempt_once(FrameType type,
+                                                         const std::string& payload,
+                                                         std::uint64_t request_id,
+                                                         ServiceOutcome& outcome,
+                                                         std::string& transport_detail) {
+  try {
+    OwnedFd fd = io_.connect_unix(options_.socket_path);
+    io_.send_all(fd, encode_frame(Frame{FrameType::kHello, 0, std::string()}));
+    io_.send_all(fd, encode_frame(Frame{type, request_id, payload}));
+
+    FrameDecoder decoder;
+    bool saw_hello_ok = false;
+    for (;;) {
+      Frame frame;
+      DecodeStatus status = decoder.next(frame);
+      while (status == DecodeStatus::kNeedMore) {
+        if (!io_.poll_readable(fd, static_cast<int>(options_.response_timeout_ms))) {
+          transport_detail = "timed out waiting for a response frame";
+          return AttemptStatus::kTransport;
+        }
+        const std::string bytes = io_.recv_some(fd, kRecvChunkBytes);
+        if (bytes.empty()) {
+          transport_detail = "server closed the connection before responding";
+          return AttemptStatus::kTransport;
+        }
+        decoder.feed(bytes);
+        status = decoder.next(frame);
+      }
+      if (status != DecodeStatus::kFrame) {
+        // A server response we cannot decode is a terminal protocol error —
+        // re-sending the same request would only reproduce it.
+        outcome.error.code = status == DecodeStatus::kVersionSkew
+                                 ? ServiceErrorCode::kVersionSkew
+                                 : ServiceErrorCode::kProtocol;
+        outcome.error.detail =
+            std::string("undecodable response frame: ") + decode_status_name(status);
+        return AttemptStatus::kResponded;
+      }
+      switch (frame.type) {
+        case FrameType::kHelloOk:
+          saw_hello_ok = true;
+          continue;
+        case FrameType::kProgress: {
+          const auto progress = decode_progress_message(frame.payload);
+          if (progress && frame.request_id == request_id) {
+            outcome.progress.push_back(progress->stage);
+            if (options_.on_progress) options_.on_progress(progress->stage);
+          }
+          continue;
+        }
+        case FrameType::kResult: {
+          if (frame.request_id != request_id) continue;
+          // A metrics result carries a MetricsResponse body, every other
+          // request a ResultResponse.
+          if (type == FrameType::kMetrics) {
+            const auto metrics = decode_metrics_response(frame.payload);
+            if (metrics) {
+              outcome.ok = true;
+              outcome.result.text = metrics->text;
+              outcome.result.exit_code = 0;
+              return AttemptStatus::kResponded;
+            }
+          } else if (const auto result = decode_result_response(frame.payload)) {
+            outcome.ok = true;
+            outcome.result = *result;
+            return AttemptStatus::kResponded;
+          }
+          outcome.error.code = ServiceErrorCode::kProtocol;
+          outcome.error.detail = "undecodable result payload";
+          return AttemptStatus::kResponded;
+        }
+        case FrameType::kError: {
+          // id 0 = session-level (shed at accept, protocol): ours too.
+          if (frame.request_id != request_id && frame.request_id != 0) continue;
+          const auto error = decode_error_response(frame.payload);
+          if (!error) {
+            outcome.error.code = ServiceErrorCode::kProtocol;
+            outcome.error.detail = "undecodable error payload";
+          } else {
+            outcome.error = *error;
+          }
+          return AttemptStatus::kResponded;
+        }
+        case FrameType::kGoodbye:
+          transport_detail = saw_hello_ok ? "server said goodbye mid-request"
+                                          : "server said goodbye before handshake";
+          return AttemptStatus::kTransport;
+        default:
+          continue;  // unexpected but well-formed: ignore
+      }
+    }
+  } catch (const SocketError& e) {
+    transport_detail = e.what();
+    return AttemptStatus::kTransport;
+  }
+}
+
+std::optional<Frame> ServiceClient::roundtrip_raw(const std::string& bytes) {
+  try {
+    OwnedFd fd = io_.connect_unix(options_.socket_path);
+    io_.send_all(fd, bytes);
+    // Half-close: the probe sends exactly these bytes and nothing more, so
+    // the server sees EOF after them instead of waiting out a partial frame.
+    io_.shutdown_write(fd);
+    FrameDecoder decoder;
+    Frame frame;
+    for (;;) {
+      const DecodeStatus status = decoder.next(frame);
+      if (status == DecodeStatus::kFrame) return frame;
+      if (status != DecodeStatus::kNeedMore) return std::nullopt;
+      if (!io_.poll_readable(fd, static_cast<int>(options_.response_timeout_ms))) {
+        return std::nullopt;
+      }
+      const std::string chunk = io_.recv_some(fd, kRecvChunkBytes);
+      if (chunk.empty()) return std::nullopt;
+      decoder.feed(chunk);
+    }
+  } catch (const SocketError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace sdfmap

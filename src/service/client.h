@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/service/frame.h"
+#include "src/service/protocol.h"
+#include "src/support/socket_io.h"
+
+namespace sdfmap {
+
+/// Configuration of one ServiceClient (docs/SERVICE.md#client).
+struct ClientOptions {
+  /// AF_UNIX socket path of the sdfmapd instance. Required.
+  std::string socket_path;
+  /// Total tries per request: the first attempt plus up to attempts-1
+  /// retries. Retries happen on transport failures (connect refused, mid-
+  /// request disconnect, response timeout) and on typed retryable errors
+  /// (shed, draining); typed terminal errors — version skew above all —
+  /// are never retried.
+  int attempts = 3;
+  /// Exponential backoff between tries: min(max, initial << retry_index),
+  /// jittered to [delay/2, delay] so a shed client herd does not reconverge.
+  std::int64_t backoff_initial_ms = 50;
+  std::int64_t backoff_max_ms = 2000;
+  /// Seed of the deterministic jitter stream (support/rng.h).
+  std::uint64_t jitter_seed = 1;
+  /// How long to wait for the next response frame before declaring the
+  /// attempt dead (transport failure, retried).
+  std::int64_t response_timeout_ms = 120000;
+  /// Injectable sleep, so tests assert the backoff schedule without waiting
+  /// it out. Null = std::this_thread::sleep_for.
+  std::function<void(std::int64_t delay_ms)> sleep_fn;
+  /// Called for every kProgress stage of the final (successful) attempt.
+  std::function<void(const std::string& stage)> on_progress;
+  /// Wire-level fault injection for every socket call of this client.
+  SocketFaultHook socket_fault_hook;
+};
+
+/// What one request ultimately came back with, after retries.
+struct ServiceOutcome {
+  /// True iff a kResult frame arrived: `result` holds the report text and the
+  /// CliExitCode the one-shot CLI run would have exited with.
+  bool ok = false;
+  ResultResponse result;
+  /// True when no typed response was ever received (connect failures,
+  /// disconnects and timeouts on every attempt); `error` is then a synthetic
+  /// kInternal describing the last transport failure.
+  bool transport_failed = false;
+  /// The typed error (valid when !ok).
+  ErrorResponse error;
+  /// Tries consumed (1 = first attempt succeeded).
+  int attempts_used = 0;
+  /// Progress stages observed on the decisive attempt, in arrival order.
+  std::vector<std::string> progress;
+
+  /// Deterministic process exit code for CLI wrappers: result.exit_code when
+  /// ok; otherwise 75 for exhausted-retryable/transport failures, 76 for
+  /// protocol-family errors, and the matching CliExitCode for the rest
+  /// (docs/SERVICE.md#exit-codes).
+  [[nodiscard]] int exit_code() const;
+};
+
+/// Maps a typed service error to the exit code exit_code() uses (75/76/…).
+[[nodiscard]] int service_error_exit_code(ServiceErrorCode code);
+
+/// Blocking client for one sdfmapd instance: each call opens a connection,
+/// performs the hello handshake, sends the request, collects progress frames,
+/// and returns the typed outcome — retrying with capped exponential backoff
+/// plus deterministic jitter on transport failures and retryable errors.
+/// Calls are independent; the client keeps no connection between them, so one
+/// instance may be used from multiple threads.
+class ServiceClient {
+ public:
+  explicit ServiceClient(ClientOptions options);
+
+  [[nodiscard]] ServiceOutcome allocate(const AllocateRequest& request);
+  [[nodiscard]] ServiceOutcome throughput(const ThroughputRequest& request);
+  [[nodiscard]] ServiceOutcome lint(const LintRequest& request);
+  [[nodiscard]] ServiceOutcome metrics();
+
+  /// One raw frame, no handshake, no retries: sends `frame` verbatim and
+  /// returns the first response frame (or nullopt on EOF/timeout). The
+  /// malformed-frame corpus driver uses this to prove the server answers
+  /// garbage with a typed error instead of crashing.
+  [[nodiscard]] std::optional<Frame> roundtrip_raw(const std::string& bytes);
+
+ private:
+  /// One full request with retries.
+  [[nodiscard]] ServiceOutcome request(FrameType type, const std::string& payload);
+
+  enum class AttemptStatus {
+    kResponded,  ///< a typed kResult/kError landed in `outcome`
+    kTransport,  ///< connection-level failure; retryable
+  };
+  [[nodiscard]] AttemptStatus attempt_once(FrameType type, const std::string& payload,
+                                           std::uint64_t request_id, ServiceOutcome& outcome,
+                                           std::string& transport_detail);
+
+  void sleep_ms(std::int64_t delay_ms);
+
+  ClientOptions options_;
+  SocketIo io_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::mutex jitter_mutex_;
+  std::uint64_t jitter_state_;
+};
+
+}  // namespace sdfmap

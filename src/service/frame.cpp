@@ -1,0 +1,131 @@
+#include "src/service/frame.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/analysis/state_hash.h"
+
+namespace sdfmap {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t frame_checksum(std::string_view payload) {
+  std::uint64_t h = splitmix64(0x5346524d ^ static_cast<std::uint64_t>(payload.size()));
+  std::size_t i = 0;
+  while (i + 8 <= payload.size()) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, payload.data() + i, 8);
+    h = splitmix64(h ^ word);
+    i += 8;
+  }
+  if (i < payload.size()) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, payload.data() + i, payload.size() - i);
+    h = splitmix64(h ^ word);
+  }
+  return h;
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::length_error("frame payload exceeds kMaxPayloadBytes");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out, kFrameMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u64(out, frame_checksum(frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (poisoned_) return poison_status_;
+  if (buffer_.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+
+  const char* p = buffer_.data();
+  const std::uint32_t magic = get_u32(p);
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    poison_status_ = DecodeStatus::kBadMagic;
+    return poison_status_;
+  }
+  const std::uint16_t version = get_u16(p + 4);
+  const std::uint16_t raw_type = get_u16(p + 6);
+  const std::uint64_t request_id = get_u64(p + 8);
+  const std::uint64_t length = get_u32(p + 16);
+  const std::uint64_t checksum = get_u64(p + 20);
+
+  if (length > kMaxPayloadBytes) {
+    // The length field cannot be trusted, so neither can the stream offset of
+    // the "next" frame — poison rather than resynchronize heuristically.
+    poisoned_ = true;
+    poison_status_ = DecodeStatus::kOversized;
+    return poison_status_;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return DecodeStatus::kNeedMore;
+
+  const std::string_view payload(buffer_.data() + kFrameHeaderBytes,
+                                 static_cast<std::size_t>(length));
+  // Version skew is detected before the checksum: a future version may
+  // legitimately change the checksum chain, and the remote deserves a
+  // version-skew answer, not a confusing bad-checksum one. The frame is still
+  // delimited by its length, so it can be consumed cleanly.
+  if (version != kProtocolVersion) {
+    out = Frame{FrameType::kHello, request_id, std::string(payload)};
+    buffer_.erase(0, kFrameHeaderBytes + payload.size());
+    return DecodeStatus::kVersionSkew;
+  }
+  if (frame_checksum(payload) != checksum) {
+    poisoned_ = true;
+    poison_status_ = DecodeStatus::kBadChecksum;
+    return poison_status_;
+  }
+  if (!known_frame_type(raw_type)) {
+    out = Frame{FrameType::kHello, request_id, std::string(payload)};
+    buffer_.erase(0, kFrameHeaderBytes + payload.size());
+    return DecodeStatus::kUnknownType;
+  }
+  out = Frame{static_cast<FrameType>(raw_type), request_id, std::string(payload)};
+  buffer_.erase(0, kFrameHeaderBytes + payload.size());
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace sdfmap {
+
+/// Wire protocol of sdfmapd (docs/SERVICE.md): version-tagged, checksummed,
+/// length-prefixed binary frames over a byte stream. Every frame is
+///
+///   magic    u32  "SDFM" (0x4d464453 little-endian)
+///   version  u16  kProtocolVersion
+///   type     u16  FrameType
+///   id       u64  request id (client-chosen; echoed on every response)
+///   length   u32  payload byte count, <= kMaxPayloadBytes
+///   checksum u64  splitmix64 chain over the payload bytes
+///   payload  length bytes (TLV messages, see protocol.h)
+///
+/// all fixed-width little-endian. The decoder is incremental and never
+/// trusts a length field beyond the bound: oversized, version-skewed,
+/// checksum-failing and garbage-magic frames each produce a distinct typed
+/// status so the server can answer with a protocol error (or close) instead
+/// of crashing or desynchronizing.
+inline constexpr std::uint32_t kFrameMagic = 0x4d464453;  // "SDFM"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 2 + 2 + 8 + 4 + 8;
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{16} << 20;
+
+/// Frame kinds. Requests flow client -> server, responses server -> client;
+/// kCancel is the only client frame that targets an earlier request.
+enum class FrameType : std::uint16_t {
+  kHello = 1,       ///< client handshake; payload empty
+  kHelloOk = 2,     ///< server accepts; payload = server banner TLV
+  kAllocate = 3,    ///< run the DAC'07 three-step strategy
+  kThroughput = 4,  ///< state-space + MCR throughput of one graph
+  kLint = 5,        ///< lint one model document
+  kMetrics = 6,     ///< fleet-wide stats snapshot
+  kCancel = 7,      ///< cancel the in-flight request with this id
+  kProgress = 8,    ///< streamed stage update for a running request
+  kResult = 9,      ///< final success payload
+  kError = 10,      ///< typed failure (protocol, shed, deadline, ...)
+  kGoodbye = 11,    ///< server is draining this session; close after this
+};
+
+[[nodiscard]] constexpr const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloOk: return "hello-ok";
+    case FrameType::kAllocate: return "allocate";
+    case FrameType::kThroughput: return "throughput";
+    case FrameType::kLint: return "lint";
+    case FrameType::kMetrics: return "metrics";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kProgress: return "progress";
+    case FrameType::kResult: return "result";
+    case FrameType::kError: return "error";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool known_frame_type(std::uint16_t raw) {
+  return raw >= 1 && raw <= 11;
+}
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Checksum of a payload: splitmix64 chained over 8-byte words (tail bytes
+/// zero-padded), seeded with the payload length so truncation to a word
+/// boundary still changes the sum.
+[[nodiscard]] std::uint64_t frame_checksum(std::string_view payload);
+
+/// Serializes one frame (header + payload). Payloads over kMaxPayloadBytes
+/// are a programming error on the send side; encode_frame throws
+/// std::length_error rather than emitting a frame no peer would accept.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Decoder outcome for one attempt to pop a frame from the stream buffer.
+enum class DecodeStatus {
+  kFrame,        ///< `out` holds a complete, verified frame
+  kNeedMore,     ///< buffer holds only a frame prefix; feed more bytes
+  kBadMagic,     ///< stream is not (or no longer) frame-aligned
+  kVersionSkew,  ///< well-formed header from another protocol version
+  kOversized,    ///< length field exceeds kMaxPayloadBytes
+  kBadChecksum,  ///< payload arrived but its checksum does not match
+  kUnknownType,  ///< verified frame of a type this side does not know
+};
+
+[[nodiscard]] constexpr const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kVersionSkew: return "version-skew";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kBadChecksum: return "bad-checksum";
+    case DecodeStatus::kUnknownType: return "unknown-type";
+  }
+  return "?";
+}
+
+/// True when the status is a protocol violation after which the stream cannot
+/// be trusted to be frame-aligned (the session must close). kVersionSkew and
+/// kUnknownType leave the stream aligned: the offending frame is consumed and
+/// the session can answer with a typed error and continue (version skew still
+/// closes, but politely).
+[[nodiscard]] constexpr bool decode_status_fatal(DecodeStatus s) {
+  return s == DecodeStatus::kBadMagic || s == DecodeStatus::kOversized ||
+         s == DecodeStatus::kBadChecksum;
+}
+
+/// Incremental frame decoder: feed() stream bytes as they arrive, then call
+/// next() until it stops returning kFrame. On kVersionSkew/kUnknownType the
+/// malformed-but-delimited frame is consumed (its id is reported in `out` so
+/// the server can address the error response); on a fatal status the buffer
+/// is left untouched and every later call reports the same status.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+  [[nodiscard]] DecodeStatus next(Frame& out);
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+  DecodeStatus poison_status_ = DecodeStatus::kBadMagic;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/service/admission.h"
+#include "src/service/frame.h"
+#include "src/service/protocol.h"
+#include "src/support/socket_io.h"
+
+namespace sdfmap {
+
+struct DecodedRequest;  // server.cpp-internal: one admission-ready request
+
+/// Configuration of one sdfmapd instance (docs/SERVICE.md).
+struct ServerOptions {
+  /// AF_UNIX socket path the daemon listens on. Required.
+  std::string socket_path;
+  /// Worker threads popping the admission queue. Each worker runs one request
+  /// at a time; engine-internal parallelism additionally uses the global
+  /// TaskPool, so total concurrency is workers x jobs.
+  unsigned workers = 2;
+  /// Admission bound: requests beyond this queue depth are shed with a typed,
+  /// retryable error — the daemon never grows an unbounded backlog.
+  std::size_t max_queue = 64;
+  /// Concurrent session bound; connections beyond it are turned away with a
+  /// retryable shed error before a reader thread is spawned.
+  std::size_t max_sessions = 32;
+  /// Deadline applied to requests that do not carry their own (0 = none).
+  std::int64_t default_deadline_ms = 0;
+  /// Upper cap on any per-request deadline (0 = uncapped). Keeps one client
+  /// from parking a worker on an unbounded analysis.
+  std::int64_t max_deadline_ms = 0;
+  /// How long stop() waits for in-flight requests before cancelling them.
+  std::int64_t drain_timeout_ms = 5000;
+  /// Shared throughput-check memoization across every request (the fleet-wide
+  /// cache the ROADMAP daemon item calls for).
+  bool cache_enabled = true;
+  /// Persistent store directory attached to the shared cache ("" = memory
+  /// only; see docs/CACHE.md). Flushed on drain.
+  std::string cache_dir;
+  /// Wire-level fault injection for every socket call of this server.
+  SocketFaultHook socket_fault_hook;
+  /// Diagnostic sink (default: stderr). Never called for per-request results.
+  std::function<void(const std::string&)> log;
+};
+
+/// Fleet-wide counters exposed by the kMetrics request.
+struct ServiceMetrics {
+  AdmissionStats admission;
+  std::size_t sessions_active = 0;
+  long sessions_total = 0;
+  long sessions_rejected = 0;  ///< turned away at the max_sessions bound
+  long protocol_errors = 0;    ///< malformed/oversized/checksum/skew frames
+  long requests_ok = 0;        ///< kResult responses sent
+  long requests_error = 0;     ///< kError responses sent
+  unsigned jobs = 0;           ///< TaskPool::global_jobs()
+  CacheStats cache;
+
+  /// Deterministic "key: value" lines (docs/SERVICE.md#metrics). Counter
+  /// values depend on request interleaving, but the set and order of keys is
+  /// fixed, so clients can parse it forever.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// The sdfmapd allocation service: accepts framed allocate / throughput /
+/// lint / metrics requests over an AF_UNIX socket, multiplexes them onto one
+/// admission queue + worker pool sharing one ThroughputCache, and streams
+/// progress + results back (protocol in frame.h / protocol.h, spec in
+/// docs/SERVICE.md).
+///
+/// Robustness contract, mirroring the persistent cache's: a malformed,
+/// truncated, oversized or version-skewed frame produces a typed protocol
+/// error (or a clean close) and never a crash or a poisoned cache entry; an
+/// overloaded queue sheds with a retryable error instead of growing; a client
+/// disconnect cancels that client's in-flight analyses; stop() drains
+/// gracefully (finish or cancel in-flight work, flush the persistent cache)
+/// and reports whether any work had to be cut short.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept + worker threads. False (with
+  /// `error` filled) when the socket cannot be created.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Graceful drain: stop accepting, shed queued work with retryable errors,
+  /// give in-flight requests drain_timeout_ms to finish, cancel stragglers,
+  /// flush the persistent cache, close every session. Idempotent.
+  enum class DrainResult {
+    kClean,   ///< every in-flight request completed
+    kForced,  ///< stragglers were cancelled at the drain timeout
+  };
+  DrainResult stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+
+  /// The shared throughput cache (for tests asserting no-poisoning).
+  [[nodiscard]] std::shared_ptr<ThroughputCache> cache() const { return cache_; }
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void worker_loop();
+  void session_loop(std::shared_ptr<Session> session);
+  void handle_frame(const std::shared_ptr<Session>& session, const Frame& frame);
+  void enqueue_request(const std::shared_ptr<Session>& session, const Frame& frame);
+  /// Runs one admitted request on a worker thread and sends its response.
+  void run_request(const std::shared_ptr<Session>& session, std::uint64_t request_id,
+                   const AnalysisBudget& budget, const DecodedRequest& decoded);
+
+  ResultResponse handle_allocate(const AllocateRequest& request, const AnalysisBudget& budget);
+  ResultResponse handle_throughput(const ThroughputRequest& request,
+                                   const AnalysisBudget& budget);
+  ResultResponse handle_lint(const LintRequest& request);
+
+  void send_frame(const std::shared_ptr<Session>& session, FrameType type,
+                  std::uint64_t request_id, const std::string& payload);
+  void send_error(const std::shared_ptr<Session>& session, std::uint64_t request_id,
+                  ServiceErrorCode code, const std::string& detail);
+  void close_session(const std::shared_ptr<Session>& session);
+  void reap_finished_sessions();
+  void log(const std::string& message) const;
+
+  ServerOptions options_;
+  SocketIo io_;
+  OwnedFd listener_;
+  AdmissionQueue queue_;
+  std::shared_ptr<ThroughputCache> cache_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  long sessions_total_ = 0;
+  long sessions_rejected_ = 0;
+
+  mutable std::mutex counters_mutex_;
+  long protocol_errors_ = 0;
+  long requests_ok_ = 0;
+  long requests_error_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_cancelled_{false};  ///< drain had to cancel work
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
+  DrainResult drain_result_ = DrainResult::kClean;
+};
+
+}  // namespace sdfmap

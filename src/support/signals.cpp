@@ -1,0 +1,34 @@
+#include "src/support/signals.h"
+
+#include <csignal>
+
+namespace sdfmap {
+
+namespace {
+
+// Created before any handler can run (install initializes it from main's
+// thread), so the handler never performs a first-time static initialization.
+CancellationToken& signal_token() {
+  static CancellationToken token = CancellationToken::make();
+  return token;
+}
+
+void on_cancellation_signal(int /*signum*/) {
+  // Relaxed atomic store only — see header.
+  signal_token().request_cancel();
+}
+
+}  // namespace
+
+CancellationToken install_cancellation_signal_handlers() {
+  CancellationToken& token = signal_token();
+  struct sigaction action = {};
+  action.sa_handler = on_cancellation_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking calls
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  return token;
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/support/budget.h"
+
+namespace sdfmap {
+
+/// Installs SIGINT/SIGTERM handlers that trip the returned CancellationToken
+/// and returns it, so a CLI can hand the token to its analysis budget and
+/// turn Ctrl-C / a service manager's TERM into the same cooperative
+/// cancellation path the engines already honor: the run unwinds as
+/// FailureKind::kCancelled, flushes its persistent cache on the normal exit
+/// path, and the process exits kCliCancelled (6) — never an aborted write.
+///
+/// The handler only performs a relaxed atomic store (no allocation, no
+/// locks), which keeps it async-signal-safe. Handlers are installed without
+/// SA_RESTART so blocking reads are interrupted and the cancellation is
+/// observed promptly. Idempotent: later calls return the same token.
+[[nodiscard]] CancellationToken install_cancellation_signal_handlers();
+
+}  // namespace sdfmap

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/cache.h"
@@ -147,6 +148,82 @@ TEST_F(PersistentStrategyTest, EveryInjectedFaultKeepsAllocationIdentical) {
   options.cache_dir = dir;
   const StrategyResult after = allocate_resources(app_, arch_, options);
   EXPECT_EQ(fp(after), expected);
+}
+
+TEST_F(PersistentStrategyTest, ConcurrentWritersOnOneDirElectOneAndStayByteIdentical) {
+  // Cache-dir contention (docs/CACHE.md): the advisory lock is a per-open-
+  // file-description flock, so two instances in one process contend exactly
+  // like two processes (each opens its own lock fd). The first opener wins
+  // the election and writes; the loser recovers read-only; and allocations
+  // through both — running concurrently — are byte-identical to the
+  // uncached baseline.
+  const StrategyResult baseline = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(baseline.success);
+  const std::string expected = fp(baseline);
+
+  const std::string dir = make_temp_dir() + "/store";
+  const auto winner = make_persistent_throughput_cache(dir);
+  const auto loser = make_persistent_throughput_cache(dir);
+  ASSERT_NE(winner->persistent(), nullptr);
+  ASSERT_NE(loser->persistent(), nullptr);
+  EXPECT_TRUE(winner->persistent()->writable());
+  EXPECT_FALSE(loser->persistent()->writable());
+  EXPECT_TRUE(loser->persistent()->stats().read_only);
+  bool saw_read_only_event = false;
+  for (const DiskCacheEvent& event : loser->persistent()->events()) {
+    if (event.kind == DiskEventKind::kReadOnly) saw_read_only_event = true;
+  }
+  EXPECT_TRUE(saw_read_only_event);
+
+  StrategyResult winner_result, loser_result;
+  std::thread winner_thread([&] {
+    StrategyOptions options;
+    options.cache = winner;
+    winner_result = allocate_resources(app_, arch_, options);
+  });
+  std::thread loser_thread([&] {
+    StrategyOptions options;
+    options.cache = loser;
+    loser_result = allocate_resources(app_, arch_, options);
+  });
+  winner_thread.join();
+  loser_thread.join();
+  EXPECT_EQ(fp(winner_result), expected);
+  EXPECT_EQ(fp(loser_result), expected);
+
+  // Only the elected writer persisted records; the loser wrote nothing.
+  EXPECT_GT(winner->persistent()->stats().appended_records, 0);
+  EXPECT_EQ(loser->persistent()->stats().appended_records, 0);
+  winner->flush_persistent();
+
+  // The read-only loser keeps serving identical allocations for its lifetime.
+  StrategyOptions again_options;
+  again_options.cache = loser;
+  const StrategyResult again = allocate_resources(app_, arch_, again_options);
+  EXPECT_EQ(fp(again), expected);
+}
+
+TEST_F(PersistentStrategyTest, WriterElectionPassesToNextOpenerAfterRelease) {
+  const StrategyResult baseline = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(baseline.success);
+  const std::string dir = make_temp_dir() + "/store";
+  {
+    StrategyOptions options;
+    options.cache_dir = dir;
+    ASSERT_TRUE(allocate_resources(app_, arch_, options).success);
+  }  // the first writer's lock is released with the cache
+
+  const auto second = make_persistent_throughput_cache(dir);
+  ASSERT_NE(second->persistent(), nullptr);
+  EXPECT_TRUE(second->persistent()->writable());
+  EXPECT_FALSE(second->persistent()->stats().read_only);
+  // Warm start from the records the first writer persisted.
+  EXPECT_GT(second->persistent()->stats().recovered_records, 0);
+  StrategyOptions options;
+  options.cache = second;
+  const StrategyResult warm = allocate_resources(app_, arch_, options);
+  EXPECT_EQ(fp(warm), fp(baseline));
+  EXPECT_GT(warm.diagnostics.cache.disk_hits, 0);
 }
 
 TEST_F(PersistentStrategyTest, UnwritableCacheDirDegradesSilently) {

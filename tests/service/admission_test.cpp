@@ -1,0 +1,207 @@
+// AdmissionQueue (src/service/admission.h): the overload-shedding contract of
+// the daemon. Bounded push, shed-at-dequeue for expired/cancelled jobs, drain
+// semantics, and the running counter the graceful drain relies on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/service/admission.h"
+
+namespace sdfmap {
+namespace {
+
+AdmittedJob make_job(std::uint64_t id, std::function<void()> run,
+                     std::function<void(ShedReason)> shed = nullptr) {
+  AdmittedJob job;
+  job.request_id = id;
+  job.session_id = 1;
+  job.run = std::move(run);
+  job.shed = shed ? std::move(shed) : [](ShedReason) {};
+  return job;
+}
+
+TEST(AdmissionQueueTest, PushPopFifo) {
+  AdmissionQueue queue(4);
+  std::vector<std::uint64_t> ran;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(queue.try_push(make_job(id, [&ran, id] { ran.push_back(id); })),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  EXPECT_EQ(queue.stats().depth, 3u);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->request_id, id);
+    job->run();
+    queue.note_completed();
+  }
+  EXPECT_EQ(ran, (std::vector<std::uint64_t>{1, 2, 3}));
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.depth, 0u);
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+TEST(AdmissionQueueTest, FullQueueRejectsWithoutCallingShed) {
+  AdmissionQueue queue(2);
+  bool shed_called = false;
+  EXPECT_EQ(queue.try_push(make_job(1, [] {})), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.try_push(make_job(2, [] {})), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.try_push(make_job(3, [] {},
+                                    [&shed_called](ShedReason) { shed_called = true; })),
+            AdmissionQueue::PushResult::kQueueFull);
+  // Rejection happens before admission: the caller owns the error response.
+  EXPECT_FALSE(shed_called);
+  EXPECT_EQ(queue.stats().shed_queue_full, 1);
+  EXPECT_EQ(queue.stats().admitted, 2);
+}
+
+TEST(AdmissionQueueTest, ExpiredDeadlineShedAtDequeue) {
+  AdmissionQueue queue(4);
+  std::optional<ShedReason> shed_reason;
+  bool ran = false;
+
+  AdmittedJob expired = make_job(1, [&ran] { ran = true; },
+                                 [&shed_reason](ShedReason r) { shed_reason = r; });
+  expired.deadline = AnalysisBudget::Clock::now() - std::chrono::milliseconds(1);
+  ASSERT_EQ(queue.try_push(std::move(expired)), AdmissionQueue::PushResult::kAdmitted);
+  ASSERT_EQ(queue.try_push(make_job(2, [] {})), AdmissionQueue::PushResult::kAdmitted);
+
+  // pop() sheds the expired job internally and hands over the live one.
+  auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->request_id, 2u);
+  EXPECT_FALSE(ran);
+  ASSERT_TRUE(shed_reason.has_value());
+  EXPECT_EQ(*shed_reason, ShedReason::kDeadline);
+  EXPECT_EQ(queue.stats().shed_deadline, 1);
+  queue.note_completed();
+}
+
+TEST(AdmissionQueueTest, CancelledTokenShedAtDequeue) {
+  AdmissionQueue queue(4);
+  std::optional<ShedReason> shed_reason;
+
+  AdmittedJob cancelled = make_job(1, [] { FAIL() << "cancelled job must not run"; },
+                                   [&shed_reason](ShedReason r) { shed_reason = r; });
+  cancelled.cancel = CancellationToken::make();
+  cancelled.cancel.request_cancel();
+  ASSERT_EQ(queue.try_push(std::move(cancelled)), AdmissionQueue::PushResult::kAdmitted);
+  ASSERT_EQ(queue.try_push(make_job(2, [] {})), AdmissionQueue::PushResult::kAdmitted);
+
+  auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->request_id, 2u);
+  ASSERT_TRUE(shed_reason.has_value());
+  EXPECT_EQ(*shed_reason, ShedReason::kCancelled);
+  EXPECT_EQ(queue.stats().cancelled, 1);
+  queue.note_completed();
+}
+
+TEST(AdmissionQueueTest, DrainShedsBacklogAndReleasesPoppers) {
+  AdmissionQueue queue(8);
+  std::atomic<int> shed_draining{0};
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_EQ(queue.try_push(make_job(id, [] { FAIL() << "drained job must not run"; },
+                                      [&shed_draining](ShedReason r) {
+                                        EXPECT_EQ(r, ShedReason::kDraining);
+                                        shed_draining.fetch_add(1);
+                                      })),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  queue.drain();
+  EXPECT_TRUE(queue.draining());
+  EXPECT_EQ(shed_draining.load(), 5);
+  EXPECT_EQ(queue.stats().shed_draining, 5);
+  EXPECT_FALSE(queue.pop().has_value());
+  // Idempotent.
+  queue.drain();
+  EXPECT_EQ(shed_draining.load(), 5);
+  // And closed: nothing new is admitted.
+  EXPECT_EQ(queue.try_push(make_job(9, [] {})), AdmissionQueue::PushResult::kDraining);
+}
+
+TEST(AdmissionQueueTest, DrainWakesBlockedWorkers) {
+  AdmissionQueue queue(4);
+  std::atomic<int> released{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&queue, &released] {
+      while (auto job = queue.pop()) {
+        job->run();
+        queue.note_completed();
+      }
+      released.fetch_add(1);
+    });
+  }
+  std::atomic<int> ran{0};
+  ASSERT_EQ(queue.try_push(make_job(1, [&ran] { ran.fetch_add(1); })),
+            AdmissionQueue::PushResult::kAdmitted);
+  while (queue.stats().completed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.drain();
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(released.load(), 3);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(AdmissionQueueTest, RunningCounterPairsPopWithNoteCompleted) {
+  AdmissionQueue queue(4);
+  ASSERT_EQ(queue.try_push(make_job(1, [] {})), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.running_count(), 0u);
+  auto job = queue.pop();
+  ASSERT_TRUE(job.has_value());
+  // Incremented inside pop(): a drain that sees running_count() == 0 after
+  // drain() cannot have missed this job.
+  EXPECT_EQ(queue.running_count(), 1u);
+  job->run();
+  queue.note_completed();
+  EXPECT_EQ(queue.running_count(), 0u);
+}
+
+TEST(AdmissionQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  AdmissionQueue queue(1024);
+  constexpr int kProducers = 4;
+  constexpr int kJobsEach = 50;
+  std::atomic<int> ran{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue] {
+      while (auto job = queue.pop()) {
+        job->run();
+        queue.note_completed();
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &ran, p] {
+      for (int i = 0; i < kJobsEach; ++i) {
+        const auto result = queue.try_push(
+            make_job(static_cast<std::uint64_t>(p * kJobsEach + i),
+                     [&ran] { ran.fetch_add(1); }));
+        ASSERT_EQ(result, AdmissionQueue::PushResult::kAdmitted);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  while (queue.stats().completed < kProducers * kJobsEach) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  queue.drain();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(ran.load(), kProducers * kJobsEach);
+  EXPECT_EQ(queue.stats().admitted, kProducers * kJobsEach);
+  EXPECT_EQ(queue.running_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdfmap
