@@ -1,0 +1,285 @@
+// Optimality-gap ablation of the exact branch-and-bound backend
+// (docs/SOLVER.md): how far the DAC'07 three-step heuristic lands from the
+// proven optimum on a corpus of small instances, in processors used and
+// total TDMA slice.
+//
+// For every instance the harness runs the heuristic strategy and the exact
+// solver, then reports per-instance rows (used tiles, total slice, gap,
+// proven-optimal vs budget-capped) plus two machine-checked verdicts:
+//   * determinism — the whole table is byte-identical at --jobs 1, 2 and 8;
+//   * soundness   — the exact optimum is never worse than the heuristic
+//                   (the heuristic's allocation lies inside the solver's
+//                   search space, so a worse "optimum" is a solver bug).
+//
+// stdout carries only the deterministic table and PASS/FAIL verdicts; wall
+// times and peak RSS go to stderr, and everything lands in the JSON file
+// written to --out (default BENCH_exact.json). One instance runs under a
+// deliberately tiny node cap so the anytime/budget-capped path shows up in
+// the table. Exit code: 0 success, 1 verdict failed.
+//
+// Usage:
+//   bench_exact_gap [--quick] [--out=<file>]
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/appmodel/paper_example.h"
+#include "src/gen/generator.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
+#include "src/solver/exact.h"
+#include "src/support/cli.h"
+#include "src/support/rng.h"
+
+using namespace sdfmap;
+
+namespace {
+
+struct Instance {
+  std::string name;
+  ApplicationGraph app;
+  Architecture arch;
+  std::uint64_t node_cap = 0;  ///< 0 = unlimited; >0 makes a budget-capped row
+};
+
+Architecture shrunk_example_platform(std::int64_t wheel) {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).wheel_size = wheel;
+  arch.tile(TileId{1}).wheel_size = wheel;
+  return arch;
+}
+
+/// A 1x2 mesh with two processor types — the smallest platform on which the
+/// binding decision is non-trivial.
+Architecture small_mesh(std::int64_t wheel) {
+  MeshOptions options;
+  options.rows = 1;
+  options.cols = 2;
+  options.proc_types = {"proc_a", "proc_b"};
+  options.wheel_size = wheel;
+  return make_mesh(options);
+}
+
+std::vector<Instance> make_instances(bool quick) {
+  std::vector<Instance> instances;
+
+  // Paper running example under three constraint levels plus a shrunk wheel.
+  instances.push_back({"paper_example", make_paper_example_application(),
+                       make_example_platform()});
+  instances.push_back({"paper_example_w5", make_paper_example_application(),
+                       shrunk_example_platform(5)});
+  {
+    ApplicationGraph relaxed = make_paper_example_application();
+    relaxed.set_throughput_constraint(Rational(1, 60));
+    instances.push_back({"paper_relaxed", std::move(relaxed), make_example_platform()});
+  }
+  {
+    ApplicationGraph tight = make_paper_example_application();
+    tight.set_throughput_constraint(Rational(1, 25));
+    instances.push_back({"paper_tight", std::move(tight), make_example_platform()});
+  }
+  // The anytime path: the same instance under a deliberately tiny node cap
+  // stops without a proof (and usually without an incumbent).
+  instances.push_back({"paper_node_capped", make_paper_example_application(),
+                       make_example_platform(), 1});
+
+  // Generated corpus: small SDF3-style graphs on the 1x2 mesh. Seeds are
+  // fixed, so the corpus — like everything else on stdout — is byte-stable.
+  GeneratorOptions gen;
+  gen.num_proc_types = 2;
+  gen.min_actors = 3;
+  gen.max_actors = quick ? 4 : 5;
+  gen.max_repetition = 2;
+  gen.constraint_tightness = 0.10;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    Rng rng(seed * 1000 + 7);
+    ApplicationGraph app = generate_application(gen, rng, "gen_" + std::to_string(seed));
+    instances.push_back({app.name(), std::move(app), small_mesh(60)});
+  }
+  return instances;
+}
+
+struct Row {
+  std::string name;
+  std::size_t actors = 0;
+  std::size_t tiles = 0;
+  bool heuristic_success = false;
+  int heuristic_tiles = 0;
+  std::int64_t heuristic_slice = 0;
+  bool exact_found = false;
+  bool proven_optimal = false;
+  bool proven_infeasible = false;
+  bool budget_capped = false;
+  int exact_tiles = 0;
+  std::int64_t exact_slice = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t bindings = 0;
+  double heuristic_seconds = 0;  // stderr/JSON only
+  double exact_seconds = 0;      // stderr/JSON only
+};
+
+Row measure(const Instance& instance) {
+  Row row;
+  row.name = instance.name;
+  row.actors = instance.app.sdf().num_actors();
+  row.tiles = instance.arch.num_tiles();
+
+  const StrategyResult heuristic = allocate_resources(instance.app, instance.arch, {});
+  row.heuristic_success = heuristic.success;
+  row.heuristic_seconds = heuristic.total_seconds();
+  if (heuristic.success) {
+    for (const std::int64_t w : heuristic.slices) {
+      row.heuristic_tiles += w > 0 ? 1 : 0;
+      row.heuristic_slice += w;
+    }
+  }
+
+  ExactSolverOptions solver;
+  solver.max_nodes_per_subtree = instance.node_cap;
+  const ExactSolverResult exact = solve_exact(instance.app, instance.arch, solver);
+  row.exact_found = exact.found;
+  row.proven_optimal = exact.proven_optimal;
+  row.proven_infeasible = exact.proven_infeasible;
+  row.budget_capped = !exact.proven_optimal && !exact.proven_infeasible;
+  row.nodes = exact.nodes;
+  row.bindings = exact.bindings;
+  row.exact_seconds = exact.seconds;
+  if (exact.found) {
+    row.exact_tiles = exact.best.used_tiles;
+    row.exact_slice = exact.best.total_slice;
+  }
+  return row;
+}
+
+std::string verdict(const Row& row) {
+  if (row.budget_capped) return "budget-capped";
+  if (row.proven_infeasible) return "proven-infeasible";
+  return "proven-optimal";
+}
+
+/// The deterministic table: everything except wall times.
+std::string render(const std::vector<Row>& rows) {
+  std::ostringstream os;
+  for (const Row& row : rows) {
+    os << row.name << ": " << row.actors << " actors on " << row.tiles << " tiles, ";
+    if (row.heuristic_success) {
+      os << "heuristic " << row.heuristic_tiles << "p/" << row.heuristic_slice << "w";
+    } else {
+      os << "heuristic failed";
+    }
+    os << ", exact ";
+    if (row.exact_found) {
+      os << row.exact_tiles << "p/" << row.exact_slice << "w";
+    } else {
+      os << "none";
+    }
+    os << " [" << verdict(row) << ", " << row.nodes << " nodes, " << row.bindings
+       << " bindings]";
+    if (row.heuristic_success && row.exact_found && row.proven_optimal) {
+      os << ", gap " << (row.heuristic_tiles - row.exact_tiles) << "p/"
+         << (row.heuristic_slice - row.exact_slice) << "w";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+/// Soundness: wherever both backends answered and the optimum is proven, the
+/// heuristic can only match or exceed the exact objective.
+bool never_worse(const std::vector<Row>& rows, std::string& violation) {
+  for (const Row& row : rows) {
+    if (!row.heuristic_success || !row.exact_found || !row.proven_optimal) continue;
+    const bool worse =
+        row.exact_tiles > row.heuristic_tiles ||
+        (row.exact_tiles == row.heuristic_tiles && row.exact_slice > row.heuristic_slice);
+    if (worse) {
+      violation = row.name;
+      return false;
+    }
+    // A feasible heuristic answer with a proven-infeasible verdict would be
+    // an even louder contradiction; proven_infeasible implies !exact_found,
+    // so it cannot reach this line.
+  }
+  return true;
+}
+
+void write_json(const std::string& path, bool quick, const std::vector<Row>& rows,
+                bool determinism_ok, bool never_worse_ok) {
+  std::ofstream os(path);
+  os << "{\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"instances\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"name\": \"" << r.name << "\", \"actors\": " << r.actors
+       << ", \"tiles\": " << r.tiles
+       << ", \"heuristic_success\": " << (r.heuristic_success ? "true" : "false")
+       << ", \"heuristic_tiles\": " << r.heuristic_tiles
+       << ", \"heuristic_slice\": " << r.heuristic_slice
+       << ", \"exact_found\": " << (r.exact_found ? "true" : "false")
+       << ", \"exact_tiles\": " << r.exact_tiles << ", \"exact_slice\": " << r.exact_slice
+       << ", \"verdict\": \"" << verdict(r) << "\", \"nodes\": " << r.nodes
+       << ", \"bindings\": " << r.bindings << ", \"gap_tiles\": "
+       << (r.heuristic_success && r.exact_found ? r.heuristic_tiles - r.exact_tiles : 0)
+       << ", \"gap_slice\": "
+       << (r.heuristic_success && r.exact_found ? r.heuristic_slice - r.exact_slice : 0)
+       << ", \"heuristic_seconds\": " << r.heuristic_seconds
+       << ", \"exact_seconds\": " << r.exact_seconds << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false") << ",\n";
+  os << "  \"never_worse_ok\": " << (never_worse_ok ? "true" : "false") << "\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool quick = args.has("quick");
+  const std::string out_path = args.get("out", "BENCH_exact.json");
+
+  benchutil::heading("exact-backend optimality gap" + std::string(quick ? " (quick)" : ""));
+
+  const std::vector<Instance> instances = make_instances(quick);
+  benchutil::note(std::to_string(instances.size()) + " instances");
+
+  // The whole table three times, at --jobs 1, 2 and 8: the solver's parallel
+  // root reduction must make every byte of it independent of the worker
+  // count.
+  std::vector<std::vector<Row>> sweeps;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    TaskPool::set_global_jobs(jobs);
+    std::vector<Row> rows;
+    benchutil::time_section("gap table at jobs " + std::to_string(jobs), [&] {
+      for (const Instance& instance : instances) rows.push_back(measure(instance));
+    });
+    sweeps.push_back(std::move(rows));
+  }
+
+  std::cout << render(sweeps.back());
+
+  bool determinism_ok = true;
+  for (const std::vector<Row>& rows : sweeps) {
+    if (render(rows) != render(sweeps.front())) determinism_ok = false;
+  }
+  std::string violation;
+  const bool never_worse_ok = never_worse(sweeps.back(), violation);
+
+  std::cout << "determinism across jobs 1/2/8: " << (determinism_ok ? "PASS" : "FAIL")
+            << "\n";
+  std::cout << "exact never worse than heuristic: " << (never_worse_ok ? "PASS" : "FAIL");
+  if (!never_worse_ok) std::cout << " (" << violation << ")";
+  std::cout << "\n";
+
+  write_json(out_path, quick, sweeps.back(), determinism_ok, never_worse_ok);
+  std::cerr << "[out] wrote " << out_path << "\n";
+  return determinism_ok && never_worse_ok ? 0 : 1;
+}

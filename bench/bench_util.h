@@ -8,6 +8,10 @@
 #include <memory>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/analysis/cache.h"
 #include "src/analysis/persistent_cache.h"
 #include "src/runtime/parallel.h"
@@ -45,15 +49,36 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Runs `fn` and prints its elapsed wall time to **stderr** — stdout carries
-/// only the deterministic report, which must stay byte-identical for every
-/// --jobs level, while timings are run-dependent by nature.
+/// Process-wide peak resident set size in KiB, or 0 where getrusage is
+/// unavailable. Linux reports ru_maxrss in KiB already; macOS in bytes.
+inline long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;
+#else
+  return usage.ru_maxrss;
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Runs `fn` and prints its elapsed wall time — and the process peak RSS
+/// after it — to **stderr**; stdout carries only the deterministic report,
+/// which must stay byte-identical for every --jobs level, while timings and
+/// memory high-water marks are run-dependent by nature.
 template <typename Fn>
 void time_section(const std::string& label, Fn&& fn) {
   const Timer timer;
   fn();
   std::cerr << std::fixed << std::setprecision(2) << "[time] " << label << ": "
-            << timer.seconds() << " s\n";
+            << timer.seconds() << " s";
+  if (const long rss = peak_rss_kib(); rss > 0) {
+    std::cerr << " (peak rss " << rss << " KiB)";
+  }
+  std::cerr << "\n";
 }
 
 /// Applies the --jobs/-j flag (default: all hardware threads) to the global

@@ -16,7 +16,16 @@
 //                                        # warm-start; disk faults degrade to
 //                                        # the in-memory tier
 //   analyze_cli lint <file...> [--format=text|sarif|json] [--lint-level=...]
+//   analyze_cli allocate --app=<file> --platform=<file>
+//               [--backend=heuristic|exact|exact_then_heuristic]
+//               [--solver-max-nodes=<n>] [--deadline-ms=<n>] [--per-check-ms=<n>]
+//               [--no-degrade] [--cache|--no-cache] [--cache-dir=<dir>]
 //   analyze_cli --demo        # runs on the built-in CD-to-DAT converter
+//
+// The `allocate` subcommand runs the resource-allocation strategy — with any
+// backend, including the exact branch-and-bound solver (docs/SOLVER.md) —
+// through the same renderer as flow_cli and sdfmapd, so all three surfaces
+// print byte-identical allocation reports.
 //
 // The `lint` subcommand runs the rule packs (docs/LINT.md) over any mix of
 // .sdf / .sdfapp / .sdfarch / .sdfmapping files and reports with severity-
@@ -44,11 +53,13 @@
 #include "src/analysis/storage.h"
 #include "src/analysis/throughput.h"
 #include "src/appmodel/media.h"
+#include "src/io/app_format.h"
 #include "src/io/dot.h"
 #include "src/io/report.h"
 #include "src/io/sarif.h"
 #include "src/io/text_format.h"
 #include "src/lint/driver.h"
+#include "src/mapping/strategy.h"
 #include "src/sdf/deadlock.h"
 #include "src/sdf/diagnostics.h"
 #include "src/sdf/hsdf.h"
@@ -129,11 +140,78 @@ int run_lint_subcommand(const CliArgs& args) {
   return cli_exit_code(all);
 }
 
+/// `analyze_cli allocate`: run the resource-allocation strategy with the
+/// selected backend and print the shared allocation report (byte-identical
+/// with flow_cli and the sdfmapd allocate handler for the same inputs).
+int run_allocate_subcommand(const CliArgs& args) {
+  const std::string app_path = args.get("app", "");
+  const std::string platform_path = args.get("platform", "");
+  if (app_path.empty() || platform_path.empty()) {
+    std::cerr << "usage: analyze_cli allocate --app=<file> --platform=<file>\n"
+              << "           [--backend=heuristic|exact|exact_then_heuristic]\n"
+              << "           [--solver-max-nodes=<n>] [--deadline-ms=<n>]\n"
+              << "           [--per-check-ms=<n>] [--no-degrade]\n";
+    return kCliUsageError;
+  }
+  std::ifstream app_file(app_path);
+  std::ifstream platform_file(platform_path);
+  if (!app_file || !platform_file) {
+    std::cerr << "error: cannot open input files\n";
+    return kCliUsageError;
+  }
+  ApplicationGraph app = read_application(app_file);
+  const Architecture arch = read_architecture(platform_file);
+  const auto problems = app.validate();
+  if (!problems.empty()) {
+    std::cerr << "application model problems:\n";
+    for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+    return kCliInvalidInput;
+  }
+  StrategyOptions options;
+  if (const auto parsed = backend_from_name(args.get("backend", "heuristic"))) {
+    options.backend = *parsed;
+  } else {
+    std::cerr << "error: --backend must be heuristic, exact or exact_then_heuristic\n";
+    return kCliUsageError;
+  }
+  options.solver_max_nodes = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, args.get_int("solver-max-nodes", 0)));
+  const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.slices.limits.budget =
+        AnalysisBudget::expiring_in(std::chrono::milliseconds(deadline_ms));
+  }
+  const std::int64_t per_check_ms = args.get_int("per-check-ms", 0);
+  if (per_check_ms > 0) {
+    options.slices.limits.budget.set_per_check_timeout(
+        std::chrono::milliseconds(per_check_ms));
+  }
+  options.slices.limits.budget.set_cancellation(install_cancellation_signal_handlers());
+  options.degrade_to_conservative = !args.has("no-degrade");
+  const bool cache_on = args.has("cache")      ? true
+                        : args.has("no-cache") ? false
+                                               : cache_enabled_from_env(true);
+  if (cache_on) {
+    options.cache =
+        make_persistent_throughput_cache(args.get("cache-dir", cache_dir_from_env()));
+  }
+  const StrategyResult r = allocate_resources(app, arch, options);
+  if (options.cache) {
+    options.cache->flush_persistent();
+    std::cerr << "throughput cache: " << options.cache->stats().summary() << "\n";
+  }
+  std::cout << format_strategy_result(app, arch, r);
+  return r.success ? kCliSuccess : cli_exit_code(r.failure_kind);
+}
+
 int run(const CliArgs& args) {
   TaskPool::set_global_jobs(static_cast<unsigned>(std::max<std::int64_t>(
       1, args.get_int("jobs", TaskPool::hardware_jobs()))));
   if (!args.positional().empty() && args.positional().front() == "lint") {
     return run_lint_subcommand(args);
+  }
+  if (!args.positional().empty() && args.positional().front() == "allocate") {
+    return run_allocate_subcommand(args);
   }
   Graph g;
   if (args.has("demo")) {
@@ -151,6 +229,8 @@ int run(const CliArgs& args) {
               << " [--deadline-ms=n] [--lint] [--lint-level=l]\n"
               << "       analyze_cli lint <file...> [--format=text|sarif|json]"
               << " [--lint-level=l]\n"
+              << "       analyze_cli allocate --app=<f> --platform=<f>"
+              << " [--backend=b]\n"
               << "       analyze_cli --demo\n"
               << "lint exit codes: 0 clean, 7 errors, 8 warnings/infos only\n";
     return kCliUsageError;

@@ -6,6 +6,8 @@
 //
 // Usage:
 //   flow_cli --app=<file> --platform=<file> [--c1=1 --c2=1 --c3=1]
+//            [--backend=heuristic|exact|exact_then_heuristic]
+//            [--solver-max-nodes=<n>]  # anytime cap of the exact search
 //            [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]
 //            [--dot=<prefix>] [--utilization] [--gantt[=<width>]]
 //            [--vcd=<file>] [--jobs=<n> | -j <n>]
@@ -92,6 +94,8 @@ int run(const CliArgs& args) {
   const std::string platform_path = args.get("platform", "");
   if (app_path.empty() || platform_path.empty()) {
     std::cerr << "usage: flow_cli --app=<file> --platform=<file> [--c1 --c2 --c3]\n"
+              << "                [--backend=heuristic|exact|exact_then_heuristic]\n"
+              << "                [--solver-max-nodes=<n>]\n"
               << "                [--deadline-ms=<n>] [--per-check-ms=<n>] [--no-degrade]\n"
               << "                [--lint] [--lint-level=info|warning|error]\n"
               << "       flow_cli --dump-examples\n"
@@ -139,6 +143,15 @@ int run(const CliArgs& args) {
   StrategyOptions options;
   options.weights = {args.get_double("c1", 1), args.get_double("c2", 1),
                      args.get_double("c3", 1)};
+  const std::string backend = args.get("backend", "heuristic");
+  if (const auto parsed = backend_from_name(backend)) {
+    options.backend = *parsed;
+  } else {
+    std::cerr << "error: --backend must be heuristic, exact or exact_then_heuristic\n";
+    return kCliUsageError;
+  }
+  options.solver_max_nodes =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, args.get_int("solver-max-nodes", 0)));
   const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
   if (deadline_ms > 0) {
     options.slices.limits.budget =

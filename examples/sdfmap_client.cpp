@@ -7,6 +7,7 @@
 //   sdfmap_client allocate   --socket=<path> --app=<file> --platform=<file>
 //                            [--c1=1 --c2=1 --c3=1] [--deadline-ms=<n>]
 //                            [--per-check-ms=<n>] [--no-degrade]
+//                            [--backend=heuristic|exact|exact_then_heuristic]
 //   sdfmap_client throughput --socket=<path> <graph.sdf> [--deadline-ms=<n>]
 //   sdfmap_client lint       --socket=<path> <file>      # .sdf/.sdfapp/.sdfarch
 //   sdfmap_client metrics    --socket=<path>
@@ -38,6 +39,7 @@
 #include <sstream>
 
 #include "src/io/report.h"
+#include "src/mapping/strategy.h"
 #include "src/service/client.h"
 #include "src/support/cli.h"
 
@@ -51,7 +53,7 @@ namespace {
 /// tests use).
 std::string scrub_timings(const std::string& text) {
   static const std::regex timing("[0-9]+(\\.[0-9]+)?(e-?[0-9]+)? s");
-  static const std::regex stage_timing("(binding|scheduling|slices) [0-9.e+-]+");
+  static const std::regex stage_timing("(binding|scheduling|slices|solver) [0-9.e+-]+");
   return std::regex_replace(std::regex_replace(text, timing, "T s"), stage_timing, "$1 T");
 }
 
@@ -173,6 +175,14 @@ int run(const CliArgs& args) {
     request.deadline_ms = args.get_int("deadline-ms", 0);
     request.per_check_ms = args.get_int("per-check-ms", 0);
     request.degrade_to_conservative = !args.has("no-degrade");
+    const std::string backend = args.get("backend", "heuristic");
+    if (const auto parsed = backend_from_name(backend)) {
+      request.backend = static_cast<std::uint32_t>(*parsed);
+    } else {
+      std::cerr << "sdfmap_client: --backend must be heuristic, exact or"
+                << " exact_then_heuristic\n";
+      return kCliUsageError;
+    }
     if (command == "allocate") return finish(client.allocate(request));
 
     // repeat: N identical requests; every response must match the first

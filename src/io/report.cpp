@@ -17,6 +17,12 @@ std::string format_strategy_result(const ApplicationGraph& app, const Architectu
     if (result.diagnostics.total_checks() > 0) {
       os << "  analysis: " << result.diagnostics.summary() << "\n";
     }
+    if (result.backend == StrategyBackend::kExact) {
+      os << "  exact backend: "
+         << (result.proven_optimal ? "proven infeasible" : "stopped without an incumbent")
+         << ", " << result.solver_nodes << " nodes / " << result.solver_bindings
+         << " complete bindings\n";
+    }
     return os.str();
   }
   os << "application '" << app.name() << "': allocated\n";
@@ -37,7 +43,18 @@ std::string format_strategy_result(const ApplicationGraph& app, const Architectu
   os << "  " << result.throughput_checks << " throughput checks, "
      << result.total_seconds() << " s (binding " << result.binding_seconds
      << " / scheduling " << result.scheduling_seconds << " / slices "
-     << result.slice_seconds << ")\n";
+     << result.slice_seconds;
+  if (result.solver_seconds > 0) os << " / solver " << result.solver_seconds;
+  os << ")\n";
+  if (result.backend == StrategyBackend::kExact) {
+    os << "  exact backend: "
+       << (result.proven_optimal ? "proven optimal" : "incumbent (optimality not proven)")
+       << ", " << result.solver_nodes << " nodes / " << result.solver_bindings
+       << " complete bindings\n";
+  } else if (result.solver_nodes > 0) {
+    os << "  exact backend: no incumbent within budget (" << result.solver_nodes
+       << " nodes), heuristic fallback\n";
+  }
   if (result.diagnostics.degraded()) {
     os << "  DEGRADED: " << result.diagnostics.summary()
        << " — throughput is the conservative bound where degraded\n";

@@ -6,8 +6,16 @@
 #include "src/lint/lint.h"
 #include "src/mapping/binder.h"
 #include "src/mapping/list_scheduler.h"
+#include "src/solver/exact.h"
 
 namespace sdfmap {
+
+std::optional<StrategyBackend> backend_from_name(std::string_view name) {
+  if (name == "heuristic") return StrategyBackend::kHeuristic;
+  if (name == "exact") return StrategyBackend::kExact;
+  if (name == "exact_then_heuristic") return StrategyBackend::kExactThenHeuristic;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -18,6 +26,109 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 namespace {
+
+StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Architecture& arch,
+                                       const StrategyOptions& options);
+
+/// Runs the exact branch-and-bound backend after the lint gate. `result`
+/// already carries the lint findings (stage "lint" passed). Cancellation
+/// propagates as AnalysisError(kCancelled) to the outer handler — it never
+/// falls back.
+StrategyResult run_solver_backend(const ApplicationGraph& app, const Architecture& arch,
+                                  const StrategyOptions& options, StrategyResult result) {
+  result.stage = "solver";
+  result.backend = StrategyBackend::kExact;
+
+  ExactSolverOptions solver;
+  solver.limits = options.slices.limits;
+  solver.connection_model = options.slices.connection_model;
+  solver.degrade_to_conservative = options.degrade_to_conservative;
+  solver.engine_fault_hook = options.slices.engine_fault_hook
+                                 ? options.slices.engine_fault_hook
+                                 : options.engine_fault_hook;
+  solver.cache = options.cache;
+  solver.max_nodes_per_subtree = options.solver_max_nodes;
+  solver.max_schedule_candidates = options.solver_schedule_candidates;
+
+  ExactSolverResult s = solve_exact(app, arch, solver);
+
+  std::vector<Diagnostic> lint_findings = std::move(result.diagnostics.lint);
+  result.solver_nodes = s.nodes;
+  result.solver_bindings = s.bindings;
+  result.solver_seconds = s.seconds;
+
+  if (s.found) {
+    result.success = true;
+    result.proven_optimal = s.proven_optimal;
+    result.binding = s.best.binding;
+    result.schedules = s.best.schedules;
+    result.slices = s.best.slices;
+    result.achieved_throughput = s.best.throughput;
+    if (!s.best.throughput.is_zero()) {
+      result.achieved_period = s.best.throughput.inverse();
+    }
+    result.throughput_checks = s.diagnostics.total_checks();
+    result.diagnostics = std::move(s.diagnostics);
+    result.diagnostics.lint = std::move(lint_findings);
+    result.usage = compute_usage(app, arch, result.binding);
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+      result.usage[t].time_slice = result.slices[t];
+    }
+    return result;
+  }
+
+  // No incumbent. A proven infeasibility is final for every backend: the
+  // heuristic searches a subset of the solver's space, so falling back could
+  // only re-derive the same verdict the expensive way.
+  if (options.backend == StrategyBackend::kExact || s.proven_infeasible) {
+    result.proven_optimal = s.proven_infeasible;
+    result.failure_reason = s.stop_reason;
+    result.failure_kind =
+        s.proven_infeasible ? FailureKind::kSliceAllocationFailed
+        : s.stop_kind == AnalysisErrorKind::kDeadlineExceeded ? FailureKind::kDeadlineExceeded
+                                                              : FailureKind::kAnalysisLimit;
+    result.throughput_checks = s.diagnostics.total_checks();
+    result.diagnostics = std::move(s.diagnostics);
+    result.diagnostics.lint = std::move(lint_findings);
+    return result;
+  }
+
+  // kExactThenHeuristic out of budget: degrade to the heuristic. The fallback
+  // must not inherit the (possibly already expired) deadline; it keeps the
+  // count caps and the cancellation token, so a cancelled run still stops.
+  DegradationEvent event;
+  event.check_index = s.diagnostics.total_checks();
+  event.stage = "backend";
+  event.engine = CheckEngine::kConservative;
+  event.reason = s.stop_kind;
+  event.detail = "exact backend stopped without an allocation (" +
+                 (s.stop_reason.empty() ? std::string("no incumbent") : s.stop_reason) +
+                 "); heuristic fallback";
+  event.seconds = s.seconds;
+
+  StrategyDiagnostics solver_diag = std::move(s.diagnostics);
+  const int solver_checks = solver_diag.total_checks();
+  solver_diag.events.push_back(std::move(event));
+  ++solver_diag.degraded_checks;  // the backend handoff itself is a degradation
+
+  StrategyOptions heuristic = options;
+  heuristic.backend = StrategyBackend::kHeuristic;
+  AnalysisBudget fallback_budget;
+  fallback_budget.set_cancellation(options.slices.limits.budget.cancellation());
+  heuristic.slices.limits.budget = fallback_budget;
+
+  StrategyResult fell = allocate_resources_impl(app, arch, heuristic);
+  fell.solver_nodes = s.nodes;
+  fell.solver_bindings = s.bindings;
+  fell.solver_seconds = result.solver_seconds;
+  fell.throughput_checks += solver_checks;
+  // Chronological accounting: the solver's checks ran first. The fallback's
+  // own lint pass re-derived the findings, so solver_diag contributes none.
+  StrategyDiagnostics merged = std::move(solver_diag);
+  merged.merge(fell.diagnostics);
+  fell.diagnostics = std::move(merged);
+  return fell;
+}
 
 StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Architecture& arch,
                                        const StrategyOptions& options) {
@@ -47,6 +158,12 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
     }
     result.failure_kind = FailureKind::kLintRejected;
     return result;
+  }
+
+  // ---- Backend dispatch: the exact solver replaces the three heuristic
+  // steps (docs/SOLVER.md); the lint gate above applies to every backend.
+  if (options.backend != StrategyBackend::kHeuristic) {
+    return run_solver_backend(app, arch, options, std::move(result));
   }
 
   // ---- Step 1: resource binding (Sec. 9.1).

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/appmodel/application.h"
@@ -43,8 +46,46 @@ enum class FailureKind {
   return "?";
 }
 
+/// Which search backend produces the allocation (docs/SOLVER.md).
+enum class StrategyBackend {
+  /// The paper's three-step heuristic (binding → static order → slices).
+  kHeuristic,
+  /// Branch-and-bound exact search (src/solver/): provably optimal on
+  /// small/medium instances, structured failure when the budget runs out.
+  kExact,
+  /// Exact first; when it stops without an allocation (budget, node cap,
+  /// degraded checks) fall back to the heuristic with a DegradationEvent.
+  /// Cancellation never falls back — a cancelled run stops.
+  kExactThenHeuristic,
+};
+
+[[nodiscard]] constexpr const char* backend_name(StrategyBackend backend) {
+  switch (backend) {
+    case StrategyBackend::kHeuristic: return "heuristic";
+    case StrategyBackend::kExact: return "exact";
+    case StrategyBackend::kExactThenHeuristic: return "exact_then_heuristic";
+  }
+  return "?";
+}
+
+/// Parses a --backend value ("heuristic", "exact", "exact_then_heuristic");
+/// nullopt on anything else.
+[[nodiscard]] std::optional<StrategyBackend> backend_from_name(std::string_view name);
+
 /// Options of the complete resource-allocation strategy (Sec. 9).
 struct StrategyOptions {
+  /// Search backend. The heuristic options below (weights, rebalance,
+  /// backtracking) apply to the heuristic backend and to the fallback leg of
+  /// kExactThenHeuristic; budget/cache/degradation/fault-hook options apply
+  /// to every backend.
+  StrategyBackend backend = StrategyBackend::kHeuristic;
+  /// Deterministic anytime cap of the exact backend: abort each root subtree
+  /// after this many binding-tree nodes (0 = unlimited). Per-subtree, so the
+  /// result stays byte-identical at every --jobs level.
+  std::uint64_t solver_max_nodes = 0;
+  /// Static-order schedule candidates the exact backend tries per complete
+  /// binding (see ExactSolverOptions::max_schedule_candidates).
+  int solver_schedule_candidates = 4;
   /// Weights (c1, c2, c3) of the tile cost function.
   TileCostWeights weights;
   /// Run the reverse-order re-binding optimization after the initial binding.
@@ -88,8 +129,19 @@ struct StrategyResult {
   std::string failure_reason;
   FailureKind failure_kind = FailureKind::kNone;
   /// Which step failed or succeeded last: "lint", "binding", "scheduling",
-  /// "slices".
+  /// "slices", or "solver" for the exact backend.
   std::string stage;
+
+  /// Backend that produced this result. kExactThenHeuristic runs report the
+  /// leg that actually answered: kExact, or kHeuristic after a fallback
+  /// (recorded as a stage-"backend" DegradationEvent in diagnostics).
+  StrategyBackend backend = StrategyBackend::kHeuristic;
+  /// Exact backend only: the verdict is proven — a successful allocation is
+  /// optimal (fewest used tiles, then smallest total slice) over the solver's
+  /// search space, a solver failure is a proven infeasibility.
+  bool proven_optimal = false;
+  std::uint64_t solver_nodes = 0;     ///< binding-tree nodes the solver expanded
+  std::uint64_t solver_bindings = 0;  ///< complete bindings the solver reached
 
   Binding binding{0};
   std::vector<StaticOrderSchedule> schedules;  ///< per tile
@@ -114,9 +166,10 @@ struct StrategyResult {
   double binding_seconds = 0;
   double scheduling_seconds = 0;
   double slice_seconds = 0;
+  double solver_seconds = 0;  ///< exact-backend search time (0 for pure heuristic)
 
   [[nodiscard]] double total_seconds() const {
-    return binding_seconds + scheduling_seconds + slice_seconds;
+    return binding_seconds + scheduling_seconds + slice_seconds + solver_seconds;
   }
 };
 

@@ -39,7 +39,7 @@ std::optional<AdmittedJob> AdmissionQueue::pop() {
       if (expired) {
         ++stats_.shed_deadline;
       } else {
-        ++stats_.cancelled;
+        ++stats_.shed_cancelled;
       }
       lock.unlock();
       if (job.shed) job.shed(expired ? ShedReason::kDeadline : ShedReason::kCancelled);

@@ -43,7 +43,7 @@ struct AdmissionStats {
   long shed_deadline = 0;    ///< dequeued past the request deadline
   long shed_draining = 0;    ///< queued work rejected by the drain
   long completed = 0;        ///< run() returned
-  long cancelled = 0;        ///< popped with the cancel token already tripped
+  long shed_cancelled = 0;   ///< dequeued with the cancel token already tripped
   std::size_t depth = 0;     ///< current queue length
   std::size_t max_depth = 0; ///< high-water mark
   std::size_t running = 0;   ///< jobs handed to a worker and not yet completed

@@ -24,6 +24,7 @@ enum : std::uint16_t {
   kTagErrorDetail = 13,
   kTagStage = 14,
   kTagMetricsText = 15,
+  kTagBackend = 16,     // u32 (StrategyBackend)
 };
 
 void put_u16(std::string& out, std::uint16_t v) {
@@ -122,6 +123,7 @@ std::string encode_allocate_request(const AllocateRequest& m) {
   put_tlv_i64(out, kTagDeadlineMs, m.deadline_ms);
   put_tlv_i64(out, kTagPerCheckMs, m.per_check_ms);
   put_tlv(out, kTagDegrade, std::string_view(m.degrade_to_conservative ? "\1" : "\0", 1));
+  put_tlv_u32(out, kTagBackend, m.backend);
   return out;
 }
 
@@ -160,6 +162,10 @@ std::optional<AllocateRequest> decode_allocate_request(const std::string& payloa
       case kTagDegrade:
         if (f.bytes.size() != 1) return std::nullopt;
         m.degrade_to_conservative = f.bytes[0] != '\0';
+        break;
+      case kTagBackend:
+        if (!read_u32(f.bytes, m.backend)) return std::nullopt;
+        if (m.backend > 2) return std::nullopt;  // unknown backend: malformed
         break;
       default:
         break;  // unknown tag: skip (newer client)

@@ -70,6 +70,10 @@ struct AllocateRequest {
   std::int64_t deadline_ms = 0;   ///< 0 = server default
   std::int64_t per_check_ms = 0;  ///< 0 = unlimited
   bool degrade_to_conservative = true;
+  /// StrategyBackend as u32 (0 = heuristic, 1 = exact, 2 =
+  /// exact_then_heuristic). Out-of-range values are malformed; servers too
+  /// old to know the tag skip it and answer with the heuristic.
+  std::uint32_t backend = 0;
 };
 
 /// kThroughput request: one .sdf graph document; the response carries the

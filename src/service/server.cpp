@@ -102,7 +102,7 @@ std::string ServiceMetrics::to_text() const {
   os << "requests.shed_queue_full: " << admission.shed_queue_full << "\n";
   os << "requests.shed_deadline: " << admission.shed_deadline << "\n";
   os << "requests.shed_draining: " << admission.shed_draining << "\n";
-  os << "requests.cancelled: " << admission.cancelled << "\n";
+  os << "requests.shed_cancelled: " << admission.shed_cancelled << "\n";
   os << "protocol.errors: " << protocol_errors << "\n";
   os << "pool.jobs: " << jobs << "\n";
   os << "cache.hits: " << cache.hits << "\n";
@@ -576,6 +576,7 @@ ResultResponse Server::handle_allocate(const AllocateRequest& request,
   options.weights = {request.c1, request.c2, request.c3};
   options.slices.limits.budget = budget;
   options.degrade_to_conservative = request.degrade_to_conservative;
+  options.backend = static_cast<StrategyBackend>(request.backend);  // decode bounds it to 0..2
   options.cache = cache_;
 
   const StrategyResult r = allocate_resources(app, arch, options);

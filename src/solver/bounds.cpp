@@ -1,0 +1,72 @@
+#include "src/solver/bounds.h"
+
+#include <algorithm>
+
+#include "src/analysis/cache.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+
+std::int64_t tile_iteration_work(const ApplicationGraph& app, const Architecture& arch,
+                                 const Binding& binding, TileId tile) {
+  const RepetitionVector& gamma = app.repetition_vector();
+  const ProcTypeId pt = arch.tile(tile).proc_type;
+  std::int64_t work = 0;
+  for (std::uint32_t a = 0; a < app.sdf().num_actors(); ++a) {
+    const auto bound_tile = binding.tile_of(ActorId{a});
+    if (!bound_tile || bound_tile->value != tile.value) continue;
+    const auto& req = app.requirement(ActorId{a}, pt);
+    if (req) work += gamma[a] * req->execution_time;
+  }
+  return work;
+}
+
+bool capacity_exceeded(std::int64_t work, std::int64_t wheel_size, std::int64_t available,
+                       const Rational& lambda) {
+  if (work <= 0 || lambda.is_zero()) return false;
+  if (available <= 0) return true;
+  // Best sustainable rate with the whole remaining wheel is
+  // available / (wheel_size · work); infeasible when that is below λ.
+  return Rational(available) < lambda * Rational(work) * Rational(wheel_size);
+}
+
+std::int64_t slice_lower_bound(std::int64_t work, std::int64_t wheel_size,
+                               const Rational& lambda) {
+  if (work <= 0 || lambda.is_zero()) return 1;
+  const Rational need = lambda * Rational(work) * Rational(wheel_size);
+  // ceil(need) for the non-negative rational num/den.
+  const std::int64_t lb = (need.num() + need.den() - 1) / need.den();
+  return std::max<std::int64_t>(1, lb);
+}
+
+std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
+                                               const ExecutionLimits& limits,
+                                               ThroughputCache* cache, CacheStats* stats) {
+  Graph g = app.sdf();
+  for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
+    std::int64_t best = -1;
+    for (std::size_t pt = 0; pt < app.num_proc_types(); ++pt) {
+      const auto& req = app.requirement(ActorId{a}, ProcTypeId{static_cast<std::uint32_t>(pt)});
+      if (req && (best < 0 || req->execution_time < best)) best = req->execution_time;
+    }
+    if (best < 0) return Rational(0);  // unplaceable actor: no allocation exists
+    g.set_execution_time(ActorId{a}, best);
+    // One firing at a time per actor (one processor instance), as in the
+    // binding-aware construction — still a relaxation of every allocation.
+    if (!g.has_self_loop(ActorId{a})) {
+      g.add_channel(ActorId{a}, ActorId{a}, 1, 1, 1, g.actor(ActorId{a}).name + "_self");
+    }
+  }
+  const auto gamma = compute_repetition_vector(g);
+  if (!gamma) return std::nullopt;
+  try {
+    return cached_self_timed_throughput(cache, stats, g, *gamma, limits).throughput();
+  } catch (const AnalysisError& e) {
+    if (e.kind() == AnalysisErrorKind::kCancelled) throw;  // cancellation propagates
+    return std::nullopt;  // relaxation exhausted its limits: no proof
+  } catch (const ThroughputError&) {
+    return std::nullopt;  // relaxation exhausted its limits: no proof
+  }
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/analysis/state_space.h"
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/platform/architecture.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+class ThroughputCache;
+struct CacheStats;
+
+/// Pruning bounds of the exact branch-and-bound backend (docs/SOLVER.md).
+/// Every bound here is *sound*: it only rejects allocations that provably
+/// cannot meet the throughput constraint, so pruning on it never loses the
+/// optimum.
+
+/// Work one graph iteration puts on `tile` under the (possibly partial)
+/// binding: Σ_{a ∈ A_t} γ(a)·τ(a, pt_t). Monotone in the binding — binding
+/// more actors never decreases it — which is what makes the capacity bound
+/// below valid at interior nodes of the binding tree.
+[[nodiscard]] std::int64_t tile_iteration_work(const ApplicationGraph& app,
+                                               const Architecture& arch,
+                                               const Binding& binding, TileId tile);
+
+/// Processor-capacity bound: a tile that owes `work` execution time per
+/// iteration and owns at most `available` of its `wheel_size` wheel can
+/// sustain at best (available/wheel_size)·(1/work) iterations per time unit.
+/// True when even the whole remaining wheel cannot reach λ — the subtree is
+/// infeasible however the remaining actors are bound.
+[[nodiscard]] bool capacity_exceeded(std::int64_t work, std::int64_t wheel_size,
+                                     std::int64_t available, const Rational& lambda);
+
+/// Smallest slice ω that could possibly sustain λ on a tile owing `work` per
+/// iteration: the TDMA wheel grants ω out of every wheel_size time units, so
+/// ω ≥ work·λ·wheel_size (and at least one time unit). A sound per-tile lower
+/// bound for the slice search.
+[[nodiscard]] std::int64_t slice_lower_bound(std::int64_t work, std::int64_t wheel_size,
+                                             const Rational& lambda);
+
+/// Root relaxation: the self-timed throughput of the application with every
+/// actor at its best-case execution time (min over supported processor
+/// types) and auto-concurrency limited to one firing per actor. Any real
+/// allocation runs each actor at least that slowly on one processor and adds
+/// TDMA gating plus connection delays, so this is a true upper bound on the
+/// constrained throughput of *every* allocation: when it is below λ the
+/// instance is proven infeasible before the search starts. Returns nullopt
+/// when the relaxation itself exhausts its limits (no proof, search anyway).
+[[nodiscard]] std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
+                                                             const ExecutionLimits& limits,
+                                                             ThroughputCache* cache,
+                                                             CacheStats* stats);
+
+}  // namespace sdfmap

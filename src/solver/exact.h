@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/state_space.h"
+#include "src/appmodel/application.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/binding_aware.h"
+#include "src/mapping/resilience.h"
+#include "src/mapping/schedule.h"
+#include "src/platform/architecture.h"
+#include "src/support/rational.h"
+
+namespace sdfmap {
+
+/// The exact branch-and-bound mapping backend (docs/SOLVER.md): a
+/// dependency-free joint search over binding + static-order schedules + TDMA
+/// slice vectors that minimizes, lexicographically, (used tiles, total slice)
+/// and proves optimality on small/medium instances. Feasibility of every
+/// candidate is decided by the schedule/TDMA-constrained state-space engine
+/// (Sec. 8.2) through the shared ThroughputCache; pruning uses the sound
+/// capacity/relaxation bounds of src/solver/bounds.h, so the search result
+/// equals exhaustive enumeration over the same space.
+
+struct ExactSolverOptions {
+  /// Limits (count caps + AnalysisBudget) of the whole search. The budget's
+  /// deadline/cancellation is polled between search nodes; each feasibility
+  /// check additionally runs under budget.for_one_check().
+  ExecutionLimits limits;
+  /// Timing model for inter-tile transfers (Sec. 8.1).
+  ConnectionModel connection_model;
+  /// Answer an exhausted feasibility check with the conservative [4]-bound
+  /// (a throughput lower bound, so admission stays sound) instead of
+  /// aborting the subtree. Degraded or unanswerable checks cost the
+  /// optimality proof but never the validity of the result.
+  bool degrade_to_conservative = true;
+  /// Test hook invoked before each feasibility check (see resilience.h).
+  EngineFaultHook engine_fault_hook;
+  /// Shared throughput-check memoization cache; the solver and the heuristic
+  /// produce identical fingerprints for identical checks, so they warm-start
+  /// each other. Null = no caching.
+  std::shared_ptr<ThroughputCache> cache;
+  /// Deterministic anytime cap: abort each root subtree after this many
+  /// binding-tree nodes (0 = unlimited). Per-subtree, not global, so the
+  /// result is byte-identical at every --jobs level.
+  std::uint64_t max_nodes_per_subtree = 0;
+  /// Static-order schedule candidates tried per complete binding: the list
+  /// scheduler's order plus block orders from per-tile actor permutations,
+  /// deduplicated, in deterministic order (docs/SOLVER.md). Optimality is
+  /// exact over this family.
+  int max_schedule_candidates = 4;
+  /// Explore the root subtrees (first binding decision) on the TaskPool.
+  /// Subtrees never share an incumbent, so node counts, diagnostics, and the
+  /// reduced result are identical for every worker count.
+  bool parallel_root = true;
+};
+
+/// One complete candidate allocation found by the search.
+struct ExactAllocation {
+  Binding binding{0};
+  std::vector<StaticOrderSchedule> schedules;  ///< per tile
+  std::vector<std::int64_t> slices;            ///< ω per tile (0 = unused)
+  Rational throughput;                         ///< ≥ λ, from the admitting check
+  int used_tiles = 0;
+  std::int64_t total_slice = 0;
+};
+
+/// Lexicographic objective order: fewer used tiles, then smaller total slice,
+/// then smaller binding vector, then smaller slice vector. A strict weak
+/// order, so the parallel reduction is deterministic.
+[[nodiscard]] bool exact_allocation_better(const ExactAllocation& a,
+                                           const ExactAllocation& b);
+
+struct ExactSolverResult {
+  /// An incumbent allocation exists (always valid: admitted by an exact or
+  /// conservative — never optimistic — throughput check).
+  bool found = false;
+  /// The search ran to completion with every check answered exactly: `best`
+  /// is the optimum over binding × schedule-candidates × slices, or — when
+  /// !found — the instance has no feasible allocation in that space.
+  bool proven_optimal = false;
+  /// found == false and proven: no allocation meets λ (root relaxation or
+  /// exhausted search).
+  bool proven_infeasible = false;
+  /// Why the proof is incomplete (budget, node cap, degraded checks); empty
+  /// when proven.
+  std::string stop_reason;
+  /// Budget classification of an early stop (kDeadlineExceeded, count caps);
+  /// kUnknown when the search completed.
+  AnalysisErrorKind stop_kind = AnalysisErrorKind::kUnknown;
+
+  ExactAllocation best;  ///< valid when found
+
+  std::uint64_t nodes = 0;     ///< binding-tree nodes expanded
+  std::uint64_t bindings = 0;  ///< complete bindings reached
+  double seconds = 0;          ///< wall clock of the whole search
+
+  /// Per-check engine/degradation accounting plus parallel/cache stats,
+  /// merged across subtrees in submission order.
+  StrategyDiagnostics diagnostics;
+};
+
+/// Runs the branch-and-bound search. Never throws on budget expiry or count
+/// caps — those produce an anytime result (best incumbent so far, proof
+/// flags cleared, stop_reason set). Cancellation always propagates as
+/// AnalysisError(kCancelled), matching the repo-wide contract that a
+/// cancelled run stops instead of degrading.
+[[nodiscard]] ExactSolverResult solve_exact(const ApplicationGraph& app,
+                                            const Architecture& arch,
+                                            const ExactSolverOptions& options = {});
+
+/// The deterministic schedule-candidate family the solver searches for one
+/// complete binding: the list scheduler's orders first (when it succeeds),
+/// then per-tile block orders (each actor's γ firings in sequence, tiles
+/// combined in mixed-radix order over lexicographic permutations),
+/// deduplicated, capped at options.max_schedule_candidates. Exposed so the
+/// exhaustive-search oracle in tests/solver/ enumerates exactly the same
+/// space as the pruned search.
+[[nodiscard]] std::vector<std::vector<StaticOrderSchedule>> exact_schedule_candidates(
+    const ApplicationGraph& app, const Architecture& arch, const Binding& binding,
+    const ExactSolverOptions& options = {});
+
+}  // namespace sdfmap

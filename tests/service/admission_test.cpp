@@ -100,7 +100,7 @@ TEST(AdmissionQueueTest, CancelledTokenShedAtDequeue) {
   EXPECT_EQ(job->request_id, 2u);
   ASSERT_TRUE(shed_reason.has_value());
   EXPECT_EQ(*shed_reason, ShedReason::kCancelled);
-  EXPECT_EQ(queue.stats().cancelled, 1);
+  EXPECT_EQ(queue.stats().shed_cancelled, 1);
   queue.note_completed();
 }
 

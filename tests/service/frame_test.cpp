@@ -183,6 +183,7 @@ TEST(ProtocolTest, AllocateRequestRoundtrip) {
   in.deadline_ms = 1234;
   in.per_check_ms = 56;
   in.degrade_to_conservative = false;
+  in.backend = 2;  // exact_then_heuristic
   const auto out = decode_allocate_request(encode_allocate_request(in));
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->app_text, in.app_text);
@@ -193,6 +194,19 @@ TEST(ProtocolTest, AllocateRequestRoundtrip) {
   EXPECT_EQ(out->deadline_ms, in.deadline_ms);
   EXPECT_EQ(out->per_check_ms, in.per_check_ms);
   EXPECT_EQ(out->degrade_to_conservative, in.degrade_to_conservative);
+  EXPECT_EQ(out->backend, in.backend);
+}
+
+TEST(ProtocolTest, AllocateRequestBackendBounds) {
+  // Tag 16 carries a StrategyBackend; anything past the known enumerators is
+  // malformed rather than silently clamped.
+  AllocateRequest in;
+  in.backend = 3;
+  EXPECT_FALSE(decode_allocate_request(encode_allocate_request(in)).has_value());
+  in.backend = 1;
+  const auto out = decode_allocate_request(encode_allocate_request(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->backend, 1u);
 }
 
 TEST(ProtocolTest, ThroughputAndLintAndResponsesRoundtrip) {

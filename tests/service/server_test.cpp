@@ -155,6 +155,25 @@ TEST(ServerTest, AllocateIsByteIdenticalToOneShotCliAtEveryJobsLevel) {
   EXPECT_EQ(server.stop(), Server::DrainResult::kClean);
 }
 
+TEST(ServerTest, AllocateHonorsExactBackendTag) {
+  const std::string path = temp_socket_path("backend");
+  Server server(quiet_options(path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ServiceClient client(fast_client(path));
+  AllocateRequest request = allocate_request();
+  request.backend = 1;  // StrategyBackend::kExact
+  const ServiceOutcome outcome = client.allocate(request);
+  ASSERT_TRUE(outcome.ok) << outcome.error.detail;
+  EXPECT_EQ(outcome.result.exit_code, kCliSuccess);
+  // The shared renderer stamps exact-backend runs; a server that dropped the
+  // tag would answer with the heuristic report instead.
+  EXPECT_NE(outcome.result.text.find("exact backend: proven optimal"), std::string::npos)
+      << outcome.result.text;
+  EXPECT_EQ(server.stop(), Server::DrainResult::kClean);
+}
+
 TEST(ServerTest, ThroughputIsByteIdenticalToAnalyzeCliReport) {
   const std::string path = temp_socket_path("throughput");
   Server server(quiet_options(path));
@@ -419,7 +438,7 @@ TEST(ServerTest, ClientDisconnectCancelsInflightWork) {
   for (;;) {
     const ServiceMetrics m = server.metrics();
     if (m.admission.admitted >= 1 &&
-        m.admission.completed + m.admission.cancelled + m.admission.shed_deadline >=
+        m.admission.completed + m.admission.shed_cancelled + m.admission.shed_deadline >=
             m.admission.admitted &&
         m.admission.running == 0) {
       break;
@@ -452,7 +471,7 @@ TEST(ServerTest, MetricsTextHasTheDocumentedFixedKeys) {
       "sessions.rejected: ",  "queue.depth: ",      "queue.max_depth: ",
       "queue.running: ",      "requests.admitted: ", "requests.completed: ",
       "requests.ok: ",        "requests.error: ",   "requests.shed_queue_full: ",
-      "requests.shed_deadline: ", "requests.shed_draining: ", "requests.cancelled: ",
+      "requests.shed_deadline: ", "requests.shed_draining: ", "requests.shed_cancelled: ",
       "protocol.errors: ",    "pool.jobs: ",        "cache.hits: ",
       "cache.misses: ",       "cache.inserts: ",    "cache.evictions: ",
       "cache.disk_hits: ",    "cache.disk_attached: ", "cache.disk_degraded: "};

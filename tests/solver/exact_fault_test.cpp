@@ -1,0 +1,201 @@
+// Fault-injection sweep over the exact backend (docs/SOLVER.md): an
+// EngineFaultHook aborts the exact feasibility engine at every reachable
+// check index and the backend must still terminate with either a valid
+// (never optimistic) allocation or a structured failure — degrading to the
+// conservative bound or to the heuristic with a DegradationEvent, and never
+// leaving a poisoned entry in a shared ThroughputCache. Cancellation is the
+// one fault that must propagate instead of degrading.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/solver/exact.h"
+
+namespace sdfmap {
+namespace {
+
+/// Throws the given budget-exhaustion kind at one global check index.
+EngineFaultHook fault_at(int target,
+                         AnalysisErrorKind kind = AnalysisErrorKind::kDeadlineExceeded) {
+  return [target, kind](int index) {
+    if (index == target) throw AnalysisError(kind, "injected fault");
+  };
+}
+
+/// Shrunk example platform: wheel 5 keeps the solver's check count small
+/// enough to sweep every index.
+Architecture make_small_platform() {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).wheel_size = 5;
+  arch.tile(TileId{1}).wheel_size = 5;
+  return arch;
+}
+
+class ExactFaultTest : public ::testing::Test {
+ protected:
+  ExactFaultTest() : arch_(make_small_platform()), app_(make_paper_example_application()) {}
+
+  /// Every global check index an uninjected exact-backend run visits. The
+  /// indexes are sparse — each parallel root subtree owns a pre-assigned
+  /// 2^16 block — but deterministic, so a recording hook enumerates exactly
+  /// the targets a fault can hit. The hook may run concurrently.
+  std::vector<int> reachable_indices() {
+    std::vector<int> indices;
+    std::mutex mutex;
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExact;
+    options.engine_fault_hook = [&](int index) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      indices.push_back(index);
+    };
+    const StrategyResult r = allocate_resources(app_, arch_, options);
+    EXPECT_TRUE(r.success) << r.stage << ": " << r.failure_reason;
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    return indices;
+  }
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(ExactFaultTest, ExactBackendSurvivesFaultAtEveryCheckIndex) {
+  const std::vector<int> targets = reachable_indices();
+  ASSERT_FALSE(targets.empty());
+  for (const int k : targets) {
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExact;
+    options.engine_fault_hook = fault_at(k);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << "fault at check " << k;
+    if (r.success) {
+      // A degraded check answers with the conservative lower bound, so a
+      // success is still trustworthy — but the optimality proof is void.
+      EXPECT_GE(r.achieved_throughput, app_.throughput_constraint()) << "fault at " << k;
+      EXPECT_FALSE(r.proven_optimal) << "fault at " << k;
+      EXPECT_TRUE(r.diagnostics.degraded()) << "fault at " << k;
+      ASSERT_FALSE(r.diagnostics.events.empty()) << "fault at " << k;
+      EXPECT_EQ(r.diagnostics.events.front().check_index, k);
+      EXPECT_EQ(r.diagnostics.events.front().reason, AnalysisErrorKind::kDeadlineExceeded);
+    } else {
+      EXPECT_NE(r.failure_kind, FailureKind::kNone) << "fault at " << k;
+      EXPECT_FALSE(r.failure_reason.empty()) << "fault at " << k;
+    }
+  }
+}
+
+TEST_F(ExactFaultTest, FallbackBackendAlwaysAnswersUnderFaults) {
+  const std::vector<int> targets = reachable_indices();
+  for (const int k : targets) {
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExactThenHeuristic;
+    options.engine_fault_hook = fault_at(k);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << "fault at check " << k;
+    // The instance is feasible and the fault is a single budget error, so
+    // between the degraded exact search and the heuristic fallback the
+    // request must always be answered.
+    ASSERT_TRUE(r.success) << "fault at check " << k << ": " << r.failure_reason;
+    EXPECT_GE(r.achieved_throughput, app_.throughput_constraint()) << "fault at " << k;
+    EXPECT_TRUE(r.diagnostics.degraded()) << "fault at " << k;
+    ASSERT_FALSE(r.diagnostics.events.empty()) << "fault at " << k;
+  }
+}
+
+TEST_F(ExactFaultTest, NoDegradeAbortsTheSubtreeButNeverThrows) {
+  const std::vector<int> targets = reachable_indices();
+  for (std::size_t i = 0; i < targets.size(); i += 3) {  // stride: each run repeats the sweep
+    const int k = targets[i];
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExact;
+    options.degrade_to_conservative = false;
+    options.engine_fault_hook = fault_at(k);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << "fault at check " << k;
+    if (r.success) {
+      EXPECT_GE(r.achieved_throughput, app_.throughput_constraint()) << "fault at " << k;
+      EXPECT_FALSE(r.proven_optimal) << "fault at " << k;
+    }
+  }
+}
+
+TEST_F(ExactFaultTest, CancellationPropagatesAtEveryCheckIndex) {
+  const std::vector<int> targets = reachable_indices();
+  for (std::size_t i = 0; i < targets.size(); i += 2) {
+    const int k = targets[i];
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExactThenHeuristic;
+    options.engine_fault_hook = fault_at(k, AnalysisErrorKind::kCancelled);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << "cancel at check " << k;
+    EXPECT_FALSE(r.success) << "cancel at check " << k;
+    EXPECT_EQ(r.failure_kind, FailureKind::kCancelled) << "cancel at check " << k;
+  }
+}
+
+TEST_F(ExactFaultTest, FaultsNeverPoisonASharedCache) {
+  // Reference: fault-free exact run without any cache.
+  StrategyOptions clean;
+  clean.backend = StrategyBackend::kExact;
+  const StrategyResult reference = allocate_resources(app_, arch_, clean);
+  ASSERT_TRUE(reference.success);
+
+  const std::vector<int> targets = reachable_indices();
+  for (std::size_t i = 0; i < targets.size(); i += 2) {
+    const int k = targets[i];
+    const auto cache = std::make_shared<ThroughputCache>();
+    StrategyOptions faulty;
+    faulty.backend = StrategyBackend::kExact;
+    faulty.cache = cache;
+    faulty.engine_fault_hook = fault_at(k);
+    (void)allocate_resources(app_, arch_, faulty);
+
+    // Re-running against the surviving cache must reproduce the fault-free
+    // optimum exactly: a fault that leaked a wrong (e.g. conservative)
+    // throughput into the cache would steer this run elsewhere.
+    StrategyOptions replay;
+    replay.backend = StrategyBackend::kExact;
+    replay.cache = cache;
+    const StrategyResult r = allocate_resources(app_, arch_, replay);
+    ASSERT_TRUE(r.success) << "replay after fault at " << k;
+    EXPECT_TRUE(r.proven_optimal) << "replay after fault at " << k;
+    EXPECT_EQ(r.slices, reference.slices) << "replay after fault at " << k;
+    EXPECT_EQ(r.achieved_throughput, reference.achieved_throughput)
+        << "replay after fault at " << k;
+    for (std::uint32_t a = 0; a < app_.sdf().num_actors(); ++a) {
+      EXPECT_EQ(r.binding.tile_of(ActorId{a}), reference.binding.tile_of(ActorId{a}))
+          << "replay after fault at " << k;
+    }
+  }
+}
+
+TEST_F(ExactFaultTest, SolverLevelFaultSweepNeverThrows) {
+  // Belt-and-braces below the strategy layer: drive solve_exact directly so
+  // a fault in the root relaxation (check 0) is covered too.
+  ExactSolverOptions base;
+  const ExactSolverResult reference = solve_exact(app_, arch_, base);
+  ASSERT_TRUE(reference.found);
+  const std::vector<int> targets = reachable_indices();
+  for (std::size_t i = 0; i < targets.size(); i += 4) {
+    const int k = targets[i];
+    ExactSolverOptions options;
+    options.engine_fault_hook = fault_at(k);
+    ExactSolverResult r;
+    ASSERT_NO_THROW(r = solve_exact(app_, arch_, options)) << "fault at check " << k;
+    EXPECT_FALSE(r.proven_optimal) << "fault at check " << k;
+    if (r.found) {
+      EXPECT_GE(r.best.throughput, app_.throughput_constraint()) << "fault at " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,270 @@
+// The exactness contract of src/solver/exact.cpp: on instances small enough
+// to enumerate, the pruned branch-and-bound search must return the same
+// lexicographic optimum as brute force over the identical candidate space
+// (binding × exact_schedule_candidates × slice vectors), and its result,
+// node counts and diagnostics must be byte-identical at every --jobs level.
+
+#include "src/solver/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/constrained.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/binding.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
+#include "src/sdf/repetition_vector.h"
+
+namespace sdfmap {
+namespace {
+
+/// A shrunk variant of the example platform (wheel 5 instead of 10) so the
+/// brute-force oracle enumerates at most 5x5 slice vectors per binding.
+Architecture make_small_platform() {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).wheel_size = 5;
+  arch.tile(TileId{1}).wheel_size = 5;
+  return arch;
+}
+
+/// Exhaustive reference search over exactly the space solve_exact prunes:
+/// every complete binding accepted by check_binding, every schedule family
+/// candidate, every slice vector with 1..available_wheel on used tiles.
+/// Feasibility is the same constrained state-space execution the solver's
+/// checks run; any analysis failure counts as infeasible.
+std::optional<ExactAllocation> brute_force(const ApplicationGraph& app,
+                                           const Architecture& arch,
+                                           const ExactSolverOptions& options) {
+  const std::size_t num_actors = app.sdf().num_actors();
+  const std::uint32_t num_tiles = static_cast<std::uint32_t>(arch.num_tiles());
+  std::optional<ExactAllocation> best;
+
+  const auto feasible = [&](const Binding& binding,
+                            const std::vector<StaticOrderSchedule>& schedules,
+                            const std::vector<std::int64_t>& slices) -> std::optional<Rational> {
+    try {
+      const BindingAwareGraph bag = build_binding_aware_graph(app, arch, binding, slices);
+      const auto gamma = compute_repetition_vector(bag.graph);
+      const Rational throughput =
+          execute_constrained(bag.graph, *gamma, make_constrained_spec(arch, bag, schedules),
+                              SchedulingMode::kStaticOrder)
+              .base.throughput();
+      if (throughput < app.throughput_constraint()) return std::nullopt;
+      return throughput;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  };
+
+  const auto consider = [&](const Binding& binding) {
+    if (check_binding(app, arch, binding)) return;  // reason string = rejected
+    for (const auto& schedules : exact_schedule_candidates(app, arch, binding, options)) {
+      std::vector<std::int64_t> slices(num_tiles, 0);
+      const auto slice_dfs = [&](auto&& self, std::uint32_t t) -> void {
+        if (t == num_tiles) {
+          const auto throughput = feasible(binding, schedules, slices);
+          if (!throughput) return;
+          ExactAllocation candidate;
+          candidate.binding = binding;
+          candidate.schedules = schedules;
+          candidate.slices = slices;
+          candidate.throughput = *throughput;
+          for (std::uint32_t i = 0; i < num_tiles; ++i) {
+            if (slices[i] > 0) ++candidate.used_tiles;
+            candidate.total_slice += slices[i];
+          }
+          if (!best || exact_allocation_better(candidate, *best)) best = candidate;
+          return;
+        }
+        if (binding.actors_on(TileId{t}).empty()) {
+          slices[t] = 0;
+          self(self, t + 1);
+          return;
+        }
+        for (std::int64_t w = 1; w <= arch.tile(TileId{t}).available_wheel(); ++w) {
+          slices[t] = w;
+          self(self, t + 1);
+        }
+        slices[t] = 0;
+      };
+      slice_dfs(slice_dfs, 0);
+    }
+  };
+
+  Binding binding(num_actors);
+  const auto bind_dfs = [&](auto&& self, std::uint32_t actor) -> void {
+    if (actor == num_actors) {
+      consider(binding);
+      return;
+    }
+    for (std::uint32_t t = 0; t < num_tiles; ++t) {
+      binding.bind(ActorId{actor}, TileId{t});
+      if (!check_binding(app, arch, binding)) self(self, actor + 1);
+      binding.unbind(ActorId{actor});
+    }
+  };
+  bind_dfs(bind_dfs, 0);
+  return best;
+}
+
+class ExactSolverTest : public ::testing::Test {
+ protected:
+  ExactSolverTest() : arch_(make_small_platform()), app_(make_paper_example_application()) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST_F(ExactSolverTest, MatchesBruteForceOracle) {
+  const ExactSolverOptions options;
+  const ExactSolverResult r = solve_exact(app_, arch_, options);
+  const std::optional<ExactAllocation> oracle = brute_force(app_, arch_, options);
+
+  ASSERT_TRUE(r.proven_optimal) << r.stop_reason;
+  ASSERT_EQ(r.found, oracle.has_value());
+  ASSERT_TRUE(oracle);
+  for (std::uint32_t a = 0; a < app_.sdf().num_actors(); ++a) {
+    EXPECT_EQ(r.best.binding.tile_of(ActorId{a}), oracle->binding.tile_of(ActorId{a}))
+        << "actor " << a;
+  }
+  EXPECT_EQ(r.best.slices, oracle->slices);
+  EXPECT_EQ(r.best.used_tiles, oracle->used_tiles);
+  EXPECT_EQ(r.best.total_slice, oracle->total_slice);
+  EXPECT_EQ(r.best.throughput, oracle->throughput);
+  EXPECT_GE(r.best.throughput, app_.throughput_constraint());
+}
+
+TEST_F(ExactSolverTest, OracleAgreesAcrossConstraints) {
+  // Tighter and looser λ exercise different pruning paths (root relaxation,
+  // capacity bound, incumbent bound); the optimum must track the oracle at
+  // each of them.
+  for (const Rational lambda : {Rational(1, 60), Rational(1, 40), Rational(1, 25)}) {
+    ApplicationGraph app = make_paper_example_application();
+    app.set_throughput_constraint(lambda);
+    const ExactSolverOptions options;
+    const ExactSolverResult r = solve_exact(app, arch_, options);
+    const std::optional<ExactAllocation> oracle = brute_force(app, arch_, options);
+    ASSERT_TRUE(r.proven_optimal) << lambda.to_string() << ": " << r.stop_reason;
+    ASSERT_EQ(r.found, oracle.has_value()) << lambda.to_string();
+    if (!oracle) {
+      EXPECT_TRUE(r.proven_infeasible) << lambda.to_string();
+      continue;
+    }
+    EXPECT_EQ(r.best.slices, oracle->slices) << lambda.to_string();
+    EXPECT_EQ(r.best.used_tiles, oracle->used_tiles) << lambda.to_string();
+    EXPECT_EQ(r.best.total_slice, oracle->total_slice) << lambda.to_string();
+  }
+}
+
+TEST_F(ExactSolverTest, DeterministicAcrossJobsLevels) {
+  std::vector<ExactSolverResult> runs;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    TaskPool::set_global_jobs(jobs);
+    runs.push_back(solve_exact(app_, arch_, {}));
+  }
+  TaskPool::set_global_jobs(TaskPool::hardware_jobs());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].found, runs[0].found) << "jobs run " << i;
+    EXPECT_EQ(runs[i].proven_optimal, runs[0].proven_optimal);
+    EXPECT_EQ(runs[i].nodes, runs[0].nodes);
+    EXPECT_EQ(runs[i].bindings, runs[0].bindings);
+    EXPECT_EQ(runs[i].best.slices, runs[0].best.slices);
+    EXPECT_EQ(runs[i].best.used_tiles, runs[0].best.used_tiles);
+    EXPECT_EQ(runs[i].best.total_slice, runs[0].best.total_slice);
+    EXPECT_EQ(runs[i].diagnostics.total_checks(), runs[0].diagnostics.total_checks());
+    EXPECT_EQ(runs[i].diagnostics.degraded_checks, runs[0].diagnostics.degraded_checks);
+    for (std::uint32_t a = 0; a < app_.sdf().num_actors(); ++a) {
+      EXPECT_EQ(runs[i].best.binding.tile_of(ActorId{a}),
+                runs[0].best.binding.tile_of(ActorId{a}));
+    }
+  }
+}
+
+TEST_F(ExactSolverTest, SerialRootMatchesParallelRoot) {
+  ExactSolverOptions serial;
+  serial.parallel_root = false;
+  const ExactSolverResult a = solve_exact(app_, arch_, serial);
+  const ExactSolverResult b = solve_exact(app_, arch_, {});
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.bindings, b.bindings);
+  EXPECT_EQ(a.best.slices, b.best.slices);
+  EXPECT_EQ(a.best.total_slice, b.best.total_slice);
+}
+
+TEST_F(ExactSolverTest, NodeCapGivesAnytimeResultWithoutProof) {
+  ExactSolverOptions capped;
+  capped.max_nodes_per_subtree = 1;
+  ExactSolverResult r;
+  ASSERT_NO_THROW(r = solve_exact(app_, arch_, capped));
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_FALSE(r.proven_infeasible);
+  EXPECT_FALSE(r.stop_reason.empty());
+  EXPECT_EQ(r.stop_kind, AnalysisErrorKind::kStateLimit);
+  if (r.found) {
+    EXPECT_GE(r.best.throughput, app_.throughput_constraint());
+  }
+}
+
+TEST_F(ExactSolverTest, NodeCapIsDeterministicAcrossJobs) {
+  ExactSolverOptions capped;
+  capped.max_nodes_per_subtree = 2;
+  std::vector<ExactSolverResult> runs;
+  for (const unsigned jobs : {1u, 8u}) {
+    TaskPool::set_global_jobs(jobs);
+    runs.push_back(solve_exact(app_, arch_, capped));
+  }
+  TaskPool::set_global_jobs(TaskPool::hardware_jobs());
+  EXPECT_EQ(runs[0].found, runs[1].found);
+  EXPECT_EQ(runs[0].nodes, runs[1].nodes);
+  EXPECT_EQ(runs[0].bindings, runs[1].bindings);
+  EXPECT_EQ(runs[0].best.slices, runs[1].best.slices);
+}
+
+TEST_F(ExactSolverTest, UnreachableConstraintProvenInfeasible) {
+  ApplicationGraph greedy = make_paper_example_application();
+  greedy.set_throughput_constraint(Rational(1, 2));  // even ungated gives 1/29
+  const ExactSolverResult r = solve_exact(greedy, arch_, {});
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.proven_infeasible);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_FALSE(r.stop_reason.empty());
+}
+
+TEST_F(ExactSolverTest, ScheduleCandidateFamilyIsDeterministic) {
+  const Binding binding = make_paper_example_binding(arch_);
+  const auto a = exact_schedule_candidates(app_, arch_, binding, {});
+  const auto b = exact_schedule_candidates(app_, arch_, binding, {});
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LE(a.size(), static_cast<std::size_t>(ExactSolverOptions{}.max_schedule_candidates));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t t = 0; t < a[i].size(); ++t) {
+      EXPECT_EQ(a[i][t].firings, b[i][t].firings) << "candidate " << i << " tile " << t;
+      EXPECT_EQ(a[i][t].loop_start, b[i][t].loop_start);
+    }
+  }
+}
+
+TEST_F(ExactSolverTest, AllocationOrderIsLexicographic) {
+  ExactAllocation fewer_tiles;
+  fewer_tiles.used_tiles = 1;
+  fewer_tiles.total_slice = 9;
+  ExactAllocation more_tiles;
+  more_tiles.used_tiles = 2;
+  more_tiles.total_slice = 2;
+  EXPECT_TRUE(exact_allocation_better(fewer_tiles, more_tiles));
+  EXPECT_FALSE(exact_allocation_better(more_tiles, fewer_tiles));
+
+  ExactAllocation small_slice = fewer_tiles;
+  small_slice.total_slice = 3;
+  EXPECT_TRUE(exact_allocation_better(small_slice, fewer_tiles));
+  EXPECT_FALSE(exact_allocation_better(small_slice, small_slice));  // irreflexive
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -1,0 +1,231 @@
+// The strategy-level backend contract (docs/SOLVER.md): --backend exact and
+// exact_then_heuristic dispatch through allocate_resources, the exact
+// optimum is never worse than the heuristic's allocation, a budget-starved
+// exact_then_heuristic run degrades to the heuristic with a structured
+// "backend" DegradationEvent, and cancellation never falls back.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/appmodel/paper_example.h"
+#include "src/io/report.h"
+#include "src/mapping/strategy.h"
+#include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
+
+namespace sdfmap {
+namespace {
+
+int used_tiles(const StrategyResult& r) {
+  int used = 0;
+  for (const std::int64_t w : r.slices) used += w > 0 ? 1 : 0;
+  return used;
+}
+
+std::int64_t total_slice(const StrategyResult& r) {
+  std::int64_t total = 0;
+  for (const std::int64_t w : r.slices) total += w;
+  return total;
+}
+
+class ExactStrategyTest : public ::testing::Test {
+ protected:
+  ExactStrategyTest() : arch_(make_example_platform()), app_(make_paper_example_application()) {}
+
+  Architecture arch_;
+  ApplicationGraph app_;
+};
+
+TEST(BackendNames, RoundTrip) {
+  for (const StrategyBackend b :
+       {StrategyBackend::kHeuristic, StrategyBackend::kExact,
+        StrategyBackend::kExactThenHeuristic}) {
+    const auto parsed = backend_from_name(backend_name(b));
+    ASSERT_TRUE(parsed) << backend_name(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(backend_from_name("exactish"));
+  EXPECT_FALSE(backend_from_name(""));
+}
+
+TEST_F(ExactStrategyTest, ExactBackendAllocatesAndProvesOptimality) {
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(r.success) << r.stage << ": " << r.failure_reason;
+  EXPECT_EQ(r.backend, StrategyBackend::kExact);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_TRUE(r.binding.is_complete());
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+  EXPECT_EQ(r.achieved_period, r.achieved_throughput.inverse());
+  EXPECT_GT(r.solver_nodes, 0u);
+  EXPECT_GT(r.solver_bindings, 0u);
+  EXPECT_GT(r.throughput_checks, 0);
+  EXPECT_GE(r.solver_seconds, 0.0);
+  ASSERT_EQ(r.usage.size(), arch_.num_tiles());
+  for (std::uint32_t t = 0; t < arch_.num_tiles(); ++t) {
+    EXPECT_EQ(r.usage[t].time_slice, r.slices[t]);
+    EXPECT_TRUE(r.usage[t].fits(arch_.tile(TileId{t})));
+  }
+}
+
+TEST_F(ExactStrategyTest, ExactNeverWorseThanHeuristic) {
+  const StrategyResult heuristic = allocate_resources(app_, arch_, {});
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  const StrategyResult exact = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(heuristic.success);
+  ASSERT_TRUE(exact.success);
+  // The heuristic's allocation is inside the solver's search space (its
+  // schedule is candidate 0 of the family), so the lexicographic optimum can
+  // only match or beat it.
+  EXPECT_LE(used_tiles(exact), used_tiles(heuristic));
+  if (used_tiles(exact) == used_tiles(heuristic)) {
+    EXPECT_LE(total_slice(exact), total_slice(heuristic));
+  }
+}
+
+TEST_F(ExactStrategyTest, ExactReportMentionsBackend) {
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(r.success);
+  const std::string report = format_strategy_result(app_, arch_, r);
+  EXPECT_NE(report.find("exact backend: proven optimal"), std::string::npos) << report;
+  EXPECT_NE(report.find("/ solver "), std::string::npos) << report;
+}
+
+TEST_F(ExactStrategyTest, HeuristicReportUnchangedByBackendFields) {
+  const StrategyResult r = allocate_resources(app_, arch_, {});
+  ASSERT_TRUE(r.success);
+  const std::string report = format_strategy_result(app_, arch_, r);
+  EXPECT_EQ(report.find("exact backend"), std::string::npos) << report;
+  EXPECT_EQ(report.find("solver"), std::string::npos) << report;
+}
+
+TEST_F(ExactStrategyTest, ExactInfeasibilityIsFinalForBothExactBackends) {
+  ApplicationGraph greedy = make_paper_example_application();
+  greedy.set_throughput_constraint(Rational(1, 2));
+  for (const StrategyBackend b :
+       {StrategyBackend::kExact, StrategyBackend::kExactThenHeuristic}) {
+    StrategyOptions options;
+    options.backend = b;
+    const StrategyResult r = allocate_resources(greedy, arch_, options);
+    EXPECT_FALSE(r.success) << backend_name(b);
+    EXPECT_EQ(r.stage, "solver") << backend_name(b);
+    EXPECT_EQ(r.failure_kind, FailureKind::kSliceAllocationFailed) << backend_name(b);
+    // proven_optimal doubles as "the infeasibility verdict is proven".
+    EXPECT_TRUE(r.proven_optimal) << backend_name(b);
+  }
+}
+
+TEST_F(ExactStrategyTest, ExactThenHeuristicFallsBackUnderNodeCap) {
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExactThenHeuristic;
+  options.solver_max_nodes = 1;  // no subtree can reach a complete binding
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  ASSERT_TRUE(r.success) << r.stage << ": " << r.failure_reason;
+  EXPECT_EQ(r.backend, StrategyBackend::kHeuristic);  // the fallback answered
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+  EXPECT_GT(r.solver_nodes, 0u);
+  EXPECT_TRUE(r.diagnostics.degraded());
+  bool backend_event = false;
+  for (const DegradationEvent& e : r.diagnostics.events) {
+    backend_event = backend_event || e.stage == "backend";
+  }
+  EXPECT_TRUE(backend_event) << "missing the backend-handoff DegradationEvent";
+  const std::string report = format_strategy_result(app_, arch_, r);
+  EXPECT_NE(report.find("heuristic fallback"), std::string::npos) << report;
+}
+
+TEST_F(ExactStrategyTest, ExactThenHeuristicSurvivesExpiredDeadline) {
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExactThenHeuristic;
+  options.slices.limits.budget = AnalysisBudget::expiring_in(std::chrono::milliseconds(0));
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  // The fallback run must not inherit the expired deadline: the request
+  // still gets a valid heuristic allocation.
+  ASSERT_TRUE(r.success) << r.stage << ": " << r.failure_reason;
+  EXPECT_GE(r.achieved_throughput, app_.throughput_constraint());
+  EXPECT_TRUE(r.diagnostics.degraded());
+}
+
+TEST_F(ExactStrategyTest, ExactAloneFailsStructuredUnderNodeCap) {
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  options.solver_max_nodes = 1;
+  const StrategyResult r = allocate_resources(app_, arch_, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "solver");
+  EXPECT_EQ(r.failure_kind, FailureKind::kAnalysisLimit);
+  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_FALSE(r.proven_optimal);
+}
+
+TEST_F(ExactStrategyTest, CancellationNeverFallsBack) {
+  for (const StrategyBackend b :
+       {StrategyBackend::kExact, StrategyBackend::kExactThenHeuristic}) {
+    StrategyOptions options;
+    options.backend = b;
+    const CancellationToken token = CancellationToken::make();
+    token.request_cancel();
+    options.slices.limits.budget.set_cancellation(token);
+    StrategyResult r;
+    ASSERT_NO_THROW(r = allocate_resources(app_, arch_, options)) << backend_name(b);
+    EXPECT_FALSE(r.success) << backend_name(b);
+    EXPECT_EQ(r.failure_kind, FailureKind::kCancelled) << backend_name(b);
+  }
+}
+
+TEST_F(ExactStrategyTest, LintGateAppliesToExactBackend) {
+  // A deadlocked model (SDF002: d3's tokens removed) must be rejected in
+  // stage "lint" before the solver runs, exactly like the heuristic path.
+  ApplicationGraph deadlocked = make_paper_example_application();
+  deadlocked.sdf().set_initial_tokens(ChannelId{2}, 0);
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  const StrategyResult r = allocate_resources(deadlocked, arch_, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "lint");
+  EXPECT_EQ(r.failure_kind, FailureKind::kLintRejected);
+  EXPECT_EQ(r.solver_nodes, 0u);
+}
+
+TEST_F(ExactStrategyTest, UnmappableActorProvenInfeasible) {
+  // Lint lets an unsupported actor through (the heuristic fails it in stage
+  // "binding"); the solver settles the same verdict as proven infeasibility.
+  ApplicationGraph broken("broken", app_.sdf(), 2);
+  broken.set_requirement(ActorId{0}, ProcTypeId{0}, {1, 10});
+  broken.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
+  StrategyOptions options;
+  options.backend = StrategyBackend::kExact;
+  const StrategyResult r = allocate_resources(broken, arch_, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.stage, "solver");
+  EXPECT_EQ(r.failure_kind, FailureKind::kSliceAllocationFailed);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NE(r.failure_reason.find("supported by no tile"), std::string::npos);
+}
+
+TEST_F(ExactStrategyTest, StrategyResultDeterministicAcrossJobs) {
+  std::vector<StrategyResult> runs;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    TaskPool::set_global_jobs(jobs);
+    StrategyOptions options;
+    options.backend = StrategyBackend::kExact;
+    runs.push_back(allocate_resources(app_, arch_, options));
+  }
+  TaskPool::set_global_jobs(TaskPool::hardware_jobs());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i].success, runs[0].success);
+    EXPECT_EQ(runs[i].slices, runs[0].slices);
+    EXPECT_EQ(runs[i].solver_nodes, runs[0].solver_nodes);
+    EXPECT_EQ(runs[i].solver_bindings, runs[0].solver_bindings);
+    EXPECT_EQ(runs[i].achieved_throughput, runs[0].achieved_throughput);
+    EXPECT_EQ(runs[i].throughput_checks, runs[0].throughput_checks);
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap
