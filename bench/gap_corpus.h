@@ -1,0 +1,86 @@
+#pragma once
+
+// The bench_exact_gap instance corpus, shared with the lint soundness oracle
+// (tests/lint/feasibility_oracle_test.cpp): the paper running example under
+// several constraint/platform variations plus a fixed-seed generated set.
+// Every instance is small enough for the exact backend to settle in
+// milliseconds, which is what makes it usable as a ground-truth oracle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/appmodel/application.h"
+#include "src/appmodel/paper_example.h"
+#include "src/gen/generator.h"
+#include "src/platform/architecture.h"
+#include "src/platform/mesh.h"
+#include "src/support/rng.h"
+
+namespace sdfmap::gapcorpus {
+
+struct Instance {
+  std::string name;
+  ApplicationGraph app;
+  Architecture arch;
+  std::uint64_t node_cap = 0;  ///< 0 = unlimited; >0 makes a budget-capped row
+};
+
+inline Architecture shrunk_example_platform(std::int64_t wheel) {
+  Architecture arch = make_example_platform();
+  arch.tile(TileId{0}).wheel_size = wheel;
+  arch.tile(TileId{1}).wheel_size = wheel;
+  return arch;
+}
+
+/// A 1x2 mesh with two processor types — the smallest platform on which the
+/// binding decision is non-trivial.
+inline Architecture small_mesh(std::int64_t wheel) {
+  MeshOptions options;
+  options.rows = 1;
+  options.cols = 2;
+  options.proc_types = {"proc_a", "proc_b"};
+  options.wheel_size = wheel;
+  return make_mesh(options);
+}
+
+inline std::vector<Instance> make_instances(bool quick) {
+  std::vector<Instance> instances;
+
+  // Paper running example under three constraint levels plus a shrunk wheel.
+  instances.push_back({"paper_example", make_paper_example_application(),
+                       make_example_platform()});
+  instances.push_back({"paper_example_w5", make_paper_example_application(),
+                       shrunk_example_platform(5)});
+  {
+    ApplicationGraph relaxed = make_paper_example_application();
+    relaxed.set_throughput_constraint(Rational(1, 60));
+    instances.push_back({"paper_relaxed", std::move(relaxed), make_example_platform()});
+  }
+  {
+    ApplicationGraph tight = make_paper_example_application();
+    tight.set_throughput_constraint(Rational(1, 25));
+    instances.push_back({"paper_tight", std::move(tight), make_example_platform()});
+  }
+  // The anytime path: the same instance under a deliberately tiny node cap
+  // stops without a proof (and usually without an incumbent).
+  instances.push_back({"paper_node_capped", make_paper_example_application(),
+                       make_example_platform(), 1});
+
+  // Generated corpus: small SDF3-style graphs on the 1x2 mesh. Seeds are
+  // fixed, so the corpus — like everything else on stdout — is byte-stable.
+  GeneratorOptions gen;
+  gen.num_proc_types = 2;
+  gen.min_actors = 3;
+  gen.max_actors = quick ? 4 : 5;
+  gen.max_repetition = 2;
+  gen.constraint_tightness = 0.10;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    Rng rng(seed * 1000 + 7);
+    ApplicationGraph app = generate_application(gen, rng, "gen_" + std::to_string(seed));
+    instances.push_back({app.name(), std::move(app), small_mesh(60)});
+  }
+  return instances;
+}
+
+}  // namespace sdfmap::gapcorpus

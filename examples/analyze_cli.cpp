@@ -16,6 +16,9 @@
 //                                        # warm-start; disk faults degrade to
 //                                        # the in-memory tier
 //   analyze_cli lint <file...> [--format=text|sarif|json] [--lint-level=...]
+//               [--lint-budget-ms=<n>]   # deep-rule budget; 0 = degrade all
+//                                        # deep rules deterministically
+//                                        # (SDFMAP_LINT_BUDGET_MS)
 //   analyze_cli allocate --app=<file> --platform=<file>
 //               [--backend=heuristic|exact|exact_then_heuristic]
 //               [--solver-max-nodes=<n>] [--deadline-ms=<n>] [--per-check-ms=<n>]
@@ -114,6 +117,8 @@ int run_lint_subcommand(const CliArgs& args) {
     std::cerr << "error: --lint-level must be info, warning or error\n";
     return kCliUsageError;
   }
+  options.deep_budget = lint_budget_from_ms(
+      args.get_int("lint-budget-ms", lint_budget_ms_from_env(-1)));
   const std::string format = args.get("format", "text");
   if (format != "text" && format != "sarif" && format != "json") {
     std::cerr << "error: --format must be text, sarif or json\n";
@@ -242,6 +247,8 @@ int run(const CliArgs& args) {
       std::cerr << "error: --lint-level must be info, warning or error\n";
       return kCliUsageError;
     }
+    lint_options.deep_budget = lint_budget_from_ms(
+        args.get_int("lint-budget-ms", lint_budget_ms_from_env(-1)));
     LintInput input;
     input.graph = &g;
     const LintResult lint = run_lint(input, lint_options);

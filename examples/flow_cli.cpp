@@ -21,6 +21,8 @@
 //                                     # disk problem degrades to the
 //                                     # in-memory tier, never fails the run
 //   flow_cli --app=<file> --platform=<file> --lint [--lint-level=l]
+//            [--lint-budget-ms=<n>]  # deep-rule budget (SDFMAP_LINT_BUDGET_MS);
+//                                    # 0 degrades every deep rule to an advisory
 //   flow_cli --dump-examples [--dir=.]
 //
 // --lint runs the rule packs (docs/LINT.md) over both inputs and exits with
@@ -112,11 +114,12 @@ int run(const CliArgs& args) {
       std::cerr << "error: --lint-level must be info, warning or error\n";
       return kCliUsageError;
     }
-    LintResult all = lint_file(app_path, lint_options);
-    LintResult platform = lint_file(platform_path, lint_options);
-    all.diagnostics.insert(all.diagnostics.end(),
-                           std::make_move_iterator(platform.diagnostics.begin()),
-                           std::make_move_iterator(platform.diagnostics.end()));
+    lint_options.deep_budget = lint_budget_from_ms(
+        args.get_int("lint-budget-ms", lint_budget_ms_from_env(-1)));
+    // One combined pass over the pair, so the SDF3xx feasibility rules see
+    // the (graph, platform, constraint) tuple — the same rules the strategy's
+    // mandatory gate applies.
+    const LintResult all = lint_pair(app_path, platform_path, lint_options);
     std::cout << render_diagnostics_text(all.diagnostics);
     std::cout << count_severity(all.diagnostics, Severity::kError) << " error(s), "
               << count_severity(all.diagnostics, Severity::kWarning) << " warning(s), "

@@ -50,6 +50,26 @@ foreach(input IN LISTS inputs)
     message(SEND_ERROR "exit code mismatch for ${input}: got ${code}, want ${want}")
     math(EXPR failures "${failures} + 1")
   endif()
+
+  # Files with a .sarif.expected sibling also pin the SARIF emission —
+  # including the rules[] metadata block (fullDescription, helpUri, default
+  # severity) for the whole catalog.
+  if(EXISTS "${CORPUS_DIR}/${input}.sarif.expected")
+    execute_process(
+      COMMAND "${ANALYZE_CLI}" lint "${input}" --format=sarif
+      WORKING_DIRECTORY "${CORPUS_DIR}"
+      OUTPUT_VARIABLE actual_sarif
+      RESULT_VARIABLE sarif_code)
+    file(READ "${CORPUS_DIR}/${input}.sarif.expected" expected_sarif)
+    if(NOT actual_sarif STREQUAL expected_sarif)
+      message(SEND_ERROR "SARIF golden mismatch for ${input}")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    if(NOT sarif_code EQUAL want)
+      message(SEND_ERROR "SARIF exit code mismatch for ${input}: got ${sarif_code}, want ${want}")
+      math(EXPR failures "${failures} + 1")
+    endif()
+  endif()
 endforeach()
 
 if(failures GREATER 0)

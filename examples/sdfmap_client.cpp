@@ -39,6 +39,7 @@
 #include <sstream>
 
 #include "src/io/report.h"
+#include "src/lint/driver.h"
 #include "src/mapping/strategy.h"
 #include "src/service/client.h"
 #include "src/support/cli.h"
@@ -220,7 +221,8 @@ int run(const CliArgs& args) {
 
   if (command == "lint") {
     if (positional.size() < 2) {
-      std::cerr << "usage: sdfmap_client lint --socket=<path> <file>\n";
+      std::cerr << "usage: sdfmap_client lint --socket=<path> <file>"
+                << " [--lint-budget-ms=<n>]\n";
       return kCliUsageError;
     }
     LintRequest request;
@@ -229,6 +231,9 @@ int run(const CliArgs& args) {
       std::cerr << "sdfmap_client: cannot read '" << positional[1] << "'\n";
       return kCliUsageError;
     }
+    // -1 = flag/env absent: the budget tag stays off the wire and the server
+    // lints with an unlimited budget.
+    request.budget_ms = args.get_int("lint-budget-ms", lint_budget_ms_from_env(-1));
     return finish(client.lint(request));
   }
 

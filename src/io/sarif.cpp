@@ -17,6 +17,18 @@ const char* sarif_level(Severity s) {
   return "none";
 }
 
+/// docs/LINT.md anchor of a rule's catalog heading "#### SDF301
+/// feasibility-constraint-above-bound", as GitHub renders it: lowercase,
+/// spaces to dashes.
+std::string rule_help_uri(const Rule& r) {
+  std::string anchor = r.code + "-" + r.name;
+  for (char& c : anchor) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c == ' ') c = '-';
+  }
+  return "docs/LINT.md#" + anchor;
+}
+
 /// "file:line:col" region object; omitted entirely for unknown spans.
 void write_region(std::ostream& os, const SourceSpan& span, const char* indent) {
   os << indent << "\"region\": {\n"
@@ -91,6 +103,9 @@ void write_sarif(std::ostream& os, const std::vector<Diagnostic>& diagnostics) {
        << "              \"name\": \"" << json_escape(r.name) << "\",\n"
        << "              \"shortDescription\": { \"text\": \"" << json_escape(r.summary)
        << "\" },\n"
+       << "              \"fullDescription\": { \"text\": \""
+       << json_escape(r.detail.empty() ? r.summary : r.detail) << "\" },\n"
+       << "              \"helpUri\": \"" << json_escape(rule_help_uri(r)) << "\",\n"
        << "              \"defaultConfiguration\": { \"level\": \""
        << sarif_level(r.severity) << "\" }\n"
        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";

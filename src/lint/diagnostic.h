@@ -39,6 +39,10 @@ struct Diagnostic {
   SourceSpan span;
   std::vector<DiagnosticNote> notes;
   std::string fix_hint;  ///< optional actionable suggestion ("add ...")
+  /// Keep `severity` as the check emitted it instead of stamping the rule's
+  /// default. Deep feasibility rules pin their budget-degraded advisories to
+  /// kInfo so exhaustion can never escalate into a spurious error.
+  bool severity_pinned = false;
 };
 
 /// Deterministic reporting order: by file, then span (line, col), then code,

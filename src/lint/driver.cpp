@@ -1,6 +1,8 @@
 #include "src/lint/driver.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -8,6 +10,7 @@
 #include "src/io/app_format.h"
 #include "src/io/mapping_format.h"
 #include "src/io/text_format.h"
+#include "src/support/env.h"
 
 namespace sdfmap {
 
@@ -68,6 +71,18 @@ LintResult parse_failure(const std::string& file, const ParseError& e,
 }
 
 }  // namespace
+
+std::int64_t lint_budget_ms_from_env(std::int64_t fallback) {
+  const ParsedEnvLintBudget parsed =
+      parse_env_lint_budget(std::getenv("SDFMAP_LINT_BUDGET_MS"), fallback);
+  warn_env_once(parsed.diagnostic);
+  return parsed.budget_ms;
+}
+
+AnalysisBudget lint_budget_from_ms(std::int64_t budget_ms) {
+  if (budget_ms < 0) return {};
+  return AnalysisBudget::expiring_in(std::chrono::milliseconds(budget_ms));
+}
 
 bool lintable_extension(const std::string& path) {
   const std::string ext = extension_of(path);
@@ -134,6 +149,54 @@ LintResult lint_text(const std::string& path_hint, const std::string& text,
 
   throw std::invalid_argument("lint: unsupported extension on '" + path_hint +
                               "' for in-memory lint (expected .sdf, .sdfapp or .sdfarch)");
+}
+
+LintResult lint_pair(const std::string& app_path, const std::string& platform_path,
+                     const LintOptions& options) {
+  ApplicationProvenance app_prov;
+  app_prov.file = app_path;
+  std::optional<ApplicationGraph> app;
+  {
+    std::ifstream app_file = open_or_throw(app_path);
+    try {
+      app = read_application(app_file, &app_prov);
+    } catch (const ParseError& e) {
+      // A broken application still lets the platform half report: combine the
+      // SDF000 with a platform-only run, as two lint_file calls would.
+      LintResult result = parse_failure(app_path, e, options);
+      LintResult platform = lint_file(platform_path, options);
+      result.diagnostics.insert(result.diagnostics.end(),
+                                std::make_move_iterator(platform.diagnostics.begin()),
+                                std::make_move_iterator(platform.diagnostics.end()));
+      std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                       diagnostic_order_less);
+      return result;
+    }
+  }
+  ArchitectureProvenance arch_prov;
+  arch_prov.file = platform_path;
+  std::optional<Architecture> arch;
+  {
+    std::ifstream arch_file = open_or_throw(platform_path);
+    try {
+      arch = read_architecture(arch_file, &arch_prov);
+    } catch (const ParseError& e) {
+      LintResult result = lint_file(app_path, options);
+      LintResult broken = parse_failure(platform_path, e, options);
+      result.diagnostics.insert(result.diagnostics.end(),
+                                std::make_move_iterator(broken.diagnostics.begin()),
+                                std::make_move_iterator(broken.diagnostics.end()));
+      std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                       diagnostic_order_less);
+      return result;
+    }
+  }
+  LintInput input;
+  input.app = &*app;
+  input.platform = &*arch;
+  input.app_provenance = &app_prov;
+  input.platform_provenance = &arch_prov;
+  return run_lint(input, options);
 }
 
 LintResult lint_file(const std::string& path, const LintOptions& options) {

@@ -26,6 +26,15 @@ namespace sdfmap {
 /// True when lint_file knows how to handle `path`'s extension.
 [[nodiscard]] bool lintable_extension(const std::string& path);
 
+/// Cross-analysis entry point for an (application, platform) pair: loads both
+/// files and runs one combined lint pass, so the SDF3xx feasibility rules see
+/// the tuple (a separate lint_file per artifact can only run the per-artifact
+/// packs). Used by `flow_cli --lint`, mirroring the strategy's mandatory
+/// gate. Parse failures become SDF000 diagnostics as in lint_file.
+[[nodiscard]] LintResult lint_pair(const std::string& app_path,
+                                   const std::string& platform_path,
+                                   const LintOptions& options = {});
+
 /// In-memory variant for callers that hold the document text instead of a
 /// file (the sdfmapd lint handler): `path_hint`'s extension selects the rule
 /// pack exactly like lint_file and appears as the file in every diagnostic.
@@ -38,5 +47,17 @@ namespace sdfmap {
 /// True when lint_text can handle `path_hint`'s extension (the lintable
 /// extensions minus .sdfmapping).
 [[nodiscard]] bool lintable_text_extension(const std::string& path);
+
+/// Reads SDFMAP_LINT_BUDGET_MS through the hardened parser (src/support/env.h,
+/// one stderr warning per distinct bad value). Returns `fallback` when the
+/// variable is unset or invalid; callers pass -1 for "no budget". A
+/// --lint-budget-ms CLI flag takes precedence over the environment.
+[[nodiscard]] std::int64_t lint_budget_ms_from_env(std::int64_t fallback);
+
+/// LintOptions::deep_budget from a resolved millisecond count: negative =
+/// unlimited (deep rules run to completion), 0 = already expired (every deep
+/// rule degrades to its advisory form, deterministically), positive = a
+/// wall-clock deadline that many milliseconds out.
+[[nodiscard]] AnalysisBudget lint_budget_from_ms(std::int64_t budget_ms);
 
 }  // namespace sdfmap

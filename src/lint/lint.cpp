@@ -13,6 +13,7 @@ bool pack_enabled(const LintOptions& options, RulePack pack) {
     case RulePack::kGraph: return options.graph_pack;
     case RulePack::kPlatform: return options.platform_pack;
     case RulePack::kMapping: return options.mapping_pack;
+    case RulePack::kFeasibility: return options.feasibility_pack;
   }
   return false;
 }
@@ -27,6 +28,11 @@ std::string pack_file(const LintInput& input, RulePack pack) {
       if (input.mapping_spans && !input.mapping_spans->file.empty()) {
         return input.mapping_spans->file;
       }
+      return input.graph_file();
+    case RulePack::kFeasibility:
+      // Feasibility findings argue about the application under its
+      // constraint; rules that point at platform entities set the file
+      // themselves.
       return input.graph_file();
   }
   return {};
@@ -47,9 +53,13 @@ const Diagnostic* LintResult::find_code(std::string_view code) const {
 
 LintResult run_lint(const LintInput& input, const LintOptions& options) {
   // Normalize: the graph pack runs on the application's SDFG when no bare
-  // graph was given.
+  // graph was given, and the deep-rule budget/cache come from the options
+  // unless the caller wired them into the input directly.
   LintInput in = input;
   if (in.graph == nullptr && in.app != nullptr) in.graph = &in.app->sdf();
+  if (in.budget == nullptr) in.budget = &options.deep_budget;
+  if (in.cache == nullptr) in.cache = options.cache;
+  if (in.cache_stats == nullptr) in.cache_stats = options.cache_stats;
 
   std::vector<const Rule*> active;
   for (const Rule& rule : lint_rules()) {
@@ -67,7 +77,9 @@ LintResult run_lint(const LintInput& input, const LintOptions& options) {
         rule->check(in, found);
         for (Diagnostic& d : found) {
           d.code = rule->code;
-          d.severity = rule->severity;
+          // Budget-degraded advisories pin kInfo; everything else gets the
+          // rule's default severity.
+          if (!d.severity_pinned) d.severity = rule->severity;
           if (d.file.empty()) d.file = pack_file(in, rule->pack);
         }
         return found;

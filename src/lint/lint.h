@@ -13,8 +13,24 @@ struct LintOptions {
   bool graph_pack = true;
   bool platform_pack = true;
   bool mapping_pack = true;
+  /// Analysis-backed SDF3xx feasibility rules (docs/LINT.md). Individual
+  /// rules still need their inputs: SDF301 runs on a bare application,
+  /// SDF302-306 need a platform, SDF307 a full mapping.
+  bool feasibility_pack = true;
   /// Diagnostics below this severity are dropped from the result.
   Severity min_severity = Severity::kInfo;
+  /// Budget of the deep (MCR / state-space) feasibility rules. Default:
+  /// unlimited, which keeps the output deterministic. A finite deadline
+  /// degrades exhausted deep rules to pinned kInfo advisories — never a
+  /// false error; an already-expired deadline (--lint-budget-ms=0) degrades
+  /// every deep rule deterministically. Ignored when the LintInput carries
+  /// its own budget.
+  AnalysisBudget deep_budget;
+  /// Shared throughput cache for the deep feasibility checks (may be null),
+  /// plus an optional accounting sink. Ignored when the LintInput carries
+  /// its own pointers.
+  ThroughputCache* cache = nullptr;
+  CacheStats* cache_stats = nullptr;
   /// Additional caller-supplied rules, run after the built-in registry.
   std::vector<Rule> extra_rules;
 };

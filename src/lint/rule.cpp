@@ -52,6 +52,7 @@ const std::vector<Rule>& lint_rules() {
                      "a mapping entry references an actor, tile or file that does not exist",
                      Severity::kError, RulePack::kMapping, nullptr});
     lint_detail::append_mapping_rules(rules);
+    lint_detail::append_feasibility_rules(rules);
     return rules;
   }();
   return registry;

@@ -11,19 +11,26 @@
 #include "src/mapping/schedule.h"
 #include "src/platform/architecture.h"
 #include "src/sdf/graph.h"
+#include "src/support/budget.h"
 
 namespace sdfmap {
 
-/// The three built-in rule families (docs/LINT.md). Pack membership decides
-/// which inputs a rule needs and which pre-pass runs it (mapping/strategy
-/// gates the engines behind the graph and platform packs).
-enum class RulePack { kGraph, kPlatform, kMapping };
+class ThroughputCache;
+struct CacheStats;
+
+/// The built-in rule families (docs/LINT.md). Pack membership decides which
+/// inputs a rule needs and which pre-pass runs it (mapping/strategy gates the
+/// engines behind the graph, platform and feasibility packs). The feasibility
+/// pack cross-analyzes (graph, platform, constraint) and mapping tuples with
+/// the real analysis machinery instead of structural checks.
+enum class RulePack { kGraph, kPlatform, kMapping, kFeasibility };
 
 [[nodiscard]] constexpr const char* rule_pack_name(RulePack p) {
   switch (p) {
     case RulePack::kGraph: return "graph";
     case RulePack::kPlatform: return "platform";
     case RulePack::kMapping: return "mapping";
+    case RulePack::kFeasibility: return "feasibility";
   }
   return "?";
 }
@@ -43,6 +50,16 @@ struct LintInput {
   const ApplicationProvenance* app_provenance = nullptr;
   const ArchitectureProvenance* platform_provenance = nullptr;
   const MappingSpans* mapping_spans = nullptr;
+
+  /// Budget of the deep (analysis-backed) feasibility rules; null or
+  /// unlimited means the rules run to completion. On exhaustion a deep rule
+  /// degrades to a pinned kInfo advisory — never a false error — while
+  /// cancellation always propagates as AnalysisError(kCancelled).
+  const AnalysisBudget* budget = nullptr;
+  /// Shared throughput cache (and its per-run accounting sink) used by the
+  /// deep feasibility checks; both may be null.
+  ThroughputCache* cache = nullptr;
+  CacheStats* cache_stats = nullptr;
 
   /// Span of actor `a`, from whichever provenance is present.
   [[nodiscard]] SourceSpan actor_span(ActorId a) const;
@@ -68,10 +85,14 @@ struct Rule {
   Severity severity = Severity::kError;
   RulePack pack = RulePack::kGraph;
   std::function<void(const LintInput&, std::vector<Diagnostic>&)> check;
+  /// Longer SARIF fullDescription (witness format, soundness statement);
+  /// empty falls back to `summary`. Kept last so aggregate initializers of
+  /// the short form stay valid.
+  std::string detail;
 };
 
 /// All built-in rules in catalog order (SDF0xx graph, SDF1xx platform,
-/// SDF2xx mapping). The returned registry is immutable and shared.
+/// SDF2xx mapping, SDF3xx feasibility). The registry is immutable and shared.
 [[nodiscard]] const std::vector<Rule>& lint_rules();
 
 /// Rule with the given code, or nullptr.
@@ -81,6 +102,7 @@ namespace lint_detail {
 void append_graph_rules(std::vector<Rule>& rules);
 void append_platform_rules(std::vector<Rule>& rules);
 void append_mapping_rules(std::vector<Rule>& rules);
+void append_feasibility_rules(std::vector<Rule>& rules);
 }  // namespace lint_detail
 
 }  // namespace sdfmap

@@ -141,6 +141,12 @@ StrategyResult allocate_resources_impl(const ApplicationGraph& app, const Archit
   lint_input.platform = &arch;
   LintOptions lint_options;
   lint_options.mapping_pack = false;  // no binding exists yet
+  // The deep feasibility rules share the strategy's analysis budget and
+  // throughput cache: a gate verdict can seed the solver's cache, and an
+  // expired budget degrades the deep rules instead of blocking the gate.
+  lint_options.deep_budget = options.slices.limits.budget;
+  lint_options.cache = options.cache.get();
+  lint_options.cache_stats = &result.diagnostics.cache;
   const LintResult lint = run_lint(lint_input, lint_options);
   result.diagnostics.lint = lint.diagnostics;
   if (lint.has_errors()) {

@@ -24,7 +24,8 @@ enum : std::uint16_t {
   kTagErrorDetail = 13,
   kTagStage = 14,
   kTagMetricsText = 15,
-  kTagBackend = 16,     // u32 (StrategyBackend)
+  kTagBackend = 16,       // u32 (StrategyBackend)
+  kTagLintBudgetMs = 17,  // i64 (deep-rule budget; absent = unlimited)
 };
 
 void put_u16(std::string& out, std::uint16_t v) {
@@ -208,6 +209,9 @@ std::string encode_lint_request(const LintRequest& m) {
   std::string out;
   put_tlv(out, kTagPathHint, m.path_hint);
   put_tlv(out, kTagDocText, m.text);
+  // Only encoded when set: servers predating the tag skip unknown TLVs and
+  // lint with an unlimited budget, which is the same behavior as "absent".
+  if (m.budget_ms >= 0) put_tlv_i64(out, kTagLintBudgetMs, m.budget_ms);
   return out;
 }
 
@@ -225,6 +229,9 @@ std::optional<LintRequest> decode_lint_request(const std::string& payload) {
       case kTagDocText:
         m.text = std::string(f.bytes);
         have_text = true;
+        break;
+      case kTagLintBudgetMs:
+        if (!read_i64(f.bytes, m.budget_ms) || m.budget_ms < 0) return std::nullopt;
         break;
       default:
         break;

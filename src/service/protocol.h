@@ -88,6 +88,12 @@ struct ThroughputRequest {
 struct LintRequest {
   std::string path_hint;
   std::string text;
+  /// Budget of the deep (analysis-backed) feasibility rules in milliseconds:
+  /// -1 = unlimited (the tag is omitted on the wire, so old servers behave
+  /// identically), 0 = already expired (every deep rule degrades to its
+  /// advisory form deterministically), positive = wall-clock deadline. An
+  /// explicit negative value on the wire is malformed.
+  std::int64_t budget_ms = -1;
 };
 
 /// kResult payload: the rendered report (exactly what the CLI prints for the

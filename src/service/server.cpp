@@ -615,7 +615,12 @@ ResultResponse Server::handle_lint(const LintRequest& request) {
     throw ServiceUnsupported("lint over the wire supports .sdf, .sdfapp and .sdfarch (got '" +
                              request.path_hint + "')");
   }
-  const LintResult result = lint_text(request.path_hint, request.text);
+  LintOptions options;
+  options.deep_budget = lint_budget_from_ms(request.budget_ms);
+  // The deep feasibility rules share the daemon's throughput cache, so
+  // repeated lints of one model (or a later allocate of it) warm-start.
+  options.cache = cache_.get();
+  const LintResult result = lint_text(request.path_hint, request.text, options);
   ResultResponse response;
   std::ostringstream os;
   os << render_diagnostics_text(result.diagnostics);

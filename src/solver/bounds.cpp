@@ -39,9 +39,7 @@ std::int64_t slice_lower_bound(std::int64_t work, std::int64_t wheel_size,
   return std::max<std::int64_t>(1, lb);
 }
 
-std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
-                                               const ExecutionLimits& limits,
-                                               ThroughputCache* cache, CacheStats* stats) {
+std::optional<Graph> best_case_relaxation(const ApplicationGraph& app) {
   Graph g = app.sdf();
   for (std::uint32_t a = 0; a < g.num_actors(); ++a) {
     std::int64_t best = -1;
@@ -49,7 +47,7 @@ std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
       const auto& req = app.requirement(ActorId{a}, ProcTypeId{static_cast<std::uint32_t>(pt)});
       if (req && (best < 0 || req->execution_time < best)) best = req->execution_time;
     }
-    if (best < 0) return Rational(0);  // unplaceable actor: no allocation exists
+    if (best < 0) return std::nullopt;  // unplaceable actor: no allocation exists
     g.set_execution_time(ActorId{a}, best);
     // One firing at a time per actor (one processor instance), as in the
     // binding-aware construction — still a relaxation of every allocation.
@@ -57,6 +55,15 @@ std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
       g.add_channel(ActorId{a}, ActorId{a}, 1, 1, 1, g.actor(ActorId{a}).name + "_self");
     }
   }
+  return g;
+}
+
+std::optional<Rational> ideal_throughput_bound(const ApplicationGraph& app,
+                                               const ExecutionLimits& limits,
+                                               ThroughputCache* cache, CacheStats* stats) {
+  const std::optional<Graph> relaxed = best_case_relaxation(app);
+  if (!relaxed) return Rational(0);  // unplaceable actor: no allocation exists
+  const Graph& g = *relaxed;
   const auto gamma = compute_repetition_vector(g);
   if (!gamma) return std::nullopt;
   try {

@@ -42,6 +42,15 @@ struct CacheStats;
 [[nodiscard]] std::int64_t slice_lower_bound(std::int64_t work, std::int64_t wheel_size,
                                              const Rational& lambda);
 
+/// The best-case relaxation graph behind ideal_throughput_bound (and the
+/// SDF301 feasibility lint rule): the application's SDFG with every actor at
+/// its minimum execution time over the processor types that support it, plus
+/// a one-token self-loop limiting auto-concurrency to one firing per actor.
+/// Its self-timed throughput is a true upper bound on the constrained
+/// throughput of every allocation. Returns nullopt when some actor supports
+/// no processor type at all (no allocation exists either way).
+[[nodiscard]] std::optional<Graph> best_case_relaxation(const ApplicationGraph& app);
+
 /// Root relaxation: the self-timed throughput of the application with every
 /// actor at its best-case execution time (min over supported processor
 /// types) and auto-concurrency limited to one firing per actor. Any real

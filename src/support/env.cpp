@@ -59,6 +59,21 @@ ParsedEnvDir parse_env_cache_dir(const char* value, const std::string& fallback)
                                                  : fallback)};
 }
 
+ParsedEnvLintBudget parse_env_lint_budget(const char* value, std::int64_t fallback) {
+  if (!value || *value == '\0') return {fallback, ""};
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  const bool numeric = end != value && *end == '\0' && errno == 0;
+  if (numeric && parsed >= 0 && parsed <= kMaxEnvLintBudgetMs) {
+    return {static_cast<std::int64_t>(parsed), ""};
+  }
+  return {fallback,
+          invalid_value_message("SDFMAP_LINT_BUDGET_MS", value,
+                                "a millisecond count in [0, 86400000]",
+                                std::to_string(fallback))};
+}
+
 void warn_env_once(const std::string& diagnostic) {
   if (diagnostic.empty()) return;
   static std::mutex mutex;

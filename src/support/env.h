@@ -49,6 +49,22 @@ struct ParsedEnvDir {
 };
 [[nodiscard]] ParsedEnvDir parse_env_cache_dir(const char* value, const std::string& fallback);
 
+/// SDFMAP_LINT_BUDGET_MS: the wall-clock budget of the deep (analysis-backed)
+/// lint feasibility rules, in milliseconds, up to kMaxEnvLintBudgetMs. 0 is an
+/// already-expired budget: every deep rule degrades to its advisory form
+/// deterministically. Unset/empty uses the fallback silently (the callers
+/// pass -1 = unlimited); anything non-numeric, with trailing characters,
+/// negative, or above the bound uses the fallback with a diagnostic. A
+/// --lint-budget-ms CLI flag overrides this.
+inline constexpr long kMaxEnvLintBudgetMs = 86400000;  // one day
+
+struct ParsedEnvLintBudget {
+  std::int64_t budget_ms;
+  std::string diagnostic;
+};
+[[nodiscard]] ParsedEnvLintBudget parse_env_lint_budget(const char* value,
+                                                        std::int64_t fallback);
+
 /// Prints `diagnostic` to stderr, at most once per distinct message per
 /// process (a sweep that re-reads SDFMAP_JOBS per run must not spam one
 /// warning per iteration). Empty messages are ignored. Thread-safe.

@@ -1,0 +1,239 @@
+// Soundness oracle for the SDF3xx feasibility pack (docs/LINT.md): a lint
+// feasibility *error* claims the instance is provably unmappable, so it may
+// only ever appear on instances the exact branch-and-bound backend also
+// proves infeasible. The test drives both sides over the bench_exact_gap
+// instance corpus (bench/gap_corpus.h) plus hand-built infeasible variants:
+//
+//   * no SDF3xx error on any instance the exact solver can map;
+//   * every hand-built variant is exact-proven infeasible AND flagged by the
+//     expected rule, with at least four distinct SDF3xx codes firing overall;
+//   * on at least one proven instance the lint verdict is >= 10x faster than
+//     the solver's proof (the point of linting first). Timings on stderr.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/gap_corpus.h"
+#include "src/lint/lint.h"
+#include "src/sdf/graph.h"
+#include "src/solver/exact.h"
+
+namespace sdfmap {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// SDF3xx diagnostics of error severity — the sound "provably unmappable"
+/// claims. Degraded advisories (pinned kInfo) and other packs don't count.
+std::vector<const Diagnostic*> feasibility_errors(const LintResult& result) {
+  std::vector<const Diagnostic*> errors;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity == Severity::kError && d.code.rfind("SDF3", 0) == 0) {
+      errors.push_back(&d);
+    }
+  }
+  return errors;
+}
+
+struct Measured {
+  std::string name;
+  std::vector<std::string> lint_codes;  ///< SDF3xx error codes
+  bool exact_found = false;
+  bool proven_infeasible = false;
+  bool proven = false;  ///< solver settled the instance (optimal or infeasible)
+  double lint_seconds = 0;
+  double exact_seconds = 0;
+};
+
+Measured measure(const std::string& name, const ApplicationGraph& app,
+                 const Architecture& arch, std::uint64_t node_cap = 0) {
+  Measured m;
+  m.name = name;
+
+  LintInput input;
+  input.app = &app;
+  input.platform = &arch;
+  const auto lint_start = Clock::now();
+  const LintResult lint = run_lint(input);
+  m.lint_seconds = seconds_since(lint_start);
+  for (const Diagnostic* d : feasibility_errors(lint)) m.lint_codes.push_back(d->code);
+
+  ExactSolverOptions options;
+  options.max_nodes_per_subtree = node_cap;
+  const auto exact_start = Clock::now();
+  const ExactSolverResult exact = solve_exact(app, arch, options);
+  m.exact_seconds = exact.seconds > 0 ? exact.seconds : seconds_since(exact_start);
+  m.exact_found = exact.found;
+  m.proven_infeasible = exact.proven_infeasible;
+  m.proven = exact.proven_optimal || exact.proven_infeasible;
+
+  std::cerr << "[oracle] " << m.name << ": lint " << m.lint_seconds * 1e3
+            << " ms (" << m.lint_codes.size() << " feasibility errors), exact "
+            << m.exact_seconds * 1e3 << " ms ("
+            << (m.proven_infeasible ? "proven-infeasible"
+                                    : (m.exact_found ? "mapped" : "unsettled"))
+            << ")\n";
+  return m;
+}
+
+/// One actor the platform cannot host: supported by a processor type the
+/// platform does not instantiate (SDF305).
+ApplicationGraph make_unhostable_app() {
+  Graph g;
+  const ActorId a1 = g.add_actor("a1");
+  const ActorId a2 = g.add_actor("a2");
+  g.add_channel(a1, a2, 1, 1, 0);
+  g.add_channel(a2, a1, 1, 1, 1);
+  ApplicationGraph app("unhostable", std::move(g), 2);
+  app.set_requirement(a1, ProcTypeId{0}, {1, 1});
+  app.set_requirement(a2, ProcTypeId{1}, {1, 1});  // no tile of type 1 exists
+  app.set_throughput_constraint(Rational(1, 100));
+  return app;
+}
+
+/// Two actors pinned to different processor types on a platform whose two
+/// tiles are unconnected: their channel can be carried nowhere (SDF306).
+Architecture make_disconnected_platform() {
+  Architecture arch;
+  const ProcTypeId p0 = arch.add_proc_type("proc_a");
+  const ProcTypeId p1 = arch.add_proc_type("proc_b");
+  Tile t;
+  t.wheel_size = 100;
+  t.memory = 1000;
+  t.max_connections = 0;
+  t.bandwidth_in = 100;
+  t.bandwidth_out = 100;
+  t.name = "t1";
+  t.proc_type = p0;
+  arch.add_tile(t);
+  t.name = "t2";
+  t.proc_type = p1;
+  arch.add_tile(t);
+  return arch;
+}
+
+ApplicationGraph make_split_app() {
+  Graph g;
+  const ActorId a1 = g.add_actor("a1");
+  const ActorId a2 = g.add_actor("a2");
+  g.add_channel(a1, a2, 1, 1, 0);
+  g.add_channel(a2, a1, 1, 1, 1);
+  ApplicationGraph app("split", std::move(g), 2);
+  app.set_requirement(a1, ProcTypeId{0}, {1, 1});
+  app.set_requirement(a2, ProcTypeId{1}, {1, 1});
+  app.set_edge_requirement(ChannelId{0}, {8, 1, 1, 1, 1});
+  app.set_edge_requirement(ChannelId{1}, {8, 1, 1, 1, 1});
+  app.set_throughput_constraint(Rational(1, 100));
+  return app;
+}
+
+TEST(FeasibilityOracleTest, LintErrorsOnlyOnExactProvenInfeasibleInstances) {
+  std::vector<Measured> measured;
+  for (const gapcorpus::Instance& instance : gapcorpus::make_instances(/*quick=*/true)) {
+    measured.push_back(
+        measure(instance.name, instance.app, instance.arch, instance.node_cap));
+  }
+  ASSERT_GE(measured.size(), 12u);
+
+  // Hand-built infeasible variants, one per class of proof.
+  {
+    // Constraint above the structural bound: paper example at lambda = 1.
+    ApplicationGraph app = make_paper_example_application();
+    app.set_throughput_constraint(Rational(1, 1));
+    measured.push_back(measure("lambda_one", app, make_example_platform()));
+  }
+  {
+    // Platform memory far below the aggregate state: every tile shrunk.
+    Architecture arch = make_example_platform();
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) arch.tile(TileId{t}).memory = 4;
+    measured.push_back(
+        measure("tiny_memory", make_paper_example_application(), arch));
+  }
+  {
+    // Fully occupied wheels leave no time for any actor's minimum slice.
+    Architecture arch = make_example_platform();
+    for (std::uint32_t t = 0; t < arch.num_tiles(); ++t) {
+      Tile& tile = arch.tile(TileId{t});
+      tile.occupied_wheel = tile.wheel_size;
+    }
+    measured.push_back(
+        measure("occupied_wheel", make_paper_example_application(), arch));
+  }
+  {
+    // A platform that only instantiates proc_a: a2's sole supported type has
+    // no tile anywhere.
+    MeshOptions mesh;
+    mesh.rows = 1;
+    mesh.cols = 2;
+    mesh.proc_types = {"proc_a"};
+    mesh.wheel_size = 60;
+    measured.push_back(
+        measure("unhostable_actor", make_unhostable_app(), make_mesh(mesh)));
+  }
+  measured.push_back(
+      measure("unroutable_channel", make_split_app(), make_disconnected_platform()));
+
+  // Soundness: a feasibility error implies the exact backend proves the
+  // instance infeasible — in particular, never an error on a mapped instance.
+  std::set<std::string> codes_on_infeasible;
+  for (const Measured& m : measured) {
+    if (!m.proven_infeasible) {
+      EXPECT_TRUE(m.lint_codes.empty())
+          << m.name << ": lint claimed infeasibility (" << m.lint_codes.front()
+          << ") but the exact solver did not prove it";
+    } else {
+      codes_on_infeasible.insert(m.lint_codes.begin(), m.lint_codes.end());
+    }
+  }
+
+  // Every hand-built variant is exact-proven infeasible and lint-flagged by
+  // the class of rule it was built to trigger.
+  const auto find = [&](const std::string& name) -> const Measured& {
+    for (const Measured& m : measured) {
+      if (m.name == name) return m;
+    }
+    ADD_FAILURE() << "missing instance " << name;
+    return measured.front();
+  };
+  const auto expect_flags = [&](const std::string& name, const std::string& code) {
+    const Measured& m = find(name);
+    EXPECT_TRUE(m.proven_infeasible) << name << " not proven infeasible by the solver";
+    EXPECT_NE(std::find(m.lint_codes.begin(), m.lint_codes.end(), code),
+              m.lint_codes.end())
+        << name << " did not raise " << code;
+  };
+  expect_flags("lambda_one", "SDF301");
+  expect_flags("tiny_memory", "SDF304");
+  expect_flags("occupied_wheel", "SDF303");
+  expect_flags("unhostable_actor", "SDF305");
+  expect_flags("unroutable_channel", "SDF306");
+  EXPECT_GE(codes_on_infeasible.size(), 4u)
+      << "fewer than four distinct SDF3xx codes fired on the infeasible set";
+
+  // The lint verdict must beat the solver's proof by >= 10x somewhere —
+  // otherwise the gate buys nothing. Any proven instance qualifies.
+  bool much_faster = false;
+  for (const Measured& m : measured) {
+    if (m.proven && m.lint_seconds > 0 &&
+        m.exact_seconds >= 10.0 * m.lint_seconds) {
+      std::cerr << "[oracle] " << m.name << ": lint " << m.lint_seconds * 1e3
+                << " ms vs exact proof " << m.exact_seconds * 1e3 << " ms ("
+                << m.exact_seconds / m.lint_seconds << "x)\n";
+      much_faster = true;
+    }
+  }
+  EXPECT_TRUE(much_faster)
+      << "lint was never >= 10x faster than an exact proof on this corpus";
+}
+
+}  // namespace
+}  // namespace sdfmap

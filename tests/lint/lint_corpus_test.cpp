@@ -117,5 +117,31 @@ TEST_F(LintCorpusTest, SeverityFilterAppliesToGoldenInputs) {
   EXPECT_FALSE(lint_file("deadlock.sdf", errors_only).clean());
 }
 
+TEST_F(LintCorpusTest, LintPairRunsTheCombinedFeasibilityPass) {
+  // Linting the app alone can prove the structural bound (SDF301) but not
+  // the platform-dependent infeasibilities; the combined pass sees the whole
+  // (graph, platform, constraint) tuple.
+  const LintResult alone = lint_file("hungry_app.sdfapp");
+  EXPECT_TRUE(alone.has_code("SDF301"));
+  EXPECT_FALSE(alone.has_code("SDF302"));
+  EXPECT_FALSE(alone.has_code("SDF303"));
+
+  const LintResult pair = lint_pair("hungry_app.sdfapp", "tiny_platform.sdfarch");
+  EXPECT_TRUE(pair.has_code("SDF301"));
+  EXPECT_TRUE(pair.has_code("SDF302"));
+  EXPECT_TRUE(pair.has_code("SDF303"));
+}
+
+TEST_F(LintCorpusTest, LintPairSurvivesAParseErrorInEitherHalf) {
+  // A parse failure in one half becomes SDF000; the other half still lints,
+  // so one invocation reports everything it can.
+  const LintResult broken_app = lint_pair("bad_continuation.sdfapp", "dup_tile.sdfarch");
+  EXPECT_TRUE(broken_app.has_code("SDF000"));
+  EXPECT_TRUE(broken_app.has_code("SDF103"));  // the platform's own finding
+
+  const LintResult clean_pair = lint_pair("example_app.sdfapp", "example_platform.sdfarch");
+  EXPECT_TRUE(clean_pair.clean());
+}
+
 }  // namespace
 }  // namespace sdfmap

@@ -1,0 +1,148 @@
+// The parser mutation corpus, driven through the FULL lint driver instead of
+// the raw readers: every systematically damaged variant of the round-tripped
+// fixtures runs all four rule packs (graph, platform, mapping, feasibility)
+// through lint_text — under an unlimited budget, an already-expired budget
+// and a shared throughput cache. The contract:
+//
+//   * lint never throws on malformed input (parse failures are SDF000
+//     diagnostics, engine limits degrade deep rules — docs/LINT.md);
+//   * the output is deterministic: identical bytes across repeated runs;
+//   * the shared cache is never poisoned: linting a clean fixture after the
+//     whole hostile sweep matches a fresh-cache run byte for byte.
+//
+// CI runs this test in the address/UB-sanitized job like every other tier-1
+// test, which is where the no-crash claim gets its teeth.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/appmodel/paper_example.h"
+#include "src/io/app_format.h"
+#include "src/io/text_format.h"
+#include "src/lint/diagnostic.h"
+#include "src/lint/driver.h"
+#include "src/platform/mesh.h"
+
+namespace sdfmap {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Same systematic per-line damage as the parser robustness corpus
+/// (tests/io/parser_robustness_test.cpp): byte substitutions, truncation,
+/// deletion, duplication, and cutting the file off at each line.
+std::vector<std::string> mutation_corpus(const std::string& text) {
+  const std::vector<std::string> lines = split_lines(text);
+  std::vector<std::string> corpus;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::vector<std::string> work = lines;
+    if (!lines[i].empty()) {
+      for (const std::size_t at :
+           {std::size_t{0}, lines[i].size() / 2, lines[i].size() - 1}) {
+        work[i] = lines[i];
+        work[i][at] = '~';
+        corpus.push_back(join_lines(work));
+      }
+      work[i] = lines[i].substr(0, lines[i].size() / 2);
+      corpus.push_back(join_lines(work));
+    }
+    work = lines;
+    work.erase(work.begin() + static_cast<std::ptrdiff_t>(i));
+    corpus.push_back(join_lines(work));
+    work = lines;
+    work.insert(work.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+    corpus.push_back(join_lines(work));
+    corpus.push_back(join_lines(std::vector<std::string>(
+        lines.begin(), lines.begin() + static_cast<std::ptrdiff_t>(i))));
+  }
+  return corpus;
+}
+
+struct Fixture {
+  std::string path_hint;
+  std::string text;
+};
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> out;
+  {
+    std::ostringstream os;
+    write_graph(os, make_paper_example_application().sdf());
+    out.push_back({"mutant.sdf", os.str()});
+  }
+  {
+    std::ostringstream os;
+    write_application(os, make_paper_example_application());
+    out.push_back({"mutant.sdfapp", os.str()});
+  }
+  {
+    std::ostringstream os;
+    write_architecture(os, make_example_platform());
+    out.push_back({"mutant.sdfarch", os.str()});
+  }
+  return out;
+}
+
+std::string lint_or_die(const Fixture& fixture, const std::string& variant,
+                        std::int64_t budget_ms, ThroughputCache* cache) {
+  LintOptions options;
+  options.deep_budget = lint_budget_from_ms(budget_ms);
+  options.cache = cache;
+  const LintResult result = lint_text(fixture.path_hint, variant, options);
+  return render_diagnostics_text(result.diagnostics);
+}
+
+TEST(LintMutationCorpus, FullDriverNeverThrowsAndStaysDeterministic) {
+  ThroughputCache shared;
+  int variants = 0;
+  int sdf000 = 0;
+  for (const Fixture& fixture : fixtures()) {
+    for (const std::string& variant : mutation_corpus(fixture.text)) {
+      ++variants;
+      for (const std::int64_t budget_ms : {std::int64_t{-1}, std::int64_t{0}}) {
+        // Any exception escaping lint_text fails the test (and under the
+        // sanitized CI job, any memory error aborts the binary).
+        const std::string first = lint_or_die(fixture, variant, budget_ms, &shared);
+        const std::string second = lint_or_die(fixture, variant, budget_ms, &shared);
+        ASSERT_EQ(first, second)
+            << fixture.path_hint << " (budget " << budget_ms
+            << " ms) was not deterministic across repeated runs";
+        if (budget_ms < 0 && first.find("SDF000") != std::string::npos) ++sdf000;
+      }
+    }
+  }
+  // Sanity: the sweep was hostile enough to hit the parse-failure path a lot.
+  EXPECT_GT(variants, 100);
+  EXPECT_GT(sdf000, 10);
+
+  // Cache poisoning check: after the hostile sweep, a clean lint through the
+  // battered shared cache must equal a fresh-cache run byte for byte.
+  for (const Fixture& fixture : fixtures()) {
+    ThroughputCache fresh;
+    EXPECT_EQ(lint_or_die(fixture, fixture.text, -1, &shared),
+              lint_or_die(fixture, fixture.text, -1, &fresh))
+        << fixture.path_hint << ": shared cache state changed the verdict";
+  }
+}
+
+}  // namespace
+}  // namespace sdfmap

@@ -95,6 +95,37 @@ TEST(SarifTest, LogHasToolRulesAndResults) {
   EXPECT_NE(log.find("dir\\\\graph.sdf"), std::string::npos);
 }
 
+TEST(SarifTest, RuleMetadataCarriesFullDescriptionAndHelpUri) {
+  std::ostringstream os;
+  write_sarif(os, {});
+  const std::string log = os.str();
+  // Every rule links into the docs/LINT.md catalog via its GitHub heading
+  // anchor, and carries a fullDescription (Rule::detail, falling back to the
+  // one-line summary for the structural rules).
+  EXPECT_NE(log.find("\"helpUri\": \"docs/LINT.md#sdf001-graph-inconsistent\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"helpUri\": \"docs/LINT.md#sdf301-feasibility-constraint-above-bound\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"helpUri\": \"docs/LINT.md#sdf307-feasibility-mapping-misses-constraint\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"fullDescription\""), std::string::npos);
+  // The deep feasibility rules document their soundness contract inline.
+  EXPECT_NE(log.find("true throughput upper bound"), std::string::npos);
+  // One fullDescription per rule in the catalog.
+  std::size_t full = 0;
+  for (std::size_t pos = log.find("\"fullDescription\""); pos != std::string::npos;
+       pos = log.find("\"fullDescription\"", pos + 1)) {
+    ++full;
+  }
+  std::size_t ids = 0;
+  for (std::size_t pos = log.find("\"id\": \"SDF"); pos != std::string::npos;
+       pos = log.find("\"id\": \"SDF", pos + 1)) {
+    ++ids;
+  }
+  EXPECT_EQ(full, ids);
+  EXPECT_GE(ids, 25u);
+}
+
 TEST(SarifTest, EmissionIsDeterministic) {
   std::ostringstream a;
   std::ostringstream b;

@@ -38,14 +38,17 @@ TEST_F(StrategyTest, UsageIncludesSlices) {
   }
 }
 
-TEST_F(StrategyTest, FailureInBindingStageReported) {
+TEST_F(StrategyTest, UnmappableActorRejectedByLintGate) {
+  // An actor with no supported processor type is provably unmappable; the
+  // SDF305 feasibility rule rejects it at the gate before any engine runs.
   ApplicationGraph app("impossible", app_.sdf(), 2);
   app.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
   app.set_requirement(ActorId{2}, ProcTypeId{1}, {2, 10});
   const StrategyResult r = allocate_resources(app, arch_, {});
   EXPECT_FALSE(r.success);
-  EXPECT_EQ(r.stage, "binding");
-  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_EQ(r.stage, "lint");
+  EXPECT_EQ(r.failure_kind, FailureKind::kLintRejected);
+  EXPECT_NE(r.failure_reason.find("SDF305"), std::string::npos) << r.failure_reason;
 }
 
 TEST_F(StrategyTest, FailureInSliceStageReported) {

@@ -220,6 +220,24 @@ TEST(ProtocolTest, ThroughputAndLintAndResponsesRoundtrip) {
   ASSERT_TRUE(lint.has_value());
   EXPECT_EQ(lint->path_hint, "a.sdf");
   EXPECT_EQ(lint->text, "doc");
+  EXPECT_EQ(lint->budget_ms, -1);  // tag omitted on the wire -> unlimited
+
+  // A non-negative budget rides the optional tag; the encodings differ so an
+  // old server genuinely sees nothing when no budget was requested.
+  const auto budgeted =
+      decode_lint_request(encode_lint_request(LintRequest{"a.sdf", "doc", 250}));
+  ASSERT_TRUE(budgeted.has_value());
+  EXPECT_EQ(budgeted->budget_ms, 250);
+  EXPECT_NE(encode_lint_request(LintRequest{"a.sdf", "doc", 0}),
+            encode_lint_request(LintRequest{"a.sdf", "doc", -1}));
+  EXPECT_EQ(encode_lint_request(LintRequest{"a.sdf", "doc", -1}),
+            encode_lint_request(LintRequest{"a.sdf", "doc", -7}));
+
+  // An explicit negative budget on the wire is malformed, not "unlimited":
+  // the budget TLV is the last field, so corrupt its 8 value bytes to -1.
+  std::string wire = encode_lint_request(LintRequest{"a.sdf", "doc", 1});
+  wire.replace(wire.size() - 8, 8, std::string(8, '\xff'));
+  EXPECT_FALSE(decode_lint_request(wire).has_value());
 
   const auto result =
       decode_result_response(encode_result_response(ResultResponse{"report\n", 7}));

@@ -7,10 +7,12 @@
 // poison the shared throughput cache (docs/SERVICE.md).
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <regex>
 #include <sstream>
 #include <string>
@@ -23,6 +25,7 @@
 #include "src/io/app_format.h"
 #include "src/io/report.h"
 #include "src/io/text_format.h"
+#include "src/lint/driver.h"
 #include "src/mapping/strategy.h"
 #include "src/platform/mesh.h"
 #include "src/runtime/task_pool.h"
@@ -211,6 +214,84 @@ TEST(ServerTest, LintRequestsServeTextAndUnsupportedExtensionIsTyped) {
   EXPECT_FALSE(unsupported.ok);
   EXPECT_EQ(unsupported.error.code, ServiceErrorCode::kUnsupported);
   EXPECT_EQ(unsupported.exit_code(), kCliUsageError);
+}
+
+TEST(ServerTest, LintIsByteIdenticalToTheCliSurfaceAtEveryJobsLevel) {
+  // An application whose constraint exceeds the structural MCR bound: the
+  // deep SDF301 feasibility rule fires as an error with an unlimited budget
+  // and degrades to the pinned advisory under --lint-budget-ms=0 — the two
+  // shapes whose parity with `analyze_cli lint` matters most.
+  const std::string app_name = "hungry.sdfapp";
+  const std::string app_text =
+      "application hungry 1\n"
+      "actor a1\n"
+      "actor a2\n"
+      "channel d1 a1 a2 1 1 0\n"
+      "channel d2 a2 a1 1 1 1\n"
+      "requirement a1 0 15 10\n"
+      "requirement a2 0 15 10\n"
+      "edge d1 1 1 1 1 0\n"
+      "edge d2 1 1 1 1 0\n"
+      "constraint 1/10\n";
+
+  // Materialize the document the way the CLI sees it: a bare file name in
+  // the working directory, exactly like the lint corpus harness.
+  const std::string dir = ::testing::TempDir() + "sdfmapd_lint_parity";
+  ::mkdir(dir.c_str(), 0755);
+  {
+    std::ofstream os(dir + "/" + app_name);
+    os << app_text;
+  }
+  char previous_dir[4096];
+  ASSERT_NE(::getcwd(previous_dir, sizeof previous_dir), nullptr);
+
+  const std::string path = temp_socket_path("lint_parity");
+  Server server(quiet_options(path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const unsigned restore = TaskPool::global_jobs();
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    TaskPool::set_global_jobs(jobs);
+    for (const std::int64_t budget_ms : {std::int64_t{-1}, std::int64_t{0}}) {
+      // CLI surface: run_lint_subcommand's exact pipeline — lint_file from
+      // the document's directory, then the shared text rendering.
+      ASSERT_EQ(::chdir(dir.c_str()), 0);
+      LintOptions options;
+      options.deep_budget = lint_budget_from_ms(budget_ms);
+      const LintResult direct = lint_file(app_name, options);
+      ASSERT_EQ(::chdir(previous_dir), 0);
+      std::ostringstream expected;
+      expected << render_diagnostics_text(direct.diagnostics)
+               << count_severity(direct.diagnostics, Severity::kError) << " error(s), "
+               << count_severity(direct.diagnostics, Severity::kWarning)
+               << " warning(s), " << count_severity(direct.diagnostics, Severity::kInfo)
+               << " info(s)\n";
+
+      LintRequest request;
+      request.path_hint = app_name;
+      request.text = app_text;
+      request.budget_ms = budget_ms;
+      ServiceClient client(fast_client(path));
+      const ServiceOutcome outcome = client.lint(request);
+      ASSERT_TRUE(outcome.ok) << outcome.error.detail;
+      EXPECT_EQ(outcome.result.text, expected.str())
+          << "jobs=" << jobs << " budget_ms=" << budget_ms;
+      EXPECT_EQ(outcome.result.exit_code, cli_exit_code(direct));
+
+      if (budget_ms < 0) {
+        EXPECT_NE(outcome.result.text.find("SDF301"), std::string::npos);
+        EXPECT_EQ(outcome.result.exit_code, kCliLintError);
+      } else {
+        // Budget 0: the deep rule degraded to its advisory, never an error.
+        EXPECT_NE(outcome.result.text.find("gave up (deadline-exceeded)"),
+                  std::string::npos);
+        EXPECT_EQ(outcome.result.exit_code, kCliLintWarnings);
+      }
+    }
+  }
+  TaskPool::set_global_jobs(restore);
+  EXPECT_EQ(server.stop(), Server::DrainResult::kClean);
 }
 
 TEST(ServerTest, MalformedFrameCorpusNeverCrashesOrPoisonsTheCache) {

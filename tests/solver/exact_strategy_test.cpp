@@ -192,9 +192,10 @@ TEST_F(ExactStrategyTest, LintGateAppliesToExactBackend) {
   EXPECT_EQ(r.solver_nodes, 0u);
 }
 
-TEST_F(ExactStrategyTest, UnmappableActorProvenInfeasible) {
-  // Lint lets an unsupported actor through (the heuristic fails it in stage
-  // "binding"); the solver settles the same verdict as proven infeasibility.
+TEST_F(ExactStrategyTest, UnmappableActorRejectedBeforeTheSolver) {
+  // The SDF305 feasibility rule proves an unsupported actor unmappable at the
+  // lint gate, so even the exact backend never dispatches: same verdict as
+  // the solver's own proof, at lint cost (the gate applies to every backend).
   ApplicationGraph broken("broken", app_.sdf(), 2);
   broken.set_requirement(ActorId{0}, ProcTypeId{0}, {1, 10});
   broken.set_requirement(ActorId{1}, ProcTypeId{0}, {1, 7});
@@ -202,10 +203,10 @@ TEST_F(ExactStrategyTest, UnmappableActorProvenInfeasible) {
   options.backend = StrategyBackend::kExact;
   const StrategyResult r = allocate_resources(broken, arch_, options);
   EXPECT_FALSE(r.success);
-  EXPECT_EQ(r.stage, "solver");
-  EXPECT_EQ(r.failure_kind, FailureKind::kSliceAllocationFailed);
-  EXPECT_TRUE(r.proven_optimal);
-  EXPECT_NE(r.failure_reason.find("supported by no tile"), std::string::npos);
+  EXPECT_EQ(r.stage, "lint");
+  EXPECT_EQ(r.failure_kind, FailureKind::kLintRejected);
+  EXPECT_EQ(r.solver_nodes, 0u);
+  EXPECT_NE(r.failure_reason.find("SDF305"), std::string::npos) << r.failure_reason;
 }
 
 TEST_F(ExactStrategyTest, StrategyResultDeterministicAcrossJobs) {

@@ -112,6 +112,40 @@ TEST(EnvCacheDirTest, WhitespaceOnlyRejectedWithPinnedDiagnostic) {
             " (expected a non-blank directory path); using /var/cache");
 }
 
+TEST(EnvLintBudgetTest, UnsetAndEmptyUseFallbackSilently) {
+  // Callers pass -1 ("no budget") as the fallback; unset must preserve it.
+  EXPECT_EQ(parse_env_lint_budget(nullptr, -1).budget_ms, -1);
+  EXPECT_EQ(parse_env_lint_budget(nullptr, -1).diagnostic, "");
+  EXPECT_EQ(parse_env_lint_budget("", 250).budget_ms, 250);
+  EXPECT_EQ(parse_env_lint_budget("", 250).diagnostic, "");
+}
+
+TEST(EnvLintBudgetTest, ValidValuesParseIncludingZero) {
+  // 0 is a real value (deterministic degradation of every deep rule), not
+  // an error and not "unlimited".
+  EXPECT_EQ(parse_env_lint_budget("0", -1).budget_ms, 0);
+  EXPECT_EQ(parse_env_lint_budget("0", -1).diagnostic, "");
+  EXPECT_EQ(parse_env_lint_budget("250", -1).budget_ms, 250);
+  EXPECT_EQ(parse_env_lint_budget("86400000", -1).budget_ms, 86400000);
+}
+
+TEST(EnvLintBudgetTest, GarbageAndOutOfRangeUseFallbackWithPinnedDiagnostic) {
+  const ParsedEnvLintBudget garbage = parse_env_lint_budget("fast", -1);
+  EXPECT_EQ(garbage.budget_ms, -1);
+  EXPECT_EQ(garbage.diagnostic,
+            "sdfmap: warning: ignoring invalid SDFMAP_LINT_BUDGET_MS value \"fast\""
+            " (expected a millisecond count in [0, 86400000]); using -1");
+
+  EXPECT_EQ(parse_env_lint_budget("-5", -1).budget_ms, -1);
+  EXPECT_NE(parse_env_lint_budget("-5", -1).diagnostic, "");
+  EXPECT_EQ(parse_env_lint_budget("86400001", -1).budget_ms, -1);
+  EXPECT_NE(parse_env_lint_budget("86400001", -1).diagnostic, "");
+  EXPECT_EQ(parse_env_lint_budget("250ms", -1).budget_ms, -1);
+  EXPECT_NE(parse_env_lint_budget("250ms", -1).diagnostic, "");
+  EXPECT_EQ(parse_env_lint_budget("99999999999999999999", -1).budget_ms, -1);
+  EXPECT_NE(parse_env_lint_budget("99999999999999999999", -1).diagnostic, "");
+}
+
 TEST(WarnEnvOnceTest, EachDistinctMessagePrintedAtMostOnce) {
   // warn_env_once keeps process-lifetime state, so use messages unique to
   // this test to avoid interference between test orderings.
