@@ -1,0 +1,281 @@
+#include "src/analysis/engine_parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/runtime/task_pool.h"
+
+namespace sdfmap {
+
+void EngineParallelStats::merge(const EngineParallelStats& other) {
+  parallel_executions += other.parallel_executions;
+  serial_executions += other.serial_executions;
+  phases += other.phases;
+  chunks += other.chunks;
+  helper_chunks += other.helper_chunks;
+  detection_batches += other.detection_batches;
+  speculative_hits += other.speculative_hits;
+  overshoot_samples += other.overshoot_samples;
+  shards = std::max(shards, other.shards);
+}
+
+std::string EngineParallelStats::summary() const {
+  std::ostringstream out;
+  out << parallel_executions << " parallel (" << serial_executions << " serial)";
+  if (parallel_executions > 0) {
+    out << ", " << phases << " phases, " << chunks << " chunks";
+    if (chunks > 0) {
+      out << " (" << (100 * helper_chunks) / chunks << "% helped)";
+    }
+    out << ", " << detection_batches << " batches (" << speculative_hits << " hits, "
+        << overshoot_samples << " overshoot)";
+    if (shards > 0) out << ", " << shards << " shards";
+  }
+  return out.str();
+}
+
+std::vector<std::int64_t> reconstruct_max_tokens(const std::vector<std::int64_t>& baseline,
+                                                 const std::vector<MaxTokenEntry>& journal,
+                                                 std::uint64_t len) {
+  std::vector<std::int64_t> out = baseline;
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const MaxTokenEntry& e = journal[i];
+    out[e.channel] = std::max(out[e.channel], e.value);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStateSet
+
+void ShardedStateSet::Shard::rehash(std::size_t min_buckets) {
+  std::size_t n = buckets.empty() ? 8 : buckets.size();
+  while (n < min_buckets) n *= 2;
+  std::vector<std::vector<Entry>> next(n);
+  for (auto& bucket : buckets) {
+    for (auto& e : bucket) {
+      next[e.fp & (n - 1)].push_back(std::move(e));
+    }
+  }
+  buckets.swap(next);
+}
+
+ShardedStateSet::ShardedStateSet() {
+  for (auto& shard : shards_) shard.rehash(8);
+}
+
+const ShardedStateSet::Snapshot* ShardedStateSet::lookup_or_insert(std::uint64_t fp,
+                                                                   PendingSample& sample) {
+  Shard& shard = shards_[shard_of(fp)];
+  if (shard.entries + 1 > shard.buckets.size()) {
+    shard.rehash(shard.buckets.size() * 2);
+  }
+  auto& bucket = shard.buckets[fp & (shard.buckets.size() - 1)];
+  for (const Entry& e : bucket) {
+    if (e.fp == fp && e.key == sample.key) return &e.snapshot;
+  }
+  bucket.push_back(Entry{fp, std::move(sample.key),
+                         Snapshot{sample.time, sample.journal_len, std::move(sample.fires),
+                                  std::move(sample.starts)}});
+  shard.entries += 1;
+  return nullptr;
+}
+
+std::optional<ShardedStateSet::Hit> ShardedStateSet::flush(std::vector<PendingSample>& pending,
+                                                           EngineTeam& team) {
+  const std::size_t n = pending.size();
+  if (n == 0) return std::nullopt;
+
+  // Phase HASH: fingerprint every pending key in parallel.
+  fps_.resize(n);
+  team.for_chunks(n, team.chunk_size(n), [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) fps_[i] = fingerprint(pending[i].key);
+  });
+
+  // Phase SHARD: each group owns shard indices congruent to it and walks the
+  // whole batch in sample order, touching only its shards. A group breaks at
+  // its first hit: later samples of those shards cannot win (the global
+  // winner is the minimum index), and not inserting them keeps the resident
+  // snapshot pointer stable.
+  const std::size_t groups = std::max<std::size_t>(1, team.width());
+  group_hit_.assign(groups, n);
+  group_prev_.assign(groups, nullptr);
+  team.for_chunks(groups, 1, [&](std::size_t, std::size_t, std::size_t g) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shard_of(fps_[i]) % groups != g) continue;
+      const Snapshot* resident = lookup_or_insert(fps_[i], pending[i]);
+      if (resident != nullptr) {
+        group_hit_[g] = i;
+        group_prev_[g] = resident;
+        break;
+      }
+    }
+  });
+
+  std::size_t best = n;
+  const Snapshot* prev = nullptr;
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (group_hit_[g] < best) {
+      best = group_hit_[g];
+      prev = group_prev_[g];
+    }
+  }
+  if (best == n) return std::nullopt;
+  return Hit{best, prev};
+}
+
+std::size_t ShardedStateSet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.entries;
+  return total;
+}
+
+void ShardedStateSet::reserve(std::size_t expected) {
+  const std::size_t per_shard = expected / kShards + 1;
+  for (auto& shard : shards_) shard.rehash(per_shard);
+}
+
+// ---------------------------------------------------------------------------
+// EngineTeam
+
+/// One parallel phase. Everything a worker reads (invoke, ctx, items, chunk,
+/// chunks) is written before the descriptor is published and never mutated;
+/// only the atomics move.
+struct EngineTeam::PhaseDesc {
+  InvokeFn invoke = nullptr;
+  void* ctx = nullptr;
+  std::size_t items = 0;
+  std::size_t chunk = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::atomic<long> helper_chunks{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;          // from the lowest-index failing chunk
+  std::size_t error_chunk = 0;
+};
+
+/// State shared between the coordinator and the pool helpers. The coordinator
+/// publishes phases here; helpers poll for the current one. Held by
+/// shared_ptr so helpers that outlive the EngineTeam (pool scheduling is
+/// asynchronous) keep the state alive until they observe shutdown.
+struct EngineTeam::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<PhaseDesc> current;  // null when no phase is open
+  std::uint64_t phase_seq = 0;         // bumped on every publication
+  CancellationToken shutdown = CancellationToken::make();
+};
+
+EngineTeam::EngineTeam(unsigned width, TaskPool& pool) : width_(width) {
+  if (width_ <= 1) return;
+  const unsigned helpers = std::min(width_ - 1, pool.workers());
+  if (helpers == 0) {
+    // Pool runs inline (--jobs 1): the coordinator does all chunks itself.
+    // Keep width_ > 1 so phases still run through the claim protocol — the
+    // chunk decomposition (and thus any per-chunk merge order) must not
+    // depend on how many helpers showed up.
+    return;
+  }
+  shared_ = std::make_shared<Shared>();
+  for (unsigned h = 0; h < helpers; ++h) {
+    pool.submit([shared = shared_] { helper_loop(shared); });
+  }
+}
+
+EngineTeam::~EngineTeam() {
+  if (!shared_) return;
+  {
+    // Set the flag under the mutex so a helper between its predicate check
+    // and cv sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->shutdown.request_cancel();
+  }
+  shared_->cv.notify_all();
+}
+
+long EngineTeam::helper_chunks() const { return helper_chunks_; }
+
+std::size_t EngineTeam::chunk_size(std::size_t items) const {
+  // Aim for ~4 chunks per worker so late joiners still find work, with a
+  // floor of 16 items to keep the claim overhead amortized.
+  const std::size_t target = std::max<std::size_t>(1, width_) * 4;
+  return std::max<std::size_t>(16, (items + target - 1) / target);
+}
+
+void EngineTeam::work_on(PhaseDesc& desc, bool coordinator) {
+  for (;;) {
+    const std::size_t c = desc.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= desc.chunks) return;
+    const std::size_t begin = c * desc.chunk;
+    const std::size_t end = std::min(desc.items, begin + desc.chunk);
+    try {
+      desc.invoke(desc.ctx, begin, end, c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(desc.error_mutex);
+      if (!desc.error || c < desc.error_chunk) {
+        desc.error = std::current_exception();
+        desc.error_chunk = c;
+      }
+    }
+    if (!coordinator) desc.helper_chunks.fetch_add(1, std::memory_order_relaxed);
+    desc.done_chunks.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void EngineTeam::helper_loop(const std::shared_ptr<Shared>& shared) {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<PhaseDesc> desc;
+    {
+      std::unique_lock<std::mutex> lock(shared->mutex);
+      shared->cv.wait(lock, [&] {
+        return shared->shutdown.cancel_requested() ||
+               (shared->current && shared->phase_seq != seen_seq);
+      });
+      if (shared->shutdown.cancel_requested()) return;
+      desc = shared->current;
+      seen_seq = shared->phase_seq;
+    }
+    work_on(*desc, /*coordinator=*/false);
+  }
+}
+
+void EngineTeam::run_phase(std::size_t items, std::size_t chunk, std::size_t chunks,
+                           InvokeFn invoke, void* ctx) {
+  auto desc = std::make_shared<PhaseDesc>();
+  desc->invoke = invoke;
+  desc->ctx = ctx;
+  desc->items = items;
+  desc->chunk = chunk;
+  desc->chunks = chunks;
+  if (shared_) {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      shared_->current = desc;
+      shared_->phase_seq += 1;
+    }
+    shared_->cv.notify_all();
+  }
+  work_on(*desc, /*coordinator=*/true);
+  // Barrier: the claim loop above returned because the cursor ran dry, but a
+  // helper may still be inside its last chunk. Spin briefly, then yield.
+  unsigned spins = 0;
+  while (desc->done_chunks.load(std::memory_order_acquire) < chunks) {
+    if (++spins < 64) continue;
+    std::this_thread::yield();
+  }
+  if (shared_) {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (shared_->current == desc) shared_->current = nullptr;
+  }
+  phases_ += 1;
+  chunks_ += static_cast<long>(chunks);
+  helper_chunks_ += desc->helper_chunks.load(std::memory_order_relaxed);
+  if (desc->error) std::rethrow_exception(desc->error);
+}
+
+}  // namespace sdfmap

@@ -1,0 +1,309 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/state_hash.h"
+#include "src/support/budget.h"
+
+namespace sdfmap {
+
+class TaskPool;
+class EngineTeam;
+
+/// Per-execution accounting of the intra-engine parallelism (docs/PERF.md):
+/// how many executions actually ran the parallel path, how much phase work
+/// helpers picked up, and how the speculative period detector fared. Like
+/// CacheStats, these numbers depend on scheduling (how many helpers the
+/// shared pool could spare), so they are reported on stderr only — stdout
+/// stays byte-identical at every (--jobs, --engine-jobs) level.
+struct EngineParallelStats {
+  long parallel_executions = 0;  ///< executions that took the parallel path
+  long serial_executions = 0;    ///< executions that stayed on the serial path
+  long phases = 0;               ///< parallel phases (barriers) run
+  long chunks = 0;               ///< work chunks executed across all phases
+  long helper_chunks = 0;        ///< chunks executed by pool helpers (not the coordinator)
+  long detection_batches = 0;    ///< speculative horizons flushed through the sharded set
+  long speculative_hits = 0;     ///< batches that closed the periodic phase
+  long overshoot_samples = 0;    ///< speculative samples simulated past the winning one
+  long shards = 0;               ///< shard count of the visited set (0 when never parallel)
+
+  void merge(const EngineParallelStats& other);
+
+  /// "3 parallel (0 serial), 1204 phases, 9632 chunks (71% helped),
+  ///  5 batches (3 hits, 41 overshoot)"; empty() when nothing ran.
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] bool empty() const {
+    return parallel_executions == 0 && serial_executions == 0;
+  }
+};
+
+/// Thread-safe collector the engines report into when
+/// ExecutionLimits::engine_stats is set: one mutex-protected merge per
+/// execution, shared by every check of a strategy run (checks may run
+/// concurrently on the TaskPool).
+class EngineStatsSink {
+ public:
+  void add(const EngineParallelStats& stats) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_.merge(stats);
+  }
+
+  [[nodiscard]] EngineParallelStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  EngineParallelStats total_;
+};
+
+/// One recorded increase of a channel's occupancy maximum. The parallel
+/// engines keep, per detection batch, a baseline copy of max_tokens plus a
+/// journal of every later increase; a sample stores only the journal length
+/// at its instant, and reconstruct_max_tokens() rebuilds the byte-identical
+/// occupancy bound of any sample after speculative overshoot raised the live
+/// maxima further. Entries are applied as elementwise max, so the merge order
+/// of same-instant entries (chunk order) does not matter.
+struct MaxTokenEntry {
+  std::uint32_t channel = 0;
+  std::int64_t value = 0;
+};
+
+[[nodiscard]] std::vector<std::int64_t> reconstruct_max_tokens(
+    const std::vector<std::int64_t>& baseline, const std::vector<MaxTokenEntry>& journal,
+    std::uint64_t len);
+
+/// One sampled recurrence candidate awaiting a batched flush: the encoded
+/// state, its instant, the max-tokens journal length at that instant, and the
+/// firing counters a recurrence verdict needs.
+struct PendingSample {
+  StateKey key;
+  std::int64_t time = 0;
+  std::uint64_t journal_len = 0;
+  std::vector<std::int64_t> fires;
+  std::vector<std::size_t> starts;  // constrained list mode only (serial today)
+};
+
+/// Deterministic flush horizon of the speculative period detector: pending
+/// samples accumulate until the batch reaches this size, then one parallel
+/// flush resolves them all. A pure function of the global sample count, so
+/// the batching — and therefore every speculative side effect — is identical
+/// at every engine-jobs level.
+[[nodiscard]] inline std::size_t detection_horizon(std::uint64_t samples_taken) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(256, std::max<std::uint64_t>(16, samples_taken / 8)));
+}
+
+/// Hash-partitioned visited set for recurrent-state detection: a StateKey's
+/// splitmix64 fingerprint selects one of kShards sub-tables, so detection
+/// batches can be processed by several workers without a single shared
+/// unordered_map serializing every lookup and insert. There are no per-shard
+/// locks: during a detection phase each shard is *owned* by exactly one
+/// worker (shard index modulo group count), which is both faster than locking
+/// and trivially race-free — ordering within a shard (the only ordering that
+/// can affect a recurrence verdict, since equal keys always land in the same
+/// shard) is preserved by processing samples in index order.
+class ShardedStateSet {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  /// Snapshot stored with every sampled state: what the serial engines keep
+  /// in their StateMap values, plus the max-tokens journal length used to
+  /// reconstruct byte-identical occupancy bounds after speculative overshoot.
+  struct Snapshot {
+    std::int64_t time = 0;
+    std::uint64_t journal_len = 0;
+    std::vector<std::int64_t> fires;
+    std::vector<std::size_t> starts;  // constrained list mode only (unused today)
+  };
+
+  ShardedStateSet();
+
+  /// splitmix64-chained fingerprint of `key` — the same mixing as
+  /// StateKeyHash, kept as a free function so detection phases can hash in
+  /// parallel before shard ownership partitions the work.
+  [[nodiscard]] static std::uint64_t fingerprint(const StateKey& key) {
+    return StateKeyHash{}(key);
+  }
+
+  [[nodiscard]] static std::size_t shard_of(std::uint64_t fp) {
+    return static_cast<std::size_t>(fp >> 58) & (kShards - 1);
+  }
+
+  /// The earliest pending sample that matched a resident state, plus that
+  /// resident snapshot (the recurrence predecessor).
+  struct Hit {
+    std::size_t index = 0;
+    const Snapshot* prev = nullptr;
+  };
+
+  /// Resolves one detection batch: fingerprints every pending sample in
+  /// parallel, then partitions shard ownership across the team (shard index
+  /// modulo group count) and has each group process its samples in index
+  /// order — per-shard insertion order is what recurrence verdicts depend on,
+  /// and equal keys always land in the same shard, so the earliest hit across
+  /// groups is exactly the hit the serial engine would have found. Samples
+  /// that miss are inserted (moved out of `pending`); a group stops at its
+  /// first hit, so the returned snapshot pointer stays valid until the next
+  /// flush. Returns nullopt when every sample was new.
+  std::optional<Hit> flush(std::vector<PendingSample>& pending, EngineTeam& team);
+
+  /// Looks the sample's key up in its shard; when present returns the
+  /// resident snapshot, otherwise moves the sample's key/fires/starts in and
+  /// returns nullptr. NOT thread-safe per shard — flush() partitions shard
+  /// ownership across workers.
+  const Snapshot* lookup_or_insert(std::uint64_t fp, PendingSample& sample);
+
+  [[nodiscard]] std::size_t size() const;
+  void reserve(std::size_t expected);
+
+ private:
+  struct Entry {
+    std::uint64_t fp;
+    StateKey key;
+    Snapshot snapshot;
+  };
+  struct Shard {
+    // Separate-chained buckets keyed by fingerprint; full-key comparison
+    // resolves fingerprint collisions.
+    std::vector<std::vector<Entry>> buckets;
+    std::size_t entries = 0;
+    void rehash(std::size_t min_buckets);
+  };
+  Shard shards_[kShards];
+
+  // Flush scratch, reused across batches.
+  std::vector<std::uint64_t> fps_;
+  std::vector<std::size_t> group_hit_;
+  std::vector<const Snapshot*> group_prev_;
+};
+
+/// A team of workers executing the engine's per-instant phases: the calling
+/// thread is the coordinator, and up to width-1 helpers are borrowed from the
+/// shared TaskPool as long-running tasks (no threads are spawned — the pool
+/// the runtime/server already owns is reused, so intra-engine parallelism
+/// composes with the cross-check parallelism of PR 2). Helpers that the pool
+/// cannot spare simply never join: the coordinator claims every chunk itself
+/// and the result is byte-identical, just slower.
+///
+/// Each phase publishes an immutable descriptor (function, item count, chunk
+/// size); workers claim chunks from the descriptor's atomic cursor, so a
+/// chunk runs exactly once no matter how many helpers participate or when
+/// they join. A phase's descriptor is never mutated after publication, and a
+/// laggard holding a previous descriptor can only observe its exhausted
+/// cursor — the two invariants that make the barrier protocol race-free.
+///
+/// Shutdown fans out through a CancellationToken (the same primitive budget
+/// cancellation uses): when the execution finishes — including when a
+/// speculative detection batch closes the period and the remaining
+/// in-flight helpers become losers — the token is tripped and every helper
+/// returns its pool slot.
+class EngineTeam {
+ public:
+  /// A team of `width` workers (coordinator + min(width-1, pool.workers())
+  /// helpers). width <= 1 creates an inert team (phases run inline).
+  EngineTeam(unsigned width, TaskPool& pool);
+  ~EngineTeam();
+
+  EngineTeam(const EngineTeam&) = delete;
+  EngineTeam& operator=(const EngineTeam&) = delete;
+
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// Number of chunks a phase over `items` items splits into.
+  [[nodiscard]] static std::size_t num_chunks(std::size_t items, std::size_t chunk) {
+    return chunk == 0 ? 0 : (items + chunk - 1) / chunk;
+  }
+
+  /// Chunk size targeting a few chunks per worker with a floor that keeps
+  /// per-chunk work above the claim overhead.
+  [[nodiscard]] std::size_t chunk_size(std::size_t items) const;
+
+  /// Runs fn(begin, end, chunk_index) over [0, items) split into chunks of
+  /// `chunk` items; returns when every chunk has executed. The coordinator
+  /// participates, so this works with zero helpers. Exceptions thrown by fn
+  /// are rethrown here (lowest chunk index wins, deterministically).
+  template <typename Fn>
+  void for_chunks(std::size_t items, std::size_t chunk, Fn&& fn) {
+    if (items == 0) return;
+    const std::size_t chunks = num_chunks(items, chunk);
+    if (width_ <= 1 || chunks <= 1) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * chunk;
+        fn(begin, std::min(items, begin + chunk), c);
+      }
+      phases_ += 1;
+      chunks_ += static_cast<long>(chunks);
+      return;
+    }
+    run_phase(items, chunk, chunks, &invoke_thunk<std::decay_t<Fn>>, &fn);
+  }
+
+  /// Phase/chunk counters for EngineParallelStats.
+  [[nodiscard]] long phases() const { return phases_; }
+  [[nodiscard]] long chunks() const { return chunks_; }
+  [[nodiscard]] long helper_chunks() const;
+
+ private:
+  using InvokeFn = void (*)(void* ctx, std::size_t begin, std::size_t end,
+                            std::size_t chunk_index);
+
+  template <typename Fn>
+  static void invoke_thunk(void* ctx, std::size_t begin, std::size_t end,
+                           std::size_t chunk_index) {
+    (*static_cast<Fn*>(ctx))(begin, end, chunk_index);
+  }
+
+  struct PhaseDesc;
+  struct Shared;
+
+  void run_phase(std::size_t items, std::size_t chunk, std::size_t chunks, InvokeFn invoke,
+                 void* ctx);
+  static void work_on(PhaseDesc& desc, bool coordinator);
+  static void helper_loop(const std::shared_ptr<Shared>& shared);
+
+  unsigned width_ = 1;
+  long phases_ = 0;
+  long chunks_ = 0;
+  long helper_chunks_ = 0;
+  std::shared_ptr<Shared> shared_;
+};
+
+/// RAII reporter: an engine fills `stats` during one execution and the scope
+/// delivers it to the sink (when one is installed) on every exit path,
+/// including exceptional ones. When `team` is set, the team's phase/chunk
+/// counters are folded in at delivery time — declare the scope after the
+/// team so the team is still alive when the scope's destructor runs.
+class EngineStatsScope {
+ public:
+  explicit EngineStatsScope(EngineStatsSink* sink) : sink_(sink) {}
+  ~EngineStatsScope() {
+    if (!sink_) return;
+    if (team) {
+      stats.phases += team->phases();
+      stats.chunks += team->chunks();
+      stats.helper_chunks += team->helper_chunks();
+    }
+    sink_->add(stats);
+  }
+
+  EngineStatsScope(const EngineStatsScope&) = delete;
+  EngineStatsScope& operator=(const EngineStatsScope&) = delete;
+
+  EngineParallelStats stats;
+  const EngineTeam* team = nullptr;
+
+ private:
+  EngineStatsSink* sink_;
+};
+
+}  // namespace sdfmap

@@ -1,0 +1,431 @@
+// Determinism and stress coverage of the intra-engine parallelism
+// (docs/PERF.md "Intra-engine parallelism"): at every (--jobs, engine-jobs)
+// level the parallel engines must return byte-identical results to the serial
+// ones — including every error path, budget-check cadence, observer behavior,
+// and what gets inserted into a shared ThroughputCache. Run under TSan in CI
+// (.github/workflows/ci.yml, thread-sanitized job).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/analysis/constrained.h"
+#include "src/analysis/engine_parallel.h"
+#include "src/analysis/state_space.h"
+#include "src/appmodel/paper_example.h"
+#include "src/mapping/list_scheduler.h"
+#include "src/platform/mesh.h"
+#include "src/runtime/task_pool.h"
+#include "src/sdf/builder.h"
+#include "src/sdf/repetition_vector.h"
+#include "src/support/rng.h"
+
+namespace sdfmap {
+namespace {
+
+/// Field-by-field equality of two SelfTimedResults — every field a caller can
+/// observe, so "byte-identical" is checked for real rather than via a summary.
+void expect_same(const SelfTimedResult& a, const SelfTimedResult& b,
+                 const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.iteration_period, b.iteration_period) << what;
+  EXPECT_EQ(a.states_stored, b.states_stored) << what;
+  EXPECT_EQ(a.cycle_start_time, b.cycle_start_time) << what;
+  EXPECT_EQ(a.cycle_end_time, b.cycle_end_time) << what;
+  EXPECT_EQ(a.cycle_firings, b.cycle_firings) << what;
+  EXPECT_EQ(a.period_firings, b.period_firings) << what;
+  EXPECT_EQ(a.max_tokens, b.max_tokens) << what;
+}
+
+void expect_same(const ConstrainedResult& a, const ConstrainedResult& b,
+                 const std::string& what) {
+  expect_same(a.base, b.base, what);
+  ASSERT_EQ(a.schedules.size(), b.schedules.size()) << what;
+  for (std::size_t t = 0; t < a.schedules.size(); ++t) {
+    EXPECT_EQ(a.schedules[t].firings, b.schedules[t].firings) << what;
+    EXPECT_EQ(a.schedules[t].loop_start, b.schedules[t].loop_start) << what;
+  }
+}
+
+/// The long-transient interference workload of bench_perf_statespace, scaled
+/// down: K two-actor cycles with coprime periods chained together, so the
+/// sampled state recurs only after lcm of the periods (~1000 samples) — a
+/// real stress of the sharded visited set and the batched detector.
+Graph interference_graph(int num_cycles) {
+  const std::int64_t exec[][2] = {{3, 4}, {5, 6}, {6, 7}, {8, 9}};  // periods 7,11,13,17
+  Graph g;
+  std::vector<ActorId> heads;
+  for (int i = 0; i < num_cycles; ++i) {
+    const auto& e = exec[i % 4];
+    const ActorId a = g.add_actor("a" + std::to_string(i), e[0]);
+    const ActorId b = g.add_actor("b" + std::to_string(i), e[1]);
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(b, a, 1, 1, 1);
+    heads.push_back(a);
+  }
+  for (int i = 0; i + 1 < num_cycles; ++i) {
+    const std::int64_t p_src = exec[i % 4][0] + exec[i % 4][1];
+    const std::int64_t p_dst = exec[(i + 1) % 4][0] + exec[(i + 1) % 4][1];
+    g.add_channel(heads[static_cast<std::size_t>(i)],
+                  heads[static_cast<std::size_t>(i) + 1], p_src, p_dst,
+                  8 * (p_src + p_dst));
+  }
+  return g;
+}
+
+/// Random consistent strongly-connected SDFG (same construction as the
+/// engine-agreement test): ring plus chords, tokens on backward channels.
+Graph random_graph(Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 8));
+  std::vector<std::int64_t> gamma(n);
+  for (auto& v : gamma) v = rng.uniform(1, 4);
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_actor("a" + std::to_string(i), rng.uniform(1, 12));
+  }
+  const auto add = [&](std::uint32_t u, std::uint32_t v, bool backward) {
+    const std::int64_t lcm = std::lcm(gamma[u], gamma[v]);
+    const std::int64_t p = lcm / gamma[u];
+    const std::int64_t q = lcm / gamma[v];
+    const std::int64_t tokens =
+        backward ? q * gamma[v] * rng.uniform(1, 2) : q * rng.uniform(0, 1);
+    g.add_channel(ActorId{u}, ActorId{v}, p, q, tokens);
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    add(i, (i + 1) % static_cast<std::uint32_t>(n), i + 1 == n);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) g.add_channel(ActorId{i}, ActorId{i}, 1, 1, rng.uniform(1, 2));
+  }
+  return g;
+}
+
+class ParallelEngineJobs : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { TaskPool::set_global_jobs(GetParam()); }
+  void TearDown() override { TaskPool::set_global_jobs(1); }
+};
+
+TEST_P(ParallelEngineJobs, SelfTimedMatchesSerialOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const Graph g = random_graph(rng);
+    const auto gamma = compute_repetition_vector(g);
+    ASSERT_TRUE(gamma);
+    ExecutionLimits serial;
+    const SelfTimedResult expected = self_timed_throughput(g, *gamma, serial);
+    for (const unsigned engine_jobs : {2u, 8u}) {
+      ExecutionLimits limits;
+      limits.engine_jobs = engine_jobs;
+      expect_same(expected, self_timed_throughput(g, *gamma, limits),
+                  "seed " + std::to_string(seed) + " engine-jobs " +
+                      std::to_string(engine_jobs));
+    }
+  }
+}
+
+TEST_P(ParallelEngineJobs, SelfTimedMatchesSerialOnLongTransient) {
+  const Graph g = interference_graph(8);
+  const auto gamma = *compute_repetition_vector(g);
+  const SelfTimedResult expected = self_timed_throughput(g, gamma);
+  EXPECT_GT(expected.states_stored, 500u);  // the workload stresses the shards
+  for (const unsigned engine_jobs : {2u, 4u, 8u}) {
+    ExecutionLimits limits;
+    limits.engine_jobs = engine_jobs;
+    expect_same(expected, self_timed_throughput(g, gamma, limits),
+                "engine-jobs " + std::to_string(engine_jobs));
+  }
+}
+
+TEST_P(ParallelEngineJobs, ConstrainedStaticOrderMatchesSerial) {
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+  const ListSchedulingResult sched = construct_schedules(app, arch, binding);
+  const auto gamma = *compute_repetition_vector(sched.binding_aware.graph);
+  const ConstrainedSpec spec =
+      make_constrained_spec(arch, sched.binding_aware, sched.schedules);
+  const ConstrainedResult expected = execute_constrained(
+      sched.binding_aware.graph, gamma, spec, SchedulingMode::kStaticOrder);
+  for (const unsigned engine_jobs : {2u, 8u}) {
+    ExecutionLimits limits;
+    limits.engine_jobs = engine_jobs;
+    expect_same(expected,
+                execute_constrained(sched.binding_aware.graph, gamma, spec,
+                                    SchedulingMode::kStaticOrder, limits),
+                "engine-jobs " + std::to_string(engine_jobs));
+  }
+}
+
+TEST_P(ParallelEngineJobs, ListSchedulingFallsBackIdentically) {
+  // List mode keeps the serial engine (order-sensitive ready lists); the knob
+  // must be a no-op, not an error.
+  const Architecture arch = make_example_platform();
+  const ApplicationGraph app = make_paper_example_application();
+  const Binding binding = make_paper_example_binding(arch);
+  const ListSchedulingResult sched = construct_schedules(app, arch, binding);
+  const auto gamma = *compute_repetition_vector(sched.binding_aware.graph);
+  const ConstrainedSpec spec = make_constrained_spec(arch, sched.binding_aware);
+  const ConstrainedResult expected = execute_constrained(
+      sched.binding_aware.graph, gamma, spec, SchedulingMode::kListScheduling);
+  ExecutionLimits limits;
+  limits.engine_jobs = 8;
+  expect_same(expected,
+              execute_constrained(sched.binding_aware.graph, gamma, spec,
+                                  SchedulingMode::kListScheduling, limits),
+              "list mode");
+}
+
+// --- Error paths: every count cap must trip identically at every level. ---
+
+/// Runs fn and returns the AnalysisError kind it threw, or nullopt.
+template <typename Fn>
+std::optional<AnalysisErrorKind> error_kind_of(Fn&& fn) {
+  try {
+    (void)fn();
+    return std::nullopt;
+  } catch (const AnalysisError& e) {
+    return e.kind();
+  }
+}
+
+TEST_P(ParallelEngineJobs, StateLimitSweepIsJobsInvariant) {
+  // Sweep max_states over every value up to past the full exploration: the
+  // outcome (kStateLimit error vs periodic result) and, on success, the full
+  // result must match the serial engine at every cap — this drives the
+  // batched detector through every flush position, including the forced
+  // at-the-cap flush where a pending hit still wins over the limit error.
+  const Graph g = interference_graph(4);
+  const auto gamma = *compute_repetition_vector(g);
+  const SelfTimedResult full = self_timed_throughput(g, gamma);
+  const std::uint64_t total = full.states_stored;
+  ASSERT_GT(total, 10u);
+  for (std::uint64_t cap = 0; cap <= total + 2; ++cap) {
+    ExecutionLimits serial;
+    serial.max_states = cap;
+    ExecutionLimits parallel = serial;
+    parallel.engine_jobs = 4;
+    const auto serial_kind = error_kind_of([&] { return self_timed_throughput(g, gamma, serial); });
+    const auto parallel_kind =
+        error_kind_of([&] { return self_timed_throughput(g, gamma, parallel); });
+    EXPECT_EQ(serial_kind, parallel_kind) << "cap " << cap;
+    if (!serial_kind && !parallel_kind) {
+      expect_same(self_timed_throughput(g, gamma, serial),
+                  self_timed_throughput(g, gamma, parallel),
+                  "cap " + std::to_string(cap));
+    }
+  }
+}
+
+TEST_P(ParallelEngineJobs, CountCapErrorsMatchSerial) {
+  const Graph g = interference_graph(4);
+  const auto gamma = *compute_repetition_vector(g);
+  for (const std::uint64_t cap : {1ull, 5ull, 50ull}) {
+    ExecutionLimits serial;
+    serial.max_time_steps = cap;
+    ExecutionLimits parallel = serial;
+    parallel.engine_jobs = 4;
+    EXPECT_EQ(error_kind_of([&] { return self_timed_throughput(g, gamma, serial); }),
+              error_kind_of([&] { return self_timed_throughput(g, gamma, parallel); }))
+        << "step cap " << cap;
+  }
+  // Token divergence: a source actor with no inputs accumulates unboundedly.
+  Graph diverging;
+  const ActorId src = diverging.add_actor("src", 1);
+  const ActorId snk = diverging.add_actor("snk", 3);
+  diverging.add_channel(src, snk, 2, 1, 0, "hot");
+  diverging.add_channel(snk, snk, 1, 1, 1);
+  const auto dgamma = compute_repetition_vector(diverging);
+  ASSERT_TRUE(dgamma);
+  ExecutionLimits serial;
+  serial.max_tokens_per_channel = 100;
+  ExecutionLimits parallel = serial;
+  parallel.engine_jobs = 4;
+  std::string serial_what;
+  std::string parallel_what;
+  try {
+    (void)self_timed_throughput(diverging, *dgamma, serial);
+  } catch (const AnalysisError& e) {
+    serial_what = e.what();
+  }
+  try {
+    (void)self_timed_throughput(diverging, *dgamma, parallel);
+  } catch (const AnalysisError& e) {
+    parallel_what = e.what();
+  }
+  EXPECT_FALSE(serial_what.empty());
+  // The error must name the same channel at every level.
+  EXPECT_EQ(serial_what, parallel_what);
+}
+
+TEST_P(ParallelEngineJobs, CancellationPropagates) {
+  const Graph g = interference_graph(4);
+  const auto gamma = *compute_repetition_vector(g);
+  ExecutionLimits limits;
+  limits.engine_jobs = 4;
+  const CancellationToken token = CancellationToken::make();
+  token.request_cancel();
+  limits.budget.set_cancellation(token);
+  EXPECT_EQ(error_kind_of([&] { return self_timed_throughput(g, gamma, limits); }),
+            std::optional<AnalysisErrorKind>(AnalysisErrorKind::kCancelled));
+}
+
+// --- Observer parity: observers keep the serial path and the same results. ---
+
+TEST_P(ParallelEngineJobs, ObserverParity) {
+  const Graph g = interference_graph(2);
+  const auto gamma = *compute_repetition_vector(g);
+
+  const auto trace_of = [&](const ExecutionLimits& limits) {
+    std::vector<TransitionEvent> events;
+    const SelfTimedResult r = self_timed_throughput(
+        g, gamma, limits, [&](const TransitionEvent& e) { events.push_back(e); });
+    return std::make_pair(r, events);
+  };
+  ExecutionLimits serial;
+  ExecutionLimits parallel;
+  parallel.engine_jobs = 8;
+  const auto [serial_result, serial_events] = trace_of(serial);
+  const auto [parallel_result, parallel_events] = trace_of(parallel);
+  expect_same(serial_result, parallel_result, "observed results");
+  // And the unobserved parallel execution agrees with the observed serial one.
+  expect_same(serial_result, self_timed_throughput(g, gamma, parallel), "unobserved");
+  ASSERT_EQ(serial_events.size(), parallel_events.size());
+  for (std::size_t i = 0; i < serial_events.size(); ++i) {
+    EXPECT_EQ(serial_events[i].time, parallel_events[i].time) << i;
+    EXPECT_EQ(serial_events[i].ended, parallel_events[i].ended) << i;
+    EXPECT_EQ(serial_events[i].started, parallel_events[i].started) << i;
+  }
+}
+
+// --- Cache interplay: the parallel engine must not poison the cache, and
+// engine_jobs must not be part of cache fingerprints. ---
+
+TEST_P(ParallelEngineJobs, CacheNoPoisonAcrossEngineJobs) {
+  ThroughputCache cache;
+  const Graph g = interference_graph(2);
+  const auto gamma = *compute_repetition_vector(g);
+
+  ExecutionLimits parallel;
+  parallel.engine_jobs = 8;
+  CacheStats stats;
+  const SelfTimedResult first =
+      cached_self_timed_throughput(&cache, &stats, g, gamma, parallel);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+
+  // A serial-configured lookup must HIT the parallel-engine-inserted record
+  // (engine_jobs is excluded from the fingerprint) and return the same bytes.
+  ExecutionLimits serial;
+  const SelfTimedResult second =
+      cached_self_timed_throughput(&cache, &stats, g, gamma, serial);
+  EXPECT_EQ(stats.hits, 1);
+  expect_same(first, second, "cache round-trip");
+  expect_same(first, self_timed_throughput(g, gamma, serial), "against serial engine");
+}
+
+TEST_P(ParallelEngineJobs, EngineStatsSinkCountsExecutions) {
+  const Graph g = interference_graph(2);
+  const auto gamma = *compute_repetition_vector(g);
+  EngineStatsSink sink;
+  ExecutionLimits limits;
+  limits.engine_jobs = 4;
+  limits.engine_stats = &sink;
+  (void)self_timed_throughput(g, gamma, limits);
+  limits.engine_jobs = 1;
+  (void)self_timed_throughput(g, gamma, limits);
+  const EngineParallelStats stats = sink.snapshot();
+  EXPECT_EQ(stats.parallel_executions, 1);
+  EXPECT_EQ(stats.serial_executions, 1);
+  EXPECT_GT(stats.phases, 0);
+  EXPECT_GT(stats.detection_batches, 0);
+  EXPECT_EQ(stats.speculative_hits, 1);
+  EXPECT_EQ(stats.shards, static_cast<long>(ShardedStateSet::kShards));
+  EXPECT_FALSE(stats.summary().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelEngineJobs, ::testing::Values(1u, 2u, 8u));
+
+// --- Shard stress: the sharded set itself, driven through its flush API. ---
+
+TEST(ShardedStateSet, FlushFindsEarliestDuplicateAcrossShards) {
+  // Local pool: the team must be destroyed (helpers released) before the
+  // pool joins its workers, which reverse declaration order guarantees.
+  TaskPool pool(3);
+  EngineTeam team(4, pool);
+  ShardedStateSet set;
+
+  const auto key_of = [](std::uint64_t i) {
+    StateKey k;
+    k.words = {static_cast<std::int64_t>(i), static_cast<std::int64_t>(i * 3 + 1)};
+    return k;
+  };
+
+  // Batch 1: 500 distinct keys — no hit, all inserted.
+  std::vector<PendingSample> batch;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    PendingSample s;
+    s.key = key_of(i);
+    s.time = static_cast<std::int64_t>(i);
+    s.fires = {static_cast<std::int64_t>(i)};
+    batch.push_back(std::move(s));
+  }
+  EXPECT_FALSE(set.flush(batch, team).has_value());
+  EXPECT_EQ(set.size(), 500u);
+
+  // Batch 2: fresh keys with two duplicates of batch 1 — the earliest
+  // duplicate (batch index 3, original key 123) must win, not the later one.
+  batch.clear();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    PendingSample s;
+    s.key = key_of(1000 + i);
+    batch.push_back(std::move(s));
+  }
+  PendingSample dup1;
+  dup1.key = key_of(123);
+  batch.push_back(std::move(dup1));
+  PendingSample dup2;
+  dup2.key = key_of(7);
+  batch.push_back(std::move(dup2));
+  const auto hit = set.flush(batch, team);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->index, 3u);
+  ASSERT_NE(hit->prev, nullptr);
+  EXPECT_EQ(hit->prev->time, 123);
+  ASSERT_EQ(hit->prev->fires.size(), 1u);
+  EXPECT_EQ(hit->prev->fires[0], 123);
+}
+
+TEST(ShardedStateSet, DuplicateWithinOneBatchHitsItsPredecessor) {
+  TaskPool pool(0);
+  EngineTeam team(1, pool);
+  ShardedStateSet set;
+  std::vector<PendingSample> batch;
+  for (int rep = 0; rep < 2; ++rep) {
+    PendingSample s;
+    s.key.words = {42, 43, 44};
+    s.time = rep == 0 ? 10 : 20;
+    s.fires = {rep};
+    batch.push_back(std::move(s));
+  }
+  const auto hit = set.flush(batch, team);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->index, 1u);
+  EXPECT_EQ(hit->prev->time, 10);  // the first sample, inserted by the same flush
+}
+
+TEST(MaxTokensJournal, ReconstructionAppliesPrefixAsMax) {
+  const std::vector<std::int64_t> baseline = {1, 5, 2};
+  const std::vector<MaxTokenEntry> journal = {{0, 4}, {2, 7}, {0, 9}};
+  EXPECT_EQ(reconstruct_max_tokens(baseline, journal, 0), baseline);
+  EXPECT_EQ(reconstruct_max_tokens(baseline, journal, 2),
+            (std::vector<std::int64_t>{4, 5, 7}));
+  EXPECT_EQ(reconstruct_max_tokens(baseline, journal, 3),
+            (std::vector<std::int64_t>{9, 5, 7}));
+}
+
+}  // namespace
+}  // namespace sdfmap
